@@ -1,0 +1,46 @@
+"""Shared benchmark helpers.
+
+The paper (SIGMOD 1990) contains **no quantitative evaluation** — it is a
+design overview.  This suite is the reconstructed experiment set E1-E10
+documented in DESIGN.md §5: every benchmark regenerates one row/series of
+the evaluation the paper *implies* (its worked examples and architecture
+claims), with baselines where the paper names them (flat Datalog;
+LOGRES-on-ALGRES translation).
+
+Run with ``pytest benchmarks/ --benchmark-only``; grouping puts each
+experiment's sweep in one table, which is the "row/series" shape recorded
+in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import Engine, EvalConfig, Semantics, parse_source
+
+
+def build_unit(source):
+    unit = parse_source(source)
+    return unit.schema(), unit.program()
+
+
+TC_SOURCE = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+"""
+
+
+@pytest.fixture(scope="session")
+def tc_unit():
+    return build_unit(TC_SOURCE)
+
+
+def run_logres(schema, program, edb, seminaive=True,
+               semantics=Semantics.INFLATIONARY, max_facts=2_000_000):
+    engine = Engine(
+        schema, program,
+        EvalConfig(seminaive=seminaive, max_facts=max_facts),
+    )
+    return engine.run(edb, semantics)

@@ -1,0 +1,58 @@
+"""E4 — Generated referential-integrity constraints (Section 2.1).
+
+Paper anchor: "the consistency of legal database states is dictated by a
+collection of integrity constraints, which are automatically built from
+type equations".
+
+Series: consistency-check time vs database size for the football
+database (Example 2.1) — deep NF² values with player references nested
+in sequences and sets — plus the cost of *detecting* an injected
+violation.  Expected shape: linear in the number of stored references;
+violation detection costs the same as a clean pass (the checker is a
+full scan either way).
+"""
+
+import pytest
+
+from repro.constraints import ConsistencyChecker, referential_denials
+from repro.values import Oid
+from repro.workloads import football_database
+
+SIZES = [4, 8, 16]
+
+
+@pytest.mark.parametrize("teams", SIZES)
+@pytest.mark.benchmark(group="e04-referential-integrity")
+def test_clean_check(benchmark, teams):
+    db = football_database(teams=teams, games=teams * 3, seed=11)
+    checker = ConsistencyChecker(db.schema)
+    instance = db.instance()
+    violations = benchmark(checker.check, instance)
+    assert violations == []
+
+
+@pytest.mark.parametrize("teams", SIZES)
+@pytest.mark.benchmark(group="e04-referential-integrity")
+def test_violation_detection(benchmark, teams):
+    db = football_database(teams=teams, games=teams * 3, seed=11)
+    instance = db.instance()
+    # inject one dangling player reference deep inside a team roster
+    team_fact = next(instance.facts_of("team"))
+    broken = team_fact.value.with_field(
+        "substitutes",
+        team_fact.value["substitutes"].with_element(Oid(999_999)),
+    )
+    instance.add_object("team", team_fact.oid, broken)
+    checker = ConsistencyChecker(db.schema)
+    violations = benchmark(checker.check, instance)
+    assert any(v.kind == "reference" for v in violations)
+
+
+def test_constraint_generation_shape():
+    """The generator emits one denial per reference field — for the
+    football schema: game.h_team, game.g_team (player references inside
+    constructors are checked structurally, not by top-level denials)."""
+    db = football_database(teams=2, games=1)
+    denials = referential_denials(db.schema)
+    names = sorted(d.name for d in denials)
+    assert names == ["ref:game.g_team->team", "ref:game.h_team->team"]

@@ -1,0 +1,94 @@
+"""E6 — The six module application modes (Section 4.1).
+
+Paper anchor: "by selecting the option of application of a module, the
+effect on the database can be changed" — the same module, applied under
+each mode, costs differently because each mode materializes and checks
+different things.
+
+Series: per-mode application time on a fixed genealogy state with a
+fixed module.  Expected shape: the data-invariant query modes (RIDI /
+RADI / RDDI) pay one materialization of E under R∪R_M; the data-variant
+modes (RIDV / RADV / RDDV) pay the update fixpoint *plus* the
+post-state materialization and consistency check — so DV modes sit
+above their DI counterparts.
+"""
+
+import pytest
+
+from repro import (
+    DatabaseState,
+    FactSet,
+    Mode,
+    Module,
+    apply_module,
+    parse_schema_source,
+)
+from repro.workloads import genealogy_facts
+
+SCHEMA = parse_schema_source("""
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+""")
+
+MODULE = Module.from_source("""
+rules
+  parent(par "p0", chil "pnew").
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+goal
+  ?- anc(a "p0", d D).
+""", name="tc-module")
+
+MODULE_NO_GOAL = Module.from_source("""
+rules
+  parent(par "p0", chil "pnew").
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+""", name="tc-module-dv")
+
+PEOPLE = 60
+
+
+def fresh_state():
+    return DatabaseState(SCHEMA, genealogy_facts(PEOPLE, seed=5))
+
+
+@pytest.mark.parametrize("mode", [Mode.RIDI, Mode.RADI, Mode.RDDI])
+@pytest.mark.benchmark(group="e06-module-modes")
+def test_data_invariant_modes(benchmark, mode):
+    state = fresh_state()
+    result = benchmark(apply_module, state, MODULE, mode)
+    assert result.state.edb == state.edb  # E never changes in DI modes
+
+
+@pytest.mark.parametrize("mode", [Mode.RIDV, Mode.RADV, Mode.RDDV])
+@pytest.mark.benchmark(group="e06-module-modes")
+def test_data_variant_modes(benchmark, mode):
+    state = fresh_state()
+    result = benchmark(apply_module, state, MODULE_NO_GOAL, mode)
+    assert result.answers is None
+
+
+def test_mode_effects_summary():
+    """One table row per mode: what changed (E? R? answered goal?)."""
+    state = fresh_state()
+    effects = {}
+    for mode in Mode:
+        module = MODULE if mode.allows_goal else MODULE_NO_GOAL
+        result = apply_module(state, module, mode)
+        effects[mode.value] = (
+            result.state.edb != state.edb,
+            len(result.state.rules) != len(state.rules),
+            result.answers is not None,
+        )
+    assert effects == {
+        "RIDI": (False, False, True),
+        "RADI": (False, True, True),
+        "RDDI": (False, False, True),   # module rules were not in R0
+        "RIDV": (True, False, False),
+        "RADV": (True, True, False),
+        # RDDV removes E ∩ E_M, which is empty here (the module's fact
+        # was never inserted extensionally), so E is unchanged too
+        "RDDV": (False, False, False),
+    }

@@ -1,0 +1,105 @@
+"""E9 — isa hierarchies: propagation cost vs depth and fanout.
+
+Paper anchor: Section 2.1's generalization hierarchies; at the instance
+level "the oids of sub-classes [are inserted] within the oids of the
+super-class", realized by the automatically generated isa propagation
+rules (active referential integrity).
+
+Series: time to propagate N objects inserted at the *leaves* of a class
+tower up to the root, vs tower depth (fanout 1) and vs fanout at depth
+1.  Expected shape: linear in (objects × edges on the leaf-to-root
+path); widening the hierarchy without deepening it costs nothing per
+object.
+"""
+
+import pytest
+
+from repro import Engine, FactSet, Oid, TupleValue
+from repro.constraints import isa_propagation_rules
+from repro.language.ast import Program
+from repro.types import STRING, SchemaBuilder
+
+DEPTHS = [2, 4, 8]
+FANOUTS = [2, 4, 8]
+OBJECTS = 60
+
+
+def tower_schema(depth):
+    """c0 isa c1 isa ... isa c<depth> (c<depth> is the root)."""
+    builder = SchemaBuilder()
+    builder.clazz(f"c{depth}", ("tag", STRING))
+    for level in range(depth - 1, -1, -1):
+        builder.clazz(
+            f"c{level}",
+            (f"c{level + 1}", f"c{level + 1}"),
+            (f"extra{level}", STRING),
+        )
+        builder.isa(f"c{level}", f"c{level + 1}")
+    return builder.build()
+
+
+def star_schema(fanout):
+    """fanout sibling subclasses under one root."""
+    builder = SchemaBuilder()
+    builder.clazz("root", ("tag", STRING))
+    for i in range(fanout):
+        builder.clazz(f"kid{i}", ("root", "root"), (f"extra{i}", STRING))
+        builder.isa(f"kid{i}", "root")
+    return builder.build()
+
+
+def leaf_objects(schema, leaf, count):
+    edb = FactSet()
+    eff = schema.effective_type(leaf)
+    for i in range(count):
+        attrs = {label: f"v{i}" for label in eff.labels}
+        edb.add_object(leaf, Oid(i + 1), TupleValue(attrs))
+    return edb
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+@pytest.mark.benchmark(group="e09-inheritance-depth")
+def test_propagation_vs_depth(benchmark, depth):
+    schema = tower_schema(depth)
+    program = Program(tuple(isa_propagation_rules(schema)))
+    edb = leaf_objects(schema, "c0", OBJECTS)
+
+    def run():
+        return Engine(schema, program).run(edb)
+
+    out = benchmark(run)
+    assert len(out.oids_of(f"c{depth}")) == OBJECTS
+
+
+@pytest.mark.parametrize("fanout", FANOUTS)
+@pytest.mark.benchmark(group="e09-inheritance-fanout")
+def test_propagation_vs_fanout(benchmark, fanout):
+    schema = star_schema(fanout)
+    program = Program(tuple(isa_propagation_rules(schema)))
+    # objects spread evenly over the sibling leaves
+    edb = FactSet()
+    per_leaf = OBJECTS // fanout
+    oid = 1
+    for i in range(fanout):
+        for j in range(per_leaf):
+            edb.add_object(
+                f"kid{i}", Oid(oid),
+                TupleValue({"tag": f"t{j}", f"extra{i}": "x"}),
+            )
+            oid += 1
+
+    def run():
+        return Engine(schema, program).run(edb)
+
+    out = benchmark(run)
+    assert len(out.oids_of("root")) == per_leaf * fanout
+
+
+def test_propagated_views_project_correctly():
+    schema = tower_schema(3)
+    program = Program(tuple(isa_propagation_rules(schema)))
+    edb = leaf_objects(schema, "c0", 5)
+    out = Engine(schema, program).run(edb)
+    # the root view keeps only the root's attributes
+    root_value = out.value_of("c3", Oid(1))
+    assert set(root_value.labels) <= {"tag"}

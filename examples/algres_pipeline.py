@@ -1,0 +1,110 @@
+"""The ALGRES substrate and the LOGRES-to-ALGRES compiler (Section 5).
+
+Shows the layer the paper prototypes on: the extended (NF²) relational
+algebra with its liberal closure operator, and the translation that
+compiles a LOGRES program into algebra plans.  The same transitive
+closure is computed three ways — hand-written algebra, compiled plan,
+native LOGRES engine — and checked to agree.
+
+Run:  python examples/algres_pipeline.py
+"""
+
+from repro import Engine, parse_source
+from repro.algres import (
+    Aggregate,
+    Catalog,
+    Closure,
+    Join,
+    Nest,
+    Project,
+    Relation,
+    Rename,
+    Scan,
+    evaluate,
+)
+from repro.compiler import compile_program
+from repro.types.descriptors import STRING
+from repro.workloads import random_edges
+
+TC_SOURCE = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+"""
+
+
+def hand_written_plan():
+    """Transitive closure as an explicit algebra expression."""
+    base = Rename(Scan("parent"), {"par": "a", "chil": "d"})
+    step = Project(
+        Join(
+            Rename(Scan("$iter"), {"d": "mid"}),
+            Rename(Scan("parent"), {"par": "mid", "chil": "d"}),
+        ),
+        "a", "d",
+    )
+    return Closure(base, step)
+
+
+def main():
+    edb = random_edges(20, 35, seed=99)
+    unit = parse_source(TC_SOURCE)
+    schema, program = unit.schema(), unit.program()
+
+    # -- route 1: hand-written ALGRES plan -------------------------------
+    rows = [
+        dict(par=f.value["par"], chil=f.value["chil"])
+        for f in edb.facts_of("parent")
+    ]
+    catalog = Catalog({
+        "parent": Relation.build(
+            "parent", [("par", STRING), ("chil", STRING)], rows
+        )
+    })
+    algebra_result = evaluate(hand_written_plan(), catalog)
+    print(f"hand-written algebra : {len(algebra_result)} closure rows")
+
+    # -- route 2: compiled LOGRES program ---------------------------------
+    compiled = compile_program(program, schema)
+    print("compiled plans:")
+    for pred, plan in compiled.plans:
+        print(f"  {pred} := {plan!r}"[:78])
+    compiled_result = compiled.run(edb)
+    print(f"compiled LOGRES      : {compiled_result.count('anc')}"
+          " closure rows")
+
+    # -- route 3: native engine ------------------------------------------
+    native_result = Engine(schema, program).run(edb)
+    print(f"native LOGRES engine : {native_result.count('anc')}"
+          " closure rows")
+
+    pairs = lambda fs: {  # noqa: E731
+        (f.value["a"], f.value["d"]) for f in fs.facts_of("anc")
+    }
+    algebra_pairs = {(r["a"], r["d"]) for r in algebra_result}
+    assert algebra_pairs == pairs(compiled_result) == pairs(native_result)
+    print("\nall three routes agree ✔")
+
+    # -- NF² restructuring: nest + aggregate over the closure -------------
+    nested = evaluate(
+        Nest(hand_written_plan(), ["d"], "reachable"), catalog
+    )
+    counted = evaluate(
+        Aggregate(hand_written_plan(), ["a"], "count", None, "n"),
+        catalog,
+    )
+    top = sorted(counted, key=lambda r: (-r["n"], r["a"]))[:3]
+    print("\nmost connected nodes (algebra aggregate):")
+    for row in top:
+        members = next(
+            r["reachable"] for r in nested if r["a"] == row["a"]
+        )
+        print(f"  {row['a']}: reaches {row['n']} nodes,"
+              f" e.g. {sorted(members)[:4]}")
+
+
+if __name__ == "__main__":
+    main()

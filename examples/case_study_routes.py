@@ -1,0 +1,69 @@
+"""Case study: route planning with sequence values.
+
+A second §5-style case study exercising the sequence constructor end to
+end: routes through a one-way transit network are accumulated as
+*sequence* values with the ``append`` built-in, then inspected with
+``first`` / ``last`` / ``length``.  The network is acyclic, so the route
+relation closes finitely — the same duplicate-elimination argument as the
+powerset example keeps the fixpoint bounded.
+
+Run:  python examples/case_study_routes.py
+"""
+
+from repro import Database
+
+NETWORK = """
+domains
+  station = string.
+classes
+  stop = (station, zone: integer).
+associations
+  hop = (src: station, dst: station).
+  route = (path: <station>).
+  summary = (origin: station, dest: station, stops: integer).
+rules
+  % a route starts at any hop...
+  route(path P) <- hop(src X, dst Y), E = <>,
+                   append(E, X, P1), append(P1, Y, P).
+  % ...and extends along further hops
+  route(path P) <- route(path Q), last(Q, X), hop(src X, dst Y),
+                   append(Q, Y, P).
+  summary(origin O, dest D, stops N) <- route(path P), first(P, O),
+                                        last(P, D), length(P, N).
+"""
+
+
+def main():
+    db = Database.from_source(NETWORK)
+    for z, name in enumerate(["duomo", "cadorna", "garibaldi",
+                              "centrale", "loreto", "lambrate"]):
+        db.insert("stop", station=name, zone=z % 3 + 1)
+    for src, dst in [
+        ("duomo", "cadorna"), ("duomo", "centrale"),
+        ("cadorna", "garibaldi"), ("garibaldi", "centrale"),
+        ("centrale", "loreto"), ("loreto", "lambrate"),
+    ]:
+        db.insert("hop", src=src, dst=dst)
+
+    routes = sorted(db.tuples("route"),
+                    key=lambda t: (len(t["path"]), repr(t["path"])))
+    print(f"{len(routes)} routes through the network; the longest:")
+    longest = max(routes, key=lambda t: len(t["path"]))
+    print("  " + " -> ".join(longest["path"]))
+
+    print("\nAll ways from duomo to loreto:")
+    for t in routes:
+        path = list(t["path"])
+        if path[0] == "duomo" and path[-1] == "loreto":
+            print("  " + " -> ".join(path))
+
+    print("\nRoute summaries ending at lambrate:")
+    for answer in sorted(
+        db.query('?- summary(origin O, dest "lambrate", stops N).'),
+        key=lambda a: a["N"],
+    ):
+        print(f"  from {answer['O']}: {answer['N']} stations")
+
+
+if __name__ == "__main__":
+    main()

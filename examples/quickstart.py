@@ -1,0 +1,91 @@
+"""Quickstart: the football database of Example 2.1.
+
+Builds the paper's running schema — a complex SCORE domain, PLAYER
+objects with role sets, TEAM objects holding a *sequence* of base
+players and a *set* of substitutes (object sharing through oids), and a
+GAME association — then populates it and runs a few queries.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+
+FOOTBALL = """
+domains
+  name = string.
+  role = integer.
+  date = string.
+  score = (home: integer, guest: integer).
+classes
+  player = (name, roles: {role}).
+  team = (team_name: name, base_players: <player>, substitutes: {player}).
+associations
+  game = (h_team: team, g_team: team, date, score).
+"""
+
+
+def main():
+    db = Database.from_source(FOOTBALL)
+
+    # -- players (objects with system-managed oids) ---------------------
+    baggio = db.insert("player", name="baggio", roles={9, 10})
+    maldini = db.insert("player", name="maldini", roles={3})
+    zenga = db.insert("player", name="zenga", roles={1})
+    bench = db.insert("player", name="rizzitelli", roles={9, 11})
+
+    # -- teams: sequences keep order, sets don't ------------------------
+    milan = db.insert(
+        "team",
+        team_name="milan",
+        base_players=[maldini, baggio, bench],
+        substitutes={zenga},
+    )
+    inter = db.insert(
+        "team",
+        team_name="inter",
+        base_players=[zenga, bench],  # object sharing: bench plays twice
+        substitutes=set(),
+    )
+
+    # -- a game with a complex-domain score ------------------------------
+    db.insert(
+        "game",
+        h_team=milan,
+        g_team=inter,
+        date="1990-05-23",
+        score={"home": 2, "guest": 1},
+    )
+
+    # the generated referential constraints hold
+    assert db.check() == []
+
+    print("Teams and their rosters:")
+    for oid, team in sorted(db.objects("team").items(),
+                            key=lambda kv: kv[1]["team_name"]):
+        base = [db.objects("player")[p]["name"]
+                for p in team["base_players"]]
+        subs = sorted(db.objects("player")[p]["name"]
+                      for p in team["substitutes"])
+        print(f"  {team['team_name']}: base={base} substitutes={subs}")
+
+    print("\nGames decided at home:")
+    for answer in db.query(
+        "?- game(h_team(team_name H), g_team(team_name G),"
+        " score(home SH, guest SG)), SH > SG."
+    ):
+        print(f"  {answer['H']} beat {answer['G']}"
+              f" {answer['SH']}-{answer['SG']}")
+
+    print("\nPlayers fielded by more than one team (object sharing):")
+    for answer in db.query(
+        "?- team(team_name T1, base_players B1),"
+        " team(team_name T2, base_players B2),"
+        " T1 < T2, member(P, B1), member(P, B2),"
+        " player(self P, name N)."
+    ):
+        print(f"  {answer['N']} appears for {answer['T1']}"
+              f" and {answer['T2']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Modules, queries and updates: the six application modes (Section 4).
+
+Walks one database through the full Section 4 repertoire:
+
+* RIDV — Example 4.1's trigger update and Example 4.2's field update
+  through deletion heads;
+* RIDI — an ordinary query whose rules and types vanish afterwards;
+* RADI / RDDI — installing and removing persistent rules;
+* RADV / RDDV — rule changes combined with EDB updates;
+* a passive constraint (denial) rejecting an inconsistent application.
+
+Run:  python examples/updates_and_modules.py
+"""
+
+from repro import Database, Mode, Module
+from repro.errors import ModuleApplicationError
+
+
+def main():
+    db = Database.from_source("""
+    associations
+      italian = (n: string).
+      roman = (n: string).
+      p = (d1: integer, d2: integer).
+    """)
+    db.insert("italian", n="sara")
+    for i in range(1, 5):
+        db.insert("p", d1=i, d2=i)
+
+    # ------------------------------------------------------------- RIDV
+    trigger = Module.from_source("""
+    rules
+      italian(n "luca").
+      roman(n "ugo").
+      italian(X) <- roman(X).
+    """, name="example-4.1")
+    db.run_module(trigger, Mode.RIDV)
+    print("After Example 4.1 (RIDV):")
+    print("  italian =", sorted(t["n"] for t in db.tuples("italian")))
+    print("  roman   =", sorted(t["n"] for t in db.tuples("roman")))
+
+    update = Module.from_source("""
+    associations
+      mod = (d1: integer, d2: integer).
+    rules
+      p(d1 X, d2 Z) <- p(d1 X, d2 Y), even(X), Z = Y + 1,
+                       ~mod(d1 X, d2 Y).
+      mod(d1 X, d2 Z) <- p(d1 X, d2 Y), even(X), Z = Y + 1,
+                         ~mod(d1 X, d2 Y).
+      ~p(Y) <- p(Y, d1 X), even(X), ~mod(Y).
+    """, name="example-4.2")
+    db.run_module(update, Mode.RIDV)
+    print("\nAfter Example 4.2 (RIDV, deletion heads):")
+    print("  p =", sorted((t["d1"], t["d2"]) for t in db.tuples("p")))
+
+    # ------------------------------------------------------------- RIDI
+    query = Module.from_source("""
+    rules
+      compatriot(a X, b Y) <- italian(n X), italian(n Y), X != Y.
+    associations
+      compatriot = (a: string, b: string).
+    goal
+      ?- compatriot(a "sara", b B).
+    """, name="query")
+    result = db.run_module(query, Mode.RIDI)
+    print("\nRIDI query answers (state untouched, module types"
+          " temporary):")
+    for answer in sorted(result.answers, key=str):
+        print("  sara shares a country with", answer["B"])
+    assert not db.schema.has("compatriot")
+
+    # ------------------------------------------------------ RADI + RDDI
+    lombard_rules = Module.from_source("""
+    associations
+      lombard = (n: string).
+    rules
+      lombard(X) <- italian(X).
+    """, name="lombards")
+    db.run_module(lombard_rules, Mode.RADI)
+    print("\nAfter RADI, 'lombard' is derived intensionally:",
+          sorted(t["n"] for t in db.tuples("lombard")))
+    db.run_module(lombard_rules, Mode.RDDI)
+    print("After RDDI the rule and its type equation are gone:",
+          not db.schema.has("lombard"))
+
+    # ------------------------------------------------------------- RADV
+    censor = Module.from_source("""
+    rules
+      ~roman(n "ugo") <- roman(n "ugo").
+    """, name="censor")
+    db.run_module(censor, Mode.RADV)
+    print("\nAfter RADV (update + persistent rule):"
+          " roman =", sorted(t["n"] for t in db.tuples("roman")))
+
+    # -------------------------------------------- rejected application
+    poison = Module.from_source("""
+    rules
+      roman(n "sara").
+      <- italian(n X), roman(n X).
+    """, name="poison")
+    try:
+        db.run_module(poison, Mode.RADV)
+    except ModuleApplicationError as exc:
+        print("\nInconsistent module correctly rejected:")
+        print("  ", str(exc).splitlines()[0][:74])
+    print("  state preserved:",
+          sorted(t["n"] for t in db.tuples("roman")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""LOGRES: object-oriented data modeling + rule-based programming.
+
+A production-quality reproduction of
+
+    F. Cacace, S. Ceri, S. Crespi-Reghizzi, L. Tanca, R. Zicari.
+    "Integrating Object-Oriented Data Modeling with a Rule-Based
+    Programming Paradigm", SIGMOD 1990.
+
+Quickstart::
+
+    from repro import Database, Mode, Module
+
+    db = Database.from_source('''
+        domains
+          name = string.
+        classes
+          person = (name, address: string).
+        associations
+          parent = (par: name, chil: name).
+    ''')
+    db.insert("person", name="sara", address="milano")
+    db.insert("parent", par="sara", chil="luca")
+    update = Module.from_source('rules\\n  parent(par "luca", chil "ugo").')
+    db.run_module(update, Mode.RIDV)
+    print(db.query('?- parent(par "sara", chil C).'))
+
+Subsystems: :mod:`repro.types` (type equations, refinement, isa),
+:mod:`repro.values` (oids, complex values, instances),
+:mod:`repro.language` (rule AST, parser, analysis, built-ins),
+:mod:`repro.engine` (inflationary / stratified / non-inflationary
+fixpoints), :mod:`repro.constraints` (generated integrity constraints),
+:mod:`repro.modules` (the six application modes), :mod:`repro.algres`
+(the NF² algebra substrate), :mod:`repro.compiler` (LOGRES→ALGRES),
+:mod:`repro.datalog` (flat baseline), :mod:`repro.workloads` (generators).
+"""
+
+from repro.core.coerce import from_value, to_value
+from repro.core.database import Database
+from repro.engine import Engine, EvalConfig, Semantics
+from repro.errors import (
+    ConsistencyError,
+    LogresError,
+    ModuleApplicationError,
+    NonTerminationError,
+    ParseError,
+    SafetyError,
+    SchemaError,
+    TypingError,
+)
+from repro.language.parser import (
+    parse_program,
+    parse_schema_source,
+    parse_source,
+)
+from repro.modules import (
+    ApplicationResult,
+    DatabaseState,
+    Evolution,
+    Mode,
+    Module,
+    apply_module,
+    materialize,
+)
+from repro.storage.factset import Fact, FactSet
+from repro.types.schema import Schema, SchemaBuilder
+from repro.values.complex import (
+    MultisetValue,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+)
+from repro.values.oids import NIL, Oid, OidGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NIL",
+    "ApplicationResult",
+    "ConsistencyError",
+    "Database",
+    "DatabaseState",
+    "Engine",
+    "EvalConfig",
+    "Evolution",
+    "Fact",
+    "FactSet",
+    "LogresError",
+    "Mode",
+    "Module",
+    "ModuleApplicationError",
+    "MultisetValue",
+    "NonTerminationError",
+    "Oid",
+    "OidGenerator",
+    "ParseError",
+    "SafetyError",
+    "Schema",
+    "SchemaBuilder",
+    "SchemaError",
+    "Semantics",
+    "SequenceValue",
+    "SetValue",
+    "TupleValue",
+    "TypingError",
+    "apply_module",
+    "from_value",
+    "materialize",
+    "parse_program",
+    "parse_schema_source",
+    "parse_source",
+    "to_value",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Small algorithmic helpers shared across subsystems.
+
+Kept dependency-free: strongly connected components (Tarjan), topological
+sort, and an order-stable deduplicating frozenset helper.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+def strongly_connected_components(
+    graph: Mapping[T, Iterable[T]],
+) -> list[list[T]]:
+    """Tarjan's algorithm, iterative to avoid recursion limits.
+
+    ``graph`` maps each node to its successors; nodes appearing only as
+    successors are included.  Returns SCCs in reverse topological order
+    (every edge goes from a later component to an earlier one).
+    """
+    successors: dict[T, list[T]] = {}
+    for node, succs in graph.items():
+        successors.setdefault(node, [])
+        for s in succs:
+            successors[node].append(s)
+            successors.setdefault(s, [])
+
+    index_of: dict[T, int] = {}
+    lowlink: dict[T, int] = {}
+    on_stack: set[T] = set()
+    stack: list[T] = []
+    components: list[list[T]] = []
+    counter = 0
+
+    for root in successors:
+        if root in index_of:
+            continue
+        # Each work item is (node, iterator over remaining successors).
+        work = [(root, iter(successors[root]))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(successors[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[T] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def topological_order(graph: Mapping[T, Iterable[T]]) -> list[T]:
+    """Topological order of an acyclic ``graph`` (node -> successors).
+
+    Raises ``ValueError`` if the graph has a cycle.  Deterministic: ties are
+    broken by insertion order of the mapping.
+    """
+    successors: dict[T, list[T]] = {}
+    indegree: dict[T, int] = {}
+    for node, succs in graph.items():
+        successors.setdefault(node, [])
+        indegree.setdefault(node, 0)
+        for s in succs:
+            successors[node].append(s)
+            successors.setdefault(s, [])
+            indegree[s] = indegree.get(s, 0) + 1
+    ready = [n for n in successors if indegree[n] == 0]
+    order: list[T] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for s in successors[node]:
+            indegree[s] -= 1
+            if indegree[s] == 0:
+                ready.append(s)
+    if len(order) != len(successors):
+        raise ValueError("graph has a cycle; no topological order exists")
+    return order
+
+
+def unique_in_order(items: Sequence[T]) -> list[T]:
+    """The distinct elements of ``items`` in first-occurrence order."""
+    seen: set[T] = set()
+    out: list[T] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out

@@ -1,0 +1,52 @@
+"""ALGRES: a main-memory extended (NF²) relational algebra engine.
+
+The paper's prototype runs LOGRES on top of ALGRES [CCLLZ89], "a
+main-memory based programming environment supporting an Extended
+Relational Algebra" with "a very liberal closure operation".  This package
+reproduces that substrate: nested relations over the same value model as
+LOGRES, the classical operators (select / project / rename / join / union
+/ difference / product), nest / unnest for NF² restructuring, extend and
+aggregate, and a liberal :class:`~repro.algres.expr.Closure` fixpoint
+operator whose mode ('inflationary' or 'iterate') changes the semantics of
+the recursion — which is precisely how LOGRES "changes the semantics of
+rules very easily" (Section 1).
+"""
+
+from repro.algres.relation import Relation
+from repro.algres.expr import (
+    Aggregate,
+    And,
+    Arith,
+    Closure,
+    Comparison,
+    Condition,
+    Constant_,
+    Difference,
+    Distinct,
+    Expr,
+    Extend,
+    Field,
+    Intersection,
+    Join,
+    Literal_,
+    Nest,
+    Not,
+    Or,
+    Product,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    Unnest,
+)
+from repro.algres.evaluator import Catalog, evaluate
+from repro.algres.optimize import optimize
+
+__all__ = [
+    "Aggregate", "And", "Arith", "Catalog", "Closure", "Comparison", "Condition",
+    "Constant_", "Difference", "Distinct", "Expr", "Extend", "Field",
+    "Intersection", "Join", "Literal_", "Nest", "Not", "Or", "Product",
+    "Project", "Relation", "Rename", "Scan", "Select", "Union", "Unnest",
+    "evaluate", "optimize",
+]

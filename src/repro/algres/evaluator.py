@@ -1,0 +1,330 @@
+"""Evaluation of algebra expressions against a catalog of relations."""
+
+from __future__ import annotations
+
+from repro.errors import AlgebraError, NonTerminationError
+from repro.algres.expr import (
+    ITER,
+    Aggregate,
+    Closure,
+    Difference,
+    Distinct,
+    Expr,
+    Extend,
+    Intersection,
+    Join,
+    Nest,
+    Product,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    Unnest,
+)
+from repro.algres.relation import Relation
+from repro.types.descriptors import (
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    STRING,
+    SetType,
+    TupleField,
+    TupleType,
+    TypeDescriptor,
+)
+from repro.values.complex import SetValue, TupleValue, Value
+
+
+def _infer_type(value: Value) -> TypeDescriptor:
+    """Best-effort type of a computed attribute (extend / aggregate)."""
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, float):
+        return REAL
+    if isinstance(value, str):
+        return STRING
+    return INTEGER  # nested computed values keep a nominal type
+
+
+class Catalog:
+    """A mutable namespace of relations (the ALGRES workspace)."""
+
+    def __init__(self, relations: dict[str, Relation] | None = None):
+        self._relations: dict[str, Relation] = {}
+        for name, rel in (relations or {}).items():
+            self.register(name, rel)
+
+    def register(self, name: str, relation: Relation) -> None:
+        self._relations[name.lower()] = relation
+
+    def get(self, name: str) -> Relation:
+        try:
+            return self._relations[name.lower()]
+        except KeyError:
+            raise AlgebraError(f"unknown relation {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._relations
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def __repr__(self) -> str:
+        return f"Catalog({', '.join(self.names())})"
+
+
+def evaluate(expr: Expr, catalog: Catalog) -> Relation:
+    """Evaluate ``expr`` to a relation."""
+    if isinstance(expr, Scan):
+        return catalog.get(expr.name)
+    if isinstance(expr, Select):
+        child = evaluate(expr.child, catalog)
+        return child.with_rows(
+            r for r in child if expr.condition.holds(r)
+        )
+    if isinstance(expr, Project):
+        child = evaluate(expr.child, catalog)
+        for label in expr.labels:
+            child.attribute_type(label)  # raises on unknown label
+        schema = TupleType(tuple(
+            f for f in child.schema.fields if f.label in expr.labels
+        ))
+        return Relation(
+            child.name, schema, (r.project(expr.labels) for r in child)
+        )
+    if isinstance(expr, Rename):
+        child = evaluate(expr.child, catalog)
+        mapping = dict(expr.mapping)
+        for old in mapping:
+            child.attribute_type(old)
+        new_labels = [mapping.get(f.label, f.label)
+                      for f in child.schema.fields]
+        if len(set(new_labels)) != len(new_labels):
+            raise AlgebraError(
+                f"rename produces duplicate attributes {new_labels}"
+            )
+        schema = TupleType(tuple(
+            TupleField(mapping.get(f.label, f.label), f.type)
+            for f in child.schema.fields
+        ))
+        return Relation(
+            child.name, schema,
+            (
+                TupleValue({mapping.get(k, k): v for k, v in r.items})
+                for r in child
+            ),
+        )
+    if isinstance(expr, Join):
+        return _join(
+            evaluate(expr.left, catalog), evaluate(expr.right, catalog)
+        )
+    if isinstance(expr, Product):
+        return _product(
+            evaluate(expr.left, catalog), evaluate(expr.right, catalog)
+        )
+    if isinstance(expr, Union):
+        left = evaluate(expr.left, catalog)
+        right = evaluate(expr.right, catalog)
+        _require_same_schema("union", left, right)
+        return left.with_rows(left.rows | right.rows)
+    if isinstance(expr, Difference):
+        left = evaluate(expr.left, catalog)
+        right = evaluate(expr.right, catalog)
+        _require_same_schema("difference", left, right)
+        return left.with_rows(left.rows - right.rows)
+    if isinstance(expr, Intersection):
+        left = evaluate(expr.left, catalog)
+        right = evaluate(expr.right, catalog)
+        _require_same_schema("intersection", left, right)
+        return left.with_rows(left.rows & right.rows)
+    if isinstance(expr, Distinct):
+        return evaluate(expr.child, catalog)
+    if isinstance(expr, Extend):
+        child = evaluate(expr.child, catalog)
+        label = expr.label.lower()
+        if child.schema.has_label(label):
+            raise AlgebraError(
+                f"extend: attribute {label!r} already exists"
+            )
+        sample_rows = [
+            r.with_field(label, expr.scalar.fetch(r)) for r in child
+        ]
+        extended_type = (
+            _infer_type(sample_rows[0][label]) if sample_rows else INTEGER
+        )
+        schema = TupleType(
+            child.schema.fields + (TupleField(label, extended_type),)
+        )
+        return Relation(child.name, schema, sample_rows)
+    if isinstance(expr, Nest):
+        return _nest(evaluate(expr.child, catalog), expr)
+    if isinstance(expr, Unnest):
+        return _unnest(evaluate(expr.child, catalog), expr)
+    if isinstance(expr, Aggregate):
+        return _aggregate(evaluate(expr.child, catalog), expr)
+    if isinstance(expr, Closure):
+        return _closure(expr, catalog)
+    raise AlgebraError(f"unknown expression node {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _require_same_schema(op: str, left: Relation, right: Relation) -> None:
+    if set(left.labels) != set(right.labels):
+        raise AlgebraError(
+            f"{op}: incompatible schemas {left.labels} vs {right.labels}"
+        )
+
+
+def _join(left: Relation, right: Relation) -> Relation:
+    common = [l for l in left.labels if l in set(right.labels)]
+    right_only = [f for f in right.schema.fields
+                  if f.label not in set(left.labels)]
+    schema = TupleType(left.schema.fields + tuple(right_only))
+    # hash join on the common attributes
+    index: dict[tuple, list[TupleValue]] = {}
+    for row in right:
+        key = tuple(row[l] for l in common)
+        index.setdefault(key, []).append(row)
+    out = []
+    for row in left:
+        key = tuple(row[l] for l in common)
+        for other in index.get(key, ()):
+            merged = row.as_dict()
+            for f in right_only:
+                merged[f.label] = other[f.label]
+            out.append(TupleValue(merged))
+    return Relation(f"{left.name}_{right.name}", schema, out)
+
+
+def _product(left: Relation, right: Relation) -> Relation:
+    overlap = set(left.labels) & set(right.labels)
+    if overlap:
+        raise AlgebraError(
+            f"product: attribute overlap {sorted(overlap)}; rename first"
+        )
+    schema = TupleType(left.schema.fields + right.schema.fields)
+    out = []
+    for a in left:
+        for b in right:
+            out.append(a.merged(b))
+    return Relation(f"{left.name}_{right.name}", schema, out)
+
+
+def _nest(child: Relation, expr: Nest) -> Relation:
+    for label in expr.nested:
+        child.attribute_type(label)
+    if child.schema.has_label(expr.as_label):
+        raise AlgebraError(
+            f"nest: attribute {expr.as_label!r} already exists"
+        )
+    keep = [f for f in child.schema.fields if f.label not in expr.nested]
+    nested_fields = tuple(
+        f for f in child.schema.fields if f.label in expr.nested
+    )
+    element_type = (
+        nested_fields[0].type if len(nested_fields) == 1
+        else TupleType(nested_fields)
+    )
+    schema = TupleType(
+        tuple(keep) + (TupleField(expr.as_label, SetType(element_type)),)
+    )
+    groups: dict[TupleValue, set] = {}
+    keep_labels = [f.label for f in keep]
+    for row in child:
+        key = row.project(keep_labels)
+        if len(nested_fields) == 1:
+            member = row[nested_fields[0].label]
+        else:
+            member = row.project(expr.nested)
+        groups.setdefault(key, set()).add(member)
+    out = [
+        key.with_field(expr.as_label, SetValue(members))
+        for key, members in groups.items()
+    ]
+    return Relation(child.name, schema, out)
+
+
+def _unnest(child: Relation, expr: Unnest) -> Relation:
+    label = expr.label.lower()
+    declared = child.attribute_type(label)
+    if not isinstance(declared, SetType):
+        raise AlgebraError(
+            f"unnest: attribute {label!r} is not set-valued"
+        )
+    inner = declared.element
+    keep = tuple(f for f in child.schema.fields if f.label != label)
+    if isinstance(inner, TupleType):
+        schema = TupleType(keep + inner.fields)
+        out = []
+        for row in child:
+            for member in row[label]:
+                out.append(row.without(label).merged(member))
+    else:
+        schema = TupleType(keep + (TupleField(label, inner),))
+        out = []
+        for row in child:
+            for member in row[label]:
+                out.append(row.with_field(label, member))
+    return Relation(child.name, schema, out)
+
+
+_AGGS = {
+    "count": lambda values: len(values),
+    "sum": lambda values: sum(values),
+    "min": lambda values: min(values),
+    "max": lambda values: max(values),
+}
+
+
+def _aggregate(child: Relation, expr: Aggregate) -> Relation:
+    if expr.fn not in _AGGS:
+        raise AlgebraError(f"unknown aggregate {expr.fn!r}")
+    for label in expr.group:
+        child.attribute_type(label)
+    groups: dict[TupleValue, list] = {}
+    for row in child:
+        key = row.project(expr.group)
+        groups.setdefault(key, []).append(
+            row[expr.over] if expr.over else 1
+        )
+    keep = tuple(
+        f for f in child.schema.fields if f.label in expr.group
+    )
+    schema = TupleType(keep + (TupleField(expr.as_label, INTEGER),))
+    out = [
+        key.with_field(expr.as_label, _AGGS[expr.fn](values))
+        for key, values in groups.items()
+    ]
+    return Relation(child.name, schema, out)
+
+
+def _closure(expr: Closure, catalog: Catalog) -> Relation:
+    current = evaluate(expr.seed, catalog)
+    scoped = Catalog({name: catalog.get(name) for name in catalog.names()})
+    for _ in range(expr.max_iterations):
+        scoped.register(ITER, current)
+        stepped = evaluate(expr.step, scoped)
+        if expr.mode == "inflationary":
+            if not (set(stepped.labels) == set(current.labels)):
+                raise AlgebraError(
+                    "closure step changed the schema of the iteration"
+                )
+            merged = current.with_rows(current.rows | stepped.rows)
+            if len(merged) == len(current):
+                return current
+            current = merged
+        elif expr.mode == "iterate":
+            if stepped.rows == current.rows:
+                return current
+            current = stepped
+        else:
+            raise AlgebraError(f"unknown closure mode {expr.mode!r}")
+    raise NonTerminationError(
+        f"closure did not converge in {expr.max_iterations} iterations",
+        expr.max_iterations,
+    )

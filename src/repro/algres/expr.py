@@ -1,0 +1,412 @@
+"""Extended-relational-algebra expression trees.
+
+Expressions are immutable ASTs evaluated by
+:func:`repro.algres.evaluator.evaluate` against a catalog of named
+relations.  Selection conditions are their own small AST (:class:`Field`
+paths into nested tuples, comparisons, boolean connectives), so plans are
+inspectable and serializable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import AlgebraError
+from repro.values.complex import TupleValue, Value
+
+
+# ---------------------------------------------------------------------------
+# scalar expressions over one row
+# ---------------------------------------------------------------------------
+class Scalar:
+    """A value computed from one row."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Field(Scalar):
+    """An attribute reference, possibly a path into nested tuples:
+    ``Field("score", "home")``."""
+
+    path: tuple[str, ...]
+
+    def __init__(self, *path: str):
+        object.__setattr__(self, "path", tuple(p.lower() for p in path))
+
+    def fetch(self, row: TupleValue) -> Value:
+        value: Value = row
+        for step in self.path:
+            if not isinstance(value, TupleValue) or step not in value:
+                raise AlgebraError(
+                    f"path {'.'.join(self.path)} is undefined on {row!r}"
+                )
+            value = value[step]
+        return value
+
+    def __repr__(self) -> str:
+        return ".".join(self.path)
+
+
+@dataclass(frozen=True, slots=True)
+class Constant_(Scalar):
+    """A literal scalar value."""
+
+    value: Value
+
+    def fetch(self, row: TupleValue) -> Value:
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+#: alias kept for symmetry with the language module
+Literal_ = Constant_
+
+
+@dataclass(frozen=True, slots=True)
+class Arith(Scalar):
+    """An arithmetic scalar over row attributes: ``Arith('+', a, b)``."""
+
+    op: str
+    left: Scalar
+    right: Scalar
+
+    def fetch(self, row: TupleValue) -> Value:
+        a = self.left.fetch(row)
+        b = self.right.fetch(row)
+        for side in (a, b):
+            if not isinstance(side, (int, float)) or isinstance(side, bool):
+                raise AlgebraError(
+                    f"arithmetic on non-numeric value {side!r}"
+                )
+        if self.op == "+":
+            return a + b
+        if self.op == "-":
+            return a - b
+        if self.op == "*":
+            return a * b
+        if self.op == "/":
+            if b == 0:
+                raise AlgebraError("division by zero")
+            if isinstance(a, int) and isinstance(b, int) and a % b == 0:
+                return a // b
+            return a / b
+        raise AlgebraError(f"unknown arithmetic operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+# ---------------------------------------------------------------------------
+# selection conditions
+# ---------------------------------------------------------------------------
+class Condition:
+    """A boolean predicate over one row."""
+
+    __slots__ = ()
+
+    def holds(self, row: TupleValue) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+_OPS: dict[str, Callable[[Value, Value], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "in": lambda a, b: a in b,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison(Condition):
+    """``left op right`` where the operands are scalar expressions."""
+
+    left: Scalar
+    op: str
+    right: Scalar
+
+    def holds(self, row: TupleValue) -> bool:
+        try:
+            fn = _OPS[self.op]
+        except KeyError:
+            raise AlgebraError(f"unknown comparison operator {self.op!r}")
+        try:
+            return fn(self.left.fetch(row), self.right.fetch(row))
+        except TypeError as exc:
+            raise AlgebraError(f"incomparable operands in {self!r}") from exc
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Condition):
+    parts: tuple[Condition, ...]
+
+    def __init__(self, *parts: Condition):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def holds(self, row: TupleValue) -> bool:
+        return all(p.holds(row) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " and ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Condition):
+    parts: tuple[Condition, ...]
+
+    def __init__(self, *parts: Condition):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def holds(self, row: TupleValue) -> bool:
+        return any(p.holds(row) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " or ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Condition):
+    inner: Condition
+
+    def holds(self, row: TupleValue) -> bool:
+        return not self.inner.holds(row)
+
+    def __repr__(self) -> str:
+        return f"not {self.inner!r}"
+
+
+# ---------------------------------------------------------------------------
+# relational expressions
+# ---------------------------------------------------------------------------
+class Expr:
+    """A relational-algebra expression."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Scan(Expr):
+    """A named relation from the catalog.  ``Scan("$iter")`` inside a
+    :class:`Closure` step refers to the accumulating relation."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Select(Expr):
+    child: Expr
+    condition: Condition
+
+    def __repr__(self) -> str:
+        return f"σ[{self.condition!r}]({self.child!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Project(Expr):
+    child: Expr
+    labels: tuple[str, ...]
+
+    def __init__(self, child: Expr, *labels: str):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(
+            self, "labels", tuple(l.lower() for l in labels)
+        )
+
+    def __repr__(self) -> str:
+        return f"π[{', '.join(self.labels)}]({self.child!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Rename(Expr):
+    """Rename attributes: ``mapping`` maps old label -> new label."""
+
+    child: Expr
+    mapping: tuple[tuple[str, str], ...]
+
+    def __init__(self, child: Expr, mapping):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(
+            self,
+            "mapping",
+            tuple(sorted((o.lower(), n.lower())
+                         for o, n in dict(mapping).items())),
+        )
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{o}->{n}" for o, n in self.mapping)
+        return f"ρ[{pairs}]({self.child!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Join(Expr):
+    """Natural join on the common attributes of the two children."""
+
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⋈ {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Product(Expr):
+    """Cartesian product; attribute sets must be disjoint."""
+
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} × {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Expr):
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∪ {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Difference(Expr):
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} − {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Intersection(Expr):
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∩ {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Distinct(Expr):
+    """Identity on set relations; kept for plans coming from multiset
+    sources."""
+
+    child: Expr
+
+    def __repr__(self) -> str:
+        return f"δ({self.child!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Extend(Expr):
+    """Add a computed attribute: ``Extend(child, "total", scalar)``."""
+
+    child: Expr
+    label: str
+    scalar: Scalar
+
+    def __repr__(self) -> str:
+        return f"ε[{self.label} := {self.scalar!r}]({self.child!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Nest(Expr):
+    """NF² nesting: group by all attributes except ``nested``, collecting
+    the ``nested`` attributes of each group into a set-valued attribute
+    ``as_label``."""
+
+    child: Expr
+    nested: tuple[str, ...]
+    as_label: str
+
+    def __init__(self, child: Expr, nested, as_label: str):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(
+            self, "nested", tuple(l.lower() for l in nested)
+        )
+        object.__setattr__(self, "as_label", as_label.lower())
+
+    def __repr__(self) -> str:
+        return (
+            f"ν[{self.as_label} := ({', '.join(self.nested)})]"
+            f"({self.child!r})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Unnest(Expr):
+    """Inverse of :class:`Nest`: flatten the set-valued ``label``."""
+
+    child: Expr
+    label: str
+
+    def __repr__(self) -> str:
+        return f"μ[{self.label}]({self.child!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate(Expr):
+    """Group by ``group`` labels, aggregating ``over`` with ``fn``
+    ('count', 'sum', 'min', 'max') into ``as_label``."""
+
+    child: Expr
+    group: tuple[str, ...]
+    fn: str
+    over: str | None
+    as_label: str
+
+    def __init__(self, child, group, fn, over, as_label):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "group",
+                           tuple(l.lower() for l in group))
+        object.__setattr__(self, "fn", fn)
+        object.__setattr__(self, "over", over.lower() if over else None)
+        object.__setattr__(self, "as_label", as_label.lower())
+
+    def __repr__(self) -> str:
+        return (
+            f"γ[{', '.join(self.group)}; {self.as_label} :="
+            f" {self.fn}({self.over or '*'})]({self.child!r})"
+        )
+
+
+ITER = "$iter"
+
+
+@dataclass(frozen=True, slots=True)
+class Closure(Expr):
+    """The liberal fixpoint operator.
+
+    ``seed`` initializes the accumulating relation; ``step`` is an
+    arbitrary expression that may reference ``Scan("$iter")`` — the
+    current accumulation.  Modes:
+
+    * ``"inflationary"`` — accumulate ``iter ∪ step(iter)`` until no new
+      rows appear (the LOGRES default);
+    * ``"iterate"`` — replace ``iter`` by ``step(iter)`` until a fixpoint,
+      raising on oscillation (the non-inflationary variant).
+
+    The mode is *data*: changing it changes the semantics of the recursion
+    without touching the plan, which is the flexibility Section 1
+    attributes to ALGRES's closure.
+    """
+
+    seed: Expr
+    step: Expr
+    mode: str = "inflationary"
+    max_iterations: int = 10_000
+
+    def __repr__(self) -> str:
+        return f"closure[{self.mode}]({self.seed!r}; {self.step!r})"

@@ -1,0 +1,290 @@
+"""Algebraic plan optimization for ALGRES expressions.
+
+The original ALGRES [CCLLZ89] was "an advanced database system", i.e. a
+real engine with an algebraic optimizer; the plans our LOGRES compiler
+emits are deliberately naive (one scan-select-rename-project block per
+literal).  :func:`optimize` applies the classical equivalences:
+
+* **cascade / merge projections** — ``π_A(π_B(e)) = π_A(e)`` when
+  ``A ⊆ B``;
+* **selection fusion** — ``σ_p(σ_q(e)) = σ_{p ∧ q}(e)``;
+* **selection pushdown** — ``σ_p`` moves below unions (both branches),
+  below projections and renames (rewriting attribute references), and
+  into the branch of a join that covers the condition's attributes;
+* **identity elimination** — empty renames, projections onto the full
+  attribute set, and single-armed ``And``/``Or`` disappear.
+
+Optimization is purely algebraic: ``evaluate(optimize(e)) ==
+evaluate(e)`` on every catalog (property-tested).
+"""
+
+from __future__ import annotations
+
+from repro.algres.expr import (
+    Aggregate,
+    And,
+    Arith,
+    Closure,
+    Comparison,
+    Condition,
+    Constant_,
+    Difference,
+    Distinct,
+    Expr,
+    Extend,
+    Field,
+    Intersection,
+    Join,
+    Nest,
+    Not,
+    Or,
+    Product,
+    Project,
+    Rename,
+    Scalar,
+    Scan,
+    Select,
+    Union,
+    Unnest,
+)
+
+
+def optimize(expr: Expr) -> Expr:
+    """Apply the rewrite rules bottom-up until a fixpoint."""
+    previous = None
+    current = expr
+    for _ in range(50):  # the rule set terminates; this is a backstop
+        if current == previous:
+            return current
+        previous = current
+        current = _rewrite(current)
+    return current
+
+
+# ---------------------------------------------------------------------------
+# scalar / condition helpers
+# ---------------------------------------------------------------------------
+def _scalar_fields(scalar: Scalar) -> set[str]:
+    if isinstance(scalar, Field):
+        return {scalar.path[0]}
+    if isinstance(scalar, Arith):
+        return _scalar_fields(scalar.left) | _scalar_fields(scalar.right)
+    return set()
+
+
+def condition_fields(condition: Condition) -> set[str]:
+    """The top-level attributes a condition reads."""
+    if isinstance(condition, Comparison):
+        return _scalar_fields(condition.left) | \
+            _scalar_fields(condition.right)
+    if isinstance(condition, (And, Or)):
+        out: set[str] = set()
+        for part in condition.parts:
+            out |= condition_fields(part)
+        return out
+    if isinstance(condition, Not):
+        return condition_fields(condition.inner)
+    return set()
+
+
+def _rename_scalar(scalar: Scalar, mapping: dict[str, str]) -> Scalar:
+    if isinstance(scalar, Field):
+        head = mapping.get(scalar.path[0], scalar.path[0])
+        return Field(head, *scalar.path[1:])
+    if isinstance(scalar, Arith):
+        return Arith(
+            scalar.op,
+            _rename_scalar(scalar.left, mapping),
+            _rename_scalar(scalar.right, mapping),
+        )
+    return scalar
+
+
+def rename_condition(condition: Condition,
+                     mapping: dict[str, str]) -> Condition:
+    """Rewrite attribute references through a rename's mapping."""
+    if isinstance(condition, Comparison):
+        return Comparison(
+            _rename_scalar(condition.left, mapping),
+            condition.op,
+            _rename_scalar(condition.right, mapping),
+        )
+    if isinstance(condition, And):
+        return And(*(rename_condition(p, mapping) for p in condition.parts))
+    if isinstance(condition, Or):
+        return Or(*(rename_condition(p, mapping) for p in condition.parts))
+    if isinstance(condition, Not):
+        return Not(rename_condition(condition.inner, mapping))
+    return condition
+
+
+def _flatten_and(condition: Condition) -> list[Condition]:
+    if isinstance(condition, And):
+        out: list[Condition] = []
+        for part in condition.parts:
+            out.extend(_flatten_and(part))
+        return out
+    return [condition]
+
+
+def _simplify_condition(condition: Condition) -> Condition:
+    if isinstance(condition, And):
+        parts = _flatten_and(condition)
+        parts = [_simplify_condition(p) for p in parts]
+        if len(parts) == 1:
+            return parts[0]
+        return And(*parts)
+    if isinstance(condition, Or) and len(condition.parts) == 1:
+        return _simplify_condition(condition.parts[0])
+    if isinstance(condition, Not):
+        return Not(_simplify_condition(condition.inner))
+    return condition
+
+
+# ---------------------------------------------------------------------------
+# attribute sets (static schema tracking, best effort)
+# ---------------------------------------------------------------------------
+def _known_attributes(expr: Expr) -> set[str] | None:
+    """The output attribute set of an expression, when statically known.
+
+    Scans have catalog-dependent schemas, so they return None; most
+    rewrites that need attribute sets only fire where they are known.
+    """
+    if isinstance(expr, Project):
+        return set(expr.labels)
+    if isinstance(expr, Rename):
+        inner = _known_attributes(expr.child)
+        if inner is None:
+            return None
+        mapping = dict(expr.mapping)
+        return {mapping.get(a, a) for a in inner}
+    if isinstance(expr, Select):
+        return _known_attributes(expr.child)
+    if isinstance(expr, Distinct):
+        return _known_attributes(expr.child)
+    if isinstance(expr, (Union, Difference, Intersection)):
+        return _known_attributes(expr.left)
+    if isinstance(expr, Join):
+        left = _known_attributes(expr.left)
+        right = _known_attributes(expr.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    if isinstance(expr, Extend):
+        inner = _known_attributes(expr.child)
+        if inner is None:
+            return None
+        return inner | {expr.label}
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the rewriter
+# ---------------------------------------------------------------------------
+def _rewrite(expr: Expr) -> Expr:
+    # bottom-up: rewrite children first
+    if isinstance(expr, Select):
+        child = _rewrite(expr.child)
+        condition = _simplify_condition(expr.condition)
+        # fuse stacked selections
+        if isinstance(child, Select):
+            return Select(
+                child.child,
+                _simplify_condition(And(condition, child.condition)),
+            )
+        # push below union / intersection (both branches see all rows)
+        if isinstance(child, (Union, Intersection)):
+            ctor = type(child)
+            return ctor(
+                Select(child.left, condition),
+                Select(child.right, condition),
+            )
+        # for difference, the condition may be applied to both sides
+        if isinstance(child, Difference):
+            return Difference(
+                Select(child.left, condition),
+                Select(child.right, condition),
+            )
+        # push through rename, rewriting attribute references
+        if isinstance(child, Rename):
+            inverse = {new: old for old, new in child.mapping}
+            return Rename(
+                Select(child.child, rename_condition(condition, inverse)),
+                dict(child.mapping),
+            )
+        # push through projection when the projection keeps the fields
+        if isinstance(child, Project):
+            if condition_fields(condition) <= set(child.labels):
+                return Project(
+                    Select(child.child, condition), *child.labels
+                )
+        # push into one side of a join when that side covers the fields
+        if isinstance(child, Join):
+            fields = condition_fields(condition)
+            left_attrs = _known_attributes(child.left)
+            right_attrs = _known_attributes(child.right)
+            if left_attrs is not None and fields <= left_attrs:
+                return Join(Select(child.left, condition), child.right)
+            if right_attrs is not None and fields <= right_attrs:
+                return Join(child.left, Select(child.right, condition))
+        return Select(child, condition)
+
+    if isinstance(expr, Project):
+        child = _rewrite(expr.child)
+        # cascade projections
+        if isinstance(child, Project):
+            if set(expr.labels) <= set(child.labels):
+                return Project(child.child, *expr.labels)
+        # identity projection
+        attrs = _known_attributes(child)
+        if attrs is not None and set(expr.labels) == attrs and \
+                not isinstance(child, Scan):
+            return child
+        return Project(child, *expr.labels)
+
+    if isinstance(expr, Rename):
+        child = _rewrite(expr.child)
+        mapping = {o: n for o, n in expr.mapping if o != n}
+        if not mapping:
+            return child
+        # merge stacked renames
+        if isinstance(child, Rename):
+            inner = dict(child.mapping)
+            merged = {
+                old: mapping.get(new, new) for old, new in inner.items()
+            }
+            for old, new in mapping.items():
+                if old not in inner.values():
+                    merged.setdefault(old, new)
+            merged = {o: n for o, n in merged.items() if o != n}
+            if not merged:
+                return child.child
+            return Rename(child.child, merged)
+        return Rename(child, mapping)
+
+    # structural recursion for the remaining nodes
+    if isinstance(expr, Join):
+        return Join(_rewrite(expr.left), _rewrite(expr.right))
+    if isinstance(expr, Product):
+        return Product(_rewrite(expr.left), _rewrite(expr.right))
+    if isinstance(expr, Union):
+        return Union(_rewrite(expr.left), _rewrite(expr.right))
+    if isinstance(expr, Difference):
+        return Difference(_rewrite(expr.left), _rewrite(expr.right))
+    if isinstance(expr, Intersection):
+        return Intersection(_rewrite(expr.left), _rewrite(expr.right))
+    if isinstance(expr, Distinct):
+        return Distinct(_rewrite(expr.child))
+    if isinstance(expr, Extend):
+        return Extend(_rewrite(expr.child), expr.label, expr.scalar)
+    if isinstance(expr, Nest):
+        return Nest(_rewrite(expr.child), expr.nested, expr.as_label)
+    if isinstance(expr, Unnest):
+        return Unnest(_rewrite(expr.child), expr.label)
+    if isinstance(expr, Aggregate):
+        return Aggregate(_rewrite(expr.child), expr.group, expr.fn,
+                         expr.over, expr.as_label)
+    if isinstance(expr, Closure):
+        return Closure(_rewrite(expr.seed), _rewrite(expr.step),
+                       expr.mode, expr.max_iterations)
+    return expr

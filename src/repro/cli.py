@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A small front end over the library, in the spirit of the "complete
+programming environment" of Section 5:
+
+* ``run FILE``    — evaluate a LOGRES source unit and print the computed
+  instance (and goal answers if the unit has a goal);
+* ``check FILE``  — parse, analyze and consistency-check without
+  printing the instance (a linter for schemas and programs);
+* ``fmt FILE``    — reprint the unit in canonical form;
+* ``explain FILE FACT`` — evaluate with tracing and print the
+  derivation tree of one association fact, given as
+  ``pred(label=value, ...)``.
+
+Source units may carry facts as rules (``p(x 1).``); a persisted state
+can be supplied with ``--state state.json`` (see ``Database.save``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.constraints.checker import ConsistencyChecker
+from repro.engine import Engine, EvalConfig, Semantics
+from repro.engine.goals import answer_goal
+from repro.engine.trace import Tracer
+from repro.errors import LogresError
+from repro.language.parser import parse_source
+from repro.language.pretty import render_source
+from repro.storage.factset import Fact, FactSet
+from repro.storage.persist import loads_state
+from repro.values.complex import TupleValue
+
+
+def _load_unit(path: str, state_path: str | None):
+    with open(path, encoding="utf-8") as f:
+        unit = parse_source(f.read())
+    if state_path:
+        with open(state_path, encoding="utf-8") as f:
+            schema, edb, program = loads_state(f.read())
+        schema = unit.schema(schema)
+        rules = program.rules + tuple(unit.rules)
+    else:
+        schema = unit.schema()
+        edb = FactSet()
+        rules = tuple(unit.rules)
+    from repro.language.ast import Program
+
+    return schema, Program(rules, unit.goal), edb
+
+
+def _print_instance(instance: FactSet) -> None:
+    for pred in instance.predicates():
+        if pred.startswith("__"):
+            continue
+        print(f"{pred} ({instance.count(pred)}):")
+        for fact in sorted(instance.facts_of(pred), key=repr):
+            print(f"  {fact!r}")
+
+
+def cmd_run(args) -> int:
+    schema, program, edb = _load_unit(args.file, args.state)
+    engine = Engine(schema, program,
+                    EvalConfig(max_iterations=args.max_iterations))
+    instance = engine.run(edb, Semantics(args.semantics))
+    if program.goal is not None:
+        answers = answer_goal(program.goal, instance, schema)
+        print(f"{len(answers)} answer(s):")
+        for answer in answers:
+            rendered = ", ".join(
+                f"{k} = {v!r}" for k, v in sorted(answer.items())
+            )
+            print(f"  {rendered}")
+    else:
+        _print_instance(instance)
+    print(
+        f"-- {engine.stats.iterations} iteration(s),"
+        f" {instance.count()} fact(s),"
+        f" {engine.stats.inventions} invented oid(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_check(args) -> int:
+    schema, program, edb = _load_unit(args.file, args.state)
+    engine = Engine(schema, program)  # analysis runs in the constructor
+    instance = engine.run(edb, Semantics(args.semantics))
+    denials = tuple(r for r in program.rules if r.is_denial)
+    violations = ConsistencyChecker(schema, denials).check(instance)
+    if violations:
+        print(f"{len(violations)} violation(s):")
+        for v in violations:
+            print(f"  {v!r}")
+        return 1
+    print("ok: schema valid, program safe, instance consistent")
+    return 0
+
+
+def cmd_fmt(args) -> int:
+    with open(args.file, encoding="utf-8") as f:
+        unit = parse_source(f.read())
+    print(render_source(unit.schema(), unit.program()))
+    return 0
+
+
+def cmd_explain(args) -> int:
+    schema, program, edb = _load_unit(args.file, args.state)
+    tracer = Tracer()
+    engine = Engine(schema, program)
+    instance = engine.run(edb, Semantics(args.semantics), tracer=tracer)
+    fact = _parse_fact(args.fact)
+    if fact not in instance:
+        print(f"{fact!r} does not hold in the instance")
+        return 1
+    print(tracer.explain(fact, instance, engine.schema).render())
+    return 0
+
+
+def _parse_fact(text: str) -> Fact:
+    """``pred(label=value, ...)`` with int / quoted-string values."""
+    text = text.strip()
+    if "(" not in text or not text.endswith(")"):
+        raise LogresError(
+            f"cannot parse fact {text!r}: expected pred(label=value, ...)"
+        )
+    pred, _, inner = text.partition("(")
+    fields = {}
+    body = inner[:-1].strip()
+    if body:
+        for part in body.split(","):
+            label, _, raw = part.partition("=")
+            raw = raw.strip()
+            if raw.startswith(('"', "'")):
+                value: object = raw.strip("\"'")
+            else:
+                try:
+                    value = int(raw)
+                except ValueError:
+                    value = raw
+            fields[label.strip().lower()] = value
+    return Fact(pred.strip().lower(), TupleValue(fields))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LOGRES (SIGMOD 1990) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("file", help="LOGRES source file")
+        p.add_argument("--state", help="persisted database state (JSON)")
+        p.add_argument(
+            "--semantics",
+            choices=[s.value for s in Semantics],
+            default=Semantics.INFLATIONARY.value,
+        )
+
+    p_run = sub.add_parser("run", help="evaluate and print the instance")
+    common(p_run)
+    p_run.add_argument("--max-iterations", type=int, default=10_000)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_check = sub.add_parser("check", help="analyze and verify consistency")
+    common(p_check)
+    p_check.set_defaults(fn=cmd_check)
+
+    p_fmt = sub.add_parser("fmt", help="print the canonical source form")
+    p_fmt.add_argument("file")
+    p_fmt.set_defaults(fn=cmd_fmt)
+
+    p_explain = sub.add_parser(
+        "explain", help="show the derivation tree of a fact"
+    )
+    common(p_explain)
+    p_explain.add_argument(
+        "fact", help='association fact, e.g. \'anc(a="x", d="y")\''
+    )
+    p_explain.set_defaults(fn=cmd_explain)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except LogresError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""LOGRES-to-ALGRES translation ([Ca90], Section 5).
+
+The prototype described in the paper implements the LOGRES data model on
+top of ALGRES by translating classes into relations carrying an explicit
+oid attribute and compiling rules into extended-relational-algebra
+expressions, with recursion mapped onto the closure operator.  This
+package reproduces that translation for the *compilable fragment*:
+positive rules without oid invention or head deletion, over class and
+association predicates, with comparison built-ins.  Programs outside the
+fragment raise :class:`~repro.errors.CompilationError` and must run on the
+native engine (the paper itself notes the ALGRES route is "rather
+inefficient" and partial).
+"""
+
+from repro.compiler.translate import (
+    CompiledProgram,
+    catalog_to_factset,
+    compile_program,
+    factset_to_catalog,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "catalog_to_factset",
+    "compile_program",
+    "factset_to_catalog",
+]

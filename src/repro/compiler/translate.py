@@ -1,0 +1,505 @@
+"""Translation of LOGRES programs into ALGRES algebra plans.
+
+**Schema mapping.**  Every class becomes a relation with an explicit
+``self`` (oid) attribute followed by its effective attributes; every
+association becomes a relation with its effective attributes; reference
+fields hold oid values.
+
+**Rule mapping.**  Each body literal becomes a scan renamed onto
+variable-keyed columns (``v_<name>``); shared variables join naturally;
+constants and repeated variables become selections; comparison built-ins
+become selection conditions; the head becomes a projection/renaming onto
+the head labels.  Rules with the same head predicate union; predicates in
+a recursive strongly connected component compile to the
+:class:`~repro.algres.expr.Closure` operator (single-predicate recursion;
+the recursive scans reference the accumulating ``$iter`` relation).
+
+**Fragment.**  Supported: positive ordinary literals over classes and
+associations, ``self`` and labeled variables, constants, the comparison
+built-ins (``= != < <= > >=``) over variables, constants, and
+arithmetic expressions (equalities binding a fresh variable compile to
+Extend columns); *stratified* negated body literals whose variables are
+all bound by the positive body (compiled to anti-joins — sound because
+each stratum sees completed predicates; equivalent to the engine's
+STRATIFIED semantics).  Not supported (CompilationError): unstratified
+negation, active-domain negation (variables only inside the negated
+literal), deletion heads, oid invention, tuple variables, patterns,
+data functions, collection built-ins, mutual recursion across distinct
+predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import strongly_connected_components, topological_order
+from repro.algres.evaluator import Catalog, evaluate
+from repro.algres.expr import (
+    ITER,
+    And,
+    Arith,
+    Comparison,
+    Condition,
+    Constant_,
+    Difference,
+    Expr,
+    Extend,
+    Field,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    Closure,
+)
+from repro.algres.relation import Relation
+from repro.errors import CompilationError
+from repro.language.analysis import analyze_program
+from repro.language.ast import (
+    ArithExpr as AstArith,
+    BuiltinLiteral,
+    Constant,
+    Literal,
+    Program,
+    Rule,
+    Var,
+)
+from repro.storage.factset import Fact, FactSet
+from repro.types.descriptors import (
+    INTEGER,
+    NamedType,
+    TupleField,
+    TupleType,
+    TypeDescriptor,
+)
+from repro.types.schema import Schema
+from repro.values.complex import TupleValue
+
+_SELF = "self"
+_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+def _var_column(var: Var) -> str:
+    return f"v_{var.name.lower()}"
+
+
+def _relation_type(pred: str, schema: Schema) -> TupleType:
+    eff = schema.effective_type(pred)
+    fields: list[TupleField] = []
+    if schema.is_class(pred):
+        fields.append(TupleField(_SELF, INTEGER))  # oid column
+    for f in eff.fields:
+        ftype: TypeDescriptor = f.type
+        if isinstance(ftype, NamedType) and schema.is_class(ftype.name):
+            ftype = INTEGER  # references are stored as oid values
+        fields.append(TupleField(f.label, ftype))
+    return TupleType(tuple(fields))
+
+
+# ---------------------------------------------------------------------------
+# data conversion
+# ---------------------------------------------------------------------------
+def factset_to_catalog(facts: FactSet, schema: Schema) -> Catalog:
+    """Load a LOGRES fact set into an ALGRES catalog."""
+    catalog = Catalog()
+    for pred in set(schema.predicate_names) | set(facts.predicates()):
+        if not schema.has(pred):
+            raise CompilationError(
+                f"fact predicate {pred!r} is not declared in the schema"
+            )
+        rtype = _relation_type(pred, schema)
+        rows = []
+        for fact in facts.facts_of(pred):
+            row = fact.value.as_dict()
+            if fact.oid is not None:
+                row[_SELF] = fact.oid
+            rows.append(TupleValue(row))
+        catalog.register(pred, Relation(pred, rtype, rows))
+    return catalog
+
+
+def catalog_to_factset(catalog: Catalog, schema: Schema) -> FactSet:
+    """Read an ALGRES catalog back into a LOGRES fact set."""
+    facts = FactSet()
+    for name in catalog.names():
+        if name == ITER or not schema.has(name):
+            continue
+        relation = catalog.get(name)
+        is_class = schema.is_class(name)
+        for row in relation:
+            if is_class:
+                oid = row[_SELF]
+                facts.add(Fact(name, row.without(_SELF), oid))
+            else:
+                facts.add(Fact(name, row))
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# rule compilation
+# ---------------------------------------------------------------------------
+@dataclass
+class _CompiledRule:
+    head_pred: str
+    recursive_literals: int
+    plan_builder: "object"  # callable: recursive_scan_name -> Expr
+
+
+def _literal_plan(
+    literal: Literal, schema: Schema, scan_name: str
+) -> tuple[Expr, dict[Var, str]]:
+    """Plan for one body literal: (expression over v_* columns, var map)."""
+    args = literal.args
+    if args.tuple_var is not None or args.positional:
+        raise CompilationError(
+            f"tuple variables are outside the compilable fragment:"
+            f" {literal!r}"
+        )
+    expr: Expr = Scan(scan_name)
+    conditions: list[Condition] = []
+    rename: dict[str, str] = {}
+    var_of: dict[Var, str] = {}
+    bindings: list[tuple[str, object]] = []  # (column, term)
+    if args.self_term is not None:
+        if not schema.is_class(literal.pred):
+            raise CompilationError(
+                f"self argument on association {literal.pred!r}"
+            )
+        bindings.append((_SELF, args.self_term))
+    eff_labels = set(schema.effective_type(literal.pred).labels)
+    for label, term in args.labeled:
+        if label not in eff_labels:
+            raise CompilationError(
+                f"unknown label {label!r} on {literal.pred!r}"
+            )
+        bindings.append((label, term))
+    seen_vars: dict[Var, str] = {}
+    keep: list[str] = []
+    for column, term in bindings:
+        if isinstance(term, Constant):
+            conditions.append(
+                Comparison(Field(column), "=", Constant_(term.value))
+            )
+        elif isinstance(term, Var):
+            if term in seen_vars:
+                conditions.append(
+                    Comparison(Field(column), "=", Field(seen_vars[term]))
+                )
+            else:
+                seen_vars[term] = column
+                target = _var_column(term)
+                rename[column] = target
+                var_of[term] = target
+                keep.append(target)
+        else:
+            raise CompilationError(
+                f"argument term {term!r} is outside the compilable fragment"
+            )
+    if conditions:
+        expr = Select(expr, And(*conditions))
+    if rename:
+        expr = Rename(expr, rename)
+    expr = Project(expr, *keep)
+    return expr, var_of
+
+
+def _compile_rule(
+    rule: Rule, schema: Schema, recursive_preds: set[str]
+) -> _CompiledRule:
+    head = rule.head
+    if not isinstance(head, Literal) or head.negated:
+        raise CompilationError(
+            f"only positive ordinary heads are compilable: {rule!r}"
+        )
+    if schema.is_class(head.pred):
+        raise CompilationError(
+            f"class heads (oid semantics) are outside the compilable"
+            f" fragment: {rule!r}"
+        )
+    if head.args.tuple_var is not None or head.args.self_term is not None \
+            or head.args.positional:
+        raise CompilationError(
+            f"head must use labeled arguments only: {rule!r}"
+        )
+    head_labels = {label for label, _ in head.args.labeled}
+    wanted = set(schema.effective_type(head.pred).labels)
+    if head_labels != wanted:
+        raise CompilationError(
+            f"compilable heads must bind every attribute of"
+            f" {head.pred!r} ({sorted(wanted)}): {rule!r}"
+        )
+    ordinary = [l for l in rule.body
+                if isinstance(l, Literal) and not l.negated]
+    negated = [l for l in rule.body
+               if isinstance(l, Literal) and l.negated]
+    builtins = [l for l in rule.body if isinstance(l, BuiltinLiteral)]
+    positive_vars = {
+        v for lit in ordinary for v in lit.variables()
+    }
+    for lit in negated:
+        unbound = [v for v in lit.variables() if v not in positive_vars]
+        if unbound:
+            raise CompilationError(
+                f"negated literal {lit!r} has variables {unbound} not"
+                " bound by the positive body (active-domain negation is"
+                " outside the compilable fragment)"
+            )
+    for blit in builtins:
+        if blit.negated or blit.name not in _COMPARISONS:
+            raise CompilationError(
+                f"builtin {blit.name!r} is outside the compilable"
+                f" fragment: {rule!r}"
+            )
+    if not ordinary:
+        raise CompilationError(
+            f"a compilable rule needs at least one ordinary body literal:"
+            f" {rule!r}"
+        )
+    recursive_count = sum(
+        1 for l in ordinary if l.pred in recursive_preds
+    )
+
+    def build(iter_pred: str | None) -> Expr:
+        """Build the plan; recursive literals scan ``$iter``."""
+        plan: Expr | None = None
+        var_map: dict[Var, str] = {}
+        for lit in ordinary:
+            scan = (
+                ITER if iter_pred is not None and lit.pred == iter_pred
+                else lit.pred
+            )
+            sub, vars_here = _literal_plan(lit, schema, scan)
+            if plan is None:
+                plan = sub
+            else:
+                plan = Join(plan, sub)
+            var_map.update(vars_here)
+        assert plan is not None
+        # negation as anti-join: plan − π_plan(plan ⋈ negated-literal)
+        # (sound under stratified evaluation: the negated predicate is
+        # fully computed before this rule's stratum runs)
+        plan_columns = sorted(set(var_map.values()))
+        for lit in negated:
+            positive_form = Literal(lit.pred, lit.args, negated=False)
+            sub, _ = _literal_plan(positive_form, schema,
+                                   ITER if iter_pred is not None
+                                   and lit.pred == iter_pred
+                                   else lit.pred)
+            plan = Difference(
+                plan,
+                Project(Join(plan, sub), *plan_columns),
+            )
+
+        def scalar(term) -> "object":
+            """Compile a term to an algebra scalar over v_* columns."""
+            if isinstance(term, Var):
+                if term not in var_map:
+                    raise CompilationError(
+                        f"builtin variable {term!r} not bound: {rule!r}"
+                    )
+                return Field(var_map[term])
+            if isinstance(term, Constant):
+                return Constant_(term.value)
+            if isinstance(term, AstArith):
+                return Arith(term.op, scalar(term.left),
+                             scalar(term.right))
+            raise CompilationError(
+                f"builtin term {term!r} is outside the compilable"
+                f" fragment"
+            )
+
+        # equality builtins binding a fresh variable to a computable
+        # expression become Extend columns (e.g. Z = Y * 2 + 1);
+        # everything else becomes a selection condition
+        pending = list(builtins)
+        conditions = []
+        progress = True
+        while progress:
+            progress = False
+            for blit in list(pending):
+                if blit.name != "=" or len(blit.args) != 2:
+                    continue
+                left, right = blit.args
+                target, expr_term = None, None
+                if isinstance(left, Var) and left not in var_map:
+                    target, expr_term = left, right
+                elif isinstance(right, Var) and right not in var_map:
+                    target, expr_term = right, left
+                if target is None:
+                    continue
+                try:
+                    computed = scalar(expr_term)
+                except CompilationError:
+                    continue  # may become computable after other binds
+                column = _var_column(target)
+                plan = Extend(plan, column, computed)
+                var_map[target] = column
+                pending.remove(blit)
+                progress = True
+        for blit in pending:
+            conditions.append(Comparison(scalar(blit.args[0]), blit.name,
+                                         scalar(blit.args[1])))
+        if conditions:
+            plan = Select(plan, And(*conditions))
+        # head projection; a variable may feed several head labels, in
+        # which case the extra labels are materialized as copy columns
+        rename: dict[str, str] = {}
+        keep: list[str] = []
+        renamed_sources: set[str] = set()
+        for label, term in head.args.labeled:
+            if isinstance(term, Var):
+                if term not in var_map:
+                    raise CompilationError(
+                        f"head variable {term!r} unbound: {rule!r}"
+                    )
+                source = var_map[term]
+                if source in renamed_sources:
+                    plan = Extend(plan, label, Field(source))
+                    keep.append(label)
+                else:
+                    renamed_sources.add(source)
+                    rename[source] = label
+                    keep.append(source)
+            elif isinstance(term, Constant):
+                plan = Extend(plan, label, Constant_(term.value))
+                keep.append(label)
+            else:
+                raise CompilationError(
+                    f"head term {term!r} is outside the compilable fragment"
+                )
+        plan = Project(plan, *keep)
+        if rename:
+            plan = Rename(plan, rename)
+        return plan
+
+    return _CompiledRule(head.pred, recursive_count, build)
+
+
+@dataclass
+class CompiledProgram:
+    """An ordered list of (predicate, plan) pairs plus the run driver."""
+
+    schema: Schema
+    plans: list[tuple[str, Expr]]
+
+    def run(self, edb: FactSet) -> FactSet:
+        """Evaluate the compiled program over an extensional database."""
+        catalog = factset_to_catalog(edb, self.schema)
+        for pred, plan in self.plans:
+            result = evaluate(plan, catalog)
+            existing = (
+                catalog.get(pred) if catalog.has(pred) else None
+            )
+            if existing is not None and len(existing):
+                result = existing.with_rows(existing.rows | result.rows)
+            catalog.register(pred, result.renamed(pred))
+        return catalog_to_factset(catalog, self.schema)
+
+
+def compile_program(
+    program: Program, schema: Schema, optimize_plans: bool = False
+) -> CompiledProgram:
+    """Compile a LOGRES program into ALGRES plans.
+
+    ``optimize_plans`` runs the algebraic optimizer
+    (:func:`repro.algres.optimize.optimize`) over every emitted plan —
+    selection pushdown, projection cascading, rename merging.
+
+    Raises :class:`CompilationError` on constructs outside the fragment.
+    """
+    analysis = analyze_program(program, schema)
+    if analysis.has_deletion or analysis.has_invention:
+        raise CompilationError(
+            "deletion and oid invention are outside the compilable"
+            " fragment"
+        )
+    if analysis.has_negation:
+        # anti-join negation is sound only for stratified programs;
+        # stratify() raises on negation inside a recursive cycle
+        analysis.strata()
+    rules = [r for r in analysis.rules if r.head is not None]
+    # dependency graph over head predicates
+    graph: dict[str, set[str]] = {}
+    for rule in rules:
+        assert isinstance(rule.head, Literal)
+        graph.setdefault(rule.head.pred, set())
+        for lit in rule.body:
+            if isinstance(lit, Literal):
+                graph[rule.head.pred].add(lit.pred)
+                graph.setdefault(lit.pred, set())
+    components = strongly_connected_components(graph)
+    recursive_preds: set[str] = set()
+    for comp in components:
+        if len(comp) > 1:
+            defined = [p for p in comp if any(
+                isinstance(r.head, Literal) and r.head.pred == p
+                for r in rules
+            )]
+            if len(defined) > 1:
+                raise CompilationError(
+                    f"mutual recursion {sorted(comp)} is outside the"
+                    " compilable fragment"
+                )
+            recursive_preds.update(defined)
+        elif comp and comp[0] in graph.get(comp[0], set()):
+            recursive_preds.add(comp[0])
+
+    by_pred: dict[str, list[_CompiledRule]] = {}
+    for rule in rules:
+        compiled = _compile_rule(rule, analysis.schema, recursive_preds)
+        by_pred.setdefault(compiled.head_pred, []).append(compiled)
+
+    # evaluation order: dependencies before dependents
+    dep_graph = {
+        pred: {
+            d for d in graph.get(pred, set())
+            if d in by_pred and d != pred
+        }
+        for pred in by_pred
+    }
+    order = [
+        p for p in reversed(topological_order(dep_graph)) if p in by_pred
+    ]
+
+    plans: list[tuple[str, Expr]] = []
+    for pred in order:
+        compiled_rules = by_pred[pred]
+        if pred in recursive_preds:
+            seeds = [c.plan_builder(None) for c in compiled_rules
+                     if c.recursive_literals == 0]
+            steps = []
+            for c in compiled_rules:
+                if c.recursive_literals == 0:
+                    continue
+                if c.recursive_literals > 1:
+                    raise CompilationError(
+                        f"non-linear recursion on {pred!r} is outside the"
+                        " compilable fragment"
+                    )
+                steps.append(c.plan_builder(pred))
+            seeds.append(Scan(pred))  # extensional part of the predicate
+            seed = _union_all(seeds)
+            if not steps:
+                plans.append((pred, seed))
+                continue
+            plans.append((pred, Closure(seed, _union_all(steps))))
+        else:
+            plans.append((
+                pred,
+                _union_all([c.plan_builder(None) for c in compiled_rules]),
+            ))
+    if optimize_plans:
+        from repro.algres.optimize import optimize
+
+        plans = [(pred, optimize(plan)) for pred, plan in plans]
+    return CompiledProgram(analysis.schema, plans)
+
+
+def _union_all(exprs: list[Expr]) -> Expr:
+    if not exprs:
+        raise CompilationError("empty plan")
+    out = exprs[0]
+    for e in exprs[1:]:
+        out = Union(out, e)
+    return out

@@ -1,0 +1,30 @@
+"""Integrity constraints (Sections 2.1 and 4.2).
+
+Type equations automatically generate constraints:
+
+* **isa propagation** — every object of a subclass is an object of its
+  superclasses; realized as *active* rules added to every program;
+* **referential integrity** — class references inside classes must point
+  at existing objects or be nil; references inside associations must point
+  at existing objects (nil is illegal);
+* **passive constraints (denials)** — headless rules whose body being
+  satisfiable makes the state inconsistent.
+"""
+
+from repro.constraints.generate import (
+    isa_propagation_rules,
+    referential_denials,
+)
+from repro.constraints.checker import (
+    ConsistencyChecker,
+    Violation,
+    check_consistency,
+)
+
+__all__ = [
+    "ConsistencyChecker",
+    "Violation",
+    "check_consistency",
+    "isa_propagation_rules",
+    "referential_denials",
+]

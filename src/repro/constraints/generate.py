@@ -1,0 +1,77 @@
+"""Automatic generation of rule-based constraints from type equations.
+
+Section 2.1: "the consistency of legal database states is dictated by a
+collection of integrity constraints, which are automatically built from
+type equations.  Integrity constraints are expressed using the standard
+rule-based programming language."  Section 3.1 adds that every program
+implicitly "includes the rules generated as active referential integrity
+constraints".
+
+Two families are generated:
+
+* :func:`isa_propagation_rules` — *active* rules
+  ``sup(self S) <- sub(self S)`` for every direct ``isa`` edge.  The
+  engine's object derivation carries shared attributes across the
+  hierarchy, so propagating the oid suffices.
+* :func:`referential_denials` — *passive* denial rules documenting the
+  referential conditions; the executable check lives in
+  :mod:`repro.constraints.checker` (denials over nested components are
+  easier to verify directly against the instance than to run as rules).
+"""
+
+from __future__ import annotations
+
+from repro.language.ast import Args, Literal, Pattern, Rule, Var
+from repro.types.descriptors import NamedType
+from repro.types.schema import Schema
+
+
+def isa_propagation_rules(schema: Schema) -> list[Rule]:
+    """One active rule per direct ``isa`` edge, oldest superclass last."""
+    rules = []
+    for decl in schema.isa_declarations:
+        self_var = Var("S")
+        head = Literal(
+            decl.sup, Args(self_term=self_var)
+        )
+        body = Literal(decl.sub, Args(self_term=self_var))
+        rules.append(
+            Rule(head, (body,), name=f"isa:{decl.sub}->{decl.sup}")
+        )
+    return rules
+
+
+def referential_denials(schema: Schema) -> list[Rule]:
+    """Denial-rule forms of the generated referential constraints.
+
+    For every top-level reference field ``l`` of predicate ``p`` pointing
+    at class ``c``::
+
+        <- p(l(self X)), ~c(self X).
+
+    (For class predicates the checker additionally exempts nil; for
+    associations nil itself is a violation.)  These rules serve as the
+    user-visible, rule-based statement of the constraints; deep (nested)
+    references are checked structurally by the consistency checker.
+    """
+    denials = []
+    for pred in schema.predicate_names:
+        if pred.startswith("__fn_"):
+            continue
+        for fld in schema.reference_fields(pred):
+            assert isinstance(fld.type, NamedType)
+            x = Var("X")
+            probe = Literal(
+                pred,
+                Args(labeled=(
+                    (fld.label, Pattern(Args(self_term=x))),
+                )),
+            )
+            absent = Literal(
+                fld.type.name, Args(self_term=x), negated=True
+            )
+            denials.append(Rule(
+                None, (probe, absent),
+                name=f"ref:{pred}.{fld.label}->{fld.type.name}",
+            ))
+    return denials

@@ -1,0 +1,6 @@
+"""The public LOGRES facade: :class:`~repro.core.database.Database`."""
+
+from repro.core.database import Database
+from repro.core.coerce import to_value, from_value
+
+__all__ = ["Database", "from_value", "to_value"]

@@ -1,0 +1,72 @@
+"""Coercion between plain Python data and LOGRES values.
+
+Used by the :class:`~repro.core.database.Database` facade so applications
+can insert ``{"name": "sara", "roles": {1, 2}}`` without constructing
+value objects by hand.
+
+Mapping (both directions):
+
+========================= =========================
+Python                    LOGRES
+========================= =========================
+``int / str / float /``   elementary value
+``bool``
+``dict``                  :class:`TupleValue`
+``set / frozenset``       :class:`SetValue`
+``list``                  :class:`SequenceValue`
+``collections.Counter``   :class:`MultisetValue`
+``Oid``                   itself (object reference)
+========================= =========================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import ValueError_
+from repro.values.complex import (
+    MultisetValue,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+    Value,
+)
+from repro.values.oids import Oid
+
+
+def to_value(obj) -> Value:
+    """Coerce a plain Python object to a LOGRES value."""
+    if isinstance(obj, (TupleValue, SetValue, MultisetValue, SequenceValue,
+                        Oid)):
+        return obj
+    if isinstance(obj, bool) or isinstance(obj, (int, str, float)):
+        return obj
+    if isinstance(obj, Counter):
+        return MultisetValue.from_counts(
+            {to_value(k): n for k, n in obj.items()}
+        )
+    if isinstance(obj, dict):
+        return TupleValue({str(k).lower(): to_value(v)
+                           for k, v in obj.items()})
+    if isinstance(obj, (set, frozenset)):
+        return SetValue(to_value(v) for v in obj)
+    if isinstance(obj, (list, tuple)):
+        return SequenceValue(to_value(v) for v in obj)
+    raise ValueError_(f"cannot coerce {obj!r} to a LOGRES value")
+
+
+def from_value(value: Value):
+    """Coerce a LOGRES value back to plain Python data.
+
+    Oids are preserved as :class:`Oid` (they have no Python analogue and
+    stay invisible in rendered output).
+    """
+    if isinstance(value, TupleValue):
+        return {k: from_value(v) for k, v in value.items}
+    if isinstance(value, SetValue):
+        return {from_value(v) for v in value}
+    if isinstance(value, MultisetValue):
+        return Counter({from_value(v): n for v, n in value.counts})
+    if isinstance(value, SequenceValue):
+        return [from_value(v) for v in value]
+    return value

@@ -1,0 +1,350 @@
+"""The high-level LOGRES database API.
+
+:class:`Database` bundles a database state ``(E, R, S)``, an oid
+generator, a consistency checker, and the module machinery behind a small
+surface::
+
+    db = Database.from_source('''
+        domains
+          name = string.
+        classes
+          person = (name, address: string).
+        rules
+          ...
+    ''')
+    sara = db.insert("person", name="sara", address="milano")
+    db.run_module(mod, Mode.RIDV)
+    answers = db.query("?- person(name N).")
+
+Every mutation goes through module application semantics: inserts and
+deletes are sugar for RIDV modules built on the fly, so the paper's single
+update mechanism (Section 4.2) really is the only write path.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.checker import ConsistencyChecker, Violation
+from repro.core.coerce import to_value
+from repro.engine import EvalConfig, Semantics
+from repro.engine.goals import answer_goal
+from repro.errors import LogresError, SchemaError, ValueError_
+from repro.language.ast import Goal, Program, Rule
+from repro.language.parser import parse_program, parse_source
+from repro.modules.apply import ApplicationResult, apply_module
+from repro.modules.module import Mode, Module
+from repro.modules.state import DatabaseState, materialize
+from repro.storage.factset import FactSet
+from repro.storage.persist import dumps_state, loads_state
+from repro.types.schema import Schema
+from repro.values.complex import TupleValue, Value
+from repro.values.oids import Oid, OidGenerator
+
+
+class Database:
+    """A LOGRES database: one evolving state plus evaluation services."""
+
+    def __init__(
+        self,
+        schema: Schema | str,
+        rules: tuple[Rule, ...] = (),
+        semantics: Semantics = Semantics.INFLATIONARY,
+        config: EvalConfig | None = None,
+    ):
+        if isinstance(schema, str):
+            unit = parse_source(schema)
+            schema_obj = unit.schema()
+            rules = tuple(rules) + tuple(unit.rules)
+        else:
+            schema_obj = schema
+        self.state = DatabaseState(schema_obj, FactSet(), tuple(rules))
+        self.semantics = semantics
+        self.config = config or EvalConfig()
+        self.oidgen = OidGenerator()
+        self._instance_cache: FactSet | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_source(cls, text: str, **kwargs) -> "Database":
+        """Parse a full LOGRES source unit (schema sections + rules)."""
+        return cls(text, **kwargs)
+
+    @property
+    def schema(self) -> Schema:
+        return self.state.schema
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return self.state.rules
+
+    @property
+    def edb(self) -> FactSet:
+        return self.state.edb
+
+    # ------------------------------------------------------------------
+    # updates (all sugar over module application, Section 4.2)
+    # ------------------------------------------------------------------
+    def insert(self, pred: str, **attributes) -> Oid | None:
+        """Insert one fact; returns the new oid for class predicates.
+
+        Attribute values may be plain Python data (coerced) and may
+        reference objects by :class:`Oid`.
+        """
+        pred = pred.lower()
+        if not self.schema.has(pred):
+            raise SchemaError(f"unknown predicate {pred!r}")
+        eff = self.schema.effective_type(pred)
+        value = TupleValue({
+            k.lower(): to_value(v) for k, v in attributes.items()
+        })
+        for label in value.labels:
+            if not eff.has_label(label):
+                raise ValueError_(
+                    f"predicate {pred!r} has no attribute {label!r}"
+                )
+        if self.schema.is_class(pred):
+            highest = self.state.edb.max_oid_number()
+            if highest:
+                self.oidgen.reserve_above(Oid(highest))
+            oid = self.oidgen.fresh()
+            self.state.edb.add_object(pred, oid, value)
+            # isa: an object of a subclass is an object of its superclasses
+            for sup in self.schema.superclasses(pred):
+                sup_labels = self.schema.effective_type(sup).labels
+                self.state.edb.add_object(
+                    sup, oid, value.project(sup_labels)
+                )
+            self._instance_cache = None
+            return oid
+        missing = [
+            f.label for f in eff.fields if f.label not in value
+        ]
+        if missing:
+            raise ValueError_(
+                f"association {pred!r} tuple misses attributes {missing}"
+            )
+        self.state.edb.add_association(pred, value)
+        self._instance_cache = None
+        return None
+
+    def delete(self, pred: str, oid: Oid | None = None, **attributes
+               ) -> int:
+        """Delete matching extensional facts; returns how many."""
+        pred = pred.lower()
+        removed = 0
+        if self.schema.is_class(pred):
+            targets = [oid] if oid is not None else [
+                f.oid for f in self.state.edb.facts_of(pred)
+                if all(
+                    f.value.get(k.lower()) == to_value(v)
+                    for k, v in attributes.items()
+                )
+            ]
+            for target in targets:
+                if self.state.edb.discard_oid(pred, target):
+                    removed += 1
+        else:
+            wanted = {k.lower(): to_value(v) for k, v in attributes.items()}
+            for fact in list(self.state.edb.facts_of(pred)):
+                if all(fact.value.get(k) == v for k, v in wanted.items()):
+                    if self.state.edb.discard(fact):
+                        removed += 1
+        if removed:
+            self._instance_cache = None
+        return removed
+
+    def add_rules(self, source_or_rules) -> None:
+        """Add persistent rules (the RADI effect, without a module).
+
+        The combined rule set is analyzed eagerly, so unsafe or ill-typed
+        rules are rejected here rather than at the next materialization.
+        """
+        if isinstance(source_or_rules, str):
+            new_rules = parse_program(source_or_rules).rules
+        else:
+            new_rules = tuple(source_or_rules)
+        candidate = DatabaseState(
+            self.schema, self.state.edb, self.state.rules + new_rules
+        )
+        from repro.language.analysis import analyze_program
+
+        analyze_program(candidate.evaluation_program(), self.schema)
+        self.state = candidate
+        self._instance_cache = None
+
+    def run_module(
+        self,
+        module: Module,
+        mode: Mode,
+        semantics: Semantics | None = None,
+        check_initial: bool = False,
+    ) -> ApplicationResult:
+        """Apply a module; on success the database advances to the new
+        state.  On rejection the state is unchanged."""
+        result = apply_module(
+            self.state,
+            module,
+            mode,
+            semantics=semantics or self.semantics,
+            config=self.config,
+            oidgen=self.oidgen,
+            check_initial=check_initial,
+        )
+        self.state = result.state
+        self._instance_cache = None
+        return result
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def instance(self, semantics: Semantics | None = None) -> FactSet:
+        """The materialized instance ``I`` of the current ``(E, R, S)``."""
+        if semantics is None and self._instance_cache is not None:
+            return self._instance_cache
+        # a fresh generator per materialization keeps derived oids
+        # deterministic across calls (the engine reserves above the EDB)
+        result = materialize(
+            self.state,
+            semantics or self.semantics,
+            self.config,
+            OidGenerator(),
+        )
+        if semantics is None:
+            self._instance_cache = result
+        return result
+
+    def query(self, goal: str | Goal,
+              semantics: Semantics | None = None) -> list[dict[str, Value]]:
+        """Answer a conjunctive goal against the materialized instance.
+
+        ``goal`` may be source text (``"?- person(name N)."``) or a
+        :class:`Goal`.
+        """
+        if isinstance(goal, str):
+            text = goal.strip()
+            if not text.startswith("goal"):
+                text = "goal\n" + text
+            parsed = parse_source(text).goal
+            if parsed is None:
+                raise LogresError(f"no goal found in {goal!r}")
+            goal = parsed
+        return answer_goal(goal, self.instance(semantics), self.schema)
+
+    def objects(self, class_name: str) -> dict[Oid, TupleValue]:
+        """The oid -> o-value map of one class in the instance."""
+        inst = self.instance()
+        return {
+            fact.oid: fact.value
+            for fact in inst.facts_of(class_name)
+            if fact.oid is not None
+        }
+
+    def tuples(self, association: str) -> set[TupleValue]:
+        return {
+            fact.value for fact in self.instance().facts_of(association)
+        }
+
+    def materialize_all(self) -> int:
+        """Make the EDB coincide with the instance (Section 4.2).
+
+        "We can obtain the same situation in LOGRES by declaring all the
+        rules in R as RIDV: the effect is to have E = I.  This can either
+        be done as a general database strategy, or dynamically at a
+        particular moment of the lifetime of the database."
+
+        The persistent rules are re-applied as one RIDV update, so every
+        currently derivable fact becomes extensional.  Returns how many
+        facts were added to E.
+        """
+        module = Module(
+            name="materialize",
+            rules=self.state.persistent_rules(),
+        )
+        before = self.state.edb.count()
+        self.run_module(module, Mode.RIDV)
+        return self.state.edb.count() - before
+
+    def explain(self, pred: str, oid: Oid | None = None, **attributes):
+        """The derivation tree of one instance fact (debugging aid).
+
+        For associations, identify the fact by its attributes; for
+        classes, by ``oid``.  Returns a
+        :class:`repro.engine.trace.DerivationNode`; extensional facts
+        yield a single leaf.
+        """
+        from repro.engine.trace import Tracer
+        from repro.errors import EvaluationError
+        from repro.language.analysis import schema_with_functions
+        from repro.storage.factset import Fact
+
+        pred = pred.lower()
+        tracer = Tracer()
+        from repro.engine import Engine
+
+        engine = Engine(
+            self.schema,
+            self.state.evaluation_program(),
+            config=self.config,
+            oidgen=OidGenerator(),  # mirror instance() determinism
+        )
+        instance = engine.run(self.state.edb, self.semantics,
+                              tracer=tracer)
+        if self.schema.is_class(pred):
+            if oid is None:
+                raise EvaluationError(
+                    "explaining a class fact requires its oid"
+                )
+            stored = instance.value_of(pred, oid)
+            if stored is None:
+                raise EvaluationError(
+                    f"no object {oid!r} in class {pred!r}"
+                )
+            fact = Fact(pred, stored, oid)
+        else:
+            wanted = {k.lower(): to_value(v)
+                      for k, v in attributes.items()}
+            fact = Fact(pred, TupleValue(wanted))
+            if fact not in instance:
+                raise EvaluationError(
+                    f"fact {fact!r} does not hold in the instance"
+                )
+        return tracer.explain(
+            fact, instance, schema_with_functions(self.schema)
+        )
+
+    # ------------------------------------------------------------------
+    # consistency and persistence
+    # ------------------------------------------------------------------
+    def check(self) -> list[Violation]:
+        """Consistency violations of the current instance."""
+        checker = ConsistencyChecker(self.schema, self.state.denials())
+        return checker.check(self.instance())
+
+    def dumps(self) -> str:
+        return dumps_state(self.schema, self.state.edb,
+                           Program(self.state.rules))
+
+    @classmethod
+    def loads(cls, text: str, **kwargs) -> "Database":
+        schema, edb, program = loads_state(text)
+        db = cls(schema, rules=program.rules, **kwargs)
+        db.state = DatabaseState(schema, edb, program.rules)
+        db.oidgen.reserve_above(Oid(max(1, edb.max_oid_number())))
+        return db
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.dumps())
+
+    @classmethod
+    def load(cls, path, **kwargs) -> "Database":
+        with open(path, encoding="utf-8") as f:
+            return cls.loads(f.read(), **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({self.state.edb.count()} extensional facts,"
+            f" {len(self.state.rules)} rules,"
+            f" semantics={self.semantics.value})"
+        )

@@ -1,0 +1,19 @@
+"""A flat (value-oriented) Datalog baseline engine.
+
+Section 3.2 positions LOGRES against flat rule languages in the LDL /
+NAIL! tradition.  This package provides an independent, minimal,
+positional Datalog engine — naive and semi-naive bottom-up evaluation
+with stratified negation — used as the *baseline comparator* in the
+benchmark suite and as an oracle in differential tests of the LOGRES
+engine on the flat fragment.
+"""
+
+from repro.datalog.engine import (
+    Atom,
+    DatalogEngine,
+    DatalogProgram,
+    DatalogRule,
+    DVar,
+)
+
+__all__ = ["Atom", "DVar", "DatalogEngine", "DatalogProgram", "DatalogRule"]

@@ -1,0 +1,317 @@
+"""Minimal positional Datalog: naive, semi-naive, stratified negation.
+
+Facts are ``(predicate, value-tuple)`` pairs; rule terms are constants or
+:class:`DVar` variables.  The engine is deliberately independent of the
+LOGRES machinery (no complex values, no oids, no labels) so it can act as
+an unbiased baseline and oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro._util import strongly_connected_components
+from repro.errors import EvaluationError, StratificationError
+
+FactTuple = tuple[str, tuple]
+
+
+@dataclass(frozen=True, slots=True)
+class DVar:
+    """A Datalog variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """``pred(t1, ..., tn)`` with constants and variables."""
+
+    pred: str
+    terms: tuple
+
+    def __init__(self, pred: str, *terms):
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> list[DVar]:
+        return [t for t in self.terms if isinstance(t, DVar)]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.pred}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class DatalogRule:
+    """``head :- body, not negative``."""
+
+    head: Atom
+    body: tuple[Atom, ...] = ()
+    negative: tuple[Atom, ...] = ()
+
+    def __post_init__(self):
+        bound = {
+            v for atom in self.body for v in atom.variables()
+        }
+        for v in self.head.variables():
+            if v not in bound:
+                raise EvaluationError(
+                    f"unsafe rule: head variable {v!r} not in body"
+                )
+        for atom in self.negative:
+            for v in atom.variables():
+                if v not in bound:
+                    raise EvaluationError(
+                        f"unsafe rule: negated variable {v!r} not bound"
+                        " by the positive body"
+                    )
+
+    def __repr__(self) -> str:
+        parts = [repr(a) for a in self.body]
+        parts += [f"not {a!r}" for a in self.negative]
+        if not parts:
+            return f"{self.head!r}."
+        return f"{self.head!r} :- {', '.join(parts)}."
+
+
+@dataclass(frozen=True)
+class DatalogProgram:
+    rules: tuple[DatalogRule, ...]
+
+    def idb_predicates(self) -> set[str]:
+        return {r.head.pred for r in self.rules}
+
+
+Bindings = dict[DVar, Hashable]
+
+
+def _match_atom(atom: Atom, fact: tuple, bindings: Bindings
+                ) -> Bindings | None:
+    if len(fact) != atom.arity:
+        return None
+    out = bindings
+    for term, value in zip(atom.terms, fact):
+        if isinstance(term, DVar):
+            bound = out.get(term)
+            if bound is None:
+                if out is bindings:
+                    out = dict(bindings)
+                out[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return out
+
+
+class _Index:
+    """Facts grouped by predicate, with per-position hash lookup."""
+
+    def __init__(self, facts: Iterable[FactTuple]):
+        self.by_pred: dict[str, set[tuple]] = {}
+        for pred, row in facts:
+            self.by_pred.setdefault(pred, set()).add(row)
+        self._positional: dict[tuple, dict] = {}
+
+    def rows(self, pred: str) -> set[tuple]:
+        return self.by_pred.get(pred, set())
+
+    def lookup(self, pred: str, position: int, value) -> list[tuple]:
+        key = (pred, position)
+        index = self._positional.get(key)
+        if index is None:
+            index = {}
+            for row in self.rows(pred):
+                index.setdefault(row[position], []).append(row)
+            self._positional[key] = index
+        return index.get(value, [])
+
+    def contains(self, pred: str, row: tuple) -> bool:
+        return row in self.by_pred.get(pred, set())
+
+    def all_facts(self) -> set[FactTuple]:
+        return {
+            (pred, row)
+            for pred, rows in self.by_pred.items()
+            for row in rows
+        }
+
+
+def _enumerate_body(
+    atoms: list[Atom],
+    index: _Index,
+    bindings: Bindings,
+    restricted: tuple[int, set[tuple]] | None = None,
+):
+    """All valuations of the positive body; ``restricted`` pins one atom
+    (by position) to a delta set (semi-naive)."""
+    if not atoms:
+        yield bindings
+        return
+    atom, rest = atoms[0], atoms[1:]
+    if restricted is not None and restricted[0] == 0:
+        candidates: Iterable[tuple] | None = restricted[1]
+        next_restricted = None
+    else:
+        candidates = None
+        next_restricted = (
+            (restricted[0] - 1, restricted[1]) if restricted else None
+        )
+    if candidates is None:
+        # pick an indexed position if some term is bound
+        candidates = index.rows(atom.pred)
+        for position, term in enumerate(atom.terms):
+            if not isinstance(term, DVar):
+                candidates = index.lookup(atom.pred, position, term)
+                break
+            if term in bindings:
+                candidates = index.lookup(
+                    atom.pred, position, bindings[term]
+                )
+                break
+    for row in candidates:
+        extended = _match_atom(atom, row, bindings)
+        if extended is not None:
+            yield from _enumerate_body(rest, index, extended,
+                                       next_restricted)
+
+
+def _apply_rule(
+    rule: DatalogRule,
+    index: _Index,
+    restricted: tuple[int, set[tuple]] | None = None,
+) -> set[FactTuple]:
+    out: set[FactTuple] = set()
+    for bindings in _enumerate_body(list(rule.body), index, {}, restricted):
+        blocked = False
+        for atom in rule.negative:
+            row = tuple(
+                bindings[t] if isinstance(t, DVar) else t
+                for t in atom.terms
+            )
+            if index.contains(atom.pred, row):
+                blocked = True
+                break
+        if blocked:
+            continue
+        head_row = tuple(
+            bindings[t] if isinstance(t, DVar) else t
+            for t in rule.head.terms
+        )
+        out.add((rule.head.pred, head_row))
+    return out
+
+
+class DatalogEngine:
+    """Bottom-up evaluation of a Datalog program."""
+
+    def __init__(self, program: DatalogProgram | Iterable[DatalogRule]):
+        if not isinstance(program, DatalogProgram):
+            program = DatalogProgram(tuple(program))
+        self.program = program
+        self.iterations = 0
+
+    # ------------------------------------------------------------------
+    def naive(self, facts: Iterable[FactTuple]) -> set[FactTuple]:
+        """Naive evaluation: re-derive everything until no change.
+
+        Negation must be stratifiable; use :meth:`stratified` for
+        programs with negation.
+        """
+        if any(r.negative for r in self.program.rules):
+            return self.stratified(facts, seminaive=False)
+        return self._fix_positive(
+            set(facts), list(self.program.rules), seminaive=False
+        )
+
+    def seminaive(self, facts: Iterable[FactTuple]) -> set[FactTuple]:
+        """Semi-naive evaluation: only join through new facts."""
+        if any(r.negative for r in self.program.rules):
+            return self.stratified(facts, seminaive=True)
+        return self._fix_positive(
+            set(facts), list(self.program.rules), seminaive=True
+        )
+
+    def stratified(
+        self, facts: Iterable[FactTuple], seminaive: bool = True
+    ) -> set[FactTuple]:
+        """Perfect-model evaluation of a stratified program."""
+        strata = self._strata()
+        current = set(facts)
+        for rules in strata:
+            current = self._fix_positive(current, rules, seminaive)
+        return current
+
+    # ------------------------------------------------------------------
+    def _fix_positive(
+        self,
+        facts: set[FactTuple],
+        rules: list[DatalogRule],
+        seminaive: bool,
+    ) -> set[FactTuple]:
+        self.iterations = 0
+        index = _Index(facts)
+        # round 0: all rules over the initial facts
+        delta: set[FactTuple] = set()
+        for rule in rules:
+            delta |= _apply_rule(rule, index) - index.all_facts()
+        self.iterations += 1
+        while delta:
+            for pred, row in delta:
+                index.by_pred.setdefault(pred, set()).add(row)
+            index._positional.clear()
+            self.iterations += 1
+            new_delta: set[FactTuple] = set()
+            delta_by_pred: dict[str, set[tuple]] = {}
+            for pred, row in delta:
+                delta_by_pred.setdefault(pred, set()).add(row)
+            for rule in rules:
+                if seminaive:
+                    for position, atom in enumerate(rule.body):
+                        if atom.pred in delta_by_pred:
+                            derived = _apply_rule(
+                                rule, index,
+                                (position, delta_by_pred[atom.pred]),
+                            )
+                            new_delta |= derived
+                else:
+                    new_delta |= _apply_rule(rule, index)
+            existing = index.all_facts()
+            delta = new_delta - existing
+        return index.all_facts()
+
+    def _strata(self) -> list[list[DatalogRule]]:
+        graph: dict[str, set[str]] = {}
+        negative_edges: set[tuple[str, str]] = set()
+        for rule in self.program.rules:
+            graph.setdefault(rule.head.pred, set())
+            for atom in rule.body:
+                graph[rule.head.pred].add(atom.pred)
+                graph.setdefault(atom.pred, set())
+            for atom in rule.negative:
+                graph[rule.head.pred].add(atom.pred)
+                graph.setdefault(atom.pred, set())
+                negative_edges.add((rule.head.pred, atom.pred))
+        components = strongly_connected_components(graph)
+        comp_of: dict[str, int] = {}
+        for i, comp in enumerate(components):
+            for pred in comp:
+                comp_of[pred] = i
+        for head, dep in negative_edges:
+            if comp_of[head] == comp_of[dep]:
+                raise StratificationError(
+                    f"{head!r} negatively depends on {dep!r} in a cycle"
+                )
+        strata: dict[int, list[DatalogRule]] = {}
+        for rule in self.program.rules:
+            strata.setdefault(comp_of[rule.head.pred], []).append(rule)
+        return [strata[i] for i in sorted(strata)]

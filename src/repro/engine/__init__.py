@@ -1,0 +1,13 @@
+"""Bottom-up evaluation engine: Appendix B semantics.
+
+* :mod:`repro.engine.valuation` — term resolution and literal matching;
+* :mod:`repro.engine.step` — Δ⁺ / Δ⁻ and the one-step inflationary operator;
+* :mod:`repro.engine.fixpoint` — the inflationary, stratified, and
+  non-inflationary fixpoint computations, plus the semi-naive fast path;
+* :mod:`repro.engine.goals` — goal answering over a computed instance.
+"""
+
+from repro.engine.fixpoint import Engine, EvalConfig, Semantics
+from repro.engine.goals import answer_goal
+
+__all__ = ["Engine", "EvalConfig", "Semantics", "answer_goal"]

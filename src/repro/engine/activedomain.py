@@ -1,0 +1,152 @@
+"""Active domains (Section 2.1).
+
+Type equations dictate the *active domain* of each type: the set of values
+of that type present in a given database state.  The active domain is the
+range of the implicit quantifiers of a rule — in particular, variables
+occurring only in negated literals range over the active domain of their
+type.
+
+:class:`ActiveDomains` scans a fact set once (lazily, per requested type)
+and serves the value sets; the engine rebuilds it each fixpoint step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.storage.factset import FactSet
+from repro.types.descriptors import (
+    MultisetType,
+    NamedType,
+    SequenceType,
+    SetType,
+    TupleType,
+    TypeDescriptor,
+)
+from repro.types.refinement import types_compatible
+from repro.types.schema import Schema
+from repro.values.complex import (
+    MultisetValue,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+    Value,
+)
+from repro.values.oids import Oid
+
+
+class ActiveDomains:
+    """Per-type active domains over one fact set."""
+
+    def __init__(self, facts: FactSet, schema: Schema):
+        self._facts = facts
+        self._schema = schema
+        self._cache: dict[TypeDescriptor, frozenset] = {}
+
+    def domain(self, descriptor: TypeDescriptor) -> frozenset:
+        """All values of ``descriptor``'s type present in the fact set."""
+        cached = self._cache.get(descriptor)
+        if cached is not None:
+            return cached
+        schema = self._schema
+        if isinstance(descriptor, NamedType) and schema.is_class(
+            descriptor.name
+        ):
+            result = frozenset(self._facts.oids_of(descriptor.name))
+        else:
+            collected: set[Value] = set()
+            for pred in self._facts.predicates():
+                if not schema.has(pred):
+                    continue
+                eff = schema.effective_type(pred)
+                relevant = [
+                    f.label
+                    for f in eff.fields
+                    if _positions_overlap(f.type, descriptor, schema)
+                ]
+                if not relevant:
+                    continue
+                for fact in self._facts.facts_of(pred):
+                    for label in relevant:
+                        if label in fact.value:
+                            _collect(
+                                fact.value[label],
+                                eff.field(label).type,
+                                descriptor,
+                                schema,
+                                collected,
+                            )
+            result = frozenset(collected)
+        self._cache[descriptor] = result
+        return result
+
+    def enumerate(self, descriptor: TypeDescriptor) -> Iterator[Value]:
+        # deterministic order for reproducible evaluation
+        yield from sorted(self.domain(descriptor), key=_sort_key)
+
+
+def _positions_overlap(
+    field_type: TypeDescriptor, wanted: TypeDescriptor, schema: Schema
+) -> bool:
+    """Could a position declared ``field_type`` hold values of ``wanted``?"""
+    if field_type == wanted:
+        return True
+    if types_compatible(field_type, wanted, schema):
+        return True
+    # nested collection elements
+    element = getattr(field_type, "element", None)
+    if element is not None:
+        return _positions_overlap(element, wanted, schema)
+    if isinstance(field_type, TupleType):
+        return any(
+            _positions_overlap(f.type, wanted, schema)
+            for f in field_type.fields
+        )
+    if isinstance(field_type, NamedType) and schema.is_domain(
+        field_type.name
+    ):
+        return _positions_overlap(
+            schema.rhs_of(field_type.name), wanted, schema
+        )
+    return False
+
+
+def _collect(
+    value: Value,
+    declared: TypeDescriptor,
+    wanted: TypeDescriptor,
+    schema: Schema,
+    out: set,
+) -> None:
+    if types_compatible(declared, wanted, schema) and not isinstance(
+        value, (SetValue, MultisetValue, SequenceValue, TupleValue)
+    ):
+        out.add(value)
+        return
+    if declared == wanted:
+        out.add(value)
+        return
+    if isinstance(declared, NamedType) and schema.is_domain(declared.name):
+        _collect(value, schema.rhs_of(declared.name), wanted, schema, out)
+        return
+    if isinstance(declared, (SetType, MultisetType, SequenceType)):
+        assert isinstance(value, (SetValue, MultisetValue, SequenceValue))
+        for v in value:
+            _collect(v, declared.element, wanted, schema, out)
+        return
+    if isinstance(declared, TupleType) and isinstance(value, TupleValue):
+        for f in declared.fields:
+            if f.label in value:
+                _collect(value[f.label], f.type, wanted, schema, out)
+
+
+def _sort_key(value: Value):
+    if isinstance(value, Oid):
+        return (0, value.number, "")
+    if isinstance(value, bool):
+        return (1, int(value), "")
+    if isinstance(value, (int, float)):
+        return (2, value, "")
+    if isinstance(value, str):
+        return (3, 0, value)
+    return (4, 0, repr(value))

@@ -1,0 +1,354 @@
+"""Fixpoint computation: inflationary, stratified, non-inflationary.
+
+The **inflationary** deterministic semantics (Appendix B) iterates the
+one-step operator ``Fⁱ⁺¹ = ((Fⁱ ⊕ Δ⁺) − Δ⁻) ⊕ (Fⁱ ∩ Δ⁺ ∩ Δ⁻)`` from
+``F⁰ = E`` until ``Fⁱ⁺¹ = Fⁱ``.  It gives a *uniform* meaning to every
+LOGRES program, stratified or not.
+
+The **stratified** semantics evaluates the strata produced by
+:func:`repro.language.analysis.stratify` in order, running the
+inflationary operator within each stratum — which yields the perfect
+model for stratified programs (Section 3.1).
+
+The **non-inflationary** semantics recomputes ``Fⁱ⁺¹`` from the
+extensional database and the facts derivable from ``Fⁱ`` alone; it may
+oscillate, which is detected and reported.
+
+A **semi-naive** fast path handles the positive, deletion-free,
+invention-free fragment: each iteration only re-joins rule bodies through
+the facts that are new since the previous iteration.  It computes the same
+fixpoint as the inflationary operator on that fragment (property-tested)
+and is the configuration benchmarked against the naive evaluator.
+
+Termination is undecidable (Appendix B), so every loop is guarded by the
+iteration / fact / invention budgets of :class:`EvalConfig` and raises
+:class:`~repro.errors.NonTerminationError` when exceeded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError, NonTerminationError
+from repro.engine.activedomain import ActiveDomains
+from repro.engine.step import (
+    InventionRegistry,
+    RuleRuntime,
+    StepDeltas,
+    apply_deltas,
+    compute_deltas,
+    evaluate_body,
+    process_head,
+)
+from repro.engine.valuation import MatchContext, match_fact
+from repro.language.analysis import (
+    AnalyzedProgram,
+    analyze_program,
+    check_types,
+)
+from repro.language.ast import (
+    ArithExpr,
+    BuiltinLiteral,
+    CollectionTerm,
+    FunctionApp,
+    Literal,
+    Program,
+    Rule,
+)
+from repro.storage.factset import FactSet
+from repro.types.schema import Schema
+from repro.values.oids import OidGenerator
+
+
+class Semantics(enum.Enum):
+    """Which rule semantics a module application requests (Section 1:
+    databases are *parametric with respect to the semantics* of rules)."""
+
+    INFLATIONARY = "inflationary"
+    STRATIFIED = "stratified"
+    NONINFLATIONARY = "noninflationary"
+
+
+@dataclass
+class EvalConfig:
+    """Budgets and switches for fixpoint evaluation."""
+
+    max_iterations: int = 10_000
+    max_facts: int = 1_000_000
+    max_inventions: int = 100_000
+    seminaive: bool = True
+    use_indexes: bool = True
+
+
+@dataclass
+class EvalStats:
+    """Observability: what the last run did."""
+
+    iterations: int = 0
+    facts_derived: int = 0
+    inventions: int = 0
+    used_seminaive: bool = False
+    strata: int = 1
+
+
+class Engine:
+    """Evaluates one analyzed program over extensional databases."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        program: Program,
+        config: EvalConfig | None = None,
+        oidgen: OidGenerator | None = None,
+    ):
+        self.config = config or EvalConfig()
+        self.analysis: AnalyzedProgram = analyze_program(program, schema)
+        self.schema = self.analysis.schema
+        self.oidgen = oidgen or OidGenerator()
+        self.runtimes = [
+            RuleRuntime(
+                index=i,
+                rule=rule,
+                safety=self.analysis.safety[i],
+                varinfo=check_types(rule, self.schema),
+            )
+            for i, rule in enumerate(self.analysis.rules)
+        ]
+        self.stats = EvalStats()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        edb: FactSet,
+        semantics: Semantics = Semantics.INFLATIONARY,
+        tracer=None,
+    ) -> FactSet:
+        """Compute the instance of ``(E, R, S)`` under the given semantics.
+
+        Passing a :class:`repro.engine.trace.Tracer` records derivation
+        provenance; tracing forces the general (non-semi-naive) path so
+        every derivation is observed.
+        """
+        self.stats = EvalStats()
+        self._reserve(edb)
+        inventions = InventionRegistry(self.oidgen)
+        rules = [r for r in self.runtimes if r.rule.head is not None]
+        if semantics is Semantics.INFLATIONARY:
+            if tracer is None and self.config.seminaive and \
+                    self._seminaive_applicable(rules):
+                self.stats.used_seminaive = True
+                return self._run_seminaive(edb.copy(), rules)
+            return self._run_inflationary(edb.copy(), rules, inventions,
+                                          tracer)
+        if semantics is Semantics.STRATIFIED:
+            strata = stratify_runtimes(rules, self.analysis)
+            self.stats.strata = len(strata)
+            facts = edb.copy()
+            for stratum in strata:
+                facts = self._run_inflationary(facts, stratum, inventions,
+                                               tracer)
+            return facts
+        if semantics is Semantics.NONINFLATIONARY:
+            return self._run_noninflationary(edb, rules, inventions)
+        raise EvaluationError(f"unknown semantics {semantics!r}")
+
+    def _reserve(self, edb: FactSet) -> None:
+        from repro.values.oids import Oid
+
+        highest = edb.max_oid_number()
+        if highest:
+            self.oidgen.reserve_above(Oid(highest))
+
+    # ------------------------------------------------------------------
+    # inflationary (general path)
+    # ------------------------------------------------------------------
+    def _run_inflationary(
+        self,
+        facts: FactSet,
+        rules: list[RuleRuntime],
+        inventions: InventionRegistry,
+        tracer=None,
+    ) -> FactSet:
+        cfg = self.config
+        for _ in range(cfg.max_iterations):
+            self.stats.iterations += 1
+            if tracer is not None:
+                tracer.begin_iteration(self.stats.iterations)
+            ctx = MatchContext(facts, self.schema,
+                               self.config.use_indexes)
+            deltas = compute_deltas(rules, ctx, inventions, tracer=tracer)
+            self.stats.inventions += deltas.inventions
+            if inventions.count > cfg.max_inventions:
+                raise NonTerminationError(
+                    f"oid invention budget exceeded"
+                    f" ({inventions.count} oids)",
+                    self.stats.iterations,
+                )
+            new_facts = apply_deltas(facts, deltas)
+            if new_facts == facts:
+                return facts
+            facts = new_facts
+            self.stats.facts_derived = facts.count()
+            if facts.count() > cfg.max_facts:
+                raise NonTerminationError(
+                    f"fact budget exceeded ({facts.count()} facts)",
+                    self.stats.iterations,
+                )
+        raise NonTerminationError(
+            f"no fixpoint after {cfg.max_iterations} iterations",
+            self.stats.iterations,
+        )
+
+    # ------------------------------------------------------------------
+    # semi-naive fast path (positive fragment)
+    # ------------------------------------------------------------------
+    def _seminaive_applicable(self, rules: list[RuleRuntime]) -> bool:
+        for runtime in rules:
+            rule = runtime.rule
+            head = rule.head
+            if not isinstance(head, Literal) or head.negated:
+                return False
+            if self.schema.is_class(head.pred):
+                return False
+            if runtime.safety.invents_oid:
+                return False
+            for blit in rule.body:
+                if blit.negated:
+                    return False
+                if isinstance(blit, BuiltinLiteral):
+                    if any(
+                        _reads_function(t) for t in blit.args
+                    ):
+                        return False
+        return True
+
+    def _run_seminaive(
+        self, facts: FactSet, rules: list[RuleRuntime]
+    ) -> FactSet:
+        cfg = self.config
+        # initial round: fact rules and rules over the EDB
+        delta = facts.copy()
+        inventions = InventionRegistry(self.oidgen)  # unused but uniform
+        ctx = MatchContext(facts, self.schema,
+                               self.config.use_indexes)
+        first = compute_deltas(rules, ctx, inventions)
+        facts = apply_deltas(facts, first)
+        delta = first.plus
+        self.stats.iterations += 1
+        while delta.count():
+            self.stats.iterations += 1
+            if self.stats.iterations > cfg.max_iterations:
+                raise NonTerminationError(
+                    f"no fixpoint after {cfg.max_iterations} iterations",
+                    self.stats.iterations,
+                )
+            ctx = MatchContext(facts, self.schema,
+                               self.config.use_indexes)
+            domains = ActiveDomains(facts, self.schema)
+            round_delta = StepDeltas()
+            for runtime in rules:
+                body = list(runtime.rule.body)
+                positions = [
+                    i for i, l in enumerate(body)
+                    if isinstance(l, Literal) and delta.count(l.pred)
+                ]
+                for pos in positions:
+                    literal = body[pos]
+                    rest = tuple(body[:pos] + body[pos + 1:])
+                    for fact in delta.facts_of(literal.pred):
+                        seed = match_fact(literal.args, fact, {}, ctx)
+                        if seed is None:
+                            continue
+                        for bindings in evaluate_body(
+                            runtime, ctx, domains, seed=seed, body=rest
+                        ):
+                            process_head(
+                                runtime, bindings, ctx, round_delta,
+                                inventions,
+                            )
+            fresh = round_delta.plus.minus(facts)
+            facts = facts.compose(fresh)
+            delta = fresh
+            self.stats.facts_derived = facts.count()
+            if facts.count() > cfg.max_facts:
+                raise NonTerminationError(
+                    f"fact budget exceeded ({facts.count()} facts)",
+                    self.stats.iterations,
+                )
+        return facts
+
+    # ------------------------------------------------------------------
+    # non-inflationary
+    # ------------------------------------------------------------------
+    def _run_noninflationary(
+        self,
+        edb: FactSet,
+        rules: list[RuleRuntime],
+        inventions: InventionRegistry,
+    ) -> FactSet:
+        if self.analysis.has_invention:
+            raise EvaluationError(
+                "non-inflationary semantics does not support oid invention"
+            )
+        cfg = self.config
+        facts = edb.copy()
+        seen: list[FactSet] = [facts.copy()]
+        for _ in range(cfg.max_iterations):
+            self.stats.iterations += 1
+            ctx = MatchContext(facts, self.schema,
+                               self.config.use_indexes)
+            deltas = compute_deltas(rules, ctx, inventions,
+                                    skip_satisfied=False)
+            new_facts = edb.copy().compose(deltas.plus).minus(deltas.minus)
+            if new_facts == facts:
+                return facts
+            for previous in seen:
+                if previous == new_facts:
+                    raise NonTerminationError(
+                        "non-inflationary evaluation oscillates between"
+                        " states without reaching a fixpoint",
+                        self.stats.iterations,
+                    )
+            seen.append(new_facts.copy())
+            facts = new_facts
+            if facts.count() > cfg.max_facts:
+                raise NonTerminationError(
+                    f"fact budget exceeded ({facts.count()} facts)",
+                    self.stats.iterations,
+                )
+        raise NonTerminationError(
+            f"no fixpoint after {cfg.max_iterations} iterations",
+            self.stats.iterations,
+        )
+
+
+def _reads_function(term) -> bool:
+    if isinstance(term, FunctionApp):
+        return True
+    if isinstance(term, ArithExpr):
+        return _reads_function(term.left) or _reads_function(term.right)
+    if isinstance(term, CollectionTerm):
+        return any(_reads_function(e) for e in term.elements)
+    return False
+
+
+def stratify_runtimes(
+    rules: list[RuleRuntime], analysis: AnalyzedProgram
+) -> list[list[RuleRuntime]]:
+    """Group rule runtimes according to the program's strata."""
+    strata_rules = analysis.strata()
+    by_rule: dict[int, int] = {}
+    for level, stratum in enumerate(strata_rules):
+        for rule in stratum:
+            for runtime_rule in rules:
+                if runtime_rule.rule == rule and \
+                        runtime_rule.index not in by_rule:
+                    by_rule[runtime_rule.index] = level
+                    break
+    grouped: dict[int, list[RuleRuntime]] = {}
+    for runtime in rules:
+        grouped.setdefault(by_rule.get(runtime.index, 0), []).append(runtime)
+    return [grouped[k] for k in sorted(grouped)]

@@ -1,0 +1,574 @@
+"""One evaluation step: body valuations and Δ⁺ / Δ⁻ (Appendix B, Def. 7-8).
+
+For every rule, the *valuation domain* is enumerated — extensions of the
+empty valuation satisfying the body, minus those whose head is already
+satisfiable (so a rule never re-derives, and an inventing rule never
+re-invents for the same substitution).  Each surviving valuation
+contributes a ground fact to Δ⁺ (positive head) or Δ⁻ (negated head,
+i.e. deletion).
+
+Oid invention (Def. 8b) is memoized per (rule, body substitution) in an
+:class:`InventionRegistry` that persists across steps, ensuring the
+deterministic, determinate-up-to-renaming semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError, SafetyError
+from repro.engine.activedomain import ActiveDomains
+from repro.engine.valuation import (
+    SELF_LABEL,
+    Bindings,
+    MatchContext,
+    Unbound,
+    as_oid,
+    match_literal,
+    resolve_term,
+    values_unify,
+)
+from repro.language.analysis import SafetyReport, VarInfo
+from repro.language.ast import (
+    BuiltinLiteral,
+    Constant,
+    Literal,
+    Rule,
+    Term,
+    Var,
+)
+from repro.language.builtins import RESULT_LAST, get_builtin
+from repro.storage.factset import Fact, FactSet
+from repro.types.descriptors import NamedType
+from repro.values.complex import TupleValue, Value
+from repro.values.oids import Oid, OidGenerator
+
+
+@dataclass
+class RuleRuntime:
+    """A rule with its precomputed static analysis results."""
+
+    index: int
+    rule: Rule
+    safety: SafetyReport
+    varinfo: dict[Var, VarInfo]
+
+
+class InventionRegistry:
+    """Persistent memo of invented oids (Def. 8b uniqueness condition)."""
+
+    def __init__(self, oidgen: OidGenerator):
+        self._oidgen = oidgen
+        self._memo: dict[tuple, Oid] = {}
+
+    def oid_for(self, rule_index: int, bindings: Bindings) -> tuple[Oid, bool]:
+        """The invented oid for this (rule, substitution); (oid, fresh?)."""
+        key = (
+            rule_index,
+            tuple(sorted((v.name, b) for v, b in bindings.items())),
+        )
+        existing = self._memo.get(key)
+        if existing is not None:
+            return existing, False
+        oid = self._oidgen.fresh()
+        self._memo[key] = oid
+        return oid, True
+
+    @property
+    def count(self) -> int:
+        return len(self._memo)
+
+
+@dataclass
+class StepDeltas:
+    """The Δ⁺ / Δ⁻ produced by one application of every rule."""
+
+    plus: FactSet = field(default_factory=FactSet)
+    minus: FactSet = field(default_factory=FactSet)
+    inventions: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return self.plus.count() == 0 and self.minus.count() == 0
+
+
+# ---------------------------------------------------------------------------
+# body evaluation
+# ---------------------------------------------------------------------------
+def evaluate_body(
+    runtime: RuleRuntime,
+    ctx: MatchContext,
+    domains: ActiveDomains,
+    seed: Bindings | None = None,
+    body: tuple | None = None,
+):
+    """Enumerate valuations satisfying the rule body.
+
+    Literals are scheduled greedily: at each point the first *ready*
+    pending literal runs — positive ordinary literals are always ready,
+    built-ins once their inputs are resolvable, negated literals once all
+    their variables are bound or enumerable from the active domain.
+    """
+    pending = list(body if body is not None else runtime.rule.body)
+    return _eval_pending(pending, dict(seed or {}), runtime, ctx, domains)
+
+
+def _eval_pending(
+    pending: list,
+    bindings: Bindings,
+    runtime: RuleRuntime,
+    ctx: MatchContext,
+    domains: ActiveDomains,
+):
+    if not pending:
+        yield bindings
+        return
+    idx = _pick_ready(pending, bindings, runtime, ctx)
+    literal = pending[idx]
+    rest = pending[:idx] + pending[idx + 1:]
+    if isinstance(literal, Literal):
+        if literal.negated:
+            for extended in _solve_negative(
+                literal, bindings, runtime, ctx, domains
+            ):
+                yield from _eval_pending(rest, extended, runtime, ctx,
+                                         domains)
+        else:
+            for extended in match_literal(literal, bindings, ctx):
+                yield from _eval_pending(rest, extended, runtime, ctx,
+                                         domains)
+    else:
+        for extended in _solve_builtin(literal, bindings, ctx):
+            yield from _eval_pending(rest, extended, runtime, ctx, domains)
+
+
+def _pick_ready(
+    pending: list, bindings: Bindings, runtime: RuleRuntime, ctx: MatchContext
+) -> int:
+    """Greedy scheduling: negated literals and built-ins run as soon as
+    they are ready (they only filter or bind cheaply); among positive
+    ordinary literals, the most *bound* one runs first so the hash
+    indexes get a key to look up."""
+    best_positive = -1
+    best_score = -1
+    for i, literal in enumerate(pending):
+        if isinstance(literal, Literal):
+            if not literal.negated:
+                score = _boundness(literal, bindings)
+                if score > best_score:
+                    best_positive, best_score = i, score
+                continue
+            if _negative_ready(literal, bindings, runtime):
+                return i
+        elif _builtin_ready(literal, bindings, ctx):
+            return i
+    if best_positive >= 0:
+        return best_positive
+    raise EvaluationError(
+        f"no literal of {pending!r} can make progress with bindings"
+        f" {sorted(v.name for v in bindings)}; the rule is unsafe"
+    )
+
+
+def _boundness(literal: Literal, bindings: Bindings) -> int:
+    """How selective a positive literal is under the current bindings:
+    constants and bound variables at labeled/self positions count."""
+    score = 0
+    args = literal.args
+    if args.self_term is not None:
+        if not isinstance(args.self_term, Var) or \
+                args.self_term in bindings:
+            score += 4  # a bound oid is a direct lookup
+    for _, term in args.labeled:
+        if isinstance(term, Constant):
+            score += 2
+        elif isinstance(term, Var) and term in bindings:
+            score += 2
+        elif not isinstance(term, Var) and all(
+            v in bindings for v in term.variables()
+        ):
+            score += 1
+    if args.tuple_var is not None and args.tuple_var in bindings:
+        score += 3
+    return score
+
+
+def _negative_ready(
+    literal: Literal, bindings: Bindings, runtime: RuleRuntime
+) -> bool:
+    ad = set(runtime.safety.active_domain_vars)
+    return all(
+        v in bindings or v in ad for v in literal.variables()
+    )
+
+
+def _builtin_ready(
+    blit: BuiltinLiteral, bindings: Bindings, ctx: MatchContext
+) -> bool:
+    def resolvable(t: Term) -> bool:
+        try:
+            resolve_term(t, bindings, ctx)
+            return True
+        except Unbound:
+            return False
+        except EvaluationError:
+            return False
+
+    def var_or_resolvable(t: Term) -> bool:
+        return isinstance(t, Var) or resolvable(t)
+
+    name = blit.name
+    if blit.negated:
+        return all(resolvable(t) for t in blit.args)
+    if name == "=" and len(blit.args) == 2:
+        left, right = blit.args
+        return (resolvable(left) and var_or_resolvable(right)) or (
+            resolvable(right) and var_or_resolvable(left)
+        )
+    if name == "member" and len(blit.args) == 2:
+        element, coll = blit.args
+        return resolvable(coll) and var_or_resolvable(element)
+    if name in RESULT_LAST and blit.args:
+        *inputs, result = blit.args
+        return all(resolvable(t) for t in inputs) and var_or_resolvable(
+            result
+        )
+    return all(resolvable(t) for t in blit.args)
+
+
+def _solve_builtin(
+    blit: BuiltinLiteral, bindings: Bindings, ctx: MatchContext
+):
+    builtin = get_builtin(blit.name)
+    resolved = []
+    for term in blit.args:
+        try:
+            resolved.append(resolve_term(term, bindings, ctx))
+        except Unbound:
+            if isinstance(term, Var):
+                resolved.append(term)
+            else:
+                raise
+    if blit.negated:
+        if any(isinstance(r, Var) for r in resolved):
+            raise EvaluationError(
+                f"negated builtin {blit!r} applied to unbound variable"
+            )
+        if not any(True for _ in builtin.solve(resolved)):
+            yield bindings
+        return
+    for extra in builtin.solve(resolved):
+        out = dict(bindings)
+        out.update(extra)
+        yield out
+
+
+def _solve_negative(
+    literal: Literal,
+    bindings: Bindings,
+    runtime: RuleRuntime,
+    ctx: MatchContext,
+    domains: ActiveDomains,
+):
+    """Valuations surviving a negated ordinary literal.
+
+    Unbound variables (necessarily flagged as active-domain variables by
+    the safety analysis) are enumerated over the active domain of their
+    inferred type; each full valuation survives iff no fact matches.
+    """
+    unbound = [
+        v for v in dict.fromkeys(literal.variables()) if v not in bindings
+    ]
+    if not unbound:
+        positive = Literal(literal.pred, literal.args, negated=False)
+        if next(match_literal(positive, bindings, ctx), None) is None:
+            yield bindings
+        return
+    value_spaces = []
+    for var in unbound:
+        info = runtime.varinfo.get(var)
+        if info is None or not info.types:
+            raise EvaluationError(
+                f"cannot determine the type of active-domain variable"
+                f" {var!r} in {literal!r}"
+            )
+        value_spaces.append(list(domains.enumerate(info.types[0])))
+    positive = Literal(literal.pred, literal.args, negated=False)
+    for combo in itertools.product(*value_spaces):
+        candidate = dict(bindings)
+        candidate.update(zip(unbound, combo))
+        if next(match_literal(positive, candidate, ctx), None) is None:
+            yield candidate
+
+
+# ---------------------------------------------------------------------------
+# head processing
+# ---------------------------------------------------------------------------
+def process_head(
+    runtime: RuleRuntime,
+    bindings: Bindings,
+    ctx: MatchContext,
+    deltas: StepDeltas,
+    inventions: InventionRegistry,
+    skip_satisfied: bool = True,
+    tracer=None,
+) -> None:
+    """Turn one body valuation into a Δ⁺ or Δ⁻ contribution.
+
+    ``skip_satisfied`` applies the valuation-domain condition of Def. 7
+    (drop valuations whose head is already satisfiable); the
+    non-inflationary semantics disables it, since each step rebuilds the
+    state from scratch.  ``tracer`` (a
+    :class:`repro.engine.trace.Tracer`) records provenance.
+    """
+    head = runtime.rule.head
+    assert isinstance(head, Literal)
+    if ctx.schema.is_class(head.pred):
+        if head.negated:
+            contributed = _delete_object(head, bindings, ctx, deltas)
+        else:
+            contributed = _derive_object(
+                runtime, head, bindings, ctx, deltas, inventions,
+                skip_satisfied,
+            )
+    else:
+        if head.negated:
+            contributed = _delete_tuples(head, bindings, ctx, deltas)
+        else:
+            contributed = _derive_tuple(head, bindings, ctx, deltas,
+                                        skip_satisfied)
+    if tracer is not None:
+        for fact in contributed:
+            tracer.record(fact, runtime.rule, bindings,
+                          deleted=head.negated)
+
+
+def _head_attributes(
+    head: Literal, bindings: Bindings, ctx: MatchContext
+) -> TupleValue:
+    """The attribute tuple described by the head's labeled args and tuple
+    variable, coerced field-wise against the declared types."""
+    eff = ctx.schema.effective_type(head.pred)
+    out: dict[str, Value] = {}
+    if head.args.tuple_var is not None:
+        try:
+            whole = resolve_term(head.args.tuple_var, bindings, ctx)
+        except Unbound:
+            whole = None
+        if whole is not None:
+            if not isinstance(whole, TupleValue):
+                raise EvaluationError(
+                    f"tuple variable {head.args.tuple_var!r} bound to"
+                    f" non-tuple {whole!r}"
+                )
+            for label in eff.labels:
+                if label in whole:
+                    out[label] = whole[label]
+    for label, term in head.args.labeled:
+        value = resolve_term(term, bindings, ctx)
+        out[label] = _coerce_field(value, head.pred, label, ctx)
+    return TupleValue(out)
+
+
+def _coerce_field(
+    value: Value, pred: str, label: str, ctx: MatchContext
+) -> Value:
+    declared = ctx.schema.field_type(pred, label)
+    if isinstance(declared, NamedType) and ctx.schema.is_class(
+        declared.name
+    ):
+        oid = as_oid(value)
+        if oid is None:
+            raise EvaluationError(
+                f"field {label!r} of {pred!r} references class"
+                f" {declared.name!r} but got non-object value {value!r}"
+            )
+        return oid
+    return value
+
+
+def _head_satisfied(
+    head: Literal, attrs: TupleValue, oid: Oid | None, ctx: MatchContext
+) -> bool:
+    """Is there an extension of the valuation satisfying the head already?
+
+    With a known oid: the stored o-value must cover the head attributes.
+    Without (invention pending): any object with matching attributes
+    counts (Def. 7's existential extension over the head oid variable).
+    """
+    if oid is not None:
+        stored = ctx.facts.value_of(head.pred, oid)
+        if stored is None:
+            return False
+        return all(
+            label in stored and values_unify(stored[label], value)
+            for label, value in attrs.items
+        )
+    for fact in ctx.facts.facts_of(head.pred):
+        if all(
+            label in fact.value and values_unify(fact.value[label], value)
+            for label, value in attrs.items
+        ):
+            return True
+    return False
+
+
+def _derive_object(
+    runtime: RuleRuntime,
+    head: Literal,
+    bindings: Bindings,
+    ctx: MatchContext,
+    deltas: StepDeltas,
+    inventions: InventionRegistry,
+    skip_satisfied: bool = True,
+) -> list[Fact]:
+    attrs = _head_attributes(head, bindings, ctx)
+    oid: Oid | None = None
+    for term in (head.args.self_term, head.args.tuple_var):
+        if term is None:
+            continue
+        try:
+            oid = as_oid(resolve_term(term, bindings, ctx))
+        except Unbound:
+            continue
+        if oid is not None:
+            break
+    if oid is None:
+        # oid invention (safety rule 1): skip if the head is already
+        # satisfiable, otherwise mint (or re-use) the oid for this
+        # substitution.
+        if skip_satisfied and _head_satisfied(head, attrs, None, ctx):
+            return []
+        oid, fresh = inventions.oid_for(runtime.index, bindings)
+        if fresh:
+            deltas.inventions += 1
+    else:
+        if oid.is_nil:
+            raise EvaluationError(
+                f"cannot insert the nil oid into class {head.pred!r}"
+            )
+        if skip_satisfied and _head_satisfied(head, attrs, oid, ctx):
+            return []
+        stored = ctx.facts.value_of(head.pred, oid)
+        if stored is not None:
+            attrs = stored.merged(attrs)
+        else:
+            # carry over attributes known in other classes of the
+            # hierarchy (isa oid sharing)
+            for other in ctx.schema.class_names:
+                other_val = ctx.facts.value_of(other, oid)
+                if other_val is not None:
+                    eff_labels = set(
+                        ctx.schema.effective_type(head.pred).labels
+                    )
+                    carried = {
+                        k: v for k, v in other_val.items if k in eff_labels
+                    }
+                    attrs = TupleValue(carried).merged(attrs)
+    existing_delta = deltas.plus.value_of(head.pred, oid)
+    if existing_delta is not None:
+        attrs = existing_delta.merged(attrs)
+    deltas.plus.add_object(head.pred, oid, attrs)
+    return [Fact(head.pred, attrs, oid)]
+
+
+def _delete_object(
+    head: Literal, bindings: Bindings, ctx: MatchContext, deltas: StepDeltas
+) -> list[Fact]:
+    oid: Oid | None = None
+    for term in (head.args.self_term, head.args.tuple_var):
+        if term is None:
+            continue
+        try:
+            oid = as_oid(resolve_term(term, bindings, ctx))
+        except Unbound as exc:
+            raise SafetyError(
+                f"deletion head {head!r} has unbound oid variable"
+                f" {exc.var!r}"
+            ) from None
+        if oid is not None:
+            break
+    if oid is None:
+        raise SafetyError(
+            f"deletion from class {head.pred!r} requires a bound self or"
+            " tuple variable"
+        )
+    stored = ctx.facts.value_of(head.pred, oid)
+    if stored is None:
+        return []
+    for label, term in head.args.labeled:
+        value = resolve_term(term, bindings, ctx)
+        if label not in stored or not values_unify(stored[label], value):
+            return []
+    deltas.minus.add_object(head.pred, oid, stored)
+    return [Fact(head.pred, stored, oid)]
+
+
+def _derive_tuple(
+    head: Literal,
+    bindings: Bindings,
+    ctx: MatchContext,
+    deltas: StepDeltas,
+    skip_satisfied: bool = True,
+) -> list[Fact]:
+    attrs = _head_attributes(head, bindings, ctx)
+    fact = Fact(head.pred, attrs)
+    if skip_satisfied and fact in ctx.facts:
+        return []
+    deltas.plus.add(fact)
+    return [fact]
+
+
+def _delete_tuples(
+    head: Literal, bindings: Bindings, ctx: MatchContext, deltas: StepDeltas
+) -> list[Fact]:
+    attrs = _head_attributes(head, bindings, ctx)
+    eff_labels = ctx.schema.effective_type(head.pred).labels
+    if set(attrs.labels) >= set(eff_labels):
+        fact = Fact(head.pred, attrs.project(eff_labels))
+        deltas.minus.add(fact)
+        return [fact]
+    # partial deletion pattern: delete every matching stored tuple
+    out = []
+    for fact in ctx.facts.facts_of(head.pred):
+        if all(
+            label in fact.value and values_unify(fact.value[label], value)
+            for label, value in attrs.items
+        ):
+            deltas.minus.add(fact)
+            out.append(fact)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# full step
+# ---------------------------------------------------------------------------
+def compute_deltas(
+    runtimes: list[RuleRuntime],
+    ctx: MatchContext,
+    inventions: InventionRegistry,
+    skip_satisfied: bool = True,
+    tracer=None,
+) -> StepDeltas:
+    """Apply every rule once against the current fact set."""
+    deltas = StepDeltas()
+    domains = ActiveDomains(ctx.facts, ctx.schema)
+    for runtime in runtimes:
+        if runtime.rule.head is None:
+            continue  # denials are evaluated by the consistency checker
+        for bindings in evaluate_body(runtime, ctx, domains):
+            process_head(runtime, bindings, ctx, deltas, inventions,
+                         skip_satisfied, tracer)
+    return deltas
+
+
+def apply_deltas(current: FactSet, deltas: StepDeltas) -> FactSet:
+    """The ``VAR'`` formula of the one-step inflationary operator:
+
+    ``((F ⊕ Δ⁺) − Δ⁻) ⊕ (F ∩ Δ⁺ ∩ Δ⁻)``
+    """
+    survivors = current.intersection(deltas.plus).intersection(deltas.minus)
+    return current.compose(deltas.plus).minus(deltas.minus).compose(
+        survivors
+    )

@@ -1,0 +1,175 @@
+"""Derivation tracing and explanation.
+
+Section 5 lists "tools supporting the design, debugging, and monitoring
+of LOGRES databases and programs" as the project's planned environment.
+:class:`Tracer` implements the monitoring half: attached to an engine
+run, it records which rule and valuation produced every derived fact and
+at which iteration, and can reconstruct a *derivation tree* for any fact
+of the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.valuation import Bindings, MatchContext
+from repro.language.ast import Literal, Rule
+from repro.storage.factset import Fact, FactSet
+from repro.types.schema import Schema
+from repro.values.complex import Value
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One recorded derivation step."""
+
+    fact: Fact
+    rule: Rule
+    bindings: tuple[tuple[str, Value], ...]
+    iteration: int
+    deleted: bool = False
+
+    def binding_dict(self) -> dict[str, Value]:
+        return dict(self.bindings)
+
+    def __repr__(self) -> str:
+        action = "deleted" if self.deleted else "derived"
+        return (
+            f"[step {self.iteration}] {action} {self.fact!r}"
+            f" by {self.rule!r}"
+        )
+
+
+@dataclass
+class DerivationNode:
+    """A node of an explanation tree."""
+
+    fact: Fact
+    rule: Rule | None  # None: extensional (present in the EDB)
+    iteration: int = 0
+    premises: list["DerivationNode"] = field(default_factory=list)
+
+    @property
+    def is_extensional(self) -> bool:
+        return self.rule is None
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.rule is None:
+            head = f"{pad}{self.fact!r}   (extensional)"
+        else:
+            head = (
+                f"{pad}{self.fact!r}   <= step {self.iteration},"
+                f" rule: {self.rule!r}"
+            )
+        return "\n".join(
+            [head] + [p.render(indent + 1) for p in self.premises]
+        )
+
+    def __repr__(self) -> str:
+        return self.render()
+
+
+class Tracer:
+    """Collects derivations during a run and explains result facts."""
+
+    def __init__(self) -> None:
+        self.derivations: list[Derivation] = []
+        self._by_fact: dict[Fact, Derivation] = {}
+        self.iteration = 0
+
+    # -- recording (called by the engine) --------------------------------
+    def begin_iteration(self, number: int) -> None:
+        self.iteration = number
+
+    def record(self, fact: Fact, rule: Rule, bindings: Bindings,
+               deleted: bool = False) -> None:
+        entry = Derivation(
+            fact,
+            rule,
+            tuple(sorted((v.name, value) for v, value in bindings.items())),
+            self.iteration,
+            deleted,
+        )
+        self.derivations.append(entry)
+        if not deleted and fact not in self._by_fact:
+            self._by_fact[fact] = entry  # first derivation wins
+
+    # -- queries ----------------------------------------------------------
+    def derivation_of(self, fact: Fact) -> Derivation | None:
+        entry = self._by_fact.get(fact)
+        if entry is not None:
+            return entry
+        # class facts may have been recorded with a narrower o-value
+        # (attributes merged later); fall back to oid matching
+        if fact.oid is not None:
+            for candidate, derivation in self._by_fact.items():
+                if candidate.pred == fact.pred and \
+                        candidate.oid == fact.oid:
+                    return derivation
+        return None
+
+    def deletions(self) -> list[Derivation]:
+        return [d for d in self.derivations if d.deleted]
+
+    def explain(
+        self,
+        fact: Fact,
+        facts: FactSet,
+        schema: Schema,
+        max_depth: int = 12,
+    ) -> DerivationNode:
+        """The derivation tree of ``fact`` against the final instance.
+
+        Premise facts are reconstructed by re-matching the deriving
+        rule's positive body literals under the recorded valuation;
+        extensional facts terminate branches.
+        """
+        return self._explain(fact, facts, schema, max_depth, set())
+
+    def _explain(self, fact, facts, schema, depth, on_path):
+        entry = self.derivation_of(fact)
+        if entry is None or depth <= 0 or fact in on_path:
+            return DerivationNode(fact, None)
+        node = DerivationNode(fact, entry.rule, entry.iteration)
+        ctx = MatchContext(facts, schema)
+        bindings = {
+            var: value
+            for var, value in _named_bindings(entry)
+        }
+        on_path = on_path | {fact}
+        for literal in entry.rule.body:
+            if not isinstance(literal, Literal) or literal.negated:
+                continue
+            premise_fact = _first_matching_fact(
+                literal, bindings, ctx
+            )
+            if premise_fact is not None:
+                node.premises.append(
+                    self._explain(premise_fact, facts, schema,
+                                  depth - 1, on_path)
+                )
+        return node
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.derivations)} derivations)"
+
+
+def _named_bindings(entry: Derivation):
+    from repro.language.ast import Var
+
+    for name, value in entry.bindings:
+        yield Var(name), value
+
+
+def _first_matching_fact(
+    literal: Literal, bindings: Bindings, ctx: MatchContext
+) -> Fact | None:
+    """The stored fact supporting one body literal under a valuation."""
+    from repro.engine.valuation import match_fact
+
+    positive = Literal(literal.pred, literal.args, negated=False)
+    for fact in ctx.facts.facts_of(positive.pred):
+        if match_fact(positive.args, fact, dict(bindings), ctx) is not None:
+            return fact
+    return None  # premise no longer present (e.g. deleted later)

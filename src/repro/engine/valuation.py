@@ -1,0 +1,369 @@
+"""Valuations: term resolution and literal matching (Appendix B, Def. 5-6).
+
+A *valuation* maps a rule's variables to values.  This module provides the
+two directions the one-step operator needs:
+
+* :func:`resolve_term` — evaluate a term to a concrete value under a
+  (partial) valuation, including data-function reads (``desc(X)`` denotes
+  the set of results currently recorded for ``X``), arithmetic, and
+  collection construction;
+* :func:`match_literal` — enumerate the extensions of a valuation that
+  satisfy one ordinary literal against a fact set, handling labeled
+  arguments, ``self`` oid variables, tuple variables, nested patterns and
+  oid dereferencing.
+
+**Tuple variables over classes** bind to the object's attribute tuple
+extended with the reserved label ``self`` holding the oid — this is how
+"tuple variables defined for a class include the oid" (Section 3.1) is
+realized.  :func:`values_unify` lets such a binding unify with a plain oid
+(the paper's Example 3.1, where a tuple variable and an oid variable
+unify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import BuiltinError, EvaluationError
+from repro.language.analysis import FUNCTION_VALUE_LABEL
+from repro.language.ast import (
+    Args,
+    ArithExpr,
+    CollectionTerm,
+    Constant,
+    FunctionApp,
+    Literal,
+    Pattern,
+    Term,
+    Var,
+)
+from repro.storage.factset import Fact, FactSet
+from repro.types.descriptors import NamedType
+from repro.types.schema import Schema
+from repro.values.complex import (
+    MultisetValue,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+    Value,
+)
+from repro.values.oids import Oid
+
+SELF_LABEL = "self"
+
+Bindings = dict[Var, Value]
+
+
+class Unbound(Exception):
+    """Raised when a term cannot be resolved under the current valuation."""
+
+    def __init__(self, var: Var):
+        self.var = var
+        super().__init__(f"unbound variable {var!r}")
+
+
+@dataclass
+class MatchContext:
+    """Shared state for matching: the current fact set and schema.
+
+    ``use_indexes`` switches the per-literal hash-index lookups on or
+    off (off = full predicate scans; exists for the indexing ablation
+    benchmark).
+    """
+
+    facts: FactSet
+    schema: Schema
+    use_indexes: bool = True
+
+
+# ---------------------------------------------------------------------------
+# value coercion and unification
+# ---------------------------------------------------------------------------
+def as_oid(value: Value) -> Oid | None:
+    """The oid carried by ``value``: an oid itself, or a class tuple
+    binding's ``self`` component."""
+    if isinstance(value, Oid):
+        return value
+    if isinstance(value, TupleValue):
+        inner = value.get(SELF_LABEL)
+        if isinstance(inner, Oid):
+            return inner
+    return None
+
+
+def values_unify(a: Value, b: Value) -> bool:
+    """Equality modulo the oid/object-tuple coercion."""
+    if a == b:
+        return True
+    oid_a, oid_b = as_oid(a), as_oid(b)
+    if oid_a is not None and oid_b is not None:
+        return oid_a == oid_b
+    return False
+
+
+def bind(bindings: Bindings, var: Var, value: Value) -> Bindings | None:
+    """Extend ``bindings`` with ``var = value``; None on unification failure.
+
+    When an oid meets an object-tuple binding, the *more informative*
+    value (the tuple, which includes the oid) is kept.
+    """
+    existing = bindings.get(var)
+    if existing is None:
+        out = dict(bindings)
+        out[var] = value
+        return out
+    if existing == value:
+        return bindings
+    if values_unify(existing, value):
+        if isinstance(existing, Oid) and isinstance(value, TupleValue):
+            out = dict(bindings)
+            out[var] = value
+            return out
+        return bindings
+    return None
+
+
+# ---------------------------------------------------------------------------
+# term resolution (construction direction)
+# ---------------------------------------------------------------------------
+def resolve_term(term: Term, bindings: Bindings, ctx: MatchContext) -> Value:
+    """Evaluate ``term`` to a value; raises :class:`Unbound` if a variable
+    is missing from the valuation."""
+    if isinstance(term, Constant):
+        return term.value
+    if isinstance(term, Var):
+        try:
+            return bindings[term]
+        except KeyError:
+            raise Unbound(term) from None
+    if isinstance(term, ArithExpr):
+        left = resolve_term(term.left, bindings, ctx)
+        right = resolve_term(term.right, bindings, ctx)
+        return _arith(term.op, left, right)
+    if isinstance(term, CollectionTerm):
+        elements = [resolve_term(e, bindings, ctx) for e in term.elements]
+        if term.kind == "set":
+            return SetValue(elements)
+        if term.kind == "multiset":
+            return MultisetValue(elements)
+        return SequenceValue(elements)
+    if isinstance(term, FunctionApp):
+        return read_function(term, bindings, ctx)
+    if isinstance(term, Pattern):
+        if term.args.self_term is not None or term.args.tuple_var is not None:
+            raise EvaluationError(
+                f"pattern {term!r} cannot be constructed as a value"
+            )
+        return TupleValue({
+            label: resolve_term(sub, bindings, ctx)
+            for label, sub in term.args.labeled
+        })
+    raise EvaluationError(f"cannot resolve term {term!r}")
+
+
+def _arith(op: str, left: Value, right: Value) -> Value:
+    for side in (left, right):
+        if not isinstance(side, (int, float)) or isinstance(side, bool):
+            raise BuiltinError(
+                f"arithmetic on non-numeric value {side!r}"
+            )
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise BuiltinError("division by zero")
+        result = left / right
+        if isinstance(left, int) and isinstance(right, int) and \
+                left % right == 0:
+            return left // right
+        return result
+    raise BuiltinError(f"unknown arithmetic operator {op!r}")
+
+
+def read_function(
+    app: FunctionApp, bindings: Bindings, ctx: MatchContext
+) -> SetValue:
+    """The *set* denoted by a data-function application: all ``value``
+    components of the backing association's facts whose arguments match."""
+    decl = ctx.schema.functions.get(app.name)
+    if decl is None:
+        raise EvaluationError(f"unknown data function {app.name!r}")
+    arg_values = [resolve_term(a, bindings, ctx) for a in app.args]
+    pred = decl.backing_predicate()
+    out = []
+    for fact in ctx.facts.facts_of(pred):
+        if all(
+            values_unify(fact.value.get(label), v)
+            for label, v in zip(decl.arg_labels, arg_values)
+        ):
+            out.append(fact.value[FUNCTION_VALUE_LABEL])
+    return SetValue(out)
+
+
+# ---------------------------------------------------------------------------
+# literal matching (enumeration direction)
+# ---------------------------------------------------------------------------
+def match_literal(
+    literal: Literal, bindings: Bindings, ctx: MatchContext
+) -> Iterator[Bindings]:
+    """Extensions of ``bindings`` satisfying the *positive* ``literal``."""
+    for fact in _candidate_facts(literal, bindings, ctx):
+        extended = match_fact(literal.args, fact, bindings, ctx)
+        if extended is not None:
+            yield extended
+
+
+def _candidate_facts(
+    literal: Literal, bindings: Bindings, ctx: MatchContext
+) -> Iterator[Fact]:
+    """Facts that could match, using hash indexes where a bound simple
+    value is available."""
+    args = literal.args
+    if not ctx.use_indexes:
+        yield from ctx.facts.facts_of(literal.pred)
+        return
+    # self lookup
+    if args.self_term is not None:
+        try:
+            value = resolve_term(args.self_term, bindings, ctx)
+        except Unbound:
+            value = None
+        oid = as_oid(value) if value is not None else None
+        if oid is not None:
+            stored = ctx.facts.value_of(literal.pred, oid)
+            if stored is not None:
+                yield Fact(literal.pred, stored, oid)
+            return
+    # indexed label lookup
+    for label, term in args.labeled:
+        if isinstance(term, (Constant, Var)):
+            try:
+                value = resolve_term(term, bindings, ctx)
+            except Unbound:
+                continue
+            if isinstance(value, TupleValue) and SELF_LABEL in value:
+                value = value[SELF_LABEL]  # object binding at oid position
+            yield from ctx.facts.lookup(literal.pred, label, value)
+            return
+    yield from ctx.facts.facts_of(literal.pred)
+
+
+def match_fact(
+    args: Args, fact: Fact, bindings: Bindings, ctx: MatchContext
+) -> Bindings | None:
+    """Match one fact against an argument list; extended bindings or None."""
+    current: Bindings | None = bindings
+    if args.self_term is not None:
+        if fact.oid is None:
+            return None
+        current = _match_term_value(
+            args.self_term, fact.oid, current, ctx
+        )
+        if current is None:
+            return None
+    for label, term in args.labeled:
+        if label not in fact.value:
+            return None
+        current = _match_term_value(term, fact.value[label], current, ctx)
+        if current is None:
+            return None
+    if args.tuple_var is not None:
+        whole: Value = fact.value
+        if fact.oid is not None:
+            whole = fact.value.with_field(SELF_LABEL, fact.oid)
+        current = bind(current, args.tuple_var, whole)
+        if current is None:
+            return None
+    if args.positional:
+        raise EvaluationError(
+            "unresolved positional arguments reached the engine; run"
+            " analysis first"
+        )
+    return current
+
+
+def _match_term_value(
+    term: Term, value: Value, bindings: Bindings, ctx: MatchContext
+) -> Bindings | None:
+    """Match a single argument term against a fact component value."""
+    if isinstance(term, Var):
+        return bind(bindings, term, value)
+    if isinstance(term, Pattern):
+        return _match_pattern(term, value, bindings, ctx)
+    try:
+        resolved = resolve_term(term, bindings, ctx)
+    except Unbound as exc:
+        # a complex term with exactly one unbound variable directly at a
+        # component would need inverse evaluation; only '=' supports that.
+        raise EvaluationError(
+            f"argument term {term!r} has unbound variable {exc.var!r};"
+            " bind it earlier in the body"
+        ) from None
+    return bindings if values_unify(resolved, value) else None
+
+
+def _match_pattern(
+    pattern: Pattern, value: Value, bindings: Bindings, ctx: MatchContext
+) -> Bindings | None:
+    """Match a nested pattern against a tuple component or dereference an
+    oid-valued component (the paper's ``school(dean(self X))``)."""
+    args = pattern.args
+    if isinstance(value, Oid):
+        current = bindings
+        if args.self_term is not None:
+            current = _match_term_value(args.self_term, value, current, ctx)
+            if current is None:
+                return None
+        if args.tuple_var is not None or args.labeled:
+            if value.is_nil:
+                return None
+            attrs = _dereference(value, ctx)
+            if attrs is None:
+                return None
+            inner = Args(
+                labeled=args.labeled, tuple_var=args.tuple_var
+            )
+            # treat the referenced object as a pseudo-fact
+            current = match_fact(
+                inner, Fact("__deref", attrs, value), current, ctx
+            )
+        return current
+    if isinstance(value, TupleValue):
+        if args.self_term is not None:
+            inner_oid = value.get(SELF_LABEL)
+            if not isinstance(inner_oid, Oid):
+                return None
+            current = _match_term_value(
+                args.self_term, inner_oid, bindings, ctx
+            )
+            if current is None:
+                return None
+        else:
+            current = bindings
+        for label, sub in args.labeled:
+            if label not in value:
+                return None
+            current = _match_term_value(sub, value[label], current, ctx)
+            if current is None:
+                return None
+        if args.tuple_var is not None:
+            current = bind(current, args.tuple_var, value)
+        return current
+    return None
+
+
+def _dereference(oid: Oid, ctx: MatchContext) -> TupleValue | None:
+    """The widest attribute tuple recorded for ``oid`` in any class."""
+    best: TupleValue | None = None
+    for pred in ctx.schema.class_names:
+        stored = ctx.facts.value_of(pred, oid)
+        if stored is not None and (
+            best is None or len(stored.items) > len(best.items)
+        ):
+            best = stored
+    return best

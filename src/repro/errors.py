@@ -1,0 +1,123 @@
+"""Exception hierarchy for the LOGRES reproduction.
+
+Every error raised by the library derives from :class:`LogresError`, so
+applications can catch one base class.  The sub-hierarchy mirrors the
+compilation pipeline of the system: schema definition errors, parse errors,
+static analysis (safety / typing / stratification) errors, runtime
+evaluation errors, and consistency violations raised by module application.
+"""
+
+from __future__ import annotations
+
+
+class LogresError(Exception):
+    """Base class of every error raised by the library."""
+
+
+class SchemaError(LogresError):
+    """An ill-formed schema: bad type equation, illegal ``isa`` edge,
+    association containing an association, a domain referencing a class,
+    duplicate labels, unresolved type names, or a refinement violation."""
+
+
+class TypeEquationError(SchemaError):
+    """A single type equation is syntactically or structurally illegal."""
+
+
+class IsaError(SchemaError):
+    """An illegal generalization edge: cycles, refinement failure, or
+    multiple inheritance between classes without a common ancestor."""
+
+
+class ValueError_(LogresError):
+    """A value does not belong to the set denoted by its declared type."""
+
+
+class OidError(LogresError):
+    """Illegal use of object identifiers: dangling reference, nil oid in an
+    association, an oid assigned to two unrelated hierarchies, or an o-value
+    conflicting with the oid's class."""
+
+
+class ParseError(LogresError):
+    """Raised by the LOGRES text parser.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class AnalysisError(LogresError):
+    """Base class for static-analysis failures detected at compile time."""
+
+
+class SafetyError(AnalysisError):
+    """A rule violates the safety requirements of Section 3.1: a non-self
+    head argument that does not occur in the body, a built-in variable that
+    occurs in no ordinary literal, or an argument-less literal over a
+    predicate with arguments."""
+
+
+class TypingError(AnalysisError):
+    """Static type checking failed: unification between incompatible types,
+    an unknown predicate or label, or a built-in applied to incompatible
+    argument types."""
+
+
+class IllegalOidRuleError(AnalysisError):
+    """``C1(X) <- C2(X)`` with C1 and C2 not in the same generalization
+    hierarchy: two objects cannot share an oid across hierarchies
+    (Section 3.1)."""
+
+
+class StratificationError(AnalysisError):
+    """The program is not stratified with respect to negation or data
+    functions and stratified semantics was requested."""
+
+
+class EvaluationError(LogresError):
+    """Runtime failure while computing the fixpoint semantics."""
+
+
+class NonTerminationError(EvaluationError):
+    """The inflationary sequence exceeded its iteration or oid-invention
+    budget (termination is undecidable; Appendix B)."""
+
+    def __init__(self, message: str, iterations: int = 0):
+        self.iterations = iterations
+        super().__init__(message)
+
+
+class BuiltinError(EvaluationError):
+    """A built-in predicate was applied to malformed arguments at runtime."""
+
+
+class ConsistencyError(LogresError):
+    """A database state violates an integrity constraint (active referential
+    constraint, passive denial, or structural instance invariant)."""
+
+
+class ModuleApplicationError(LogresError):
+    """A module application is illegal: the initial state is inconsistent,
+    the resulting instance is undefined, or a goal was supplied with a
+    data-variant mode that forbids it (Section 4.1)."""
+
+
+class CompilationError(LogresError):
+    """The LOGRES-to-ALGRES compiler cannot translate a construct (the
+    compilable fragment excludes oid invention and head deletion)."""
+
+
+class AlgebraError(LogresError):
+    """An ill-formed extended-relational-algebra expression or an operator
+    applied to schema-incompatible relations."""
+
+
+class StorageError(LogresError):
+    """Fact-store or persistence failure (corrupt payload, version skew)."""

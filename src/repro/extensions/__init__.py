@@ -1,0 +1,24 @@
+"""Extensions beyond the paper's core: its Section 5 future-work items.
+
+* :mod:`repro.extensions.methods` — methods and encapsulation on top of
+  modules ("we will evaluate how effectively the notions of methods and
+  of encapsulation ... are supported within LOGRES");
+* :mod:`repro.extensions.updates` — translation of user-level update
+  specifications into module applications ("translation of user-defined
+  updates into module application").
+"""
+
+from repro.extensions.methods import Method, MethodRegistry
+from repro.extensions.updates import (
+    build_delete_module,
+    build_insert_module,
+    build_update_module,
+)
+
+__all__ = [
+    "Method",
+    "MethodRegistry",
+    "build_delete_module",
+    "build_insert_module",
+    "build_update_module",
+]

@@ -1,0 +1,221 @@
+"""Methods and encapsulation over LOGRES modules (Section 5 future work).
+
+The paper asks whether "the notions of methods and of encapsulation,
+which are very popular in object-oriented systems, are supported within
+LOGRES".  The answer this module implements: a *method* is a named,
+parameterized RIDI module attached to a class.
+
+* **Encapsulation** comes for free from RIDI semantics (Section 4.1):
+  the method's helper rules and type equations join the evaluation but
+  never become persistent — callers observe only the answer.
+* **Dispatch** follows the ``isa`` hierarchy: invoking a method on an
+  object of class ``C`` finds the definition on ``C`` or its nearest
+  superclass (single-path lookup; the restricted multiple inheritance of
+  Section 2.1 guarantees a unique hierarchy, and diamond ambiguities are
+  reported).
+* **Self-binding**: the method body refers to the receiver through the
+  distinguished variable ``Self``, which the registry grounds by adding
+  a receiver-selection literal.
+
+Example::
+
+    registry = MethodRegistry(db)
+    registry.define("person", "descendants", '''
+    goal
+      ?- person(self Self, name N), member(X, desc(N)).
+    ''')
+    registry.call(oid, "descendants")
+
+The receiver selection lives in the *goal*, where ``Self`` is grounded;
+helper rules (evaluated RIDI, hence invisible to the caller) may define
+auxiliary predicates the goal then filters by receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.database import Database
+from repro.errors import LogresError, SchemaError
+from repro.language.ast import Args, BuiltinLiteral, Constant, Goal, Var
+from repro.language.parser import parse_source
+from repro.modules.apply import apply_module
+from repro.modules.module import Mode, Module
+from repro.values.complex import Value
+from repro.values.oids import Oid
+
+SELF_VAR = Var("Self")
+
+
+class MethodError(LogresError):
+    """Unknown method, ambiguous dispatch, or a body without a goal."""
+
+
+@dataclass(frozen=True)
+class Method:
+    """One method: a class name, a method name, and its module."""
+
+    class_name: str
+    name: str
+    module: Module
+    parameters: tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        params = ", ".join(self.parameters)
+        return f"{self.class_name}::{self.name}({params})"
+
+
+@dataclass
+class MethodRegistry:
+    """Per-database registry of class methods."""
+
+    db: Database
+    _methods: dict[tuple[str, str], Method] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def define(
+        self,
+        class_name: str,
+        name: str,
+        source: str,
+        parameters: tuple[str, ...] = (),
+    ) -> Method:
+        """Register a method.  ``source`` is a module body whose goal is
+        the method's result; it may reference ``Self`` (the receiver) and
+        the given parameter variables."""
+        class_name = class_name.lower()
+        if not self.db.schema.is_class(class_name):
+            raise SchemaError(f"{class_name!r} is not a class")
+        unit = parse_source(source)
+        if unit.goal is None:
+            raise MethodError(
+                f"method {name!r} needs a goal (its return value)"
+            )
+        module = Module(
+            name=f"{class_name}::{name}",
+            rules=tuple(unit.rules),
+            equations=tuple(unit.equations),
+            isa=tuple(unit.isa),
+            functions=tuple(unit.functions),
+            goal=unit.goal,
+        )
+        method = Method(class_name, name.lower(), module,
+                        tuple(p for p in parameters))
+        self._methods[(class_name, method.name)] = method
+        return method
+
+    def methods_of(self, class_name: str) -> list[Method]:
+        """Methods visible on a class, inherited ones included."""
+        class_name = class_name.lower()
+        chain = [class_name] + self.db.schema.superclasses(class_name)
+        out: list[Method] = []
+        seen: set[str] = set()
+        for cls in chain:
+            for (owner, mname), method in self._methods.items():
+                if owner == cls and mname not in seen:
+                    seen.add(mname)
+                    out.append(method)
+        return sorted(out, key=lambda m: m.name)
+
+    def resolve(self, class_name: str, name: str) -> Method:
+        """Dispatch: nearest definition along the isa chain."""
+        class_name = class_name.lower()
+        name = name.lower()
+        chain = [class_name] + self.db.schema.superclasses(class_name)
+        for level in _dispatch_levels(chain, self.db.schema):
+            found = [
+                self._methods[(c, name)]
+                for c in level
+                if (c, name) in self._methods
+            ]
+            if len(found) > 1:
+                raise MethodError(
+                    f"ambiguous method {name!r} on {class_name!r}:"
+                    f" defined on {[m.class_name for m in found]}"
+                )
+            if found:
+                return found[0]
+        raise MethodError(
+            f"no method {name!r} on {class_name!r} or its superclasses"
+        )
+
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        receiver: Oid,
+        name: str,
+        **arguments: Value,
+    ) -> list[dict[str, Value]]:
+        """Invoke a method on ``receiver``; returns the goal's answers."""
+        owner = self._class_of(receiver)
+        method = self.resolve(owner, name)
+        module = _bind_receiver(method, receiver, arguments)
+        result = apply_module(
+            self.db.state, module, Mode.RIDI,
+            semantics=self.db.semantics, config=self.db.config,
+            oidgen=self.db.oidgen,
+        )
+        return result.answers or []
+
+    def _class_of(self, receiver: Oid) -> str:
+        """The most specific class containing the receiver."""
+        instance = self.db.instance()
+        candidates = [
+            c for c in self.db.schema.class_names
+            if receiver in instance.oids_of(c)
+        ]
+        if not candidates:
+            raise MethodError(f"no object with oid {receiver!r}")
+        # most specific = the one that is a subclass of all others
+        for c in candidates:
+            if all(self.db.schema.is_subclass(c, other)
+                   for other in candidates):
+                return c
+        return candidates[0]
+
+
+def _dispatch_levels(chain: list[str], schema) -> list[list[str]]:
+    """Group the superclass chain into distance levels for dispatch."""
+    levels: list[list[str]] = []
+    remaining = list(chain)
+    current = [chain[0]]
+    while current:
+        levels.append(current)
+        nxt: list[str] = []
+        for cls in current:
+            for sup in schema.direct_superclasses(cls):
+                if sup in remaining and sup not in nxt and \
+                        all(sup not in lvl for lvl in levels):
+                    nxt.append(sup)
+        current = nxt
+    return levels
+
+
+def _bind_receiver(method: Method, receiver: Oid,
+                   arguments: dict[str, Value]) -> Module:
+    """Ground ``Self`` and the parameter variables in the method goal."""
+    expected = set(method.parameters)
+    given = {k.lower() for k in arguments}
+    if expected != given:
+        raise MethodError(
+            f"method {method!r} takes parameters {sorted(expected)},"
+            f" got {sorted(given)}"
+        )
+    bindings: list[BuiltinLiteral] = [
+        BuiltinLiteral("=", (SELF_VAR, Constant(receiver)))
+    ]
+    for pname, value in arguments.items():
+        bindings.append(
+            BuiltinLiteral("=", (Var(pname.capitalize()), Constant(value)))
+        )
+    goal = method.module.goal
+    assert goal is not None
+    grounded = Goal(tuple(bindings) + goal.literals)
+    return Module(
+        name=method.module.name,
+        rules=method.module.rules,
+        equations=method.module.equations,
+        isa=method.module.isa,
+        functions=method.module.functions,
+        goal=grounded,
+    )

@@ -1,0 +1,227 @@
+"""Translating user-level updates into module applications.
+
+Section 5 lists "translation of user-defined updates into module
+application" as planned work; Section 4.2 sketches the encodings (adding
+tuples = positive heads, deletion = negative heads, field updates = the
+Example 4.2 pattern).  These builders generate the modules so callers
+never hand-write update rules:
+
+* :func:`build_insert_module` — a module of fact rules;
+* :func:`build_delete_module` — guarded deletion rules;
+* :func:`build_update_module` — the full Example 4.2 pattern: a scratch
+  ``mod`` association marks updated tuples, new tuples are derived with
+  recomputed fields, and stale originals are deleted.
+
+All three return plain :class:`~repro.modules.module.Module` objects to
+be applied with RIDV (or RADV to keep the rules).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.coerce import to_value
+from repro.errors import SchemaError
+from repro.language.ast import (
+    Args,
+    ArithExpr,
+    BuiltinLiteral,
+    Constant,
+    Literal,
+    Rule,
+    Term,
+    Var,
+)
+from repro.modules.module import Module
+from repro.types.descriptors import TupleType
+from repro.types.equations import Kind, TypeEquation
+from repro.types.schema import Schema
+from repro.values.complex import Value
+
+#: an assignment expression: either a constant, or (op, operand) applied
+#: to the current field value — ("+", 1) means field := field + 1.
+Assignment = Value | tuple[str, Value]
+
+
+def _require_association(schema: Schema, pred: str) -> None:
+    if not schema.is_association(pred):
+        raise SchemaError(
+            f"update builders target associations; {pred!r} is not one"
+        )
+
+
+def build_insert_module(
+    schema: Schema, pred: str, rows: list[Mapping[str, Value]],
+    name: str = "",
+) -> Module:
+    """A module inserting the given tuples (positive-head fact rules)."""
+    _require_association(schema, pred)
+    eff = schema.effective_type(pred)
+    rules = []
+    for row in rows:
+        labeled = []
+        for label in eff.labels:
+            if label not in row:
+                raise SchemaError(
+                    f"insert into {pred!r} misses attribute {label!r}"
+                )
+            labeled.append((label, Constant(to_value(row[label]))))
+        rules.append(Rule(Literal(pred, Args(labeled=tuple(labeled)))))
+    return Module(name=name or f"insert-{pred}", rules=tuple(rules))
+
+
+def build_delete_module(
+    schema: Schema, pred: str, where: Mapping[str, Assignment],
+    name: str = "",
+) -> Module:
+    """A module deleting tuples matching ``where`` (negative head).
+
+    ``where`` maps labels to constants, or to ``(op, value)`` comparison
+    guards — ``{"d2": (">", 3)}`` deletes tuples with d2 > 3.
+    """
+    _require_association(schema, pred)
+    tuple_var = Var("T")
+    body, head_args = _where_clause(pred, tuple_var, where)
+    head = Literal(pred, Args(tuple_var=tuple_var), negated=True)
+    return Module(
+        name=name or f"delete-{pred}",
+        rules=(Rule(head, tuple(body)),),
+    )
+
+
+def build_update_module(
+    schema: Schema,
+    pred: str,
+    where: Mapping[str, Assignment],
+    assign: Mapping[str, Assignment],
+    name: str = "",
+) -> Module:
+    """The Example 4.2 pattern as a generated module.
+
+    ``where`` selects tuples (constants or comparison guards);
+    ``assign`` maps labels to new constants or ``(op, operand)``
+    arithmetic over the old value.  The generated module:
+
+    1. derives the updated tuple, guarded by ``~mod(old)``;
+    2. records the *old* field values in a scratch ``__upd_<pred>``
+       association (so step 1 fires exactly once per original);
+    3. deletes originals that match ``where`` and are recorded.
+    """
+    _require_association(schema, pred)
+    eff = schema.effective_type(pred)
+    for label in list(where) + list(assign):
+        if not eff.has_label(label):
+            raise SchemaError(
+                f"{pred!r} has no attribute {label!r}"
+            )
+    scratch = f"__upd_{pred}"
+    scratch_eq = TypeEquation(scratch, Kind.ASSOCIATION, eff)
+
+    old_vars = {label: Var(f"V_{label}") for label in eff.labels}
+    body: list = [
+        Literal(pred, Args(labeled=tuple(
+            (label, old_vars[label]) for label in eff.labels
+        )))
+    ]
+    body += _guards(where, old_vars)
+    # ~ __upd_pred(old values)
+    body.append(Literal(
+        scratch,
+        Args(labeled=tuple(
+            (label, old_vars[label]) for label in eff.labels
+        )),
+        negated=True,
+    ))
+    new_terms: dict[str, Term] = {}
+    eq_binders: list[BuiltinLiteral] = []
+    for label in eff.labels:
+        if label in assign:
+            spec = assign[label]
+            fresh = Var(f"N_{label}")
+            if isinstance(spec, tuple):
+                op, operand = spec
+                expr: Term = ArithExpr(
+                    op, old_vars[label], Constant(to_value(operand))
+                )
+            else:
+                expr = Constant(to_value(spec))
+            eq_binders.append(BuiltinLiteral("=", (fresh, expr)))
+            new_terms[label] = fresh
+        else:
+            new_terms[label] = old_vars[label]
+    full_body = tuple(body) + tuple(eq_binders)
+
+    derive = Rule(
+        Literal(pred, Args(labeled=tuple(
+            (label, new_terms[label]) for label in eff.labels
+        ))),
+        full_body,
+        name=f"{pred}-update-derive",
+    )
+    # record the *new* tuples: exactly Example 4.2's MOD relation — a
+    # tuple already recorded is itself a result of the update and must
+    # neither be re-updated nor deleted
+    record = Rule(
+        Literal(scratch, Args(labeled=tuple(
+            (label, new_terms[label]) for label in eff.labels
+        ))),
+        full_body,
+        name=f"{pred}-update-record",
+    )
+    # deletion: stale originals — tuples matching `where` that are not
+    # themselves recorded results
+    del_body: list = [
+        Literal(pred, Args(labeled=tuple(
+            (label, old_vars[label]) for label in eff.labels
+        ))),
+    ]
+    del_body += _guards(where, old_vars)
+    del_body.append(Literal(
+        scratch,
+        Args(labeled=tuple(
+            (label, old_vars[label]) for label in eff.labels
+        )),
+        negated=True,
+    ))
+    delete = Rule(
+        Literal(pred, Args(labeled=tuple(
+            (label, old_vars[label]) for label in eff.labels
+        )), negated=True),
+        tuple(del_body),
+        name=f"{pred}-update-delete",
+    )
+    return Module(
+        name=name or f"update-{pred}",
+        rules=(derive, record, delete),
+        equations=(scratch_eq,),
+    )
+
+
+def _guards(where: Mapping[str, Assignment],
+            old_vars: Mapping[str, Var]) -> list[BuiltinLiteral]:
+    out = []
+    for label, spec in where.items():
+        if isinstance(spec, tuple) and len(spec) == 1:
+            # unary predicate guard, e.g. ("even",)
+            out.append(BuiltinLiteral(spec[0], (old_vars[label],)))
+        elif isinstance(spec, tuple):
+            op, operand = spec
+            out.append(BuiltinLiteral(
+                op, (old_vars[label], Constant(to_value(operand)))
+            ))
+        else:
+            out.append(BuiltinLiteral(
+                "=", (old_vars[label], Constant(to_value(spec)))
+            ))
+    return out
+
+
+def _where_clause(pred: str, tuple_var: Var,
+                  where: Mapping[str, Assignment]):
+    labeled_vars = {label: Var(f"V_{label}") for label in where}
+    body: list = [Literal(pred, Args(
+        labeled=tuple((label, var) for label, var in labeled_vars.items()),
+        tuple_var=tuple_var,
+    ))]
+    body += _guards(where, labeled_vars)
+    return body, labeled_vars

@@ -1,0 +1,48 @@
+"""The LOGRES rule-based language: AST, parser, analysis, built-ins."""
+
+from repro.language.ast import (
+    Args,
+    ArithExpr,
+    BuiltinLiteral,
+    Constant,
+    FunctionApp,
+    Goal,
+    Literal,
+    Pattern,
+    Program,
+    Rule,
+    Term,
+    Var,
+)
+from repro.language.parser import parse_program, parse_schema_source, parse_source
+from repro.language.analysis import (
+    analyze_program,
+    check_safety,
+    check_types,
+    stratify,
+)
+from repro.language.builtins import BUILTINS, is_builtin
+
+__all__ = [
+    "Args",
+    "ArithExpr",
+    "BUILTINS",
+    "BuiltinLiteral",
+    "Constant",
+    "FunctionApp",
+    "Goal",
+    "Literal",
+    "Pattern",
+    "Program",
+    "Rule",
+    "Term",
+    "Var",
+    "analyze_program",
+    "check_safety",
+    "check_types",
+    "is_builtin",
+    "parse_program",
+    "parse_schema_source",
+    "parse_source",
+    "stratify",
+]

@@ -1,0 +1,158 @@
+"""Tokenizer for LOGRES source text.
+
+The concrete syntax is a regularized form of the paper's examples:
+
+* section headers ``domains`` / ``classes`` / ``associations`` /
+  ``functions`` / ``rules`` / ``goal`` (an optional trailing ``section``
+  keyword and colon are accepted, matching the paper's layout);
+* statements end with ``.``;
+* ``%`` and ``#`` start comments running to end of line;
+* identifiers starting with an uppercase letter are variables inside
+  rules; every other identifier is a (case-insensitive) name;
+* strings are double-quoted, numbers are integers or decimals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+# multi-character symbols first so maximal munch applies
+SYMBOLS = [
+    "<-", "?-", "->", "!=", "<=", ">=",
+    "(", ")", "{", "}", "[", "]", "<", ">",
+    ",", ".", ":", "=", "~", "+", "-", "*", "/",
+]
+
+KEYWORDS = {
+    "domains", "domain", "classes", "class", "associations", "association",
+    "functions", "function", "rules", "rule", "goal", "section",
+    "isa", "self", "nil", "not", "true", "false",
+}
+
+#: keywords that occupy *term* positions: recognized only in exact
+#: lowercase, so that ``Self``, ``True`` etc. remain usable as variables
+TERM_KEYWORDS = {"self", "nil", "not", "true", "false"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # 'name', 'variable', 'number', 'string', 'symbol', 'keyword', 'eof'
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text!r}@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> ParseError:
+        return ParseError(msg, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in "%#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, col
+        if ch == '"':
+            j = i + 1
+            out = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    out.append({"n": "\n", "t": "\t", '"': '"',
+                                "\\": "\\"}.get(esc, esc))
+                    j += 2
+                else:
+                    out.append(source[j])
+                    j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            text = source[i:j + 1]
+            tokens.append(Token("string", text, "".join(out),
+                                start_line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        if "0" <= ch <= "9":  # ASCII digits only: int('²') would raise
+            j = i
+            while j < n and "0" <= source[j] <= "9":
+                j += 1
+            is_float = False
+            if j + 1 < n and source[j] == "." and \
+                    "0" <= source[j + 1] <= "9":
+                is_float = True
+                j += 1
+                while j < n and "0" <= source[j] <= "9":
+                    j += 1
+            text = source[i:j]
+            value = float(text) if is_float else int(text)
+            tokens.append(Token("number", text, value, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_-"):
+                # hyphens are allowed mid-identifier only between
+                # alphanumerics (the paper writes H-TEAM); a hyphen
+                # followed by a non-identifier char terminates the name.
+                if source[j] == "-" and not (
+                    j + 1 < n and (source[j + 1].isalnum()
+                                   or source[j + 1] == "_")
+                ):
+                    break
+                j += 1
+            text = source[i:j]
+            lowered = text.lower()
+            canonical = lowered.replace("-", "_")
+            if lowered in KEYWORDS and (
+                lowered not in TERM_KEYWORDS or text == lowered
+            ):
+                kind = "keyword"
+                value: object = lowered
+            elif text[0].isupper() or text[0] == "_":
+                # variable-shaped; schema sections reinterpret these as
+                # (case-insensitive) type names, rules treat them as
+                # variables.
+                kind = "variable"
+                value = text.replace("-", "_")
+            else:
+                kind = "name"
+                value = canonical
+            tokens.append(Token(kind, text, value, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        matched = None
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                matched = sym
+                break
+        if matched is None:
+            raise error(f"unexpected character {ch!r}")
+        tokens.append(Token("symbol", matched, matched, start_line, start_col))
+        i += len(matched)
+        col += len(matched)
+    tokens.append(Token("eof", "", None, line, col))
+    return tokens

@@ -1,0 +1,244 @@
+"""Rendering schemas and programs back to LOGRES source text.
+
+Part of the "programming environment" direction of Section 5 (design,
+debugging and monitoring tools).  The renderer is the inverse of the
+parser on its canonical output: ``parse(render(x))`` reproduces ``x``
+(property-tested), which makes rules and schemas round-trippable through
+files and diffs.
+"""
+
+from __future__ import annotations
+
+from repro.language.ast import (
+    Args,
+    ArithExpr,
+    BuiltinLiteral,
+    CollectionTerm,
+    Constant,
+    FunctionApp,
+    FunctionHead,
+    Goal,
+    Literal,
+    Pattern,
+    Program,
+    Rule,
+    Term,
+    Var,
+)
+from repro.types.descriptors import (
+    ElementaryType,
+    MultisetType,
+    NamedType,
+    SequenceType,
+    SetType,
+    TupleType,
+    TypeDescriptor,
+)
+from repro.types.equations import Kind
+from repro.types.schema import Schema
+from repro.values.complex import (
+    MultisetValue,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+    Value,
+)
+from repro.values.oids import Oid
+
+
+# ---------------------------------------------------------------------------
+# values and terms
+# ---------------------------------------------------------------------------
+def render_value(value: Value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, Oid):
+        if value.is_nil:
+            return "nil"
+        raise ValueError(
+            f"oid {value!r} has no source form: oids are system-managed"
+            " and not visible to users (Section 2.1)"
+        )
+    if isinstance(value, TupleValue):
+        inner = ", ".join(
+            f"{k} {render_value(v)}" for k, v in value.items
+        )
+        return f"({inner})"
+    if isinstance(value, SetValue):
+        inner = ", ".join(sorted(render_value(v) for v in value))
+        return f"{{{inner}}}"
+    if isinstance(value, MultisetValue):
+        inner = ", ".join(sorted(render_value(v) for v in value))
+        return f"[{inner}]"
+    if isinstance(value, SequenceValue):
+        inner = ", ".join(render_value(v) for v in value)
+        return f"<{inner}>"
+    raise ValueError(f"cannot render value {value!r}")
+
+
+def render_term(term: Term) -> str:
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Constant):
+        return render_value(term.value)
+    if isinstance(term, FunctionApp):
+        if not term.args:
+            return f"{term.name}()"
+        inner = ", ".join(render_term(a) for a in term.args)
+        return f"{term.name}({inner})"
+    if isinstance(term, ArithExpr):
+        return (
+            f"({render_term(term.left)} {term.op}"
+            f" {render_term(term.right)})"
+        )
+    if isinstance(term, CollectionTerm):
+        open_, close = {
+            "set": ("{", "}"), "multiset": ("[", "]"),
+            "sequence": ("<", ">"),
+        }[term.kind]
+        inner = ", ".join(render_term(e) for e in term.elements)
+        return f"{open_}{inner}{close}"
+    if isinstance(term, Pattern):
+        return f"({_render_args(term.args)})"
+    raise ValueError(f"cannot render term {term!r}")
+
+
+def _render_args(args: Args) -> str:
+    parts = []
+    if args.self_term is not None:
+        parts.append(f"self {render_term(args.self_term)}")
+    for label, term in args.labeled:
+        if isinstance(term, Pattern):
+            parts.append(f"{label}({_render_args(term.args)})")
+        else:
+            parts.append(f"{label} {render_term(term)}")
+    if args.tuple_var is not None:
+        parts.append(args.tuple_var.name)
+    parts.extend(render_term(t) for t in args.positional)
+    return ", ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# literals, rules, programs
+# ---------------------------------------------------------------------------
+def render_literal(literal: Literal | BuiltinLiteral) -> str:
+    prefix = "~" if literal.negated else ""
+    if isinstance(literal, Literal):
+        if literal.args.is_empty:
+            return f"{prefix}{literal.pred}"
+        return f"{prefix}{literal.pred}({_render_args(literal.args)})"
+    name = literal.name
+    if name in ("=", "!=", "<", "<=", ">", ">=") and len(literal.args) == 2:
+        left, right = literal.args
+        return (
+            f"{prefix}{render_term(left)} {name} {render_term(right)}"
+        )
+    inner = ", ".join(render_term(a) for a in literal.args)
+    return f"{prefix}{name}({inner})"
+
+
+def render_rule(rule: Rule) -> str:
+    if isinstance(rule.head, FunctionHead):
+        inner = ", ".join(render_term(a) for a in rule.head.args)
+        head = (
+            ("~" if rule.head.negated else "")
+            + f"member({render_term(rule.head.element)},"
+            f" {rule.head.function}({inner}))"
+        )
+    elif rule.head is not None:
+        head = render_literal(rule.head)
+    else:
+        head = ""
+    if not rule.body:
+        return f"{head}."
+    body = ", ".join(render_literal(l) for l in rule.body)
+    if not head:
+        return f"<- {body}."
+    return f"{head} <- {body}."
+
+
+def render_goal(goal: Goal) -> str:
+    body = ", ".join(render_literal(l) for l in goal.literals)
+    return f"?- {body}."
+
+
+def render_program(program: Program) -> str:
+    lines = ["rules"]
+    lines += [f"  {render_rule(r)}" for r in program.rules]
+    if program.goal is not None:
+        lines.append("goal")
+        lines.append(f"  {render_goal(program.goal)}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# schemas
+# ---------------------------------------------------------------------------
+def render_type(descriptor: TypeDescriptor) -> str:
+    if isinstance(descriptor, ElementaryType):
+        return descriptor.name
+    if isinstance(descriptor, NamedType):
+        return descriptor.name
+    if isinstance(descriptor, TupleType):
+        inner = ", ".join(
+            f"{f.label}: {render_type(f.type)}" for f in descriptor.fields
+        )
+        return f"({inner})"
+    if isinstance(descriptor, SetType):
+        return f"{{{render_type(descriptor.element)}}}"
+    if isinstance(descriptor, MultisetType):
+        return f"[{render_type(descriptor.element)}]"
+    if isinstance(descriptor, SequenceType):
+        return f"<{render_type(descriptor.element)}>"
+    raise ValueError(f"cannot render type {descriptor!r}")
+
+
+def render_schema(schema: Schema) -> str:
+    """Full source of a schema, section by section."""
+    sections: dict[Kind, list[str]] = {
+        Kind.DOMAIN: [], Kind.CLASS: [], Kind.ASSOCIATION: [],
+    }
+    for eq in schema.equations.values():
+        if eq.name.startswith("__fn_"):
+            continue  # hidden data-function backing associations
+        sections[eq.kind].append(
+            f"  {eq.name} = {render_type(eq.rhs)}."
+        )
+    for decl in schema.isa_declarations:
+        via = f" {decl.label}" if decl.label else ""
+        sections[Kind.CLASS].append(f"  {decl.sub}{via} isa {decl.sup}.")
+    lines: list[str] = []
+    for kind, header in [
+        (Kind.DOMAIN, "domains"),
+        (Kind.CLASS, "classes"),
+        (Kind.ASSOCIATION, "associations"),
+    ]:
+        if sections[kind]:
+            lines.append(header)
+            lines.extend(sections[kind])
+    if schema.functions:
+        lines.append("functions")
+        for decl in schema.functions.values():
+            if decl.arity == 0:
+                signature = f"  {decl.name} -> {render_type(decl.result)}."
+            else:
+                args = ", ".join(render_type(t) for t in decl.arg_types)
+                signature = (
+                    f"  {decl.name}: ({args}) ->"
+                    f" {render_type(decl.result)}."
+                )
+            lines.append(signature)
+    return "\n".join(lines)
+
+
+def render_source(schema: Schema, program: Program | None = None) -> str:
+    """A complete source unit: schema sections plus rules and goal."""
+    parts = [render_schema(schema)]
+    if program is not None and (program.rules or program.goal):
+        parts.append(render_program(program))
+    return "\n".join(p for p in parts if p)

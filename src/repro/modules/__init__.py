@@ -1,0 +1,17 @@
+"""Modules, queries, and updates (Section 4)."""
+
+from repro.modules.state import DatabaseState, materialize
+from repro.modules.module import Mode, Module
+from repro.modules.apply import ApplicationResult, apply_module
+from repro.modules.evolution import Evolution, EvolutionStep
+
+__all__ = [
+    "ApplicationResult",
+    "DatabaseState",
+    "Evolution",
+    "EvolutionStep",
+    "Mode",
+    "Module",
+    "apply_module",
+    "materialize",
+]

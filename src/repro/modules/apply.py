@@ -1,0 +1,233 @@
+"""Application of modules to database states (Sections 4.1-4.2).
+
+``apply_module(state, module, mode)`` computes the new state
+``(E1, R1, S1)`` and, for data-invariant modes, the answer to the
+module's goal.  An application is *legal* only if the initial state is
+consistent and the resulting instance is defined and consistent; an
+illegal application raises
+:class:`~repro.errors.ModuleApplicationError` and leaves the input state
+untouched (states are never mutated — a fresh state is returned).
+
+Mode semantics (quoting Section 4.1):
+
+* **RIDI** — ordinary query: evaluate ``G_M`` over ``R0 ∪ R_M`` against
+  ``E0``; the state does not change.
+* **RADI** — ``R1 = R0 ∪ R_M``, ``S1 = S0 ∪ S_M``; rejected if the new
+  instance is inconsistent; may also answer the goal.
+* **RDDI** — ``R1 = R0 − R_M``, ``S1 = S0 − S_M``; may answer the goal.
+* **RIDV** — EDB update: ``E1`` is the result of applying the update
+  rules ``R_M`` to ``E0``; rules are unchanged. No goal.
+* **RADV** — like RIDV, plus ``R1 = R0 ∪ R_M``, ``S1 = S0 ∪ S_M``.
+* **RDDV** — ``E1 = E0 − E_M`` where ``E_M`` is the instance of
+  ``(∅, R_M)``; ``R1 = R0 − R_M``; ``S1 = S0 − S_M``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.checker import ConsistencyChecker, Violation
+from repro.engine import Engine, EvalConfig, Semantics
+from repro.engine.goals import answer_goal
+from repro.errors import LogresError, ModuleApplicationError
+from repro.language.ast import Program, Rule
+from repro.modules.module import Mode, Module
+from repro.modules.state import DatabaseState, materialize
+from repro.storage.factset import FactSet
+from repro.types.schema import Schema
+from repro.values.complex import Value
+from repro.values.oids import OidGenerator
+
+
+@dataclass
+class ApplicationResult:
+    """The outcome of a legal module application."""
+
+    state: DatabaseState          # the new database state (E1, R1, S1)
+    instance: FactSet             # the materialized instance I1
+    answers: list[dict[str, Value]] | None  # goal answers (DI modes only)
+    mode: Mode
+    violations_checked: int = 0
+
+    def __repr__(self) -> str:
+        goal = (
+            f", {len(self.answers)} goal answers"
+            if self.answers is not None else ""
+        )
+        return (
+            f"ApplicationResult({self.mode.value}:"
+            f" {self.instance.count()} instance facts{goal})"
+        )
+
+
+def apply_module(
+    state: DatabaseState,
+    module: Module,
+    mode: Mode,
+    semantics: Semantics = Semantics.INFLATIONARY,
+    config: EvalConfig | None = None,
+    oidgen: OidGenerator | None = None,
+    check_initial: bool = True,
+) -> ApplicationResult:
+    """Apply ``module`` to ``state`` under ``mode``.
+
+    ``semantics`` selects the rule semantics for every fixpoint involved —
+    this is the mechanism making "modules and databases parametric with
+    respect to the semantics of the rules they support" (Section 1).
+    """
+    if module.goal is not None and not mode.allows_goal:
+        raise ModuleApplicationError(
+            f"mode {mode.value} is data-variant and cannot answer the"
+            f" goal of module {module.name!r}"
+        )
+    if check_initial:
+        checker = ConsistencyChecker(state.schema, state.denials())
+        initial = materialize(state, semantics, config, oidgen)
+        _reject_if_inconsistent(
+            checker.check(initial), state, module, mode, "initial"
+        )
+
+    try:
+        if mode is Mode.RIDI:
+            return _apply_ridi(state, module, semantics, config, oidgen)
+        if mode is Mode.RADI:
+            return _apply_radi(state, module, semantics, config, oidgen)
+        if mode is Mode.RDDI:
+            return _apply_rddi(state, module, semantics, config, oidgen)
+        if mode is Mode.RIDV:
+            return _apply_datavariant(
+                state, module, mode, semantics, config, oidgen
+            )
+        if mode is Mode.RADV:
+            return _apply_datavariant(
+                state, module, mode, semantics, config, oidgen
+            )
+        return _apply_rddv(state, module, semantics, config, oidgen)
+    except ModuleApplicationError:
+        raise
+    except LogresError as exc:
+        raise ModuleApplicationError(
+            f"applying module {module.name!r} with {mode.value} failed:"
+            f" {exc}"
+        ) from exc
+
+
+def _reject_if_inconsistent(
+    violations: list[Violation],
+    state: DatabaseState,
+    module: Module,
+    mode: Mode,
+    which: str,
+) -> None:
+    if violations:
+        preview = "; ".join(repr(v) for v in violations[:3])
+        raise ModuleApplicationError(
+            f"module {module.name!r} ({mode.value}): the {which} state is"
+            f" inconsistent — {preview}"
+        )
+
+
+def _finalize(
+    new_state: DatabaseState,
+    module: Module,
+    mode: Mode,
+    semantics: Semantics,
+    config: EvalConfig | None,
+    oidgen: OidGenerator | None,
+    goal_rules: tuple[Rule, ...] = (),
+) -> ApplicationResult:
+    """Materialize I1, verify consistency, answer the goal if requested."""
+    instance = materialize(new_state, semantics, config, oidgen,
+                           extra_rules=goal_rules)
+    denials = new_state.denials() + tuple(
+        r for r in module.rules if r.is_denial
+    )
+    checker = ConsistencyChecker(new_state.schema, denials)
+    violations = checker.check(instance)
+    _reject_if_inconsistent(violations, new_state, module, mode, "resulting")
+    answers = None
+    if module.goal is not None and mode.allows_goal:
+        answers = answer_goal(module.goal, instance, new_state.schema)
+    return ApplicationResult(
+        state=new_state,
+        instance=instance,
+        answers=answers,
+        mode=mode,
+    )
+
+
+def _apply_ridi(state, module, semantics, config, oidgen):
+    # evaluation sees R0 ∪ RM, but the persistent state is unchanged
+    eval_schema = module.extend_schema(state.schema)
+    scratch = DatabaseState(eval_schema, state.edb, state.rules)
+    result = _finalize(
+        scratch, module, Mode.RIDI, semantics, config, oidgen,
+        goal_rules=tuple(r for r in module.rules if not r.is_denial),
+    )
+    return ApplicationResult(
+        state=state.copy(),  # E1 = E0, R1 = R0, S1 = S0
+        instance=result.instance,
+        answers=result.answers,
+        mode=Mode.RIDI,
+    )
+
+
+def _apply_radi(state, module, semantics, config, oidgen):
+    new_state = DatabaseState(
+        schema=module.extend_schema(state.schema),
+        edb=state.edb.copy(),
+        rules=state.rules + tuple(module.rules),
+    )
+    return _finalize(new_state, module, Mode.RADI, semantics, config, oidgen)
+
+
+def _apply_rddi(state, module, semantics, config, oidgen):
+    removed = list(module.rules)
+    kept = tuple(r for r in state.rules if r not in removed)
+    new_state = DatabaseState(
+        schema=module.shrink_schema(state.schema),
+        edb=state.edb.copy(),
+        rules=kept,
+    )
+    return _finalize(new_state, module, Mode.RDDI, semantics, config, oidgen)
+
+
+def _update_edb(
+    state: DatabaseState,
+    module: Module,
+    schema: Schema,
+    semantics: Semantics,
+    config: EvalConfig | None,
+    oidgen: OidGenerator | None,
+) -> FactSet:
+    """``E1``: the update rules ``R_M`` applied to ``E0`` (RIDV/RADV)."""
+    update_rules = tuple(r for r in module.rules if not r.is_denial)
+    engine = Engine(schema, Program(update_rules), config=config,
+                    oidgen=oidgen)
+    return engine.run(state.edb.copy(), semantics)
+
+
+def _apply_datavariant(state, module, mode, semantics, config, oidgen):
+    schema1 = module.extend_schema(state.schema)
+    e1 = _update_edb(state, module, schema1, semantics, config, oidgen)
+    rules1 = state.rules
+    if mode is Mode.RADV:
+        rules1 = rules1 + tuple(module.rules)
+    new_state = DatabaseState(schema=schema1, edb=e1, rules=rules1)
+    return _finalize(new_state, module, mode, semantics, config, oidgen)
+
+
+def _apply_rddv(state, module, semantics, config, oidgen):
+    # E_M: the instance of (∅, R_M) — what the deleted rules alone derive
+    update_rules = tuple(r for r in module.rules if not r.is_denial)
+    engine = Engine(state.schema, Program(update_rules), config=config,
+                    oidgen=oidgen)
+    em = engine.run(FactSet(), semantics)
+    e1 = state.edb.minus(em)
+    removed = list(module.rules)
+    new_state = DatabaseState(
+        schema=module.shrink_schema(state.schema),
+        edb=e1,
+        rules=tuple(r for r in state.rules if r not in removed),
+    )
+    return _finalize(new_state, module, Mode.RDDV, semantics, config, oidgen)

@@ -1,0 +1,130 @@
+"""Database evolution: sequences of module applications (Section 1).
+
+"The evolution of a LOGRES database is obtained through sequences of
+applications of update modules to existing LOGRES database states."
+:class:`Evolution` makes that sequence a first-class object: an append-
+only log of (module, mode) steps with the state each produced, supporting
+atomic multi-step application, inspection, and rollback — possible
+because states are immutable values here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine import EvalConfig, Semantics
+from repro.errors import ModuleApplicationError
+from repro.modules.apply import ApplicationResult, apply_module
+from repro.modules.module import Mode, Module
+from repro.modules.state import DatabaseState
+from repro.values.oids import OidGenerator
+
+
+@dataclass(frozen=True)
+class EvolutionStep:
+    """One committed step of the evolution log."""
+
+    index: int
+    module_name: str
+    mode: Mode
+    facts_before: int
+    facts_after: int
+    rules_after: int
+
+    def __repr__(self) -> str:
+        delta = self.facts_after - self.facts_before
+        sign = "+" if delta >= 0 else ""
+        return (
+            f"#{self.index} {self.mode.value} {self.module_name!r}"
+            f" (E: {sign}{delta} facts, R: {self.rules_after} rules)"
+        )
+
+
+@dataclass
+class Evolution:
+    """An evolving database: the current state plus its full history."""
+
+    state: DatabaseState
+    semantics: Semantics = Semantics.INFLATIONARY
+    config: EvalConfig | None = None
+    oidgen: OidGenerator = field(default_factory=OidGenerator)
+    _states: list[DatabaseState] = field(default_factory=list)
+    _log: list[EvolutionStep] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self._states:
+            self._states.append(self.state)
+
+    # ------------------------------------------------------------------
+    @property
+    def log(self) -> list[EvolutionStep]:
+        return list(self._log)
+
+    @property
+    def version(self) -> int:
+        """Number of committed steps."""
+        return len(self._log)
+
+    def state_at(self, version: int) -> DatabaseState:
+        """The state after ``version`` steps (0 = initial)."""
+        if not 0 <= version < len(self._states):
+            raise IndexError(
+                f"version {version} out of range 0..{self.version}"
+            )
+        return self._states[version]
+
+    # ------------------------------------------------------------------
+    def apply(self, module: Module, mode: Mode) -> ApplicationResult:
+        """Apply one module; commits on success, state untouched on
+        rejection."""
+        result = apply_module(
+            self.state, module, mode,
+            semantics=self.semantics, config=self.config,
+            oidgen=self.oidgen,
+        )
+        before = self.state.edb.count()
+        self.state = result.state
+        self._states.append(result.state)
+        self._log.append(EvolutionStep(
+            index=len(self._log),
+            module_name=module.name or "<anonymous>",
+            mode=mode,
+            facts_before=before,
+            facts_after=result.state.edb.count(),
+            rules_after=len(result.state.rules),
+        ))
+        return result
+
+    def apply_all(
+        self, steps: list[tuple[Module, Mode]]
+    ) -> list[ApplicationResult]:
+        """Apply a sequence atomically: if any step is rejected, the
+        evolution is left exactly as before the call."""
+        checkpoint_state = self.state
+        checkpoint_len = len(self._log)
+        results = []
+        try:
+            for module, mode in steps:
+                results.append(self.apply(module, mode))
+        except ModuleApplicationError:
+            self.state = checkpoint_state
+            del self._states[checkpoint_len + 1:]
+            del self._log[checkpoint_len:]
+            raise
+        return results
+
+    def rollback(self, version: int) -> DatabaseState:
+        """Return to the state after ``version`` steps, discarding the
+        later part of the history."""
+        target = self.state_at(version)
+        self.state = target
+        del self._states[version + 1:]
+        del self._log[version:]
+        return target
+
+    def __repr__(self) -> str:
+        return (
+            f"Evolution(version {self.version},"
+            f" {self.state.edb.count()} facts,"
+            f" {len(self.state.rules)} rules)"
+        )

@@ -1,0 +1,18 @@
+"""Main-memory storage: fact sets, indexes, persistence."""
+
+from repro.storage.factset import Fact, FactSet
+from repro.storage.persist import (
+    dump_state,
+    dumps_state,
+    load_state,
+    loads_state,
+)
+
+__all__ = [
+    "Fact",
+    "FactSet",
+    "dump_state",
+    "dumps_state",
+    "load_state",
+    "loads_state",
+]

@@ -1,0 +1,424 @@
+"""JSON persistence of schemas, fact sets, and programs.
+
+Every LOGRES artifact serializes to a tagged JSON form:
+
+* values — ``{"$oid": 7}``, ``{"$tuple": {...}}``, ``{"$set": [...]}``,
+  ``{"$multiset": [[v, n], ...]}``, ``{"$seq": [...]}``,
+  ``{"$real": 2.5}``; elementary ints / strings / bools are plain JSON;
+* types — ``{"$elem": "integer"}``, ``{"$named": "person"}``,
+  ``{"$tupletype": [...]}``, ``{"$settype": t}`` etc.;
+* terms and rules — one object per AST node class.
+
+:func:`dumps_state` / :func:`loads_state` bundle a database state
+``(E, R, S)`` (Section 3.1's triple) into one payload; module code wraps
+them for whole-database persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import StorageError
+from repro.language.ast import (
+    Args,
+    ArithExpr,
+    BuiltinLiteral,
+    CollectionTerm,
+    Constant,
+    FunctionApp,
+    FunctionHead,
+    Goal,
+    Literal,
+    Pattern,
+    Program,
+    Rule,
+    Term,
+    Var,
+)
+from repro.storage.factset import Fact, FactSet
+from repro.types.descriptors import (
+    ELEMENTARY_TYPES,
+    ElementaryType,
+    MultisetType,
+    NamedType,
+    SequenceType,
+    SetType,
+    TupleField,
+    TupleType,
+    TypeDescriptor,
+)
+from repro.types.equations import (
+    FunctionDecl,
+    IsaDeclaration,
+    Kind,
+    TypeEquation,
+)
+from repro.types.schema import Schema
+from repro.values.complex import (
+    MultisetValue,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+    Value,
+)
+from repro.values.oids import Oid
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# values
+# ---------------------------------------------------------------------------
+def encode_value(value: Value) -> Any:
+    if isinstance(value, bool) or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return {"$real": value}
+    if isinstance(value, Oid):
+        return {"$oid": value.number}
+    if isinstance(value, TupleValue):
+        return {"$tuple": {k: encode_value(v) for k, v in value.items}}
+    if isinstance(value, SetValue):
+        return {"$set": sorted((encode_value(v) for v in value),
+                               key=json.dumps)}
+    if isinstance(value, MultisetValue):
+        return {"$multiset": sorted(
+            ([encode_value(v), n] for v, n in value.counts),
+            key=json.dumps,
+        )}
+    if isinstance(value, SequenceValue):
+        return {"$seq": [encode_value(v) for v in value]}
+    raise StorageError(f"cannot serialize value {value!r}")
+
+
+def decode_value(payload: Any) -> Value:
+    if isinstance(payload, (bool, int, str)):
+        return payload
+    if isinstance(payload, float):  # pragma: no cover - floats are tagged
+        return payload
+    if isinstance(payload, dict):
+        if "$real" in payload:
+            return float(payload["$real"])
+        if "$oid" in payload:
+            return Oid(int(payload["$oid"]))
+        if "$tuple" in payload:
+            return TupleValue({
+                k: decode_value(v) for k, v in payload["$tuple"].items()
+            })
+        if "$set" in payload:
+            return SetValue(decode_value(v) for v in payload["$set"])
+        if "$multiset" in payload:
+            counts = {
+                decode_value(v): int(n) for v, n in payload["$multiset"]
+            }
+            return MultisetValue.from_counts(counts)
+        if "$seq" in payload:
+            return SequenceValue(decode_value(v) for v in payload["$seq"])
+    raise StorageError(f"cannot deserialize value payload {payload!r}")
+
+
+# ---------------------------------------------------------------------------
+# types
+# ---------------------------------------------------------------------------
+def encode_type(t: TypeDescriptor) -> Any:
+    if isinstance(t, ElementaryType):
+        return {"$elem": t.name}
+    if isinstance(t, NamedType):
+        return {"$named": t.name}
+    if isinstance(t, TupleType):
+        return {"$tupletype": [
+            [f.label, encode_type(f.type)] for f in t.fields
+        ]}
+    if isinstance(t, SetType):
+        return {"$settype": encode_type(t.element)}
+    if isinstance(t, MultisetType):
+        return {"$multisettype": encode_type(t.element)}
+    if isinstance(t, SequenceType):
+        return {"$seqtype": encode_type(t.element)}
+    raise StorageError(f"cannot serialize type {t!r}")
+
+
+def decode_type(payload: Any) -> TypeDescriptor:
+    if not isinstance(payload, dict):
+        raise StorageError(f"bad type payload {payload!r}")
+    if "$elem" in payload:
+        return ELEMENTARY_TYPES[payload["$elem"]]
+    if "$named" in payload:
+        return NamedType(payload["$named"])
+    if "$tupletype" in payload:
+        return TupleType(tuple(
+            TupleField(label, decode_type(t))
+            for label, t in payload["$tupletype"]
+        ))
+    if "$settype" in payload:
+        return SetType(decode_type(payload["$settype"]))
+    if "$multisettype" in payload:
+        return MultisetType(decode_type(payload["$multisettype"]))
+    if "$seqtype" in payload:
+        return SequenceType(decode_type(payload["$seqtype"]))
+    raise StorageError(f"bad type payload {payload!r}")
+
+
+# ---------------------------------------------------------------------------
+# schema
+# ---------------------------------------------------------------------------
+def encode_schema(schema: Schema) -> Any:
+    return {
+        "equations": [
+            {"name": eq.name, "kind": eq.kind.value,
+             "rhs": encode_type(eq.rhs)}
+            for eq in schema.equations.values()
+        ],
+        "isa": [
+            {"sub": d.sub, "sup": d.sup, "label": d.label}
+            for d in schema.isa_declarations
+        ],
+        "functions": [
+            {
+                "name": f.name,
+                "args": [encode_type(t) for t in f.arg_types],
+                "arg_labels": list(f.arg_labels),
+                "result": encode_type(f.result),
+            }
+            for f in schema.functions.values()
+        ],
+    }
+
+
+def decode_schema(payload: Any) -> Schema:
+    equations = {}
+    for eq in payload["equations"]:
+        equations[eq["name"]] = TypeEquation(
+            eq["name"], Kind(eq["kind"]), decode_type(eq["rhs"])
+        )
+    isa = tuple(
+        IsaDeclaration(d["sub"], d["sup"], d.get("label"))
+        for d in payload["isa"]
+    )
+    functions = {}
+    for f in payload["functions"]:
+        result = decode_type(f["result"])
+        if not isinstance(result, SetType):
+            raise StorageError("function result must be a set type")
+        functions[f["name"]] = FunctionDecl(
+            f["name"],
+            tuple(decode_type(t) for t in f["args"]),
+            result,
+            tuple(f["arg_labels"]),
+        )
+    return Schema(equations, isa, functions)
+
+
+# ---------------------------------------------------------------------------
+# fact sets
+# ---------------------------------------------------------------------------
+def encode_factset(facts: FactSet) -> Any:
+    out = []
+    for fact in facts.facts():
+        entry: dict[str, Any] = {
+            "pred": fact.pred,
+            "value": encode_value(fact.value),
+        }
+        if fact.oid is not None:
+            entry["oid"] = fact.oid.number
+        out.append(entry)
+    out.sort(key=json.dumps)
+    return out
+
+
+def decode_factset(payload: Any) -> FactSet:
+    facts = FactSet()
+    for entry in payload:
+        value = decode_value(entry["value"])
+        if not isinstance(value, TupleValue):
+            raise StorageError(f"fact value must be a tuple: {entry!r}")
+        oid = Oid(int(entry["oid"])) if "oid" in entry else None
+        facts.add(Fact(entry["pred"], value, oid))
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# terms, literals, rules
+# ---------------------------------------------------------------------------
+def encode_term(term: Term) -> Any:
+    if isinstance(term, Var):
+        return {"$var": term.name}
+    if isinstance(term, Constant):
+        return {"$const": encode_value(term.value)}
+    if isinstance(term, FunctionApp):
+        return {"$app": term.name,
+                "args": [encode_term(a) for a in term.args]}
+    if isinstance(term, ArithExpr):
+        return {"$arith": term.op, "left": encode_term(term.left),
+                "right": encode_term(term.right)}
+    if isinstance(term, CollectionTerm):
+        return {"$coll": term.kind,
+                "elements": [encode_term(e) for e in term.elements]}
+    if isinstance(term, Pattern):
+        return {"$pattern": _encode_args(term.args)}
+    raise StorageError(f"cannot serialize term {term!r}")
+
+
+def decode_term(payload: Any) -> Term:
+    if "$var" in payload:
+        return Var(payload["$var"])
+    if "$const" in payload:
+        return Constant(decode_value(payload["$const"]))
+    if "$app" in payload:
+        return FunctionApp(
+            payload["$app"], tuple(decode_term(a) for a in payload["args"])
+        )
+    if "$arith" in payload:
+        return ArithExpr(payload["$arith"], decode_term(payload["left"]),
+                         decode_term(payload["right"]))
+    if "$coll" in payload:
+        return CollectionTerm(
+            payload["$coll"],
+            tuple(decode_term(e) for e in payload["elements"]),
+        )
+    if "$pattern" in payload:
+        return Pattern(_decode_args(payload["$pattern"]))
+    raise StorageError(f"cannot deserialize term payload {payload!r}")
+
+
+def _encode_args(args: Args) -> Any:
+    return {
+        "labeled": [[label, encode_term(t)] for label, t in args.labeled],
+        "self": encode_term(args.self_term) if args.self_term else None,
+        "tuple_var": args.tuple_var.name if args.tuple_var else None,
+        "positional": [encode_term(t) for t in args.positional],
+    }
+
+
+def _decode_args(payload: Any) -> Args:
+    return Args(
+        labeled=tuple(
+            (label, decode_term(t)) for label, t in payload["labeled"]
+        ),
+        self_term=decode_term(payload["self"]) if payload["self"] else None,
+        tuple_var=Var(payload["tuple_var"]) if payload["tuple_var"] else None,
+        positional=tuple(decode_term(t) for t in payload["positional"]),
+    )
+
+
+def _encode_body_literal(lit: Literal | BuiltinLiteral) -> Any:
+    if isinstance(lit, Literal):
+        return {"$lit": lit.pred, "args": _encode_args(lit.args),
+                "negated": lit.negated}
+    return {"$builtin": lit.name,
+            "args": [encode_term(a) for a in lit.args],
+            "negated": lit.negated}
+
+
+def _decode_body_literal(payload: Any) -> Literal | BuiltinLiteral:
+    if "$lit" in payload:
+        return Literal(payload["$lit"], _decode_args(payload["args"]),
+                       payload["negated"])
+    return BuiltinLiteral(
+        payload["$builtin"],
+        tuple(decode_term(a) for a in payload["args"]),
+        payload["negated"],
+    )
+
+
+def encode_rule(rule: Rule) -> Any:
+    head: Any = None
+    if isinstance(rule.head, Literal):
+        head = _encode_body_literal(rule.head)
+    elif isinstance(rule.head, FunctionHead):
+        head = {
+            "$fnhead": rule.head.function,
+            "element": encode_term(rule.head.element),
+            "args": [encode_term(a) for a in rule.head.args],
+            "negated": rule.head.negated,
+        }
+    return {
+        "head": head,
+        "body": [_encode_body_literal(l) for l in rule.body],
+        "name": rule.name,
+    }
+
+
+def decode_rule(payload: Any) -> Rule:
+    head = None
+    if payload["head"] is not None:
+        if "$fnhead" in payload["head"]:
+            h = payload["head"]
+            head = FunctionHead(
+                h["$fnhead"], decode_term(h["element"]),
+                tuple(decode_term(a) for a in h["args"]), h["negated"],
+            )
+        else:
+            head = _decode_body_literal(payload["head"])
+    return Rule(
+        head,
+        tuple(_decode_body_literal(l) for l in payload["body"]),
+        payload.get("name", ""),
+    )
+
+
+def encode_program(program: Program) -> Any:
+    return {
+        "rules": [encode_rule(r) for r in program.rules],
+        "goal": (
+            [_encode_body_literal(l) for l in program.goal.literals]
+            if program.goal else None
+        ),
+    }
+
+
+def decode_program(payload: Any) -> Program:
+    goal = None
+    if payload.get("goal") is not None:
+        goal = Goal(tuple(
+            _decode_body_literal(l) for l in payload["goal"]
+        ))
+    return Program(
+        tuple(decode_rule(r) for r in payload["rules"]), goal
+    )
+
+
+# ---------------------------------------------------------------------------
+# whole database states (E, R, S)
+# ---------------------------------------------------------------------------
+def dumps_state(schema: Schema, edb: FactSet, program: Program) -> str:
+    """Serialize a database state triple to a JSON string."""
+    return json.dumps({
+        "version": FORMAT_VERSION,
+        "schema": encode_schema(schema),
+        "edb": encode_factset(edb),
+        "program": encode_program(program),
+    }, indent=1, sort_keys=True)
+
+
+def loads_state(text: str) -> tuple[Schema, FactSet, Program]:
+    """Inverse of :func:`dumps_state`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt state payload: {exc}") from exc
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported state format version {version!r}"
+        )
+    return (
+        decode_schema(payload["schema"]),
+        decode_factset(payload["edb"]),
+        decode_program(payload["program"]),
+    )
+
+
+def dump_state(path, schema: Schema, edb: FactSet, program: Program) -> None:
+    """Write a database state to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(dumps_state(schema, edb, program))
+
+
+def load_state(path) -> tuple[Schema, FactSet, Program]:
+    """Read a database state from ``path``."""
+    with open(path, encoding="utf-8") as f:
+        return loads_state(f.read())

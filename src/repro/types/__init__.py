@@ -1,0 +1,49 @@
+"""LOGRES type system: descriptors, refinement, type equations, schemas.
+
+This package implements Section 2 and Appendix A of the paper: the type
+constructors (tuple, set, multiset, sequence), named domains / classes /
+associations defined by *type equations*, the refinement preorder ``≼``,
+and ``isa`` generalization hierarchies with restricted multiple
+inheritance.
+"""
+
+from repro.types.descriptors import (
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    STRING,
+    ElementaryType,
+    MultisetType,
+    NamedType,
+    SequenceType,
+    SetType,
+    TupleField,
+    TupleType,
+    TypeDescriptor,
+)
+from repro.types.equations import Kind, TypeEquation, IsaDeclaration, FunctionDecl
+from repro.types.refinement import is_refinement, types_compatible
+from repro.types.schema import Schema, SchemaBuilder
+
+__all__ = [
+    "BOOLEAN",
+    "INTEGER",
+    "REAL",
+    "STRING",
+    "ElementaryType",
+    "FunctionDecl",
+    "IsaDeclaration",
+    "Kind",
+    "MultisetType",
+    "NamedType",
+    "Schema",
+    "SchemaBuilder",
+    "SequenceType",
+    "SetType",
+    "TupleField",
+    "TupleType",
+    "TypeDescriptor",
+    "TypeEquation",
+    "is_refinement",
+    "types_compatible",
+]

@@ -1,0 +1,166 @@
+"""Type descriptors (Appendix A, Definition 1).
+
+The set ``T`` of LOGRES type descriptors is built from:
+
+a. the elementary types (integer, string — plus real and boolean, which the
+   paper explicitly allows to be added), and names of domains, classes and
+   associations (represented uniformly as :class:`NamedType`);
+b. tuple types ``(L1: t1, ..., Lk: tk)`` with distinct labels;
+c. set types ``{t}``;
+d. multiset types ``[t]``;
+e. sequence types ``<t>``.
+
+Descriptors are immutable and hashable so they can key dictionaries and
+participate in memoized refinement checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TypeEquationError
+
+
+class TypeDescriptor:
+    """Abstract base of all type descriptors."""
+
+    __slots__ = ()
+
+    def walk(self):
+        """Yield this descriptor and every descriptor nested inside it."""
+        yield self
+
+    def named_references(self) -> set[str]:
+        """Names of domains/classes/associations referenced anywhere."""
+        return {d.name for d in self.walk() if isinstance(d, NamedType)}
+
+
+@dataclass(frozen=True, slots=True)
+class ElementaryType(TypeDescriptor):
+    """A built-in elementary type: integer, string, real, or boolean."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name.upper()
+
+
+INTEGER = ElementaryType("integer")
+STRING = ElementaryType("string")
+REAL = ElementaryType("real")
+BOOLEAN = ElementaryType("boolean")
+
+ELEMENTARY_TYPES: dict[str, ElementaryType] = {
+    t.name: t for t in (INTEGER, STRING, REAL, BOOLEAN)
+}
+
+
+@dataclass(frozen=True, slots=True)
+class NamedType(TypeDescriptor):
+    """A reference, by name, to a domain, class, or association.
+
+    Whether the name denotes a domain, class, or association is resolved
+    against a :class:`~repro.types.schema.Schema`.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class TupleField:
+    """One labeled component of a tuple type."""
+
+    label: str
+    type: TypeDescriptor
+
+    def __repr__(self) -> str:
+        return f"{self.label}: {self.type!r}"
+
+
+@dataclass(frozen=True, slots=True, init=False)
+class TupleType(TypeDescriptor):
+    """A tuple (record) type with distinct labels, ``(L1: t1, ..., Lk: tk)``.
+
+    ``k = 0`` is legal (the empty tuple type).
+    """
+
+    fields: tuple[TupleField, ...]
+
+    def __init__(self, fields):
+        fields = tuple(
+            f if isinstance(f, TupleField) else TupleField(*f) for f in fields
+        )
+        labels = [f.label for f in fields]
+        if len(set(labels)) != len(labels):
+            duplicates = sorted({l for l in labels if labels.count(l) > 1})
+            raise TypeEquationError(
+                f"duplicate labels in tuple type: {', '.join(duplicates)}"
+            )
+        object.__setattr__(self, "fields", fields)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(f.label for f in self.fields)
+
+    def field(self, label: str) -> TupleField:
+        for f in self.fields:
+            if f.label == label:
+                return f
+        raise KeyError(label)
+
+    def has_label(self, label: str) -> bool:
+        return any(f.label == label for f in self.fields)
+
+    def walk(self):
+        yield self
+        for f in self.fields:
+            yield from f.type.walk()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(f) for f in self.fields)
+        return f"({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class SetType(TypeDescriptor):
+    """A finite-set type ``{t}``."""
+
+    element: TypeDescriptor
+
+    def walk(self):
+        yield self
+        yield from self.element.walk()
+
+    def __repr__(self) -> str:
+        return f"{{{self.element!r}}}"
+
+
+@dataclass(frozen=True, slots=True)
+class MultisetType(TypeDescriptor):
+    """A multiset (set with duplicates) type ``[t]``."""
+
+    element: TypeDescriptor
+
+    def walk(self):
+        yield self
+        yield from self.element.walk()
+
+    def __repr__(self) -> str:
+        return f"[{self.element!r}]"
+
+
+@dataclass(frozen=True, slots=True)
+class SequenceType(TypeDescriptor):
+    """A sequence (ordered collection) type ``<t>``."""
+
+    element: TypeDescriptor
+
+    def walk(self):
+        yield self
+        yield from self.element.walk()
+
+    def __repr__(self) -> str:
+        return f"<{self.element!r}>"

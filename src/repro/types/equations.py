@@ -1,0 +1,87 @@
+"""Type equations, ``isa`` declarations, and data-function declarations.
+
+A LOGRES schema is a set of *type equations* ``NAME = RHS`` partitioned into
+three sections (domains, classes, associations), a set of ``isa``
+declarations between classes, and a set of set-valued data-function
+declarations (Section 2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.types.descriptors import SetType, TypeDescriptor
+
+
+class Kind(enum.Enum):
+    """Which section of the schema a type equation belongs to."""
+
+    DOMAIN = "domain"
+    CLASS = "class"
+    ASSOCIATION = "association"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class TypeEquation:
+    """One equation ``name = rhs`` in the given schema section."""
+
+    name: str
+    kind: Kind
+    rhs: TypeDescriptor
+
+    def __repr__(self) -> str:
+        return f"{self.name} = {self.rhs!r}  [{self.kind}]"
+
+
+@dataclass(frozen=True, slots=True)
+class IsaDeclaration:
+    """A generalization edge ``sub isa sup``.
+
+    ``label`` selects which occurrence of ``sup`` in the RHS of ``sub``
+    carries the inheritance when the RHS mentions the supertype more than
+    once (the paper's ``EMPL emp ISA PERSON`` form).  ``None`` means the
+    (unique) unlabeled or type-named occurrence.
+    """
+
+    sub: str
+    sup: str
+    label: str | None = None
+
+    def __repr__(self) -> str:
+        via = f" (via {self.label})" if self.label else ""
+        return f"{self.sub} isa {self.sup}{via}"
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionDecl:
+    """A set-valued data function ``F: T1 -> {T2}`` (Section 2.1).
+
+    ``arg_types`` may be empty — nullary functions name the extension of a
+    type (the paper's ``JUNIOR -> {PERSON}``).  The result type must be a
+    set type.
+    """
+
+    name: str
+    arg_types: tuple[TypeDescriptor, ...]
+    result: SetType
+    arg_labels: tuple[str, ...] = field(default=())
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+    @property
+    def element_type(self) -> TypeDescriptor:
+        return self.result.element
+
+    def backing_predicate(self) -> str:
+        """Name of the hidden association that stores the function graph."""
+        return f"__fn_{self.name}"
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(t) for t in self.arg_types)
+        return f"{self.name}: ({args}) -> {self.result!r}"

@@ -1,0 +1,110 @@
+"""The refinement preorder ``t1 ≼ t2`` (Appendix A).
+
+A type ``t1`` is a refinement of ``t2`` iff one of the following holds:
+
+1. ``t1`` is elementary or a name, and ``t1 = t2``;
+2. ``t1`` is a domain/class/association name and ``Σ(t1) ≼ t2``;
+3. ``t1`` and ``t2`` are both class names and ``Σ(t1) ≼ Σ(t2)``;
+4. both are tuple types, every label of ``t2`` appears in ``t1``, and the
+   ``t1`` field type refines the corresponding ``t2`` field type
+   (``t1`` may have extra labels — width subtyping);
+5-7. both are set / multiset / sequence types and the element type of
+   ``t1`` refines that of ``t2``.
+
+For checking ``isa`` legality between classes, clause 3 compares the
+*effective* (inheritance-flattened) tuple types, so that
+``STUDENT = (PERSON, SCHOOL)`` refines ``PERSON = (NAME, ADDRESS)`` once the
+unlabeled ``PERSON`` occurrence is inlined.
+
+Type equations may be recursive (``PERSON = (NAME, MOTHER: PERSON)``); the
+check is coinductive — a pair assumed true on re-entry is accepted, giving
+the greatest fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.types.descriptors import (
+    ElementaryType,
+    MultisetType,
+    NamedType,
+    SequenceType,
+    SetType,
+    TupleType,
+    TypeDescriptor,
+)
+from repro.types.equations import Kind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.types.schema import Schema
+
+
+def is_refinement(
+    t1: TypeDescriptor, t2: TypeDescriptor, schema: "Schema"
+) -> bool:
+    """True iff ``t1 ≼ t2`` under the equations of ``schema``."""
+    return _refines(t1, t2, schema, set())
+
+
+def types_compatible(
+    t1: TypeDescriptor, t2: TypeDescriptor, schema: "Schema"
+) -> bool:
+    """Unification compatibility (Section 3.1): one refines the other."""
+    return _refines(t1, t2, schema, set()) or _refines(t2, t1, schema, set())
+
+
+def _expand(t: NamedType, schema: "Schema") -> TypeDescriptor:
+    """One-step expansion Σ(t) of a named type.
+
+    Classes expand to their *effective* tuple type (inheritance occurrences
+    flattened) so that clause 3 compares attribute structure.
+    """
+    if schema.kind_of(t.name) is Kind.CLASS:
+        return schema.effective_type(t.name)
+    return schema.rhs_of(t.name)
+
+
+def _refines(
+    t1: TypeDescriptor,
+    t2: TypeDescriptor,
+    schema: "Schema",
+    assumed: set[tuple[TypeDescriptor, TypeDescriptor]],
+) -> bool:
+    if t1 == t2 and isinstance(t1, (ElementaryType, NamedType)):
+        return True  # clause 1
+    key = (t1, t2)
+    if key in assumed:
+        return True  # coinductive hypothesis for recursive equations
+    assumed = assumed | {key}
+
+    if isinstance(t1, NamedType) and isinstance(t2, NamedType):
+        k1, k2 = schema.kind_of(t1.name), schema.kind_of(t2.name)
+        if k1 is Kind.CLASS and k2 is Kind.CLASS:
+            # clause 3 — but first honour the declared isa order: a declared
+            # subclass always refines its declared superclasses.
+            if schema.is_subclass(t1.name, t2.name):
+                return True
+            return _refines(
+                _expand(t1, schema), _expand(t2, schema), schema, assumed
+            )
+    if isinstance(t1, NamedType):
+        return _refines(_expand(t1, schema), t2, schema, assumed)  # clause 2
+
+    if isinstance(t1, TupleType) and isinstance(t2, TupleType):  # clause 4
+        if len(t2.fields) > len(t1.fields):
+            return False
+        for f2 in t2.fields:
+            if not t1.has_label(f2.label):
+                return False
+            if not _refines(t1.field(f2.label).type, f2.type, schema, assumed):
+                return False
+        return True
+
+    for ctor in (SetType, MultisetType, SequenceType):  # clauses 5-7
+        if isinstance(t1, ctor) and isinstance(t2, ctor):
+            return _refines(t1.element, t2.element, schema, assumed)
+
+    # A structural t1 never refines a named t2 other than through the class
+    # clause above; domains denote subsets of their RHS, not supersets.
+    return False

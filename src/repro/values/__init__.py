@@ -1,0 +1,33 @@
+"""LOGRES value model: object identifiers, complex values, instances.
+
+Implements Appendix A, Definitions 3-4: the countable oid universe, the
+``nil`` oid, tuple / set / multiset / sequence values, the interpretation
+``[τ]π`` of a type under an oid assignment, and database instances
+``(π, ν, ρ)``.
+"""
+
+from repro.values.oids import NIL, Oid, OidGenerator
+from repro.values.complex import (
+    MultisetValue,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+    Value,
+    value_repr,
+)
+from repro.values.typing import value_matches_type
+from repro.values.instance import Instance
+
+__all__ = [
+    "Instance",
+    "MultisetValue",
+    "NIL",
+    "Oid",
+    "OidGenerator",
+    "SequenceValue",
+    "SetValue",
+    "TupleValue",
+    "Value",
+    "value_matches_type",
+    "value_repr",
+]

@@ -1,0 +1,276 @@
+"""Database instances ``(π, ν, ρ)`` (Appendix A, Definition 4).
+
+An instance of a schema consists of:
+
+* ``pi`` — the *oid assignment*: a finite set of oids per class;
+* ``nu`` — the *o-value assignment*: one value per oid, whose projection
+  onto each containing class's effective type must belong to that type;
+* ``rho`` — the *association assignment*: a finite set of tuples per
+  association, each belonging to the association's type with every class
+  reference pointing at an **existing** object (never nil).
+
+:meth:`Instance.validate` checks every condition of Definition 4 and the
+referential constraints of Section 2.1, raising
+:class:`~repro.errors.OidError` / :class:`~repro.errors.ValueError_` with a
+precise message on the first violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import OidError, ValueError_
+from repro.types.descriptors import NamedType, TupleType
+from repro.values.complex import (
+    MultisetValue,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+    Value,
+)
+from repro.values.oids import NIL, Oid
+from repro.values.typing import value_matches_type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.types.schema import Schema
+
+
+@dataclass
+class Instance:
+    """A materialized database instance."""
+
+    pi: dict[str, set[Oid]] = field(default_factory=dict)
+    nu: dict[Oid, TupleValue] = field(default_factory=dict)
+    rho: dict[str, set[TupleValue]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def objects(self, class_name: str) -> set[Oid]:
+        return self.pi.get(class_name.lower(), set())
+
+    def value_of(self, oid: Oid) -> TupleValue:
+        try:
+            return self.nu[oid]
+        except KeyError:
+            raise OidError(f"oid {oid!r} has no o-value") from None
+
+    def tuples(self, association: str) -> set[TupleValue]:
+        return self.rho.get(association.lower(), set())
+
+    def all_oids(self) -> set[Oid]:
+        out: set[Oid] = set()
+        for oids in self.pi.values():
+            out |= oids
+        return out
+
+    def copy(self) -> "Instance":
+        return Instance(
+            pi={c: set(oids) for c, oids in self.pi.items()},
+            nu=dict(self.nu),
+            rho={a: set(ts) for a, ts in self.rho.items()},
+        )
+
+    def fact_count(self) -> int:
+        return sum(len(v) for v in self.pi.values()) + sum(
+            len(v) for v in self.rho.values()
+        )
+
+    # ------------------------------------------------------------------
+    # validation (Definition 4 + Section 2.1 referential constraints)
+    # ------------------------------------------------------------------
+    def validate(self, schema: "Schema") -> None:
+        self._validate_pi(schema)
+        self._validate_nu(schema)
+        self._validate_rho(schema)
+
+    def _validate_pi(self, schema: "Schema") -> None:
+        for c in self.pi:
+            if not schema.is_class(c):
+                raise OidError(f"pi assigns oids to non-class {c!r}")
+        # (a) C isa C'  =>  pi(C) ⊆ pi(C')
+        for c, oids in self.pi.items():
+            for sup in schema.superclasses(c):
+                missing = oids - self.pi.get(sup, set())
+                if missing:
+                    raise OidError(
+                        f"oids {sorted(o.number for o in missing)} are in"
+                        f" {c!r} but not in its superclass {sup!r}"
+                    )
+        # (b) oids shared only within one generalization hierarchy
+        owner: dict[Oid, str] = {}
+        for c, oids in self.pi.items():
+            root = schema.hierarchy_root(c)
+            for oid in oids:
+                if oid.is_nil:
+                    raise OidError(f"nil oid appears in class {c!r}")
+                prev = owner.setdefault(oid, root)
+                if prev != root:
+                    raise OidError(
+                        f"oid {oid!r} appears in hierarchies {prev!r}"
+                        f" and {root!r}; the oid universe must partition"
+                    )
+
+    def _validate_nu(self, schema: "Schema") -> None:
+        known = self.all_oids()
+        for oid in self.nu:
+            if oid not in known:
+                raise OidError(
+                    f"o-value assigned to oid {oid!r} that no class contains"
+                )
+        for c, oids in self.pi.items():
+            eff = schema.effective_type(c)
+            for oid in oids:
+                if oid not in self.nu:
+                    raise OidError(
+                        f"object {oid!r} of class {c!r} has no o-value"
+                    )
+                value = self.nu[oid].project(eff.labels)
+                if not value_matches_type(
+                    value, eff, schema, self.pi, allow_nil=True
+                ):
+                    raise ValueError_(
+                        f"o-value {self.nu[oid]!r} of {oid!r} does not"
+                        f" match type {eff!r} of class {c!r}"
+                    )
+                self._check_references(value, eff, schema, where=f"class {c!r}")
+
+    def _validate_rho(self, schema: "Schema") -> None:
+        for a, tuples in self.rho.items():
+            if not schema.is_association(a):
+                raise ValueError_(
+                    f"rho assigns tuples to non-association {a!r}"
+                )
+            eff = schema.effective_type(a)
+            for t in tuples:
+                if not value_matches_type(
+                    t, eff, schema, self.pi, allow_nil=False
+                ):
+                    raise ValueError_(
+                        f"tuple {t!r} does not match type {eff!r} of"
+                        f" association {a!r} (nil references are illegal"
+                        " in associations)"
+                    )
+
+    def _check_references(
+        self, value: Value, descriptor, schema: "Schema", where: str
+    ) -> None:
+        """Recursively check that class references are resolvable or nil."""
+        if isinstance(descriptor, NamedType):
+            if schema.is_class(descriptor.name):
+                assert isinstance(value, Oid)
+                if not value.is_nil and value not in self.pi.get(
+                    descriptor.name.lower(), set()
+                ):
+                    raise OidError(
+                        f"dangling reference {value!r} to class"
+                        f" {descriptor.name!r} in {where}"
+                    )
+                return
+            if schema.is_domain(descriptor.name):
+                self._check_references(
+                    value, schema.rhs_of(descriptor.name), schema, where
+                )
+                return
+            self._check_references(
+                value, schema.effective_type(descriptor.name), schema, where
+            )
+            return
+        if isinstance(descriptor, TupleType):
+            assert isinstance(value, TupleValue)
+            for f in descriptor.fields:
+                if f.label in value:
+                    self._check_references(
+                        value[f.label], f.type, schema, where
+                    )
+            return
+        element = getattr(descriptor, "element", None)
+        if element is not None:
+            assert isinstance(
+                value, (SetValue, MultisetValue, SequenceValue)
+            )
+            for v in value:
+                self._check_references(v, element, schema, where)
+
+    # ------------------------------------------------------------------
+    # comparison up to oid renaming (determinacy, Appendix B)
+    # ------------------------------------------------------------------
+    def isomorphic_to(self, other: "Instance") -> bool:
+        """True iff the instances differ only by a renaming of oids.
+
+        Implements the paper's determinacy notion: LOGRES programs define
+        partial functions *up to renaming of oids*.  Checked by canonical
+        relabeling: oids are renamed in a deterministic order derived from
+        the value structure, then compared for equality.
+        """
+        return _canonical_form(self) == _canonical_form(other)
+
+
+def _canonical_form(inst: Instance):
+    """A renaming-invariant canonical encoding of an instance.
+
+    Iteratively refines an oid partition (colour refinement over the
+    object graph), then replaces each oid by its final colour.  Colour
+    refinement is a sound and, for the acyclic/sparse instances LOGRES
+    programs build, complete isomorphism invariant; ties are broken by the
+    full encoded neighbourhood so distinct structures never collide.
+    """
+    # initial colour: the multiset of classes containing the oid
+    colour: dict[Oid, tuple] = {}
+    membership: dict[Oid, tuple] = {}
+    for c in sorted(inst.pi):
+        for oid in inst.pi[c]:
+            membership.setdefault(oid, ())
+            membership[oid] = membership[oid] + (c,)
+    for oid, classes in membership.items():
+        colour[oid] = (classes,)
+
+    def encode(value, depth: int, owner: Oid | None = None):
+        if isinstance(value, Oid):
+            if value.is_nil:
+                return ("nil",)
+            if owner is not None and value == owner:
+                # self-references are structural (distinguishes a k-cycle
+                # from self-loops, which plain colour refinement cannot)
+                return ("selfref",)
+            if depth <= 0:
+                return ("oid", colour.get(value, ("?",)))
+            return ("oid", colour.get(value, ("?",)),
+                    encode(inst.nu.get(value, TupleValue()), depth - 1,
+                           value))
+        if isinstance(value, TupleValue):
+            return ("t",) + tuple(
+                (k, encode(v, depth, owner)) for k, v in value.items
+            )
+        if isinstance(value, SetValue):
+            return ("s",) + tuple(sorted(map(repr, (
+                encode(v, depth, owner) for v in value))))
+        if isinstance(value, MultisetValue):
+            return ("m",) + tuple(sorted(
+                (repr(encode(v, depth, owner)), n)
+                for v, n in value.counts))
+        if isinstance(value, SequenceValue):
+            return ("q",) + tuple(encode(v, depth, owner) for v in value)
+        return ("c", value)
+
+    # refine colours to a fixpoint (bounded by the number of oids)
+    for _ in range(max(1, len(colour))):
+        new_colour = {
+            oid: (membership.get(oid, ()),
+                  encode(inst.nu.get(oid, TupleValue()), 1, oid))
+            for oid in colour
+        }
+        if new_colour == colour:
+            break
+        colour = new_colour
+
+    pi_enc = {
+        c: tuple(sorted(repr(colour[o]) for o in oids))
+        for c, oids in inst.pi.items() if oids
+    }
+    rho_enc = {
+        a: tuple(sorted(repr(encode(t, 3)) for t in ts))
+        for a, ts in inst.rho.items() if ts
+    }
+    return (tuple(sorted(pi_enc.items())), tuple(sorted(rho_enc.items())))

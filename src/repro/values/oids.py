@@ -1,0 +1,60 @@
+"""Object identifiers (oids).
+
+Oids are system-managed and never visible to users (Section 2.1).  The
+universe of oids is countable; ``nil`` is a distinguished oid that is a
+legal value for class references *inside classes* but never inside
+associations.  Invented oids (Appendix B, Definition 8b) are drawn from an
+:class:`OidGenerator`, which hands out fresh identifiers deterministically
+so that two evaluations of the same program produce isomorphic instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Oid:
+    """An object identifier.  ``Oid(0)`` is reserved for ``nil``."""
+
+    number: int
+
+    @property
+    def is_nil(self) -> bool:
+        return self.number == 0
+
+    def __repr__(self) -> str:
+        return "nil" if self.number == 0 else f"&{self.number}"
+
+
+NIL = Oid(0)
+
+
+class OidGenerator:
+    """Deterministic source of fresh oids.
+
+    The generator starts above any oid already in use, so loading a
+    persisted instance and continuing evaluation never collides.
+    """
+
+    def __init__(self, start: int = 1):
+        if start < 1:
+            raise ValueError("oid numbering starts at 1 (0 is nil)")
+        self._next = start
+
+    def fresh(self) -> Oid:
+        oid = Oid(self._next)
+        self._next += 1
+        return oid
+
+    def reserve_above(self, oid: Oid) -> None:
+        """Ensure future oids are numbered above ``oid``."""
+        if oid.number >= self._next:
+            self._next = oid.number + 1
+
+    @property
+    def next_number(self) -> int:
+        return self._next
+
+    def __repr__(self) -> str:
+        return f"OidGenerator(next={self._next})"

@@ -1,0 +1,137 @@
+"""Membership of values in the interpretation ``[τ]π`` of a type.
+
+Appendix A interprets each type descriptor as a set of values, relative to
+an oid assignment ``π``: ``[I] = integers``, ``[S] = strings``,
+``[C]π = π(C)``, ``[D]π = [Σ(D)]π``, tuples / sets / multisets / sequences
+pointwise.  :func:`value_matches_type` implements this check, optionally
+without a ``π`` (purely structural, any oid accepted for a class position).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.types.descriptors import (
+    ElementaryType,
+    MultisetType,
+    NamedType,
+    SequenceType,
+    SetType,
+    TupleType,
+    TypeDescriptor,
+)
+from repro.types.equations import Kind
+from repro.values.complex import (
+    MultisetValue,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+    Value,
+)
+from repro.values.oids import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.types.schema import Schema
+
+_ELEMENTARY_PYTHON = {
+    "integer": int,
+    "string": str,
+    "real": (int, float),
+    "boolean": bool,
+}
+
+
+def value_matches_type(
+    value: Value,
+    descriptor: TypeDescriptor,
+    schema: "Schema",
+    pi: Mapping[str, set[Oid]] | None = None,
+    *,
+    allow_nil: bool = True,
+    exact_labels: bool = False,
+) -> bool:
+    """Is ``value`` a member of ``[descriptor]π``?
+
+    ``pi`` maps class names to their current oid sets; when omitted, any
+    oid is accepted at a class position.  ``allow_nil`` controls whether
+    the nil oid is legal at class positions (it is within classes, never
+    within associations).  ``exact_labels`` requires tuple values to carry
+    exactly the type's labels; the default tolerates extra labels, which is
+    what subclass values projected onto superclass types need.
+    """
+    if isinstance(descriptor, ElementaryType):
+        expected = _ELEMENTARY_PYTHON[descriptor.name]
+        if descriptor.name in ("integer", "real") and isinstance(value, bool):
+            return False
+        return isinstance(value, expected)
+
+    if isinstance(descriptor, NamedType):
+        kind = schema.kind_of(descriptor.name)
+        if kind is Kind.CLASS:
+            if not isinstance(value, Oid):
+                return False
+            if value.is_nil:
+                return allow_nil
+            if pi is None:
+                return True
+            return value in pi.get(descriptor.name.lower(), set())
+        if kind is Kind.DOMAIN:
+            return value_matches_type(
+                value, schema.rhs_of(descriptor.name), schema, pi,
+                allow_nil=allow_nil, exact_labels=exact_labels,
+            )
+        # association used as a structural alias: check against its tuple
+        return value_matches_type(
+            value, schema.effective_type(descriptor.name), schema, pi,
+            allow_nil=allow_nil, exact_labels=exact_labels,
+        )
+
+    if isinstance(descriptor, TupleType):
+        if not isinstance(value, TupleValue):
+            return False
+        if exact_labels and set(value.labels) != set(descriptor.labels):
+            return False
+        for f in descriptor.fields:
+            if f.label not in value:
+                return False
+            if not value_matches_type(
+                value[f.label], f.type, schema, pi,
+                allow_nil=allow_nil, exact_labels=exact_labels,
+            ):
+                return False
+        return True
+
+    if isinstance(descriptor, SetType):
+        if not isinstance(value, SetValue):
+            return False
+        return all(
+            value_matches_type(
+                v, descriptor.element, schema, pi,
+                allow_nil=allow_nil, exact_labels=exact_labels,
+            )
+            for v in value
+        )
+
+    if isinstance(descriptor, MultisetType):
+        if not isinstance(value, MultisetValue):
+            return False
+        return all(
+            value_matches_type(
+                v, descriptor.element, schema, pi,
+                allow_nil=allow_nil, exact_labels=exact_labels,
+            )
+            for v in value.support
+        )
+
+    if isinstance(descriptor, SequenceType):
+        if not isinstance(value, SequenceValue):
+            return False
+        return all(
+            value_matches_type(
+                v, descriptor.element, schema, pi,
+                allow_nil=allow_nil, exact_labels=exact_labels,
+            )
+            for v in value
+        )
+
+    raise TypeError(f"unknown type descriptor: {descriptor!r}")

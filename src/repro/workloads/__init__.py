@@ -1,0 +1,31 @@
+"""Synthetic workload generators for examples, tests, and benchmarks."""
+
+from repro.workloads.generators import (
+    FOOTBALL_SCHEMA,
+    GENEALOGY_SCHEMA,
+    UNIVERSITY_SCHEMA,
+    chain_edges,
+    football_database,
+    genealogy_facts,
+    genealogy_schema,
+    grid_edges,
+    random_edges,
+    tree_edges,
+    university_database,
+    update_stream,
+)
+
+__all__ = [
+    "FOOTBALL_SCHEMA",
+    "GENEALOGY_SCHEMA",
+    "UNIVERSITY_SCHEMA",
+    "chain_edges",
+    "football_database",
+    "genealogy_facts",
+    "genealogy_schema",
+    "grid_edges",
+    "random_edges",
+    "tree_edges",
+    "university_database",
+    "update_stream",
+]

@@ -1,0 +1,287 @@
+"""Seeded generators for the paper's motivating domains.
+
+Three schema constants reproduce the paper's running examples — the
+football database (Example 2.1), the genealogy domain (Examples 2.2 and
+3.2), and the university domain (Example 3.1) — and the generator
+functions populate them at arbitrary scale, deterministically per seed.
+Graph generators (chain / tree / grid / random) feed the recursive-rule
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.database import Database
+from repro.language.parser import parse_schema_source
+from repro.modules.module import Module
+from repro.storage.factset import FactSet
+from repro.types.schema import Schema
+from repro.values.complex import TupleValue
+
+# ---------------------------------------------------------------------------
+# schemas from the paper's examples
+# ---------------------------------------------------------------------------
+#: Example 2.1 — score is a complex domain, players have role sets, teams
+#: have a base-player sequence and a substitute set.
+FOOTBALL_SCHEMA = """
+domains
+  name = string.
+  role = integer.
+  date = string.
+  score = (home: integer, guest: integer).
+classes
+  player = (name, roles: {role}).
+  team = (team_name: name, base_players: <player>,
+          substitutes: {player}).
+associations
+  game = (h_team: team, g_team: team, date, score).
+"""
+
+#: Examples 2.2 / 3.2 — parent facts, descendants as a data function.
+GENEALOGY_SCHEMA = """
+domains
+  name = string.
+associations
+  parent = (par: name, chil: name).
+  ancestor = (anc: name, des: {name}).
+functions
+  desc: name -> {name}.
+"""
+
+#: Example 3.1 — an isa hierarchy with object sharing.
+UNIVERSITY_SCHEMA = """
+domains
+  name = string.
+classes
+  person = (name, address: string).
+  school = (school_name: name, kind: string, dean: professor).
+  student = (person, studschool: school).
+  professor = (person, course: string, profschool: school).
+  student isa person.
+  professor isa person.
+associations
+  advises = (prof: professor, stud: student).
+"""
+
+
+def _rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+# ---------------------------------------------------------------------------
+# genealogy
+# ---------------------------------------------------------------------------
+def genealogy_facts(
+    people: int, seed: int = 0, max_children: int = 3
+) -> FactSet:
+    """A random forest of parent/child facts over ``people`` persons.
+
+    Person ``i`` may only parent persons with larger indexes, so the
+    parent relation is acyclic and ``desc`` terminates.
+    """
+    rng = _rng(seed)
+    facts = FactSet()
+    for child in range(1, people):
+        if rng.random() < 0.9:  # a few roots stay parentless
+            parent = rng.randrange(0, child)
+            facts.add_association(
+                "parent",
+                TupleValue(par=f"p{parent}", chil=f"p{child}"),
+            )
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# football
+# ---------------------------------------------------------------------------
+def football_database(
+    teams: int = 4,
+    players_per_team: int = 11,
+    substitutes_per_team: int = 3,
+    games: int = 6,
+    seed: int = 0,
+) -> Database:
+    """A populated football database over :data:`FOOTBALL_SCHEMA`."""
+    rng = _rng(seed)
+    db = Database.from_source(FOOTBALL_SCHEMA)
+    team_oids = []
+    for t in range(teams):
+        base = []
+        subs = set()
+        for p in range(players_per_team + substitutes_per_team):
+            roles = {rng.randrange(1, 12)
+                     for _ in range(rng.randrange(1, 3))}
+            oid = db.insert(
+                "player", name=f"player_{t}_{p}", roles=roles
+            )
+            if p < players_per_team:
+                base.append(oid)
+            else:
+                subs.add(oid)
+        team_oids.append(db.insert(
+            "team",
+            team_name=f"team_{t}",
+            base_players=base,
+            substitutes=subs,
+        ))
+    for g in range(games):
+        home, guest = rng.sample(team_oids, 2)
+        db.insert(
+            "game",
+            h_team=home,
+            g_team=guest,
+            date=f"2026-07-{(g % 28) + 1:02d}",
+            score={"home": rng.randrange(0, 5),
+                   "guest": rng.randrange(0, 5)},
+        )
+    return db
+
+
+# ---------------------------------------------------------------------------
+# university
+# ---------------------------------------------------------------------------
+def university_database(
+    students: int = 20,
+    professors: int = 5,
+    schools: int = 2,
+    seed: int = 0,
+) -> Database:
+    """A populated university database over :data:`UNIVERSITY_SCHEMA`.
+
+    Schools initially have a nil dean; deans are elected afterwards so the
+    professor objects exist first (references in classes may be nil,
+    Section 2.1).
+    """
+    from repro.values.oids import NIL
+
+    rng = _rng(seed)
+    db = Database.from_source(UNIVERSITY_SCHEMA)
+    school_oids = [
+        db.insert("school", school_name=f"school_{s}",
+                  kind=rng.choice(["public", "private"]), dean=NIL)
+        for s in range(schools)
+    ]
+    prof_oids = []
+    for p in range(professors):
+        prof_oids.append(db.insert(
+            "professor",
+            name=f"prof_{p}",
+            address=f"street {p}",
+            course=f"course_{p % 7}",
+            profschool=rng.choice(school_oids),
+        ))
+    stud_oids = []
+    for s in range(students):
+        stud_oids.append(db.insert(
+            "student",
+            name=f"stud_{s}",
+            address=f"street {100 + s}",
+            studschool=rng.choice(school_oids),
+        ))
+        db.insert(
+            "advises", prof=rng.choice(prof_oids), stud=stud_oids[-1]
+        )
+    return db
+
+
+# ---------------------------------------------------------------------------
+# graphs (edge fact sets for recursive benchmarks)
+# ---------------------------------------------------------------------------
+def _edges_to_facts(edges, pred="parent", a="par", b="chil") -> FactSet:
+    facts = FactSet()
+    for x, y in edges:
+        facts.add_association(pred, TupleValue({a: f"n{x}", b: f"n{y}"}))
+    return facts
+
+
+def chain_edges(length: int, **kw) -> FactSet:
+    """A path graph: worst-case depth for transitive closure."""
+    return _edges_to_facts(((i, i + 1) for i in range(length)), **kw)
+
+
+def tree_edges(depth: int, fanout: int = 2, **kw) -> FactSet:
+    """A complete ``fanout``-ary tree of the given depth."""
+    edges = []
+    frontier = [0]
+    counter = 1
+    for _ in range(depth):
+        next_frontier = []
+        for node in frontier:
+            for _ in range(fanout):
+                edges.append((node, counter))
+                next_frontier.append(counter)
+                counter += 1
+        frontier = next_frontier
+    return _edges_to_facts(edges, **kw)
+
+
+def grid_edges(width: int, height: int, **kw) -> FactSet:
+    """A directed grid (right and down edges)."""
+    edges = []
+    for i in range(width):
+        for j in range(height):
+            node = i * height + j
+            if j + 1 < height:
+                edges.append((node, i * height + j + 1))
+            if i + 1 < width:
+                edges.append((node, (i + 1) * height + j))
+    return _edges_to_facts(edges, **kw)
+
+
+def random_edges(nodes: int, edges: int, seed: int = 0, acyclic: bool = True,
+                 **kw) -> FactSet:
+    """A random (by default acyclic) directed graph."""
+    rng = _rng(seed)
+    seen = set()
+    out = []
+    guard = 0
+    while len(out) < edges and guard < edges * 50:
+        guard += 1
+        x, y = rng.randrange(nodes), rng.randrange(nodes)
+        if x == y:
+            continue
+        if acyclic and x > y:
+            x, y = y, x
+        if (x, y) in seen:
+            continue
+        seen.add((x, y))
+        out.append((x, y))
+    return _edges_to_facts(out, **kw)
+
+
+# ---------------------------------------------------------------------------
+# update streams (module workloads, Section 4)
+# ---------------------------------------------------------------------------
+def update_stream(
+    operations: int, people: int = 50, seed: int = 0
+) -> list[Module]:
+    """A stream of RIDV-style update modules over the genealogy domain.
+
+    Each module inserts a batch of parent facts and occasionally deletes
+    one (rules with negative heads).
+    """
+    rng = _rng(seed)
+    modules = []
+    for op in range(operations):
+        lines = ["rules"]
+        for _ in range(rng.randrange(1, 4)):
+            a, b = rng.sample(range(people), 2)
+            if a > b:
+                a, b = b, a
+            lines.append(f'  parent(par "p{a}", chil "p{b}").')
+        if rng.random() < 0.25:
+            a, b = rng.sample(range(people), 2)
+            if a > b:
+                a, b = b, a
+            lines.append(
+                f'  ~parent(par "p{a}", chil "p{b}")'
+                f' <- parent(par "p{a}", chil "p{b}").'
+            )
+        modules.append(Module.from_source("\n".join(lines),
+                                          name=f"update_{op}"))
+    return modules
+
+
+def genealogy_schema() -> Schema:
+    return parse_schema_source(GENEALOGY_SCHEMA)

@@ -1,0 +1,61 @@
+"""Shared fixtures: the paper's example schemas and small databases."""
+
+import pytest
+
+from repro import FactSet, TupleValue, parse_schema_source, parse_source
+from repro.workloads import (
+    FOOTBALL_SCHEMA,
+    GENEALOGY_SCHEMA,
+    UNIVERSITY_SCHEMA,
+)
+
+
+@pytest.fixture
+def football_schema():
+    """Example 2.1's schema."""
+    return parse_schema_source(FOOTBALL_SCHEMA)
+
+
+@pytest.fixture
+def genealogy_schema():
+    """Examples 2.2 / 3.2's schema."""
+    return parse_schema_source(GENEALOGY_SCHEMA)
+
+
+@pytest.fixture
+def university_schema():
+    """Example 3.1's schema (isa hierarchy, object sharing)."""
+    return parse_schema_source(UNIVERSITY_SCHEMA)
+
+
+@pytest.fixture
+def edge_schema():
+    """A minimal flat schema for recursive-rule tests."""
+    return parse_schema_source(
+        """
+        associations
+          parent = (par: string, chil: string).
+          anc = (a: string, d: string).
+        """
+    )
+
+
+@pytest.fixture
+def chain_parents():
+    """parent facts forming the chain a -> b -> c -> d."""
+    facts = FactSet()
+    for p, c in [("a", "b"), ("b", "c"), ("c", "d")]:
+        facts.add_association("parent", TupleValue(par=p, chil=c))
+    return facts
+
+
+TC_RULES = """
+rules
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+"""
+
+
+@pytest.fixture
+def tc_program():
+    return parse_source(TC_RULES).program()

@@ -1,0 +1,72 @@
+"""Tests for active-domain computation (Section 2.1)."""
+
+from repro.engine.activedomain import ActiveDomains
+from repro.storage import FactSet
+from repro.types import INTEGER, STRING, NamedType, SchemaBuilder, SetType
+from repro.values import Oid, SetValue, TupleValue
+
+
+def build():
+    schema = (
+        SchemaBuilder()
+        .domain("name", STRING)
+        .clazz("person", ("name", "name"), ("age", INTEGER))
+        .association("team", ("tname", "name"),
+                     ("members", {"person"}))
+        .build()
+    )
+    facts = FactSet()
+    facts.add_object("person", Oid(1), TupleValue(name="ann", age=30))
+    facts.add_object("person", Oid(2), TupleValue(name="bob", age=20))
+    facts.add_association("team", TupleValue(
+        tname="alpha", members=SetValue([Oid(1), Oid(2)])))
+    return schema, facts
+
+
+class TestActiveDomains:
+    def test_class_domain_is_its_oids(self):
+        schema, facts = build()
+        domains = ActiveDomains(facts, schema)
+        assert domains.domain(NamedType("person")) == \
+            frozenset({Oid(1), Oid(2)})
+
+    def test_named_domain_collects_values(self):
+        schema, facts = build()
+        domains = ActiveDomains(facts, schema)
+        assert domains.domain(NamedType("name")) == \
+            frozenset({"ann", "bob", "alpha"})
+
+    def test_elementary_domain(self):
+        schema, facts = build()
+        domains = ActiveDomains(facts, schema)
+        assert domains.domain(INTEGER) == frozenset({30, 20})
+
+    def test_compatible_positions_included(self):
+        # STRING positions are compatible with the NAME domain, so
+        # string values appear in STRING's domain too
+        schema, facts = build()
+        domains = ActiveDomains(facts, schema)
+        assert "ann" in domains.domain(STRING)
+
+    def test_empty_database_empty_domains(self):
+        schema, _ = build()
+        domains = ActiveDomains(FactSet(), schema)
+        assert domains.domain(INTEGER) == frozenset()
+
+    def test_enumerate_is_deterministic(self):
+        schema, facts = build()
+        a = list(ActiveDomains(facts, schema).enumerate(INTEGER))
+        b = list(ActiveDomains(facts, schema).enumerate(INTEGER))
+        assert a == b == [20, 30]
+
+    def test_oids_sort_before_scalars(self):
+        schema, facts = build()
+        domains = ActiveDomains(facts, schema)
+        out = list(domains.enumerate(NamedType("person")))
+        assert out == [Oid(1), Oid(2)]
+
+    def test_cache_hits_same_result(self):
+        schema, facts = build()
+        domains = ActiveDomains(facts, schema)
+        first = domains.domain(INTEGER)
+        assert domains.domain(INTEGER) is first

@@ -1,0 +1,292 @@
+"""Tests for the ALGRES extended relational algebra."""
+
+import pytest
+
+from repro.algres import (
+    Aggregate,
+    And,
+    Catalog,
+    Closure,
+    Comparison,
+    Constant_,
+    Difference,
+    Distinct,
+    Extend,
+    Field,
+    Intersection,
+    Join,
+    Nest,
+    Not,
+    Or,
+    Product,
+    Project,
+    Relation,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    Unnest,
+    evaluate,
+)
+from repro.errors import AlgebraError, NonTerminationError
+from repro.types.descriptors import INTEGER, STRING
+from repro.values import SetValue, TupleValue
+
+
+@pytest.fixture
+def catalog():
+    people = Relation.build(
+        "people",
+        [("pname", STRING), ("age", INTEGER), ("city", STRING)],
+        [
+            dict(pname="ann", age=30, city="milan"),
+            dict(pname="bob", age=20, city="rome"),
+            dict(pname="cyn", age=40, city="milan"),
+        ],
+    )
+    visits = Relation.build(
+        "visits",
+        [("pname", STRING), ("place", STRING)],
+        [
+            dict(pname="ann", place="duomo"),
+            dict(pname="ann", place="navigli"),
+            dict(pname="bob", place="forum"),
+        ],
+    )
+    return Catalog({"people": people, "visits": visits})
+
+
+def rows(rel):
+    return sorted(tuple(sorted(r.items)) for r in rel)
+
+
+class TestRelation:
+    def test_rejects_non_tuple_rows(self):
+        schema = Relation.build("r", [("x", INTEGER)]).schema
+        with pytest.raises(AlgebraError, match="tuple value"):
+            Relation("r", schema, [42])
+
+    def test_rejects_unknown_attributes(self):
+        base = Relation.build("r", [("x", INTEGER)])
+        with pytest.raises(AlgebraError, match="unknown attributes"):
+            base.with_rows([TupleValue(x=1, ghost=2)])
+
+    def test_attribute_type_lookup(self, catalog):
+        people = catalog.get("people")
+        assert people.attribute_type("age") == INTEGER
+        with pytest.raises(AlgebraError):
+            people.attribute_type("ghost")
+
+    def test_rows_deduplicate(self):
+        rel = Relation.build("r", [("x", INTEGER)],
+                             [dict(x=1), dict(x=1)])
+        assert len(rel) == 1
+
+
+class TestSelectProject:
+    def test_select_comparison(self, catalog):
+        out = evaluate(
+            Select(Scan("people"),
+                   Comparison(Field("age"), ">", Constant_(25))),
+            catalog,
+        )
+        assert {r["pname"] for r in out} == {"ann", "cyn"}
+
+    def test_boolean_connectives(self, catalog):
+        cond = And(
+            Comparison(Field("city"), "=", Constant_("milan")),
+            Or(
+                Comparison(Field("age"), "<", Constant_(35)),
+                Not(Comparison(Field("pname"), "=", Constant_("cyn"))),
+            ),
+        )
+        out = evaluate(Select(Scan("people"), cond), catalog)
+        assert {r["pname"] for r in out} == {"ann"}
+
+    def test_project(self, catalog):
+        out = evaluate(Project(Scan("people"), "city"), catalog)
+        assert {r["city"] for r in out} == {"milan", "rome"}
+        assert out.labels == ("city",)
+
+    def test_project_unknown_label_raises(self, catalog):
+        with pytest.raises(AlgebraError):
+            evaluate(Project(Scan("people"), "ghost"), catalog)
+
+    def test_field_path_into_nested_tuple(self):
+        from repro.types.descriptors import TupleType
+
+        score_type = TupleType((("home", INTEGER), ("guest", INTEGER)))
+        games = Relation(
+            "games",
+            TupleType((("score", score_type),)),
+            [TupleValue(score=TupleValue(home=3, guest=1))],
+        )
+        catalog = Catalog({"games": games})
+        out = evaluate(
+            Select(Scan("games"),
+                   Comparison(Field("score", "home"), ">",
+                              Field("score", "guest"))),
+            catalog,
+        )
+        assert len(out) == 1
+
+
+class TestRename:
+    def test_rename(self, catalog):
+        out = evaluate(Rename(Scan("visits"), {"pname": "who"}), catalog)
+        assert "who" in out.labels and "pname" not in out.labels
+
+    def test_rename_to_duplicate_raises(self, catalog):
+        with pytest.raises(AlgebraError, match="duplicate"):
+            evaluate(Rename(Scan("people"), {"pname": "age"}), catalog)
+
+
+class TestJoinsProducts:
+    def test_natural_join_on_common_attributes(self, catalog):
+        out = evaluate(Join(Scan("people"), Scan("visits")), catalog)
+        assert len(out) == 3
+        assert set(out.labels) == {"pname", "age", "city", "place"}
+
+    def test_join_without_common_attributes_is_product(self, catalog):
+        left = evaluate(Project(Scan("people"), "age"), catalog)
+        right = evaluate(Project(Scan("visits"), "place"), catalog)
+        scoped = Catalog({"l": left, "r": right})
+        out = evaluate(Join(Scan("l"), Scan("r")), scoped)
+        assert len(out) == len(left) * len(right)
+
+    def test_product_requires_disjoint_attributes(self, catalog):
+        with pytest.raises(AlgebraError, match="overlap"):
+            evaluate(Product(Scan("people"), Scan("visits")), catalog)
+
+
+class TestSetOperators:
+    def test_union_difference_intersection(self, catalog):
+        milan = Select(Scan("people"),
+                       Comparison(Field("city"), "=", Constant_("milan")))
+        young = Select(Scan("people"),
+                       Comparison(Field("age"), "<", Constant_(35)))
+        assert len(evaluate(Union(milan, young), catalog)) == 3
+        assert len(evaluate(Difference(milan, young), catalog)) == 1
+        assert len(evaluate(Intersection(milan, young), catalog)) == 1
+
+    def test_schema_mismatch_rejected(self, catalog):
+        with pytest.raises(AlgebraError, match="incompatible"):
+            evaluate(Union(Scan("people"), Scan("visits")), catalog)
+
+    def test_distinct_is_identity_on_sets(self, catalog):
+        assert rows(evaluate(Distinct(Scan("people")), catalog)) == \
+            rows(catalog.get("people"))
+
+
+class TestExtendAggregate:
+    def test_extend_computed_attribute(self, catalog):
+        out = evaluate(
+            Extend(Scan("people"), "is_ann",
+                   Field("pname")), catalog,
+        )
+        assert {r["is_ann"] for r in out} == {"ann", "bob", "cyn"}
+
+    def test_extend_existing_label_rejected(self, catalog):
+        with pytest.raises(AlgebraError, match="already exists"):
+            evaluate(Extend(Scan("people"), "age", Constant_(1)), catalog)
+
+    def test_aggregate_count_and_sum(self, catalog):
+        out = evaluate(
+            Aggregate(Scan("people"), ["city"], "count", None, "n"),
+            catalog,
+        )
+        assert {(r["city"], r["n"]) for r in out} == \
+            {("milan", 2), ("rome", 1)}
+        out2 = evaluate(
+            Aggregate(Scan("people"), ["city"], "sum", "age", "total"),
+            catalog,
+        )
+        assert {(r["city"], r["total"]) for r in out2} == \
+            {("milan", 70), ("rome", 20)}
+
+    def test_unknown_aggregate_rejected(self, catalog):
+        with pytest.raises(AlgebraError, match="unknown aggregate"):
+            evaluate(
+                Aggregate(Scan("people"), ["city"], "median", "age", "m"),
+                catalog,
+            )
+
+
+class TestNestUnnest:
+    def test_nest_groups_into_set(self, catalog):
+        out = evaluate(Nest(Scan("visits"), ["place"], "places"), catalog)
+        by_name = {r["pname"]: r["places"] for r in out}
+        assert by_name["ann"] == SetValue(["duomo", "navigli"])
+        assert by_name["bob"] == SetValue(["forum"])
+
+    def test_unnest_inverts_nest(self, catalog):
+        nested = Nest(Scan("visits"), ["place"], "place2")
+        flat = evaluate(Unnest(nested, "place2"), catalog)
+        original = {(r["pname"], r["place"])
+                    for r in catalog.get("visits")}
+        assert {(r["pname"], r["place2"]) for r in flat} == original
+
+    def test_nest_multiple_attributes_makes_tuple_sets(self, catalog):
+        out = evaluate(
+            Nest(Scan("people"), ["pname", "age"], "members"), catalog
+        )
+        milan_members = next(
+            r["members"] for r in out if r["city"] == "milan"
+        )
+        assert TupleValue(pname="ann", age=30) in milan_members
+
+    def test_unnest_non_set_attribute_rejected(self, catalog):
+        with pytest.raises(AlgebraError, match="not set-valued"):
+            evaluate(Unnest(Scan("people"), "age"), catalog)
+
+
+class TestClosure:
+    def tc_catalog(self):
+        edges = Relation.build(
+            "edge", [("x", STRING), ("y", STRING)],
+            [dict(x="a", y="b"), dict(x="b", y="c"), dict(x="c", y="a")],
+        )
+        return Catalog({"edge": edges})
+
+    def tc_expr(self, mode="inflationary", max_iterations=10_000):
+        step = Project(
+            Join(Rename(Scan("$iter"), {"y": "z"}),
+                 Rename(Scan("edge"), {"x": "z"})),
+            "x", "y",
+        )
+        return Closure(Scan("edge"), step, mode=mode,
+                       max_iterations=max_iterations)
+
+    def test_inflationary_closure_reaches_fixpoint(self):
+        out = evaluate(self.tc_expr(), self.tc_catalog())
+        assert len(out) == 9  # full 3-cycle closure
+
+    def test_iterate_mode_detects_divergence(self):
+        # replacing instead of accumulating on a cycle never stabilizes
+        with pytest.raises((NonTerminationError, AlgebraError)):
+            evaluate(self.tc_expr("iterate", max_iterations=16),
+                     self.tc_catalog())
+
+    def test_iterate_mode_converges_when_stable(self):
+        # a step that immediately returns its input is a fixpoint
+        expr = Closure(Scan("edge"), Scan("$iter"), mode="iterate")
+        out = evaluate(expr, self.tc_catalog())
+        assert len(out) == 3
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(AlgebraError, match="unknown closure mode"):
+            evaluate(self.tc_expr("hyperbolic"), self.tc_catalog())
+
+    def test_iteration_budget(self):
+        with pytest.raises(NonTerminationError):
+            evaluate(self.tc_expr(max_iterations=1), self.tc_catalog())
+
+
+class TestCatalog:
+    def test_unknown_relation_raises(self):
+        with pytest.raises(AlgebraError, match="unknown relation"):
+            evaluate(Scan("ghost"), Catalog())
+
+    def test_names_and_has(self, catalog):
+        assert catalog.has("people")
+        assert catalog.names() == ["people", "visits"]

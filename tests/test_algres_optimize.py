@@ -1,0 +1,196 @@
+"""Tests for the ALGRES plan optimizer: rewrites and equivalence."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algres import (
+    And,
+    Catalog,
+    Comparison,
+    Constant_,
+    Difference,
+    Field,
+    Intersection,
+    Join,
+    Project,
+    Relation,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    evaluate,
+    optimize,
+)
+from repro.algres.optimize import condition_fields, rename_condition
+from repro.types.descriptors import INTEGER, STRING
+from repro.values import TupleValue
+
+
+def catalog():
+    people = Relation.build(
+        "people",
+        [("pname", STRING), ("age", INTEGER), ("city", STRING)],
+        [
+            dict(pname="ann", age=30, city="milan"),
+            dict(pname="bob", age=20, city="rome"),
+            dict(pname="cyn", age=40, city="milan"),
+            dict(pname="dan", age=25, city="rome"),
+        ],
+    )
+    visits = Relation.build(
+        "visits",
+        [("pname", STRING), ("place", STRING)],
+        [
+            dict(pname="ann", place="duomo"),
+            dict(pname="bob", place="forum"),
+            dict(pname="cyn", place="navigli"),
+        ],
+    )
+    return Catalog({"people": people, "visits": visits})
+
+
+def rows(rel):
+    return {tuple(sorted(r.items)) for r in rel}
+
+
+def assert_equivalent(expr):
+    cat = catalog()
+    assert rows(evaluate(optimize(expr), cat)) == rows(evaluate(expr, cat))
+
+
+class TestRewrites:
+    def test_selection_fusion(self):
+        expr = Select(
+            Select(Scan("people"),
+                   Comparison(Field("age"), ">", Constant_(21))),
+            Comparison(Field("city"), "=", Constant_("milan")),
+        )
+        out = optimize(expr)
+        assert isinstance(out, Select)
+        assert not isinstance(out.child, Select)
+        assert_equivalent(expr)
+
+    def test_projection_cascade(self):
+        expr = Project(Project(Scan("people"), "pname", "age"), "pname")
+        out = optimize(expr)
+        assert isinstance(out, Project)
+        assert isinstance(out.child, Scan)
+        assert_equivalent(expr)
+
+    def test_identity_rename_removed(self):
+        expr = Rename(Scan("people"), {"age": "age"})
+        assert optimize(expr) == Scan("people")
+
+    def test_rename_merge(self):
+        expr = Rename(Rename(Scan("people"), {"pname": "n"}),
+                      {"n": "name"})
+        out = optimize(expr)
+        assert isinstance(out, Rename)
+        assert isinstance(out.child, Scan)
+        assert dict(out.mapping) == {"pname": "name"}
+        assert_equivalent(expr)
+
+    def test_selection_pushed_below_union(self):
+        expr = Select(
+            Union(Scan("people"), Scan("people")),
+            Comparison(Field("age"), ">", Constant_(21)),
+        )
+        out = optimize(expr)
+        assert isinstance(out, Union)
+        assert_equivalent(expr)
+
+    def test_selection_pushed_through_rename(self):
+        expr = Select(
+            Rename(Scan("people"), {"age": "years"}),
+            Comparison(Field("years"), ">", Constant_(21)),
+        )
+        out = optimize(expr)
+        assert isinstance(out, Rename)
+        assert isinstance(out.child, Select)
+        assert_equivalent(expr)
+
+    def test_selection_pushed_through_projection(self):
+        expr = Select(
+            Project(Scan("people"), "pname", "age"),
+            Comparison(Field("age"), ">", Constant_(21)),
+        )
+        out = optimize(expr)
+        assert isinstance(out, Project)
+        assert_equivalent(expr)
+
+    def test_selection_pushed_into_join_branch(self):
+        left = Project(Scan("people"), "pname", "age")
+        right = Project(Scan("visits"), "pname", "place")
+        expr = Select(
+            Join(left, right),
+            Comparison(Field("age"), ">", Constant_(21)),
+        )
+        out = optimize(expr)
+        assert isinstance(out, Join)  # the selection left the top
+        assert_equivalent(expr)
+
+    def test_join_covering_condition_stays_when_unknown(self):
+        # a condition over both sides cannot be pushed
+        left = Project(Scan("people"), "pname", "age")
+        right = Project(Scan("visits"), "pname", "place")
+        expr = Select(
+            Join(left, right),
+            Comparison(Field("age"), ">", Constant_(21)),
+        )
+        both_sides = Select(
+            Join(left, right),
+            Comparison(Field("age"), "!=", Constant_(0)),
+        )
+        assert_equivalent(expr)
+        assert_equivalent(both_sides)
+
+
+class TestConditionHelpers:
+    def test_condition_fields(self):
+        cond = And(
+            Comparison(Field("a"), ">", Constant_(1)),
+            Comparison(Field("b"), "=", Field("c")),
+        )
+        assert condition_fields(cond) == {"a", "b", "c"}
+
+    def test_rename_condition(self):
+        cond = Comparison(Field("old"), ">", Constant_(1))
+        renamed = rename_condition(cond, {"old": "new"})
+        assert condition_fields(renamed) == {"new"}
+
+
+# ---------------------------------------------------------------------------
+# property: optimize preserves semantics on random plans
+# ---------------------------------------------------------------------------
+conditions = st.sampled_from([
+    Comparison(Field("age"), ">", Constant_(21)),
+    Comparison(Field("age"), "<=", Constant_(30)),
+    Comparison(Field("city"), "=", Constant_("milan")),
+    Comparison(Field("pname"), "!=", Constant_("bob")),
+])
+
+people_plans = st.recursive(
+    st.just(Scan("people")),
+    lambda children: st.one_of(
+        st.builds(Select, children, conditions),
+        st.builds(lambda c: Project(c, "pname", "age", "city"), children),
+        st.builds(Union, children, children),
+        st.builds(Intersection, children, children),
+        st.builds(Difference, children, children),
+        st.builds(lambda c: Rename(Rename(c, {"age": "tmp"}),
+                                   {"tmp": "age"}), children),
+    ),
+    max_leaves=6,
+)
+
+
+class TestOptimizerEquivalenceProperty:
+    @given(people_plans)
+    @settings(max_examples=80, deadline=None)
+    def test_optimize_preserves_results(self, plan):
+        assert_equivalent(plan)
+
+    @given(people_plans)
+    @settings(max_examples=40, deadline=None)
+    def test_optimize_is_idempotent(self, plan):
+        once = optimize(plan)
+        assert optimize(once) == once

@@ -1,0 +1,366 @@
+"""Unit tests for static analysis: resolution, safety, typing, strata."""
+
+import pytest
+
+from repro.errors import (
+    IllegalOidRuleError,
+    SafetyError,
+    StratificationError,
+    TypingError,
+)
+from repro.language.analysis import (
+    analyze_program,
+    check_safety,
+    check_types,
+    resolve_rule,
+    schema_with_functions,
+    stratify,
+)
+from repro.language.ast import Literal, Var
+from repro.language.parser import parse_program, parse_source
+from repro.types import SchemaBuilder, STRING, INTEGER
+
+
+def first_rule(text):
+    return parse_program(text).rules[0]
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder()
+        .clazz("person", ("name", STRING), ("age", INTEGER))
+        .clazz("student", ("person", "person"), ("school", STRING))
+        .clazz("robot", ("serial", INTEGER))
+        .association("advises", ("prof", "person"), ("stud", "person"))
+        .association("q", ("x", INTEGER))
+        .association("p", ("x", INTEGER))
+        .isa("student", "person")
+        .build()
+    )
+
+
+class TestPositionalResolution:
+    def test_all_positional_maps_in_field_order(self, schema):
+        rule = resolve_rule(
+            first_rule("p(x X) <- advises(A, B), q(x X)."), schema
+        )
+        advises = rule.body[0]
+        assert dict(advises.args.labeled) == {
+            "prof": Var("A"), "stud": Var("B")
+        }
+
+    def test_single_bare_variable_becomes_tuple_var(self, schema):
+        rule = resolve_rule(
+            first_rule("p(x X) <- person(X1, name N), q(x X)."), schema
+        )
+        assert rule.body[0].args.tuple_var == Var("X1")
+
+    def test_single_bare_var_on_multifield_pred_is_tuple_var(self, schema):
+        rule = resolve_rule(
+            first_rule("p(x X) <- person(W), q(x X)."), schema
+        )
+        assert rule.body[0].args.tuple_var == Var("W")
+
+    def test_single_positional_on_single_field_pred_is_positional(
+        self, schema
+    ):
+        rule = resolve_rule(
+            first_rule("p(x X) <- q(X)."), schema
+        )
+        assert dict(rule.body[0].args.labeled) == {"x": Var("X")}
+
+    def test_arity_mismatch_rejected(self, schema):
+        with pytest.raises(TypingError, match="cannot resolve"):
+            resolve_rule(
+                first_rule("p(x X) <- advises(A, B, C), q(x X)."), schema
+            )
+
+    def test_unknown_predicate_rejected(self, schema):
+        with pytest.raises(TypingError, match="unknown predicate"):
+            resolve_rule(first_rule("p(x X) <- ghost(A)."), schema)
+
+
+class TestFunctionRewrite:
+    def make_schema(self):
+        return (
+            SchemaBuilder()
+            .association("parent", ("par", STRING), ("chil", STRING))
+            .function("desc", [STRING], STRING)
+            .build()
+        )
+
+    def test_member_body_literal_rewritten(self):
+        schema = self.make_schema()
+        rule = resolve_rule(
+            first_rule(
+                "parent(par X, chil Y) <- parent(par X, chil Y),"
+                " member(Y, desc(X))."
+            ),
+            schema_with_functions(schema),
+        )
+        rewritten = rule.body[1]
+        assert isinstance(rewritten, Literal)
+        assert rewritten.pred == "__fn_desc"
+
+    def test_member_head_rewritten(self):
+        schema = self.make_schema()
+        rule = resolve_rule(
+            first_rule("member(X, desc(Y)) <- parent(par Y, chil X)."),
+            schema_with_functions(schema),
+        )
+        assert rule.head.pred == "__fn_desc"
+
+    def test_wrong_function_arity_rejected(self):
+        schema = self.make_schema()
+        with pytest.raises(TypingError, match="takes 1"):
+            resolve_rule(
+                first_rule(
+                    "parent(par X, chil Y) <- parent(par X, chil Y),"
+                    " member(Y, desc(X, X))."
+                ),
+                schema_with_functions(schema),
+            )
+
+    def test_unknown_function_in_term_rejected(self):
+        schema = self.make_schema()
+        with pytest.raises(TypingError, match="unknown data function"):
+            resolve_rule(
+                first_rule(
+                    "parent(par X, chil Y) <- parent(par X, chil Y),"
+                    " Y = ghost(X)."
+                ),
+                schema_with_functions(schema),
+            )
+
+    def test_backing_association_added_to_schema(self):
+        extended = schema_with_functions(self.make_schema())
+        assert extended.is_association("__fn_desc")
+        eff = extended.effective_type("__fn_desc")
+        assert eff.labels == ("arg0", "value")
+
+
+class TestSafety:
+    def test_unbound_head_variable_rejected(self, schema):
+        with pytest.raises(SafetyError, match="not bound"):
+            check_safety(first_rule("q(x X) <- p(x Y)."), schema)
+
+    def test_builtin_only_variable_rejected(self, schema):
+        with pytest.raises(SafetyError, match="ordinary literal"):
+            check_safety(first_rule("q(x X) <- p(x X), Y < Z."), schema)
+
+    def test_builtin_chain_binding_accepted(self, schema):
+        report = check_safety(
+            first_rule("q(x Z) <- p(x X), Y = X + 1, Z = Y * 2."), schema
+        )
+        assert not report.invents_oid
+
+    def test_unbound_class_self_var_means_invention(self, schema):
+        report = check_safety(
+            first_rule("person(self S, name N) <- q(x X), N = \"n\"."),
+            schema,
+        )
+        assert report.invents_oid
+
+    def test_class_head_without_oid_term_invents(self, schema):
+        report = check_safety(
+            first_rule('person(name "sara") <- q(x X).'), schema
+        )
+        assert report.invents_oid
+
+    def test_association_head_never_invents(self, schema):
+        with pytest.raises(SafetyError):
+            check_safety(first_rule("q(x X) <- p(x Y), Y = 1."), schema)
+
+    def test_negated_only_variables_range_over_active_domain(self, schema):
+        report = check_safety(
+            first_rule("q(x X) <- p(x X), ~advises(prof P, stud S)."),
+            schema,
+        )
+        assert set(report.active_domain_vars) == {Var("P"), Var("S")}
+
+    def test_argumentless_literal_over_typed_pred_rejected(self, schema):
+        with pytest.raises(SafetyError, match="no arguments"):
+            check_safety(first_rule("q(x X) <- p, q(x X)."), schema)
+
+
+class TestTyping:
+    def test_variable_at_incompatible_types_rejected(self, schema):
+        with pytest.raises(TypingError, match="incompatible"):
+            check_types(
+                first_rule(
+                    "q(x X) <- person(name X, age X), q(x X)."
+                ),
+                schema,
+            )
+
+    def test_cross_hierarchy_oid_variable_rejected(self, schema):
+        # Section 3.1: C1(X) <- C2(X) across hierarchies is incorrect
+        with pytest.raises(IllegalOidRuleError, match="hierarchies"):
+            check_types(
+                first_rule("person(self S) <- robot(self S)."), schema
+            )
+
+    def test_same_hierarchy_oid_variable_accepted(self, schema):
+        check_types(
+            first_rule("person(self S) <- student(self S)."), schema
+        )
+
+    def test_unknown_label_rejected(self, schema):
+        with pytest.raises(TypingError, match="no argument labeled"):
+            check_types(first_rule("q(x X) <- person(ghost X)."), schema)
+
+    def test_class_variable_mixed_with_value_rejected(self, schema):
+        with pytest.raises(TypingError):
+            check_types(
+                first_rule(
+                    "q(x X) <- person(self S), p(x S), q(x X)."
+                ),
+                schema,
+            )
+
+    def test_self_on_association_rejected(self, schema):
+        with pytest.raises(TypingError, match="non-class"):
+            check_types(first_rule("q(x X) <- advises(self S), q(x X)."),
+                        schema)
+
+
+class TestStratification:
+    def test_negation_in_cycle_rejected(self, schema):
+        program = parse_program(
+            "p(x X) <- q(x X), ~p(x X)."
+        )
+        with pytest.raises(StratificationError):
+            stratify(program, schema)
+
+    def test_stratified_negation_splits_strata(self, schema):
+        program = parse_program("""
+          p(x X) <- q(x X).
+          advises(prof P, stud P) <- person(self P), ~p(x 1).
+        """)
+        strata = stratify(program, schema)
+        assert len(strata) == 2
+
+    def test_positive_recursion_is_one_stratum(self, schema):
+        program = parse_program("""
+          p(x X) <- q(x X).
+          p(x X) <- p(x X), q(x X).
+        """)
+        assert len(stratify(program, schema)) == 1
+
+    def test_elementwise_function_recursion_allowed(self):
+        unit = parse_source("""
+        associations
+          parent = (par: string, chil: string).
+        functions
+          desc: string -> {string}.
+          member(X, desc(Y)) <- parent(par Y, chil X).
+          member(X, desc(Y)) <- parent(par Y, chil Z), member(X, T),
+                                T = desc(Z).
+        """)
+        analysis = analyze_program(unit.program(), unit.schema())
+        analysis.strata()  # must not raise
+
+    def test_nesting_function_read_forces_stratum(self):
+        unit = parse_source("""
+        associations
+          parent = (par: string, chil: string).
+          ancestor = (anc: string, des: {string}).
+        functions
+          desc: string -> {string}.
+          member(X, desc(Y)) <- parent(par Y, chil X).
+        rules
+          ancestor(anc X, des Y) <- parent(par X), Y = desc(X).
+        """)
+        analysis = analyze_program(unit.program(), unit.schema())
+        strata = analysis.strata()
+        assert len(strata) == 2
+
+    def test_aggregate_function_read_is_nesting(self):
+        unit = parse_source("""
+        associations
+          parent = (par: string, chil: string).
+          fertility = (who: string, n: integer).
+        functions
+          kids: string -> {string}.
+          member(X, kids(Y)) <- parent(par Y, chil X).
+        rules
+          fertility(who X, n N) <- parent(par X), S = kids(X),
+                                   count(S, N).
+        """)
+        analysis = analyze_program(unit.program(), unit.schema())
+        assert len(analysis.strata()) == 2
+
+
+class TestAnalyzeProgram:
+    def test_flags_summarize_program_features(self, schema):
+        program = parse_program("""
+          q(x X) <- p(x X), ~q(x 0).
+          ~p(x X) <- q(x X), X > 100.
+          person(name "new") <- q(x 1).
+        """)
+        analysis = analyze_program(program, schema)
+        assert analysis.has_negation
+        assert analysis.has_deletion
+        assert analysis.has_invention
+
+    def test_goal_resolved(self, schema):
+        unit = parse_source("""
+        rules
+          q(x 1).
+        goal
+          ?- advises(A, B).
+        """)
+        analysis = analyze_program(unit.program(), schema)
+        goal_literal = analysis.goal.literals[0]
+        assert dict(goal_literal.args.labeled) == {
+            "prof": Var("A"), "stud": Var("B")
+        }
+
+
+class TestConstantTypeChecking:
+    """Section 3.1: constants are typed; checking happens at compile
+    time."""
+
+    def test_wrong_constant_type_rejected(self, schema):
+        with pytest.raises(TypingError, match="does not belong"):
+            check_types(
+                first_rule('q(x X) <- person(name 42), q(x X).'), schema
+            )
+
+    def test_matching_constant_accepted(self, schema):
+        check_types(
+            first_rule('q(x X) <- person(name "sara", age 30), q(x X).'),
+            schema,
+        )
+
+    def test_domain_typed_constant(self):
+        from repro.language.parser import parse_source
+
+        unit = parse_source("""
+        domains
+          score = (home: integer, guest: integer).
+        associations
+          game = (sc: score).
+          out = (v: integer).
+        rules
+          out(v H) <- game(sc(home H)), H > 2.
+        """)
+        from repro.language.analysis import analyze_program
+
+        analyze_program(unit.program(), unit.schema())  # must not raise
+
+    def test_nil_constant_legal_at_class_positions(self):
+        from repro.language.parser import parse_source
+        from repro.language.analysis import analyze_program
+
+        unit = parse_source("""
+        classes
+          person = (name: string).
+          team = (tname: string, captain: person).
+        associations
+          headless = (tname: string).
+        rules
+          headless(tname T) <- team(tname T, captain nil).
+        """)
+        analyze_program(unit.program(), unit.schema())  # must not raise

@@ -1,0 +1,201 @@
+"""Unit tests for the built-in predicates and their modes."""
+
+import pytest
+
+from repro.errors import BuiltinError
+from repro.language.ast import Var
+from repro.language.builtins import BUILTINS, get_builtin, is_builtin
+from repro.values import (
+    MultisetValue,
+    SequenceValue,
+    SetValue,
+)
+
+X, Y = Var("X"), Var("Y")
+
+
+def solve(name, *args):
+    return list(get_builtin(name).solve(list(args)))
+
+
+class TestRegistry:
+    def test_is_builtin(self):
+        assert is_builtin("member")
+        assert is_builtin("MEMBER")  # case-insensitive
+        assert not is_builtin("parent")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(BuiltinError, match="unknown"):
+            get_builtin("teleport")
+
+    def test_arity_enforced(self):
+        with pytest.raises(BuiltinError, match="takes 2"):
+            solve("member", 1)
+
+    def test_every_builtin_documents_itself(self):
+        assert all(b.doc for b in BUILTINS.values())
+
+
+class TestEquality:
+    def test_check_mode(self):
+        assert solve("=", 1, 1) == [{}]
+        assert solve("=", 1, 2) == []
+
+    def test_bind_left_and_right(self):
+        assert solve("=", X, 5) == [{X: 5}]
+        assert solve("=", 5, X) == [{X: 5}]
+
+    def test_both_unbound_raises(self):
+        with pytest.raises(BuiltinError, match="bound side"):
+            solve("=", X, Y)
+
+    def test_disequality_requires_bound(self):
+        assert solve("!=", 1, 2) == [{}]
+        assert solve("!=", 1, 1) == []
+        with pytest.raises(BuiltinError):
+            solve("!=", X, 1)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("op,a,b,holds", [
+        ("<", 1, 2, True), ("<", 2, 1, False),
+        ("<=", 2, 2, True), (">", 3, 1, True),
+        (">=", 1, 2, False),
+        ("<", "a", "b", True),  # strings compare lexicographically
+    ])
+    def test_comparisons(self, op, a, b, holds):
+        assert bool(solve(op, a, b)) is holds
+
+    def test_incomparable_values_raise(self):
+        with pytest.raises(BuiltinError, match="incomparable"):
+            solve("<", 1, "x")
+
+
+class TestMember:
+    def test_enumerates_sets(self):
+        out = solve("member", X, SetValue([1, 2]))
+        assert sorted(b[X] for b in out) == [1, 2]
+
+    def test_enumerates_sequences_without_duplicates(self):
+        out = solve("member", X, SequenceValue([1, 1, 2]))
+        assert sorted(b[X] for b in out) == [1, 2]
+
+    def test_check_mode(self):
+        assert solve("member", 1, SetValue([1])) == [{}]
+        assert solve("member", 9, SetValue([1])) == []
+
+    def test_collection_must_be_bound(self):
+        with pytest.raises(BuiltinError, match="bound"):
+            solve("member", 1, Y)
+
+    def test_non_collection_raises(self):
+        with pytest.raises(BuiltinError, match="expects a set"):
+            solve("member", 1, 42)
+
+
+class TestSetConstructors:
+    def test_union_result_last(self):
+        out = solve("union", SetValue([1]), SetValue([2]), X)
+        assert out == [{X: SetValue([1, 2])}]
+
+    def test_union_check_mode(self):
+        assert solve("union", SetValue([1]), SetValue([2]),
+                     SetValue([1, 2])) == [{}]
+        assert solve("union", SetValue([1]), SetValue([2]),
+                     SetValue([1])) == []
+
+    def test_union_multisets_adds_multiplicities(self):
+        out = solve("union", MultisetValue([1]), MultisetValue([1]), X)
+        assert out[0][X].multiplicity(1) == 2
+
+    def test_union_sequences_concatenates(self):
+        out = solve("union", SequenceValue([1]), SequenceValue([2]), X)
+        assert out[0][X] == SequenceValue([1, 2])
+
+    def test_union_mixed_kinds_raises(self):
+        with pytest.raises(BuiltinError):
+            solve("union", SetValue([1]), SequenceValue([2]), X)
+
+    def test_intersection_and_difference(self):
+        a, b = SetValue([1, 2]), SetValue([2, 3])
+        assert solve("intersection", a, b, X) == [{X: SetValue([2])}]
+        assert solve("difference", a, b, X) == [{X: SetValue([1])}]
+
+    def test_append_to_set_sequence_multiset(self):
+        assert solve("append", SetValue([1]), 2, X) == \
+            [{X: SetValue([1, 2])}]
+        assert solve("append", SequenceValue([1]), 2, X) == \
+            [{X: SequenceValue([1, 2])}]
+        out = solve("append", MultisetValue([1]), 1, X)
+        assert out[0][X].multiplicity(1) == 2
+
+    def test_append_non_collection_raises(self):
+        with pytest.raises(BuiltinError):
+            solve("append", 1, 2, X)
+
+    def test_subset(self):
+        assert solve("subset", SetValue([1]), SetValue([1, 2])) == [{}]
+        assert solve("subset", SetValue([3]), SetValue([1, 2])) == []
+
+
+class TestAggregates:
+    def test_count(self):
+        assert solve("count", SetValue([1, 2]), X) == [{X: 2}]
+        assert solve("count", MultisetValue([1, 1]), X) == [{X: 2}]
+
+    def test_sum_numeric_only(self):
+        assert solve("sum", SetValue([1, 2]), X) == [{X: 3}]
+        with pytest.raises(BuiltinError, match="non-numeric"):
+            solve("sum", SetValue(["a"]), X)
+
+    def test_min_max(self):
+        assert solve("min", SetValue([3, 1]), X) == [{X: 1}]
+        assert solve("max", SetValue([3, 1]), X) == [{X: 3}]
+
+    def test_min_of_empty_fails_silently(self):
+        assert solve("min", SetValue([]), X) == []
+
+    def test_length_and_nth(self):
+        seq = SequenceValue(["a", "b"])
+        assert solve("length", seq, X) == [{X: 2}]
+        assert solve("nth", seq, 1, X) == [{X: "a"}]   # 1-based
+        assert solve("nth", seq, 3, X) == []           # out of range
+        with pytest.raises(BuiltinError):
+            solve("length", SetValue([1]), X)
+
+
+class TestNumericPredicates:
+    def test_even_odd(self):
+        assert solve("even", 4) == [{}]
+        assert solve("even", 3) == []
+        assert solve("odd", 3) == [{}]
+        with pytest.raises(BuiltinError):
+            solve("even", "x")
+
+    def test_mod(self):
+        assert solve("mod", 7, 3, X) == [{X: 1}]
+        with pytest.raises(BuiltinError, match="zero"):
+            solve("mod", 7, 0, X)
+
+
+class TestSequenceBuiltins:
+    def test_first_and_last(self):
+        seq = SequenceValue(["a", "b", "c"])
+        assert solve("first", seq, X) == [{X: "a"}]
+        assert solve("last", seq, X) == [{X: "c"}]
+
+    def test_first_of_empty_fails_silently(self):
+        assert solve("first", SequenceValue([]), X) == []
+        assert solve("last", SequenceValue([]), X) == []
+
+    def test_reverse(self):
+        seq = SequenceValue([1, 2, 3])
+        assert solve("reverse", seq, X) == [{X: SequenceValue([3, 2, 1])}]
+        assert solve("reverse", SequenceValue([]), X) == \
+            [{X: SequenceValue([])}]
+
+    def test_sequence_builtins_reject_sets(self):
+        with pytest.raises(BuiltinError):
+            solve("first", SetValue([1]), X)
+        with pytest.raises(BuiltinError):
+            solve("reverse", SetValue([1]), X)

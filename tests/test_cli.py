@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+TC_SOURCE = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  parent(par "a", chil "b").
+  parent(par "b", chil "c").
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+"""
+
+
+@pytest.fixture
+def tc_file(tmp_path):
+    path = tmp_path / "tc.logres"
+    path.write_text(TC_SOURCE)
+    return str(path)
+
+
+class TestRun:
+    def test_prints_instance(self, tc_file, capsys):
+        assert main(["run", tc_file]) == 0
+        out = capsys.readouterr().out
+        assert "anc (3):" in out
+        assert "parent (2):" in out
+
+    def test_goal_answers(self, tc_file, tmp_path, capsys):
+        path = tmp_path / "q.logres"
+        path.write_text(TC_SOURCE + '\ngoal\n  ?- anc(a "a", d D).\n')
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 answer(s):" in out
+
+    def test_semantics_flag(self, tc_file, capsys):
+        assert main(["run", tc_file, "--semantics", "stratified"]) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.logres"]) == 2
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.logres"
+        path.write_text("rules\n p(x X <- q.")
+        assert main(["run", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_consistent_program(self, tc_file, capsys):
+        assert main(["check", tc_file]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_violation_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.logres"
+        path.write_text(TC_SOURCE + '\nrules\n  <- anc(a "a", d "c").\n')
+        assert main(["check", str(path)]) == 1
+        assert "violation" in capsys.readouterr().out
+
+
+class TestFmt:
+    def test_canonical_output_reparses(self, tc_file, capsys, tmp_path):
+        assert main(["fmt", tc_file]) == 0
+        formatted = capsys.readouterr().out
+        path = tmp_path / "fmt.logres"
+        path.write_text(formatted)
+        assert main(["check", str(path)]) == 0
+
+
+class TestExplain:
+    def test_derivation_tree(self, tc_file, capsys):
+        assert main(["explain", tc_file, 'anc(a="a", d="c")']) == 0
+        out = capsys.readouterr().out
+        assert "step" in out and "rule:" in out
+
+    def test_unknown_fact(self, tc_file, capsys):
+        assert main(["explain", tc_file, 'anc(a="zz", d="qq")']) == 1
+
+    def test_malformed_fact(self, tc_file, capsys):
+        assert main(["explain", tc_file, "anc"]) == 2
+
+
+class TestStateIntegration:
+    def test_run_against_persisted_state(self, tmp_path, capsys):
+        from repro import Database
+
+        db = Database.from_source("""
+        associations
+          parent = (par: string, chil: string).
+        """)
+        db.insert("parent", par="x", chil="y")
+        state_path = tmp_path / "state.json"
+        db.save(state_path)
+
+        query = tmp_path / "q.logres"
+        query.write_text("goal\n  ?- parent(par P, chil C).\n")
+        assert main(["run", str(query), "--state", str(state_path)]) == 0
+        assert "1 answer(s):" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Tests for Python <-> LOGRES value coercion."""
+
+from collections import Counter
+
+import pytest
+
+from repro import from_value, to_value
+from repro.errors import ValueError_
+from repro.values import (
+    MultisetValue,
+    Oid,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+)
+
+
+class TestToValue:
+    def test_scalars_pass_through(self):
+        assert to_value(1) == 1
+        assert to_value("x") == "x"
+        assert to_value(True) is True
+        assert to_value(2.5) == 2.5
+
+    def test_oids_pass_through(self):
+        assert to_value(Oid(3)) == Oid(3)
+
+    def test_dict_becomes_tuple(self):
+        assert to_value({"A": 1, "b": 2}) == TupleValue(a=1, b=2)
+
+    def test_set_becomes_setvalue(self):
+        assert to_value({1, 2}) == SetValue([1, 2])
+        assert to_value(frozenset({1})) == SetValue([1])
+
+    def test_list_and_tuple_become_sequences(self):
+        assert to_value([1, 2]) == SequenceValue([1, 2])
+        assert to_value((1, 2)) == SequenceValue([1, 2])
+
+    def test_counter_becomes_multiset(self):
+        m = to_value(Counter({"a": 2, "b": 1}))
+        assert m == MultisetValue(["a", "a", "b"])
+
+    def test_nested_structures(self):
+        value = to_value({"kids": [{"n": 1}, {"n": 2}]})
+        assert value["kids"][0] == TupleValue(n=1)
+
+    def test_existing_values_pass_through(self):
+        v = SetValue([1])
+        assert to_value(v) is v
+
+    def test_uncoercible_rejected(self):
+        with pytest.raises(ValueError_, match="cannot coerce"):
+            to_value(object())
+
+
+class TestFromValue:
+    def test_round_trip_structures(self):
+        original = {"a": 1, "kids": [2, 3], "tags": {"x"}}
+        assert from_value(to_value(original)) == original
+
+    def test_multiset_round_trip(self):
+        original = Counter({"a": 2})
+        assert from_value(to_value(original)) == original
+
+    def test_oids_preserved(self):
+        assert from_value(Oid(7)) == Oid(7)
+        assert from_value(TupleValue(ref=Oid(7))) == {"ref": Oid(7)}

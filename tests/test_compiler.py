@@ -1,0 +1,372 @@
+"""Tests for the LOGRES-to-ALGRES compiler ([Ca90])."""
+
+import pytest
+
+from repro import Engine, FactSet, Oid, TupleValue
+from repro.compiler import (
+    catalog_to_factset,
+    compile_program,
+    factset_to_catalog,
+)
+from repro.errors import CompilationError
+from repro.language.parser import parse_source
+
+
+def build(text):
+    unit = parse_source(text)
+    return unit.schema(), unit.program()
+
+
+TC_SOURCE = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+"""
+
+
+def parent_facts(*pairs):
+    facts = FactSet()
+    for p, c in pairs:
+        facts.add_association("parent", TupleValue(par=p, chil=c))
+    return facts
+
+
+class TestDataConversion:
+    def test_factset_catalog_roundtrip_with_classes(self):
+        schema, _ = build("""
+        classes
+          person = (name: string).
+        associations
+          likes = (who: person, what: string).
+        rules
+          likes(who X, what "x") <- likes(who X, what "x").
+        """)
+        facts = FactSet()
+        facts.add_object("person", Oid(1), TupleValue(name="a"))
+        facts.add_association("likes", TupleValue(who=Oid(1), what="tea"))
+        catalog = factset_to_catalog(facts, schema)
+        assert len(catalog.get("person")) == 1
+        assert catalog.get("person").schema.has_label("self")
+        back = catalog_to_factset(catalog, schema)
+        assert back == facts
+
+    def test_undeclared_predicate_rejected(self):
+        schema, _ = build(TC_SOURCE)
+        facts = FactSet()
+        facts.add_association("ghost", TupleValue(x=1))
+        with pytest.raises(CompilationError, match="not declared"):
+            factset_to_catalog(facts, schema)
+
+
+class TestEquivalenceWithEngine:
+    def test_transitive_closure(self):
+        schema, program = build(TC_SOURCE)
+        edb = parent_facts(("a", "b"), ("b", "c"), ("c", "d"), ("a", "e"))
+        compiled = compile_program(program, schema)
+        assert compiled.run(edb) == Engine(schema, program).run(edb)
+
+    def test_class_bodies_are_compilable(self):
+        schema, program = build("""
+        classes
+          person = (name: string, age: integer).
+        associations
+          senior = (name: string, age: integer).
+        rules
+          senior(name N, age A) <- person(self S, name N, age A),
+                                   A >= 65.
+        """)
+        edb = FactSet()
+        edb.add_object("person", Oid(1), TupleValue(name="old", age=70))
+        edb.add_object("person", Oid(2), TupleValue(name="kid", age=7))
+        compiled = compile_program(program, schema)
+        out = compiled.run(edb)
+        assert [f.value["name"] for f in out.facts_of("senior")] == ["old"]
+
+    def test_constants_in_head_and_body(self):
+        schema, program = build("""
+        associations
+          edge = (a: string, b: string).
+          tagged = (a: string, b: string).
+        rules
+          tagged(a X, b "fixed") <- edge(a X, b "c").
+        """)
+        edb = FactSet()
+        for a, b in [("x", "c"), ("y", "d")]:
+            edb.add_association("edge", TupleValue(a=a, b=b))
+        compiled = compile_program(program, schema)
+        out = compiled.run(edb)
+        assert [(f.value["a"], f.value["b"])
+                for f in out.facts_of("tagged")] == [("x", "fixed")]
+
+    def test_repeated_variable_in_literal(self):
+        schema, program = build("""
+        associations
+          edge = (a: string, b: string).
+          loop = (a: string, b: string).
+        rules
+          loop(a X, b X) <- edge(a X, b X).
+        """)
+        edb = FactSet()
+        for a, b in [("x", "x"), ("y", "z")]:
+            edb.add_association("edge", TupleValue(a=a, b=b))
+        out = compile_program(program, schema).run(edb)
+        assert [f.value["a"] for f in out.facts_of("loop")] == ["x"]
+
+    def test_extensional_and_intensional_predicate_merge(self):
+        schema, program = build("""
+        associations
+          edge = (a: string, b: string).
+          path = (a: string, b: string).
+        rules
+          path(a X, b Y) <- edge(a X, b Y).
+          path(a X, b Z) <- edge(a X, b Y), path(a Y, b Z).
+        """)
+        edb = FactSet()
+        edb.add_association("edge", TupleValue(a="p", b="q"))
+        edb.add_association("path", TupleValue(a="seeded", b="row"))
+        out = compile_program(program, schema).run(edb)
+        native = Engine(schema, program).run(edb)
+        assert out == native
+        assert out.count("path") == 2
+
+    def test_multi_rule_nonrecursive_union(self):
+        schema, program = build("""
+        associations
+          m = (v: integer).
+          f = (v: integer).
+          person = (v: integer).
+        rules
+          person(v X) <- m(v X).
+          person(v X) <- f(v X).
+        """)
+        edb = FactSet()
+        edb.add_association("m", TupleValue(v=1))
+        edb.add_association("f", TupleValue(v=2))
+        out = compile_program(program, schema).run(edb)
+        assert sorted(f.value["v"] for f in out.facts_of("person")) == \
+            [1, 2]
+
+    def test_dependency_chain_evaluated_in_order(self):
+        schema, program = build("""
+        associations
+          base = (v: integer).
+          mid = (v: integer).
+          top = (v: integer).
+        rules
+          mid(v X) <- base(v X), X > 1.
+          top(v X) <- mid(v X), X > 2.
+        """)
+        edb = FactSet()
+        for i in range(5):
+            edb.add_association("base", TupleValue(v=i))
+        out = compile_program(program, schema).run(edb)
+        assert sorted(f.value["v"] for f in out.facts_of("top")) == [3, 4]
+
+
+class TestFragmentBoundaries:
+    def test_unstratified_negation_rejected(self):
+        from repro.errors import StratificationError
+
+        schema, program = build("""
+        associations
+          e = (v: integer).
+          p = (v: integer).
+        rules
+          p(v X) <- e(v X), ~p(v 0).
+        """)
+        with pytest.raises(StratificationError):
+            compile_program(program, schema)
+
+    def test_active_domain_negation_rejected(self):
+        schema, program = build("""
+        associations
+          e = (a: integer, b: integer).
+          p = (a: integer).
+        rules
+          p(a X) <- e(a X, b Y), ~e(a Y, b Z).
+        """)
+        with pytest.raises(CompilationError, match="active-domain"):
+            compile_program(program, schema)
+
+    def test_deletion_rejected(self):
+        schema, program = build("""
+        associations
+          e = (v: integer).
+        rules
+          ~e(v X) <- e(v X), X > 3.
+        """)
+        with pytest.raises(CompilationError):
+            compile_program(program, schema)
+
+    def test_invention_rejected(self):
+        schema, program = build("""
+        classes
+          c = (tag: string).
+        associations
+          s = (tag: string).
+        rules
+          c(tag X) <- s(tag X).
+        """)
+        with pytest.raises(CompilationError):
+            compile_program(program, schema)
+
+    def test_class_head_rejected(self):
+        schema, program = build("""
+        classes
+          c = (tag: string).
+        associations
+          s = (tag: string).
+        rules
+          c(self S, tag X) <- c(self S), s(tag X).
+        """)
+        with pytest.raises(CompilationError, match="class heads"):
+            compile_program(program, schema)
+
+    def test_tuple_variables_rejected(self):
+        schema, program = build("""
+        associations
+          e = (v: integer, w: integer).
+          p = (v: integer, w: integer).
+        rules
+          p(T) <- e(T).
+        """)
+        with pytest.raises(CompilationError):
+            compile_program(program, schema)
+
+    def test_collection_builtins_rejected(self):
+        schema, program = build("""
+        associations
+          e = (v: {integer}).
+          p = (v: {integer}).
+        rules
+          p(v Z) <- e(v X), e(v Y), union(X, Y, Z).
+        """)
+        with pytest.raises(CompilationError, match="builtin"):
+            compile_program(program, schema)
+
+    def test_mutual_recursion_rejected(self):
+        schema, program = build("""
+        associations
+          e = (a: string, b: string).
+          odd = (a: string, b: string).
+          evenp = (a: string, b: string).
+        rules
+          odd(a X, b Y) <- e(a X, b Y).
+          odd(a X, b Z) <- e(a X, b Y), evenp(a Y, b Z).
+          evenp(a X, b Z) <- e(a X, b Y), odd(a Y, b Z).
+        """)
+        with pytest.raises(CompilationError, match="mutual recursion"):
+            compile_program(program, schema)
+
+    def test_nonlinear_recursion_rejected(self):
+        schema, program = build("""
+        associations
+          e = (a: string, b: string).
+          tc = (a: string, b: string).
+        rules
+          tc(a X, b Y) <- e(a X, b Y).
+          tc(a X, b Z) <- tc(a X, b Y), tc(a Y, b Z).
+        """)
+        with pytest.raises(CompilationError, match="non-linear"):
+            compile_program(program, schema)
+
+    def test_partial_head_rejected(self):
+        schema, program = build("""
+        associations
+          e = (a: string, b: string).
+          p = (a: string, b: string).
+        rules
+          p(a X) <- e(a X, b Y).
+        """)
+        with pytest.raises(CompilationError, match="every attribute"):
+            compile_program(program, schema)
+
+
+class TestArithmeticExtension:
+    def test_arithmetic_binding_compiles(self):
+        schema, program = build("""
+        associations
+          n = (v: integer).
+          double = (v: integer, d: integer).
+        rules
+          double(v X, d Y) <- n(v X), Y = X * 2 + 1.
+        """)
+        edb = FactSet()
+        for i in range(4):
+            edb.add_association("n", TupleValue(v=i))
+        compiled = compile_program(program, schema)
+        assert compiled.run(edb) == Engine(schema, program).run(edb)
+
+    def test_chained_arithmetic_bindings(self):
+        schema, program = build("""
+        associations
+          n = (v: integer).
+          out = (v: integer, w: integer).
+        rules
+          out(v X, w Z) <- n(v X), Y = X + 1, Z = Y * Y.
+        """)
+        edb = FactSet()
+        edb.add_association("n", TupleValue(v=3))
+        compiled = compile_program(program, schema)
+        out = compiled.run(edb)
+        assert [(f.value["v"], f.value["w"])
+                for f in out.facts_of("out")] == [(3, 16)]
+
+    def test_arithmetic_in_comparison(self):
+        schema, program = build("""
+        associations
+          n = (v: integer).
+          big = (v: integer).
+        rules
+          big(v X) <- n(v X), X * 2 > 5.
+        """)
+        edb = FactSet()
+        for i in range(5):
+            edb.add_association("n", TupleValue(v=i))
+        out = compile_program(program, schema).run(edb)
+        assert sorted(f.value["v"] for f in out.facts_of("big")) == [3, 4]
+
+
+class TestStratifiedNegation:
+    def test_antijoin_matches_stratified_engine(self):
+        from repro import Semantics
+        from repro.workloads import random_edges
+
+        schema, program = build("""
+        associations
+          parent = (par: string, chil: string).
+          anc = (a: string, d: string).
+          leaf = (n: string).
+          oneway = (a: string, b: string).
+        rules
+          anc(a X, d Y) <- parent(par X, chil Y).
+          anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+          leaf(n Y) <- parent(par X, chil Y), ~parent(par Y).
+          oneway(a X, b Y) <- parent(par X, chil Y),
+                              ~parent(par Y, chil X).
+        """)
+        edb = random_edges(20, 40, seed=12)
+        compiled = compile_program(program, schema)
+        native = Engine(schema, program).run(edb, Semantics.STRATIFIED)
+        assert compiled.run(edb) == native
+
+    def test_negation_with_optimizer(self):
+        from repro import Semantics
+        from repro.workloads import chain_edges
+
+        schema, program = build("""
+        associations
+          parent = (par: string, chil: string).
+          leaf = (n: string).
+        rules
+          leaf(n Y) <- parent(par X, chil Y), ~parent(par Y).
+        """)
+        edb = chain_edges(10)
+        compiled = compile_program(program, schema, optimize_plans=True)
+        native = Engine(schema, program).run(edb, Semantics.STRATIFIED)
+        assert compiled.run(edb) == native
+        # exactly one leaf on a chain
+        assert compiled.run(edb).count("leaf") == 1

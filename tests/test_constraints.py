@@ -1,0 +1,221 @@
+"""Tests for generated constraints and the consistency checker."""
+
+import pytest
+
+from repro import (
+    Engine,
+    FactSet,
+    Oid,
+    TupleValue,
+    parse_schema_source,
+)
+from repro.constraints import (
+    ConsistencyChecker,
+    check_consistency,
+    isa_propagation_rules,
+    referential_denials,
+)
+from repro.errors import ConsistencyError
+from repro.language.ast import Program
+from repro.language.parser import parse_program
+
+
+@pytest.fixture
+def schema():
+    return parse_schema_source("""
+    classes
+      person = (name: string).
+      student = (person, school: string).
+      team = (tname: string, captain: person).
+      student isa person.
+    associations
+      likes = (who: person, what: string).
+    """)
+
+
+class TestGeneratedRules:
+    def test_isa_propagation_rules_one_per_edge(self, schema):
+        rules = isa_propagation_rules(schema)
+        assert len(rules) == 1
+        (rule,) = rules
+        assert rule.head.pred == "person"
+        assert rule.body[0].pred == "student"
+        assert rule.name == "isa:student->person"
+
+    def test_propagation_rules_take_effect_in_engine(self, schema):
+        engine = Engine(schema, Program(tuple(isa_propagation_rules(schema))))
+        edb = FactSet()
+        edb.add_object("student", Oid(1),
+                       TupleValue(name="a", school="s"))
+        out = engine.run(edb)
+        assert out.has_oid("person", Oid(1))
+        assert out.value_of("person", Oid(1)) == TupleValue(name="a")
+
+    def test_referential_denials_cover_reference_fields(self, schema):
+        denials = referential_denials(schema)
+        names = sorted(d.name for d in denials)
+        assert names == [
+            "ref:likes.who->person",
+            "ref:team.captain->person",
+        ]
+        assert all(d.is_denial for d in denials)
+
+
+class TestStructuralChecks:
+    def test_consistent_state_has_no_violations(self, schema):
+        facts = FactSet()
+        facts.add_object("person", Oid(1), TupleValue(name="a"))
+        facts.add_association("likes",
+                              TupleValue(who=Oid(1), what="tea"))
+        assert check_consistency(facts, schema) == []
+
+    def test_unknown_predicate_flagged(self, schema):
+        facts = FactSet()
+        facts.add_association("ghost", TupleValue(x=1))
+        violations = check_consistency(facts, schema)
+        assert any(v.kind == "type" for v in violations)
+
+    def test_wrong_attribute_type_flagged(self, schema):
+        facts = FactSet()
+        facts.add_object("person", Oid(1), TupleValue(name=42))
+        violations = check_consistency(facts, schema)
+        assert any("does not match" in v.message for v in violations)
+
+    def test_unknown_attribute_flagged(self, schema):
+        facts = FactSet()
+        facts.add_object("person", Oid(1),
+                         TupleValue(name="a", ghost=1))
+        violations = check_consistency(facts, schema)
+        assert any("unknown attribute" in v.message for v in violations)
+
+    def test_partial_class_values_are_legal(self, schema):
+        facts = FactSet()
+        facts.add_object("student", Oid(1), TupleValue(name="a"))
+        facts.add_object("person", Oid(1), TupleValue(name="a"))
+        assert check_consistency(facts, schema) == []
+
+    def test_incomplete_association_tuple_flagged(self, schema):
+        facts = FactSet()
+        facts.add_object("person", Oid(1), TupleValue(name="a"))
+        facts.add_association("likes", TupleValue(who=Oid(1)))
+        violations = check_consistency(facts, schema)
+        assert any("misses attribute" in v.message for v in violations)
+
+
+class TestIsaChecks:
+    def test_subclass_without_superclass_membership_flagged(self, schema):
+        facts = FactSet()
+        facts.add_object("student", Oid(1),
+                         TupleValue(name="a", school="s"))
+        violations = check_consistency(facts, schema)
+        assert any(v.kind == "isa" for v in violations)
+
+    def test_oid_in_two_hierarchies_flagged(self):
+        schema = parse_schema_source("""
+        classes
+          animal = (legs: integer).
+          robot = (volts: integer).
+        """)
+        facts = FactSet()
+        facts.add_object("animal", Oid(1), TupleValue(legs=4))
+        facts.add_object("robot", Oid(1), TupleValue(volts=9))
+        violations = check_consistency(facts, schema)
+        assert any(v.kind == "hierarchy" for v in violations)
+
+
+class TestReferentialChecks:
+    def test_dangling_association_reference_flagged(self, schema):
+        facts = FactSet()
+        facts.add_association("likes",
+                              TupleValue(who=Oid(9), what="tea"))
+        violations = check_consistency(facts, schema)
+        assert any(v.kind == "reference" for v in violations)
+
+    def test_nil_in_association_flagged(self, schema):
+        facts = FactSet()
+        facts.add_association("likes",
+                              TupleValue(who=Oid(0), what="tea"))
+        violations = check_consistency(facts, schema)
+        assert any("nil" in v.message for v in violations)
+
+    def test_nil_in_class_reference_is_legal(self, schema):
+        facts = FactSet()
+        facts.add_object("team", Oid(1),
+                         TupleValue(tname="x", captain=Oid(0)))
+        assert check_consistency(facts, schema) == []
+
+    def test_dangling_class_reference_flagged(self, schema):
+        facts = FactSet()
+        facts.add_object("team", Oid(1),
+                         TupleValue(tname="x", captain=Oid(9)))
+        violations = check_consistency(facts, schema)
+        assert any(v.kind == "reference" for v in violations)
+
+    def test_nested_references_inside_collections_checked(self):
+        schema = parse_schema_source("""
+        classes
+          player = (pname: string).
+        associations
+          squad = (sname: string, members: {player}).
+        """)
+        facts = FactSet()
+        facts.add_object("player", Oid(1), TupleValue(pname="a"))
+        from repro.values import SetValue
+
+        facts.add_association("squad", TupleValue(
+            sname="x", members=SetValue([Oid(1), Oid(7)])))
+        violations = check_consistency(facts, schema)
+        assert any(v.kind == "reference" and "&7" in v.message
+                   for v in violations)
+
+
+class TestDenials:
+    def test_denial_violation_detected(self, schema):
+        denial = parse_program(
+            '<- likes(who X, what "poison").'
+        ).rules[0]
+        facts = FactSet()
+        facts.add_object("person", Oid(1), TupleValue(name="a"))
+        facts.add_association("likes",
+                              TupleValue(who=Oid(1), what="poison"))
+        violations = check_consistency(facts, schema, (denial,))
+        assert any(v.kind == "denial" for v in violations)
+
+    def test_satisfied_denial_is_silent(self, schema):
+        denial = parse_program(
+            '<- likes(who X, what "poison").'
+        ).rules[0]
+        facts = FactSet()
+        facts.add_object("person", Oid(1), TupleValue(name="a"))
+        facts.add_association("likes",
+                              TupleValue(who=Oid(1), what="tea"))
+        assert check_consistency(facts, schema, (denial,)) == []
+
+    def test_paper_married_divorced_denial(self):
+        # the paper's example: <- married(X), divorced(X)
+        schema = parse_schema_source("""
+        associations
+          married = (n: string).
+          divorced = (n: string).
+        """)
+        denial = parse_program(
+            "<- married(n X), divorced(n X)."
+        ).rules[0]
+        facts = FactSet()
+        facts.add_association("married", TupleValue(n="a"))
+        facts.add_association("divorced", TupleValue(n="a"))
+        violations = check_consistency(facts, schema, (denial,))
+        assert len(violations) == 1
+
+
+class TestRequireConsistent:
+    def test_raises_with_summary(self, schema):
+        checker = ConsistencyChecker(schema)
+        facts = FactSet()
+        facts.add_association("likes",
+                              TupleValue(who=Oid(9), what="x"))
+        with pytest.raises(ConsistencyError, match="violations"):
+            checker.require_consistent(facts)
+
+    def test_passes_on_consistent_state(self, schema):
+        ConsistencyChecker(schema).require_consistent(FactSet())

@@ -1,0 +1,120 @@
+"""Tests for the flat Datalog baseline engine."""
+
+import pytest
+
+from repro.datalog import Atom, DVar, DatalogEngine, DatalogProgram, DatalogRule
+from repro.errors import EvaluationError, StratificationError
+
+X, Y, Z = DVar("X"), DVar("Y"), DVar("Z")
+
+
+def tc_rules():
+    return [
+        DatalogRule(Atom("anc", X, Y), (Atom("parent", X, Y),)),
+        DatalogRule(Atom("anc", X, Z),
+                    (Atom("parent", X, Y), Atom("anc", Y, Z))),
+    ]
+
+
+def parent_facts(*pairs):
+    return {("parent", pair) for pair in pairs}
+
+
+class TestSafety:
+    def test_unbound_head_variable_rejected(self):
+        with pytest.raises(EvaluationError, match="unsafe"):
+            DatalogRule(Atom("p", X), (Atom("q", Y),))
+
+    def test_unbound_negated_variable_rejected(self):
+        with pytest.raises(EvaluationError, match="unsafe"):
+            DatalogRule(Atom("p", X), (Atom("q", X),),
+                        (Atom("r", Y),))
+
+    def test_ground_fact_rule_is_safe(self):
+        DatalogRule(Atom("p", 1, "a"))
+
+
+class TestPositiveEvaluation:
+    def test_transitive_closure(self):
+        facts = parent_facts(("a", "b"), ("b", "c"), ("c", "d"))
+        out = DatalogEngine(tc_rules()).seminaive(facts)
+        anc = {args for pred, args in out if pred == "anc"}
+        assert len(anc) == 6
+        assert ("a", "d") in anc
+
+    def test_naive_equals_seminaive(self):
+        facts = parent_facts(("a", "b"), ("b", "c"), ("b", "d"),
+                             ("d", "e"))
+        engine = DatalogEngine(tc_rules())
+        assert engine.naive(facts) == engine.seminaive(facts)
+
+    def test_constants_in_rules(self):
+        rules = [DatalogRule(
+            Atom("root_child", X), (Atom("parent", "root", X),)
+        )]
+        facts = parent_facts(("root", "a"), ("other", "b"))
+        out = DatalogEngine(rules).seminaive(facts)
+        assert ("root_child", ("a",)) in out
+        assert ("root_child", ("b",)) not in out
+
+    def test_repeated_variables_filter(self):
+        rules = [DatalogRule(Atom("loop", X), (Atom("parent", X, X),))]
+        facts = parent_facts(("a", "a"), ("a", "b"))
+        out = DatalogEngine(rules).seminaive(facts)
+        assert {args for p, args in out if p == "loop"} == {("a",)}
+
+    def test_facts_preserved_in_output(self):
+        out = DatalogEngine(tc_rules()).seminaive(
+            parent_facts(("a", "b"))
+        )
+        assert ("parent", ("a", "b")) in out
+
+    def test_iterations_counted(self):
+        engine = DatalogEngine(tc_rules())
+        engine.seminaive(parent_facts(("a", "b"), ("b", "c")))
+        assert engine.iterations >= 2
+
+
+class TestStratifiedNegation:
+    def test_complement_program(self):
+        rules = tc_rules() + [
+            DatalogRule(Atom("node", X), (Atom("parent", X, Y),)),
+            DatalogRule(Atom("node", Y), (Atom("parent", X, Y),)),
+            DatalogRule(
+                Atom("isolated", X),
+                (Atom("node", X),),
+                (Atom("anc", "a", X),),
+            ),
+        ]
+        facts = parent_facts(("a", "b"), ("c", "d"))
+        out = DatalogEngine(rules).stratified(facts)
+        isolated = {args[0] for p, args in out if p == "isolated"}
+        assert isolated == {"a", "c", "d"}
+
+    def test_negation_routed_automatically(self):
+        rules = [
+            DatalogRule(Atom("p", X), (Atom("q", X),),
+                        (Atom("r", X),)),
+        ]
+        facts = {("q", (1,)), ("q", (2,)), ("r", (2,))}
+        out = DatalogEngine(rules).naive(facts)
+        assert {a for p, a in out if p == "p"} == {(1,)}
+
+    def test_unstratifiable_program_rejected(self):
+        rules = [
+            DatalogRule(Atom("p", X), (Atom("q", X),),
+                        (Atom("p", X),)),
+        ]
+        with pytest.raises(StratificationError):
+            DatalogEngine(rules).stratified({("q", (1,))})
+
+
+class TestProgram:
+    def test_idb_predicates(self):
+        program = DatalogProgram(tuple(tc_rules()))
+        assert program.idb_predicates() == {"anc"}
+
+    def test_rule_reprs(self):
+        rule = tc_rules()[1]
+        assert ":-" in repr(rule)
+        assert "?X" in repr(rule)

@@ -1,0 +1,223 @@
+"""Edge-case coverage across subsystems."""
+
+import pytest
+
+from repro import (
+    Database,
+    Engine,
+    FactSet,
+    Oid,
+    Semantics,
+    SetValue,
+    TupleValue,
+)
+from repro.errors import SafetyError
+from repro.language.parser import parse_source
+from repro.values import Instance
+
+
+def build(text):
+    unit = parse_source(text)
+    return unit.schema(), unit.program()
+
+
+class TestCyclicIsomorphism:
+    """The determinacy check must handle cyclic object graphs."""
+
+    def cyclic_instance(self, a, b):
+        return Instance(
+            pi={"node": {Oid(a), Oid(b)}},
+            nu={
+                Oid(a): TupleValue(next=Oid(b)),
+                Oid(b): TupleValue(next=Oid(a)),
+            },
+        )
+
+    def test_two_cycles_of_same_length_isomorphic(self):
+        assert self.cyclic_instance(1, 2).isomorphic_to(
+            self.cyclic_instance(10, 20)
+        )
+
+    def test_cycle_vs_self_loop_not_isomorphic(self):
+        cycle = self.cyclic_instance(1, 2)
+        loops = Instance(
+            pi={"node": {Oid(1), Oid(2)}},
+            nu={
+                Oid(1): TupleValue(next=Oid(1)),
+                Oid(2): TupleValue(next=Oid(2)),
+            },
+        )
+        assert not cycle.isomorphic_to(loops)
+
+    def test_nil_next_distinguishes(self):
+        cycle = self.cyclic_instance(1, 2)
+        chain = Instance(
+            pi={"node": {Oid(1), Oid(2)}},
+            nu={
+                Oid(1): TupleValue(next=Oid(2)),
+                Oid(2): TupleValue(next=Oid(0)),
+            },
+        )
+        assert not cycle.isomorphic_to(chain)
+
+
+class TestFunctionMemberDeletion:
+    def test_negated_member_head_removes_extensional_entries(self):
+        """A negated member(...) head deletes from the function's backing
+        association.  The entries are extensional here — a positive rule
+        re-deriving them would make the sequence oscillate (undefined
+        semantics, as for any insert/delete tug-of-war)."""
+        schema, program = build("""
+        associations
+          purge = (n: string).
+        functions
+          kids: string -> {string}.
+          ~member(X, kids(Y)) <- member(X, kids(Y)), purge(n X).
+        """)
+        edb = FactSet()
+        edb.add_association("__fn_kids", TupleValue(arg0="a", value="b"))
+        edb.add_association("__fn_kids", TupleValue(arg0="a", value="c"))
+        edb.add_association("purge", TupleValue(n="b"))
+        out = Engine(schema, program).run(edb)
+        remaining = {
+            f.value["value"] for f in out.facts_of("__fn_kids")
+        }
+        assert remaining == {"c"}
+
+    def test_rederiving_deletion_is_undefined(self):
+        from repro import EvalConfig
+        from repro.errors import NonTerminationError
+
+        schema, program = build("""
+        associations
+          parent = (par: string, chil: string).
+          purge = (n: string).
+        functions
+          kids: string -> {string}.
+          member(X, kids(Y)) <- parent(par Y, chil X).
+          ~member(X, kids(Y)) <- member(X, kids(Y)), purge(n X).
+        """)
+        edb = FactSet()
+        edb.add_association("parent", TupleValue(par="a", chil="b"))
+        edb.add_association("purge", TupleValue(n="b"))
+        engine = Engine(schema, program, EvalConfig(max_iterations=32))
+        with pytest.raises(NonTerminationError):
+            engine.run(edb)
+
+
+class TestEagerRuleValidation:
+    def test_add_rules_rejects_unsafe_rules_immediately(self):
+        db = Database.from_source("""
+        associations
+          p = (x: integer).
+        """)
+        with pytest.raises(SafetyError):
+            db.add_rules("p(x Y) <- p(x X).")
+        assert db.rules == ()  # nothing was committed
+
+    def test_add_rules_accepts_denials(self):
+        db = Database.from_source("""
+        associations
+          p = (x: integer).
+        """)
+        db.add_rules("<- p(x X), X > 100.")
+        assert len(db.rules) == 1
+
+
+class TestEmptyCollectionsInFacts:
+    def test_empty_set_attribute_round_trips_through_engine(self):
+        schema, program = build("""
+        associations
+          bag = (items: {integer}).
+          copy = (items: {integer}).
+        rules
+          copy(items X) <- bag(items X).
+        """)
+        edb = FactSet()
+        edb.add_association("bag", TupleValue(items=SetValue()))
+        out = Engine(schema, program).run(edb)
+        (fact,) = out.facts_of("copy")
+        assert fact.value["items"] == SetValue()
+
+    def test_membership_over_empty_set_yields_nothing(self):
+        schema, program = build("""
+        associations
+          bag = (items: {integer}).
+          found = (v: integer).
+        rules
+          found(v X) <- bag(items S), member(X, S).
+        """)
+        edb = FactSet()
+        edb.add_association("bag", TupleValue(items=SetValue()))
+        out = Engine(schema, program).run(edb)
+        assert out.count("found") == 0
+
+
+class TestZeroArityPredicates:
+    def test_propositional_predicate(self):
+        schema, program = build("""
+        associations
+          alarm = ().
+          trigger = (v: integer).
+        rules
+          alarm <- trigger(v X), X > 9.
+        """)
+        edb = FactSet()
+        edb.add_association("trigger", TupleValue(v=10))
+        out = Engine(schema, program).run(edb)
+        assert out.count("alarm") == 1
+
+    def test_propositional_negation(self):
+        schema, program = build("""
+        associations
+          alarm = ().
+          calm = ().
+          trigger = (v: integer).
+        rules
+          alarm <- trigger(v X), X > 9.
+          calm <- trigger(v X), ~alarm.
+        """)
+        edb = FactSet()
+        edb.add_association("trigger", TupleValue(v=1))
+        out = Engine(schema, program).run(edb, Semantics.STRATIFIED)
+        assert out.count("calm") == 1
+        assert out.count("alarm") == 0
+
+
+class TestUnicodeAndOddStrings:
+    def test_unicode_values_flow_through(self):
+        db = Database.from_source("""
+        associations
+          p = (s: string).
+        """)
+        db.insert("p", s="héllo wörld ✓")
+        answers = db.query("?- p(s S).")
+        assert answers[0]["S"] == "héllo wörld ✓"
+
+    def test_strings_with_quotes_parse(self):
+        schema, program = build(r'''
+        associations
+          p = (s: string).
+        rules
+          p(s "say \"hi\"").
+        ''')
+        out = Engine(schema, program).run(FactSet())
+        (fact,) = out.facts_of("p")
+        assert fact.value["s"] == 'say "hi"'
+
+
+class TestLargeScaleSmoke:
+    def test_moderately_deep_recursion(self):
+        from repro.workloads import chain_edges
+
+        schema, program = build("""
+        associations
+          parent = (par: string, chil: string).
+          anc = (a: string, d: string).
+        rules
+          anc(a X, d Y) <- parent(par X, chil Y).
+          anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+        """)
+        n = 60
+        out = Engine(schema, program).run(chain_edges(n))
+        assert out.count("anc") == (n + 1) * n // 2

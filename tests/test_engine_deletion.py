@@ -1,0 +1,156 @@
+"""Engine tests: negative heads (deletions) and the VAR' composition."""
+
+from repro import Engine, FactSet, Oid, Semantics, TupleValue
+from repro.language.parser import parse_source
+
+
+def build(text):
+    unit = parse_source(text)
+    return unit.schema(), unit.program()
+
+
+class TestAssociationDeletion:
+    def test_example_4_2_update_program(self):
+        """The paper's Example 4.2: add 1 to the second field of tuples
+        with an even first field, exactly reproducing
+        E1 = {p(1,1), p(2,3), p(3,3), p(4,5)}."""
+        schema, program = build("""
+        associations
+          p = (d1: integer, d2: integer).
+          mod = (d1: integer, d2: integer).
+        rules
+          p(d1 X, d2 Z) <- p(d1 X, d2 Y), even(X), Z = Y + 1,
+                           ~mod(d1 X, d2 Y).
+          mod(d1 X, d2 Z) <- p(d1 X, d2 Y), even(X), Z = Y + 1,
+                             ~mod(d1 X, d2 Y).
+          ~p(Y) <- p(Y, d1 X), even(X), ~mod(Y).
+        """)
+        edb = FactSet()
+        for i in range(1, 5):
+            edb.add_association("p", TupleValue(d1=i, d2=i))
+        out = Engine(schema, program).run(edb)
+        result = sorted(
+            (f.value["d1"], f.value["d2"]) for f in out.facts_of("p")
+        )
+        assert result == [(1, 1), (2, 3), (3, 3), (4, 5)]
+
+    def test_full_tuple_deletion_via_tuple_variable(self):
+        schema, program = build("""
+        associations
+          p = (v: integer).
+          kill = (v: integer).
+        rules
+          ~p(T) <- p(T), kill(T).
+        """)
+        edb = FactSet()
+        for i in range(3):
+            edb.add_association("p", TupleValue(v=i))
+        edb.add_association("kill", TupleValue(v=1))
+        out = Engine(schema, program).run(edb)
+        assert sorted(f.value["v"] for f in out.facts_of("p")) == [0, 2]
+
+    def test_partial_pattern_deletes_all_matches(self):
+        schema, program = build("""
+        associations
+          p = (k: string, v: integer).
+          doomed = (k: string).
+        rules
+          ~p(k X) <- doomed(k X).
+        """)
+        edb = FactSet()
+        for k, v in [("a", 1), ("a", 2), ("b", 3)]:
+            edb.add_association("p", TupleValue(k=k, v=v))
+        edb.add_association("doomed", TupleValue(k="a"))
+        out = Engine(schema, program).run(edb)
+        assert sorted(f.value["v"] for f in out.facts_of("p")) == [3]
+
+    def test_deleting_missing_fact_is_noop(self):
+        schema, program = build("""
+        associations
+          p = (v: integer).
+          q = (v: integer).
+        rules
+          ~p(v X) <- q(v X).
+        """)
+        edb = FactSet()
+        edb.add_association("q", TupleValue(v=7))
+        out = Engine(schema, program).run(edb)
+        assert out.count("p") == 0
+        assert out.count("q") == 1
+
+
+class TestSimultaneousInsertDelete:
+    def test_insert_delete_oscillation_is_undefined(self):
+        """Appendix B: "the deterministic semantics of a program is
+        undefined if there is no fixpoint of the sequence".  A rule pair
+        that re-derives what the other deletes oscillates: the valuation
+        domain suppresses Δ⁺ for already-present facts, so Δ⁻ empties p,
+        the next step refills it, and the sequence F⁰, F¹, ... never
+        stabilizes.  The engine reports this as non-termination."""
+        import pytest
+
+        from repro import EvalConfig
+        from repro.errors import NonTerminationError
+
+        schema, program = build("""
+        associations
+          p = (v: integer).
+          q = (v: integer).
+        rules
+          p(v X) <- q(v X).
+          ~p(v X) <- q(v X), p(v X).
+        """)
+        edb = FactSet()
+        edb.add_association("q", TupleValue(v=1))
+        edb.add_association("p", TupleValue(v=1))
+        engine = Engine(schema, program, EvalConfig(max_iterations=64))
+        with pytest.raises(NonTerminationError):
+            engine.run(edb)
+
+    def test_survivor_clause_at_the_delta_level(self):
+        """The VAR' survivor term ``F ∩ Δ⁺ ∩ Δ⁻`` keeps a fact that is in
+        the current state and in both deltas (unit-level check of the
+        one-step operator's algebra)."""
+        from repro.engine.step import StepDeltas, apply_deltas
+        from repro.storage import Fact
+
+        fact = Fact("p", TupleValue(v=1))
+        current = FactSet.from_facts([fact])
+        deltas = StepDeltas()
+        deltas.plus.add(fact)
+        deltas.minus.add(fact)
+        result = apply_deltas(current, deltas)
+        assert fact in result
+
+
+class TestObjectDeletion:
+    def test_delete_object_by_attribute(self):
+        schema, program = build("""
+        classes
+          person = (name: string).
+        associations
+          banned = (name: string).
+        rules
+          ~person(self S) <- person(self S, name N), banned(name N).
+        """)
+        edb = FactSet()
+        edb.add_object("person", Oid(1), TupleValue(name="sara"))
+        edb.add_object("person", Oid(2), TupleValue(name="ugo"))
+        edb.add_association("banned", TupleValue(name="ugo"))
+        out = Engine(schema, program).run(edb)
+        assert out.oids_of("person") == {Oid(1)}
+
+    def test_deletion_with_mismatched_attributes_is_noop(self):
+        schema, program = build("""
+        classes
+          person = (name: string).
+        associations
+          tick = (v: integer).
+        rules
+          ~person(self S, name "ghost") <- person(self S), tick(v 1).
+        """)
+        edb = FactSet()
+        edb.add_object("person", Oid(1), TupleValue(name="sara"))
+        edb.add_association("tick", TupleValue(v=1))
+        out = Engine(schema, program).run(edb)
+        assert out.oids_of("person") == {Oid(1)}

@@ -1,0 +1,131 @@
+"""Engine tests: data functions (Section 2.1, Examples 2.2 and 3.2)."""
+
+from repro import Engine, FactSet, Oid, Semantics, SetValue, TupleValue
+from repro.language.parser import parse_source
+
+
+def build(text):
+    unit = parse_source(text)
+    return unit.schema(), unit.program()
+
+
+def parents(*pairs):
+    facts = FactSet()
+    for p, c in pairs:
+        facts.add_association("parent", TupleValue(par=p, chil=c))
+    return facts
+
+
+class TestDescendants:
+    SOURCE = """
+    associations
+      parent = (par: string, chil: string).
+      ancestor = (anc: string, des: {string}).
+    functions
+      desc: string -> {string}.
+      member(X, desc(Y)) <- parent(par Y, chil X).
+      member(X, desc(Y)) <- parent(par Y, chil Z), member(X, T),
+                            T = desc(Z).
+    rules
+      ancestor(anc X, des Y) <- parent(par X), Y = desc(X).
+    """
+
+    def test_example_3_2_nested_descendants(self):
+        schema, program = build(self.SOURCE)
+        edb = parents(("a", "b"), ("b", "c"), ("b", "d"))
+        out = Engine(schema, program).run(edb, Semantics.STRATIFIED)
+        rows = {f.value["anc"]: f.value["des"]
+                for f in out.facts_of("ancestor")}
+        assert rows == {
+            "a": SetValue(["b", "c", "d"]),
+            "b": SetValue(["c", "d"]),
+        }
+
+    def test_function_read_of_missing_args_is_empty_set(self):
+        schema, program = build(self.SOURCE)
+        edb = parents(("a", "b"))
+        out = Engine(schema, program).run(edb, Semantics.STRATIFIED)
+        rows = {f.value["anc"]: f.value["des"]
+                for f in out.facts_of("ancestor")}
+        assert rows == {"a": SetValue(["b"])}
+
+    def test_inflationary_semantics_warns_by_growing_sets(self):
+        """Without stratification the nesting rule runs while desc is
+        still growing: intermediate (smaller) sets survive in the
+        inflationary instance.  This is the anomaly Section 3.1's
+        stratification discussion addresses."""
+        schema, program = build(self.SOURCE)
+        edb = parents(("a", "b"), ("b", "c"))
+        out = Engine(schema, program).run(edb, Semantics.INFLATIONARY)
+        sets_for_a = [f.value["des"] for f in out.facts_of("ancestor")
+                      if f.value["anc"] == "a"]
+        assert SetValue(["b", "c"]) in sets_for_a
+        assert len(sets_for_a) >= 2  # the partial {b} also survives
+
+
+class TestChildrenWithComplexElements:
+    def test_example_2_2_children_function(self):
+        """CHILDREN: person -> {(person, bdate)} — set of tuples."""
+        schema, program = build("""
+        associations
+          parent = (father: string, child: string, bdate: string).
+          fam = (who: string, kids: {(person: string, bdate: string)}).
+        functions
+          children: string -> {(person: string, bdate: string)}.
+          member(T, children(X)) <- parent(father X, child Y, bdate Z),
+                                    T = (person Y, bdate Z).
+        rules
+          fam(who X, kids K) <- parent(father X), K = children(X).
+        """)
+        edb = FactSet()
+        edb.add_association("parent", TupleValue(
+            father="abe", child="homer", bdate="1955"))
+        edb.add_association("parent", TupleValue(
+            father="abe", child="herb", bdate="1953"))
+        out = Engine(schema, program).run(edb, Semantics.STRATIFIED)
+        (row,) = out.facts_of("fam")
+        assert row.value["kids"] == SetValue([
+            TupleValue(person="homer", bdate="1955"),
+            TupleValue(person="herb", bdate="1953"),
+        ])
+
+
+class TestNullaryFunctions:
+    def test_junior_names_a_subset_of_a_class(self):
+        """Example 2.2's JUNIOR -> {person} nullary function."""
+        schema, program = build("""
+        classes
+          person = (name: string, age: integer).
+        associations
+          stats = (n: integer).
+        functions
+          junior -> {person}.
+          member(X, junior()) <- person(self X, age A), A <= 18.
+        rules
+          stats(n N) <- person(self P), S = junior(), count(S, N).
+        """)
+        edb = FactSet()
+        edb.add_object("person", Oid(1), TupleValue(name="kid", age=12))
+        edb.add_object("person", Oid(2), TupleValue(name="adult", age=40))
+        out = Engine(schema, program).run(edb, Semantics.STRATIFIED)
+        values = {f.value["n"] for f in out.facts_of("stats")}
+        assert values == {1}
+
+    def test_bare_name_resolves_to_nullary_function(self):
+        # 'junior' without parentheses also denotes the function
+        schema, program = build("""
+        classes
+          person = (name: string, age: integer).
+        associations
+          youth = (name: string).
+        functions
+          junior -> {person}.
+          member(X, junior) <- person(self X, age A), A <= 18.
+        rules
+          youth(name N) <- member(X, junior), person(self X, name N).
+        """)
+        edb = FactSet()
+        edb.add_object("person", Oid(1), TupleValue(name="kid", age=12))
+        edb.add_object("person", Oid(2), TupleValue(name="old", age=90))
+        out = Engine(schema, program).run(edb, Semantics.STRATIFIED)
+        assert [f.value["name"] for f in out.facts_of("youth")] == ["kid"]

@@ -1,0 +1,165 @@
+"""Engine tests: classes, isa oid sharing, tuple variables, patterns."""
+
+from repro import Engine, FactSet, Oid, TupleValue
+from repro.language.parser import parse_source
+
+
+def build(text):
+    unit = parse_source(text)
+    return unit.schema(), unit.program()
+
+
+UNIVERSITY = """
+classes
+  person = (name: string, address: string).
+  school = (school_name: string, dean: professor).
+  student = (person, studschool: school).
+  professor = (person, course: string).
+  student isa person.
+  professor isa person.
+associations
+  advises = (prof: professor, stud: student).
+  pair = (p_name: string, s_name: string).
+"""
+
+
+def university_edb():
+    edb = FactSet()
+    edb.add_object("professor", Oid(1), TupleValue(
+        name="smith", address="milan", course="db"))
+    edb.add_object("person", Oid(1), TupleValue(
+        name="smith", address="milan"))
+    edb.add_object("student", Oid(2), TupleValue(
+        name="smith", address="rome", studschool=Oid(4)))
+    edb.add_object("person", Oid(2), TupleValue(
+        name="smith", address="rome"))
+    edb.add_object("student", Oid(3), TupleValue(
+        name="jones", address="pisa", studschool=Oid(4)))
+    edb.add_object("person", Oid(3), TupleValue(
+        name="jones", address="pisa"))
+    edb.add_object("school", Oid(4), TupleValue(
+        school_name="polimi", dean=Oid(1)))
+    edb.add_association("advises", TupleValue(prof=Oid(1), stud=Oid(2)))
+    edb.add_association("advises", TupleValue(prof=Oid(1), stud=Oid(3)))
+    return edb
+
+
+class TestTupleVariables:
+    def test_paper_pair_rule_with_tuple_variables(self):
+        """Example 3.4's pair rule, tuple-variable form: professors and
+        students sharing a name, joined through advises."""
+        schema, program = build(UNIVERSITY + """
+        rules
+          pair(p_name X, s_name X) <- professor(X1, name X),
+                                      student(Y1, name X),
+                                      advises(prof X1, stud Y1).
+        """)
+        out = Engine(schema, program).run(university_edb())
+        got = sorted((f.value["p_name"], f.value["s_name"])
+                     for f in out.facts_of("pair"))
+        assert got == [("smith", "smith")]
+
+    def test_paper_pair_rule_with_oid_variables(self):
+        """Same rule, oid-variable form — the two are equivalent
+        (Section 3.1)."""
+        schema, program = build(UNIVERSITY + """
+        rules
+          pair(p_name X, s_name X) <- professor(self X1, name X),
+                                      student(self Y1, name X),
+                                      advises(prof X1, stud Y1).
+        """)
+        out = Engine(schema, program).run(university_edb())
+        got = sorted((f.value["p_name"], f.value["s_name"])
+                     for f in out.facts_of("pair"))
+        assert got == [("smith", "smith")]
+
+    def test_tuple_variable_unifies_with_oid_position(self):
+        """A class tuple variable carries the oid, so it can fill an
+        oid-typed association field (Example 3.1's unifications)."""
+        schema, program = build(UNIVERSITY + """
+        rules
+          advises(prof P, stud S) <- professor(P, name "smith"),
+                                     student(S, name "jones").
+        """)
+        out = Engine(schema, program).run(university_edb())
+        got = {(f.value["prof"], f.value["stud"])
+               for f in out.facts_of("advises")}
+        assert (Oid(1), Oid(3)) in got
+
+
+class TestPatternsAndDereferencing:
+    def test_pattern_binds_oid_of_component(self):
+        # school(dean(self X)) — line 5 of Example 3.1
+        schema, program = build(UNIVERSITY + """
+        rules
+          pair(p_name N, s_name N) <- school(dean(self X)),
+                                      professor(self X, name N).
+        """)
+        out = Engine(schema, program).run(university_edb())
+        assert [f.value["p_name"] for f in out.facts_of("pair")] == \
+            ["smith"]
+
+    def test_pattern_dereferences_attributes(self):
+        # reach through the dean reference into the professor's name
+        schema, program = build(UNIVERSITY + """
+        rules
+          pair(p_name N, s_name S) <- school(dean(name N),
+                                             school_name S).
+        """)
+        out = Engine(schema, program).run(university_edb())
+        got = [(f.value["p_name"], f.value["s_name"])
+               for f in out.facts_of("pair")]
+        assert got == [("smith", "polimi")]
+
+    def test_nil_reference_does_not_dereference(self):
+        schema, program = build(UNIVERSITY + """
+        rules
+          pair(p_name N, s_name "x") <- school(dean(name N)).
+        """)
+        edb = FactSet()
+        edb.add_object("school", Oid(9), TupleValue(
+            school_name="empty", dean=Oid(0)))
+        out = Engine(schema, program).run(edb)
+        assert out.count("pair") == 0
+
+
+class TestIsaSemantics:
+    def test_attributes_carried_across_hierarchy(self):
+        """Deriving person(self S) from student(self S) copies the
+        shared attributes (name, address) into the person view."""
+        schema, program = build(UNIVERSITY + """
+        rules
+          person(self S) <- student(self S).
+        """)
+        edb = FactSet()
+        edb.add_object("student", Oid(2), TupleValue(
+            name="mira", address="rome", studschool=Oid(0)))
+        out = Engine(schema, program).run(edb)
+        assert out.value_of("person", Oid(2)) == TupleValue(
+            name="mira", address="rome")
+
+    def test_attribute_update_merges_with_stored_value(self):
+        schema, program = build("""
+        classes
+          person = (name: string, age: integer).
+        associations
+          birthday = (name: string).
+        rules
+          person(self S, age 31) <- person(self S, name N, age 30),
+                                    birthday(name N).
+        """)
+        edb = FactSet()
+        edb.add_object("person", Oid(1), TupleValue(name="a", age=30))
+        edb.add_association("birthday", TupleValue(name="a"))
+        out = Engine(schema, program).run(edb)
+        assert out.value_of("person", Oid(1)) == \
+            TupleValue(name="a", age=31)
+
+    def test_self_lookup_is_indexed(self):
+        schema, program = build(UNIVERSITY + """
+        rules
+          pair(p_name N, s_name N) <- advises(prof P, stud S),
+                                      professor(self P, name N).
+        """)
+        out = Engine(schema, program).run(university_edb())
+        assert out.count("pair") == 1

@@ -1,0 +1,205 @@
+"""Direct unit tests of the valuation machinery (Appendix B Def. 5-6)."""
+
+import pytest
+
+from repro.engine.valuation import (
+    MatchContext,
+    Unbound,
+    as_oid,
+    bind,
+    match_fact,
+    match_literal,
+    resolve_term,
+    values_unify,
+)
+from repro.errors import BuiltinError, EvaluationError
+from repro.language.ast import (
+    Args,
+    ArithExpr,
+    CollectionTerm,
+    Constant,
+    Literal,
+    Pattern,
+    Var,
+)
+from repro.storage import Fact, FactSet
+from repro.types import SchemaBuilder, STRING, INTEGER
+from repro.values import Oid, SequenceValue, SetValue, TupleValue
+
+X, Y = Var("X"), Var("Y")
+
+
+@pytest.fixture
+def ctx():
+    schema = (
+        SchemaBuilder()
+        .clazz("person", ("name", STRING), ("age", INTEGER))
+        .association("likes", ("who", "person"), ("what", STRING))
+        .function("desc", [STRING], STRING)
+        .build()
+    )
+    from repro.language.analysis import schema_with_functions
+
+    facts = FactSet()
+    facts.add_object("person", Oid(1), TupleValue(name="ann", age=30))
+    facts.add_object("person", Oid(2), TupleValue(name="bob", age=20))
+    facts.add_association("likes", TupleValue(who=Oid(1), what="tea"))
+    facts.add_association(
+        "__fn_desc", TupleValue(arg0="a", value="b")
+    )
+    return MatchContext(facts, schema_with_functions(schema))
+
+
+class TestCoercions:
+    def test_as_oid(self):
+        assert as_oid(Oid(3)) == Oid(3)
+        assert as_oid(TupleValue(self=Oid(3), name="x")) == Oid(3)
+        assert as_oid(TupleValue(name="x")) is None
+        assert as_oid("plain") is None
+
+    def test_values_unify_object_with_oid(self):
+        obj = TupleValue(self=Oid(3), name="x")
+        assert values_unify(obj, Oid(3))
+        assert values_unify(Oid(3), obj)
+        assert not values_unify(obj, Oid(4))
+        assert values_unify(1, 1)
+        assert not values_unify(1, 2)
+
+    def test_bind_upgrades_oid_to_object(self):
+        obj = TupleValue(self=Oid(3), name="x")
+        bindings = bind({}, X, Oid(3))
+        upgraded = bind(bindings, X, obj)
+        assert upgraded[X] == obj
+
+    def test_bind_conflict_fails(self):
+        bindings = bind({}, X, 1)
+        assert bind(bindings, X, 2) is None
+
+    def test_bind_same_value_reuses_dict(self):
+        bindings = bind({}, X, 1)
+        assert bind(bindings, X, 1) is bindings
+
+
+class TestResolveTerm:
+    def test_unbound_variable_raises(self, ctx):
+        with pytest.raises(Unbound) as err:
+            resolve_term(X, {}, ctx)
+        assert err.value.var == X
+
+    def test_arithmetic(self, ctx):
+        term = ArithExpr("+", ArithExpr("*", Constant(2), Constant(3)),
+                         Constant(4))
+        assert resolve_term(term, {}, ctx) == 10
+
+    def test_integer_division_stays_integral(self, ctx):
+        assert resolve_term(
+            ArithExpr("/", Constant(6), Constant(3)), {}, ctx
+        ) == 2
+        assert resolve_term(
+            ArithExpr("/", Constant(7), Constant(2)), {}, ctx
+        ) == 3.5
+
+    def test_division_by_zero(self, ctx):
+        with pytest.raises(BuiltinError, match="zero"):
+            resolve_term(ArithExpr("/", Constant(1), Constant(0)), {}, ctx)
+
+    def test_arithmetic_on_strings_rejected(self, ctx):
+        with pytest.raises(BuiltinError, match="non-numeric"):
+            resolve_term(ArithExpr("+", Constant("a"), Constant(1)), {},
+                         ctx)
+
+    def test_collection_construction(self, ctx):
+        term = CollectionTerm("set", (Constant(1), X))
+        assert resolve_term(term, {X: 2}, ctx) == SetValue([1, 2])
+        seq = CollectionTerm("sequence", (X, Constant(1)))
+        assert resolve_term(seq, {X: 2}, ctx) == SequenceValue([2, 1])
+
+    def test_pattern_constructs_tuple(self, ctx):
+        term = Pattern(Args(labeled=(("a", Constant(1)), ("b", X))))
+        assert resolve_term(term, {X: "v"}, ctx) == TupleValue(a=1, b="v")
+
+    def test_pattern_with_self_not_constructible(self, ctx):
+        term = Pattern(Args(self_term=X))
+        with pytest.raises(EvaluationError, match="constructed"):
+            resolve_term(term, {X: Oid(1)}, ctx)
+
+    def test_function_read_returns_set(self, ctx):
+        from repro.language.ast import FunctionApp
+
+        term = FunctionApp("desc", (Constant("a"),))
+        assert resolve_term(term, {}, ctx) == SetValue(["b"])
+        empty = FunctionApp("desc", (Constant("zzz"),))
+        assert resolve_term(empty, {}, ctx) == SetValue()
+
+
+class TestMatchLiteral:
+    def test_self_bound_uses_direct_lookup(self, ctx):
+        literal = Literal("person", Args(self_term=X,
+                                         labeled=(("name", Y),)))
+        results = list(match_literal(literal, {X: Oid(1)}, ctx))
+        assert len(results) == 1
+        assert results[0][Y] == "ann"
+
+    def test_indexed_label_lookup(self, ctx):
+        literal = Literal("person", Args(labeled=(("name",
+                                                   Constant("bob")),
+                                                  ("age", Y))))
+        results = list(match_literal(literal, {}, ctx))
+        assert [b[Y] for b in results] == [20]
+
+    def test_tuple_variable_includes_self(self, ctx):
+        literal = Literal("person", Args(tuple_var=X))
+        results = list(match_literal(literal, {}, ctx))
+        assert len(results) == 2
+        assert all("self" in b[X] for b in results)
+
+    def test_object_binding_matches_reference_field(self, ctx):
+        # X bound to the whole person object; likes.who holds the oid
+        person = TupleValue(self=Oid(1), name="ann", age=30)
+        literal = Literal("likes", Args(labeled=(("who", X),
+                                                 ("what", Y))))
+        results = list(match_literal(literal, {X: person}, ctx))
+        assert [b[Y] for b in results] == ["tea"]
+
+    def test_missing_label_in_fact_no_match(self, ctx):
+        ctx.facts.add_object("person", Oid(9), TupleValue(name="partial"))
+        literal = Literal("person", Args(labeled=(("age", Y),)))
+        ages = {b[Y] for b in match_literal(literal, {}, ctx)}
+        assert ages == {20, 30}  # the partial object contributes nothing
+
+    def test_positional_args_rejected_at_runtime(self, ctx):
+        literal = Literal("person", Args(positional=(X,)))
+        fact = next(ctx.facts.facts_of("person"))
+        with pytest.raises(EvaluationError, match="positional"):
+            match_fact(literal.args, fact, {}, ctx)
+
+
+class TestPatternMatching:
+    def test_pattern_dereferences_oid(self, ctx):
+        inner = Pattern(Args(labeled=(("name", Y),)))
+        literal = Literal("likes", Args(labeled=(("who", inner),)))
+        results = list(match_literal(literal, {}, ctx))
+        assert [b[Y] for b in results] == ["ann"]
+
+    def test_pattern_self_binds_oid(self, ctx):
+        inner = Pattern(Args(self_term=X))
+        literal = Literal("likes", Args(labeled=(("who", inner),)))
+        results = list(match_literal(literal, {}, ctx))
+        assert [b[X] for b in results] == [Oid(1)]
+
+    def test_pattern_on_nested_tuple_value(self, ctx):
+        schema = (
+            SchemaBuilder()
+            .domain("score", (("home", INTEGER), ("guest", INTEGER)))
+            .association("game", ("sc", "score"))
+            .build()
+        )
+        facts = FactSet()
+        facts.add_association(
+            "game", TupleValue(sc=TupleValue(home=3, guest=1))
+        )
+        nested_ctx = MatchContext(facts, schema)
+        inner = Pattern(Args(labeled=(("home", X),)))
+        literal = Literal("game", Args(labeled=(("sc", inner),)))
+        results = list(match_literal(literal, {}, nested_ctx))
+        assert [b[X] for b in results] == [3]

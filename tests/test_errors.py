@@ -1,0 +1,84 @@
+"""Tests for the exception hierarchy and error ergonomics."""
+
+import pytest
+
+import repro.errors as errors
+from repro import Database, parse_source
+from repro.errors import (
+    AnalysisError,
+    EvaluationError,
+    LogresError,
+    NonTerminationError,
+    ParseError,
+    SafetyError,
+    SchemaError,
+    StratificationError,
+    TypingError,
+)
+
+
+class TestHierarchy:
+    def test_every_error_derives_from_logres_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and \
+                    obj is not LogresError:
+                assert issubclass(obj, LogresError), name
+
+    def test_analysis_errors_grouped(self):
+        assert issubclass(SafetyError, AnalysisError)
+        assert issubclass(TypingError, AnalysisError)
+        assert issubclass(StratificationError, AnalysisError)
+
+    def test_nontermination_is_evaluation_error(self):
+        assert issubclass(NonTerminationError, EvaluationError)
+
+    def test_one_except_clause_catches_everything(self):
+        try:
+            Database.from_source("classes\n broken = (x: ghost).")
+        except LogresError as exc:
+            assert isinstance(exc, SchemaError)
+        else:  # pragma: no cover
+            pytest.fail("expected a LogresError")
+
+
+class TestParseErrorPositions:
+    def test_line_and_column_in_message(self):
+        with pytest.raises(ParseError) as err:
+            parse_source("rules\n  p(x X) <- q(x X)\n  r(y Y).")
+        assert err.value.line == 3
+        assert "line 3" in str(err.value)
+
+    def test_zero_position_omits_location(self):
+        assert "line" not in str(ParseError("plain message"))
+
+
+class TestNonTerminationCarriesIterations:
+    def test_iterations_attribute(self):
+        err = NonTerminationError("boom", iterations=42)
+        assert err.iterations == 42
+
+
+class TestErrorMessagesAreActionable:
+    def test_unknown_predicate_names_the_predicate(self):
+        db = Database.from_source("associations\n p = (x: integer).")
+        with pytest.raises(SchemaError, match="'ghost'"):
+            db.insert("ghost", x=1)
+
+    def test_safety_error_names_the_variable(self):
+        with pytest.raises(SafetyError, match="variable Y"):
+            Database.from_source("""
+            associations
+              p = (x: integer).
+            rules
+              p(x Y) <- p(x X).
+            """).instance()
+
+    def test_typing_error_names_both_types(self):
+        with pytest.raises(TypingError, match="INTEGER"):
+            Database.from_source("""
+            associations
+              p = (x: integer, y: string).
+            rules
+              p(x X, y X) <- p(x X, y X).
+            """).instance()

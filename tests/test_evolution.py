@@ -1,0 +1,118 @@
+"""Tests for the Evolution (module-application sequence) API."""
+
+import pytest
+
+from repro import (
+    DatabaseState,
+    FactSet,
+    Mode,
+    Module,
+    TupleValue,
+    parse_schema_source,
+)
+from repro.errors import ModuleApplicationError
+from repro.modules import Evolution
+
+
+@pytest.fixture
+def evolution():
+    schema = parse_schema_source("""
+    associations
+      italian = (n: string).
+      roman = (n: string).
+    """)
+    edb = FactSet()
+    edb.add_association("italian", TupleValue(n="sara"))
+    return Evolution(DatabaseState(schema, edb))
+
+
+def module(text, name):
+    return Module.from_source(text, name=name)
+
+
+ADD_LUCA = 'rules\n  italian(n "luca").'
+ADD_UGO = 'rules\n  roman(n "ugo").\n  italian(X) <- roman(X).'
+BAD = 'rules\n  roman(n "sara").\n  <- italian(n X), roman(n X).'
+
+
+class TestBasicEvolution:
+    def test_apply_advances_and_logs(self, evolution):
+        evolution.apply(module(ADD_LUCA, "m1"), Mode.RIDV)
+        evolution.apply(module(ADD_UGO, "m2"), Mode.RIDV)
+        assert evolution.version == 2
+        names = {f.value["n"]
+                 for f in evolution.state.edb.facts_of("italian")}
+        assert names == {"sara", "luca", "ugo"}
+        assert [s.module_name for s in evolution.log] == ["m1", "m2"]
+        assert evolution.log[0].facts_after == 2
+
+    def test_rejected_application_does_not_commit(self, evolution):
+        with pytest.raises(ModuleApplicationError):
+            evolution.apply(module(BAD, "bad"), Mode.RADV)
+        assert evolution.version == 0
+        assert evolution.state.edb.count() == 1
+
+    def test_state_at_returns_history(self, evolution):
+        initial = evolution.state
+        evolution.apply(module(ADD_LUCA, "m1"), Mode.RIDV)
+        assert evolution.state_at(0) is initial
+        assert evolution.state_at(1) is evolution.state
+        with pytest.raises(IndexError):
+            evolution.state_at(5)
+
+
+class TestAtomicSequences:
+    def test_apply_all_commits_everything(self, evolution):
+        results = evolution.apply_all([
+            (module(ADD_LUCA, "m1"), Mode.RIDV),
+            (module(ADD_UGO, "m2"), Mode.RIDV),
+        ])
+        assert len(results) == 2
+        assert evolution.version == 2
+
+    def test_apply_all_rolls_back_on_failure(self, evolution):
+        evolution.apply(module(ADD_LUCA, "m0"), Mode.RIDV)
+        with pytest.raises(ModuleApplicationError):
+            evolution.apply_all([
+                (module(ADD_UGO, "m1"), Mode.RIDV),
+                (module(BAD, "m2"), Mode.RADV),
+            ])
+        # the partial first step was rolled back too
+        assert evolution.version == 1
+        names = {f.value["n"]
+                 for f in evolution.state.edb.facts_of("italian")}
+        assert names == {"sara", "luca"}
+
+
+class TestRollback:
+    def test_rollback_discards_later_history(self, evolution):
+        evolution.apply(module(ADD_LUCA, "m1"), Mode.RIDV)
+        evolution.apply(module(ADD_UGO, "m2"), Mode.RIDV)
+        evolution.rollback(1)
+        assert evolution.version == 1
+        names = {f.value["n"]
+                 for f in evolution.state.edb.facts_of("italian")}
+        assert names == {"sara", "luca"}
+
+    def test_rollback_to_initial(self, evolution):
+        evolution.apply(module(ADD_LUCA, "m1"), Mode.RIDV)
+        evolution.rollback(0)
+        assert evolution.version == 0
+        assert evolution.state.edb.count() == 1
+
+    def test_evolution_continues_after_rollback(self, evolution):
+        evolution.apply(module(ADD_LUCA, "m1"), Mode.RIDV)
+        evolution.rollback(0)
+        evolution.apply(module(ADD_UGO, "m2"), Mode.RIDV)
+        assert evolution.version == 1
+        assert [s.module_name for s in evolution.log] == ["m2"]
+
+
+class TestLogRendering:
+    def test_step_repr_shows_deltas(self, evolution):
+        evolution.apply(module(ADD_LUCA, "m1"), Mode.RIDV)
+        text = repr(evolution.log[0])
+        assert "RIDV" in text and "m1" in text and "+1" in text
+
+    def test_evolution_repr(self, evolution):
+        assert "version 0" in repr(evolution)

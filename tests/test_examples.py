@@ -1,0 +1,33 @@
+"""Every example script must run cleanly and produce its key output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "milan beat inter"),
+    ("university_advising.py", "namesake object"),
+    ("genealogy.py", "descendants"),
+    ("updates_and_modules.py", "correctly rejected"),
+    ("algres_pipeline.py", "all three routes agree"),
+    ("methods_and_tracing.py", "why does anc(a, d) hold?"),
+    ("case_study_parts.py", "Cyclic engineering change rejected"),
+    ("case_study_routes.py", "routes through the network"),
+]
+
+
+@pytest.mark.parametrize("script,needle", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, needle):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert needle in result.stdout

@@ -1,0 +1,210 @@
+"""Tests for the Section 5 extensions: methods and update builders."""
+
+import pytest
+
+from repro import Database, Mode
+from repro.errors import SchemaError
+from repro.extensions import (
+    MethodRegistry,
+    build_delete_module,
+    build_insert_module,
+    build_update_module,
+)
+from repro.extensions.methods import MethodError
+
+
+@pytest.fixture
+def pair_db():
+    db = Database.from_source("""
+    associations
+      p = (d1: integer, d2: integer).
+    """)
+    for i in range(1, 5):
+        db.insert("p", d1=i, d2=i)
+    return db
+
+
+@pytest.fixture
+def university_db():
+    db = Database.from_source("""
+    domains
+      name = string.
+    classes
+      person = (name, address: string).
+      student = (person, school: string).
+      student isa person.
+    associations
+      parent = (par: name, chil: name).
+    """)
+    return db
+
+
+class TestInsertModule:
+    def test_inserts_rows(self, pair_db):
+        mod = build_insert_module(pair_db.schema, "p",
+                                  [dict(d1=9, d2=9), dict(d1=8, d2=8)])
+        pair_db.run_module(mod, Mode.RIDV)
+        values = {(t["d1"], t["d2"]) for t in pair_db.tuples("p")}
+        assert (9, 9) in values and (8, 8) in values
+
+    def test_missing_attribute_rejected(self, pair_db):
+        with pytest.raises(SchemaError, match="misses"):
+            build_insert_module(pair_db.schema, "p", [dict(d1=1)])
+
+    def test_class_target_rejected(self, university_db):
+        with pytest.raises(SchemaError, match="associations"):
+            build_insert_module(university_db.schema, "person",
+                                [dict(name="x", address="y")])
+
+
+class TestDeleteModule:
+    def test_delete_by_constant(self, pair_db):
+        mod = build_delete_module(pair_db.schema, "p", {"d1": 2})
+        pair_db.run_module(mod, Mode.RIDV)
+        assert {t["d1"] for t in pair_db.tuples("p")} == {1, 3, 4}
+
+    def test_delete_by_comparison(self, pair_db):
+        mod = build_delete_module(pair_db.schema, "p", {"d2": (">", 2)})
+        pair_db.run_module(mod, Mode.RIDV)
+        assert {t["d2"] for t in pair_db.tuples("p")} == {1, 2}
+
+    def test_delete_by_unary_guard(self, pair_db):
+        mod = build_delete_module(pair_db.schema, "p",
+                                  {"d1": ("odd",)})
+        pair_db.run_module(mod, Mode.RIDV)
+        assert {t["d1"] for t in pair_db.tuples("p")} == {2, 4}
+
+
+class TestUpdateModule:
+    def test_reproduces_example_4_2(self, pair_db):
+        mod = build_update_module(
+            pair_db.schema, "p",
+            where={"d1": ("even",)},
+            assign={"d2": ("+", 1)},
+        )
+        pair_db.run_module(mod, Mode.RIDV)
+        assert sorted((t["d1"], t["d2"]) for t in pair_db.tuples("p")) == \
+            [(1, 1), (2, 3), (3, 3), (4, 5)]
+
+    def test_constant_assignment(self, pair_db):
+        mod = build_update_module(
+            pair_db.schema, "p", where={"d1": 1}, assign={"d2": 99},
+        )
+        pair_db.run_module(mod, Mode.RIDV)
+        assert (1, 99) in {(t["d1"], t["d2"]) for t in pair_db.tuples("p")}
+
+    def test_update_is_idempotent_per_application(self, pair_db):
+        """Applying the module once performs one field update, even
+        though the new tuples match `where` again — the scratch relation
+        blocks cascading (Example 4.2's MOD)."""
+        mod = build_update_module(
+            pair_db.schema, "p",
+            where={"d1": ("even",)},
+            assign={"d2": ("+", 1)},
+        )
+        pair_db.run_module(mod, Mode.RIDV)
+        values = {(t["d1"], t["d2"]) for t in pair_db.tuples("p")}
+        assert (2, 3) in values and (2, 4) not in values
+
+    def test_unknown_attribute_rejected(self, pair_db):
+        with pytest.raises(SchemaError, match="no attribute"):
+            build_update_module(pair_db.schema, "p",
+                                where={"ghost": 1}, assign={"d2": 2})
+
+
+class TestMethods:
+    def make_registry(self, db):
+        sara = db.insert("student", name="sara", address="milan",
+                         school="polimi")
+        bob = db.insert("person", name="bob", address="rome")
+        db.insert("parent", par="sara", chil="luca")
+        db.insert("parent", par="sara", chil="mia")
+        registry = MethodRegistry(db)
+        registry.define("person", "children", """
+        goal
+          ?- person(self Self, name N), parent(par N, chil C).
+        """)
+        registry.define("student", "intro", """
+        goal
+          ?- student(self Self, name N, school S).
+        """)
+        return registry, sara, bob
+
+    def test_call_binds_receiver(self, university_db):
+        registry, sara, bob = self.make_registry(university_db)
+        answers = registry.call(sara, "children")
+        assert sorted(a["C"] for a in answers) == ["luca", "mia"]
+        assert registry.call(bob, "children") == []
+
+    def test_inherited_dispatch(self, university_db):
+        registry, sara, bob = self.make_registry(university_db)
+        # children is defined on person, called on a student
+        assert registry.call(sara, "children")
+
+    def test_method_not_visible_upward(self, university_db):
+        registry, sara, bob = self.make_registry(university_db)
+        with pytest.raises(MethodError, match="no method"):
+            registry.call(bob, "intro")
+
+    def test_methods_of_lists_inherited(self, university_db):
+        registry, sara, bob = self.make_registry(university_db)
+        names = [m.name for m in registry.methods_of("student")]
+        assert names == ["children", "intro"]
+        assert [m.name for m in registry.methods_of("person")] == \
+            ["children"]
+
+    def test_override_shadows_superclass(self, university_db):
+        registry, sara, bob = self.make_registry(university_db)
+        registry.define("student", "children", """
+        goal
+          ?- student(self Self, name N), parent(par N, chil C),
+             C != "mia".
+        """)
+        answers = registry.call(sara, "children")
+        assert [a["C"] for a in answers] == ["luca"]
+
+    def test_parameters(self, university_db):
+        registry, sara, bob = self.make_registry(university_db)
+        registry.define("person", "has_child", """
+        goal
+          ?- person(self Self, name N), parent(par N, chil Who).
+        """, parameters=("who",))
+        answers = registry.call(sara, "has_child", who="luca")
+        assert answers
+        assert registry.call(sara, "has_child", who="nobody") == []
+        with pytest.raises(MethodError, match="parameters"):
+            registry.call(sara, "has_child")
+
+    def test_encapsulation_helper_rules_not_persistent(self, university_db):
+        registry, sara, bob = self.make_registry(university_db)
+        registry.define("person", "descendants", """
+        associations
+          reach = (a: name, d: name).
+        rules
+          reach(a X, d Y) <- parent(par X, chil Y).
+          reach(a X, d Z) <- parent(par X, chil Y), reach(a Y, d Z).
+        goal
+          ?- person(self Self, name N), reach(a N, d D).
+        """)
+        answers = registry.call(sara, "descendants")
+        assert sorted(a["D"] for a in answers) == ["luca", "mia"]
+        # RIDI semantics: nothing leaked into the database
+        assert not university_db.schema.has("reach")
+        assert len(university_db.rules) == 0
+
+    def test_goal_required(self, university_db):
+        registry = MethodRegistry(university_db)
+        with pytest.raises(MethodError, match="goal"):
+            registry.define("person", "broken", "rules\n parent(par \"x\", chil \"y\").")
+
+    def test_non_class_rejected(self, university_db):
+        registry = MethodRegistry(university_db)
+        with pytest.raises(SchemaError, match="not a class"):
+            registry.define("parent", "m", "goal\n ?- parent(par X).")
+
+    def test_unknown_oid_rejected(self, university_db):
+        from repro import Oid
+
+        registry, sara, bob = self.make_registry(university_db)
+        with pytest.raises(MethodError, match="no object"):
+            registry.call(Oid(999), "children")

@@ -1,0 +1,87 @@
+"""Focused tests for goal answering (repro.engine.goals)."""
+
+from repro import Engine, FactSet, Oid, Semantics, TupleValue
+from repro.engine.goals import answer_goal, goal_holds
+from repro.language.parser import parse_source
+
+
+def build(text):
+    unit = parse_source(text)
+    return unit.schema(), unit.program()
+
+
+def university():
+    schema, program = build("""
+    classes
+      person = (name: string, age: integer).
+    associations
+      likes = (who: person, what: string).
+    """)
+    edb = FactSet()
+    edb.add_object("person", Oid(1), TupleValue(name="ann", age=30))
+    edb.add_object("person", Oid(2), TupleValue(name="bob", age=20))
+    edb.add_association("likes", TupleValue(who=Oid(1), what="tea"))
+    out = Engine(schema, program).run(edb)
+    return schema, out
+
+
+def goal_of(text):
+    return parse_source("goal\n " + text).goal
+
+
+class TestAnswerShapes:
+    def test_oid_bindings_returned_as_oids(self):
+        schema, instance = university()
+        answers = answer_goal(goal_of("?- likes(who W, what T)."),
+                              instance, schema)
+        assert answers == [{"W": Oid(1), "T": "tea"}]
+
+    def test_tuple_bindings_hide_self(self):
+        schema, instance = university()
+        answers = answer_goal(goal_of("?- person(P)."), instance, schema)
+        assert len(answers) == 2
+        for answer in answers:
+            assert "self" not in answer["P"]
+            assert "name" in answer["P"]
+
+    def test_anonymous_variables_not_reported(self):
+        schema, instance = university()
+        answers = answer_goal(goal_of("?- person(self _, name N)."),
+                              instance, schema)
+        assert all(set(a) == {"N"} for a in answers)
+
+    def test_builtins_in_goals(self):
+        schema, instance = university()
+        answers = answer_goal(
+            goal_of("?- person(name N, age A), A >= 25."),
+            instance, schema,
+        )
+        assert [a["N"] for a in answers] == ["ann"]
+
+    def test_ground_goal_yields_single_empty_answer(self):
+        schema, instance = university()
+        answers = answer_goal(goal_of('?- person(name "ann").'),
+                              instance, schema)
+        assert answers == [{}]
+
+    def test_failed_goal_yields_no_answers(self):
+        schema, instance = university()
+        assert answer_goal(goal_of('?- person(name "zoe").'),
+                           instance, schema) == []
+
+    def test_goal_holds_boolean(self):
+        schema, instance = university()
+        assert goal_holds(goal_of('?- likes(what "tea").'), instance,
+                          schema)
+        assert not goal_holds(goal_of('?- likes(what "gin").'), instance,
+                              schema)
+
+
+class TestGoalsThroughDereference:
+    def test_goal_pattern_navigation(self):
+        schema, instance = university()
+        answers = answer_goal(
+            goal_of("?- likes(who(name N, age A), what T)."),
+            instance, schema,
+        )
+        assert answers == [{"N": "ann", "A": 30, "T": "tea"}]

@@ -1,0 +1,73 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.language.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)][:-1]  # drop eof
+
+
+class TestBasicTokens:
+    def test_names_lowercase_and_normalize_hyphens(self):
+        assert kinds("h-team") == [("name", "h_team")]
+
+    def test_uppercase_identifiers_are_variable_shaped(self):
+        assert kinds("X Foo _tmp") == [
+            ("variable", "X"), ("variable", "Foo"), ("variable", "_tmp"),
+        ]
+
+    def test_keywords(self):
+        out = kinds("classes isa self nil not")
+        assert [k for k, _ in out] == ["keyword"] * 5
+
+    def test_numbers(self):
+        assert kinds("42 3.25") == [("number", 42), ("number", 3.25)]
+
+    def test_trailing_dot_is_not_a_float(self):
+        out = kinds("1.")
+        assert out == [("number", 1), ("symbol", ".")]
+
+    def test_strings_with_escapes(self):
+        out = kinds(r'"a\"b" "line\n"')
+        assert out == [("string", 'a"b'), ("string", "line\n")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize('"open')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError, match="unexpected"):
+            tokenize("@")
+
+
+class TestSymbols:
+    def test_maximal_munch(self):
+        out = kinds("<- <= < -> != ?-")
+        assert [v for _, v in out] == ["<-", "<=", "<", "->", "!=", "?-"]
+
+    def test_brackets(self):
+        out = kinds("( ) { } [ ] < >")
+        assert [v for _, v in out] == [
+            "(", ")", "{", "}", "[", "]", "<", ">",
+        ]
+
+
+class TestCommentsAndLayout:
+    def test_percent_and_hash_comments(self):
+        assert kinds("a % ignored\nb # also ignored\nc") == [
+            ("name", "a"), ("name", "b"), ("name", "c"),
+        ]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("x\n  @")
+        assert err.value.line == 2
+        assert err.value.column == 3

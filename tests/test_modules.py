@@ -1,0 +1,261 @@
+"""Tests for modules and the six application modes (Section 4)."""
+
+import pytest
+
+from repro import (
+    DatabaseState,
+    FactSet,
+    Mode,
+    Module,
+    Semantics,
+    TupleValue,
+    apply_module,
+    materialize,
+    parse_schema_source,
+)
+from repro.errors import ModuleApplicationError
+
+
+@pytest.fixture
+def schema():
+    return parse_schema_source("""
+    associations
+      italian = (n: string).
+      roman = (n: string).
+    """)
+
+
+@pytest.fixture
+def state(schema):
+    edb = FactSet()
+    edb.add_association("italian", TupleValue(n="sara"))
+    return DatabaseState(schema, edb)
+
+
+TRIGGER_MODULE = """
+rules
+  italian(n "luca").
+  roman(n "ugo").
+  italian(X) <- roman(X).
+"""
+
+
+def names(facts, pred):
+    return sorted(f.value["n"] for f in facts.facts_of(pred))
+
+
+class TestModeProperties:
+    def test_grid(self):
+        assert Mode.RIDI.rule_effect == "invariant"
+        assert Mode.RADV.rule_effect == "addition"
+        assert Mode.RDDI.rule_effect == "deletion"
+        assert Mode.RIDV.data_variant
+        assert not Mode.RADI.data_variant
+        assert Mode.RADI.allows_goal
+        assert not Mode.RDDV.allows_goal
+
+    def test_module_from_source(self):
+        mod = Module.from_source(TRIGGER_MODULE, name="t")
+        assert len(mod.rules) == 3
+        assert mod.goal is None
+        assert "t" in repr(mod)
+
+
+class TestRIDI:
+    def test_query_leaves_state_untouched(self, state):
+        mod = Module.from_source(
+            TRIGGER_MODULE + 'goal\n ?- italian(n N).', name="q"
+        )
+        result = apply_module(state, mod, Mode.RIDI)
+        assert sorted(a["N"] for a in result.answers) == \
+            ["luca", "sara", "ugo"]
+        # E1 = E0, R1 = R0, S1 = S0
+        assert result.state.edb == state.edb
+        assert result.state.rules == state.rules
+
+    def test_module_type_equations_are_temporary(self, state):
+        mod = Module.from_source("""
+        associations
+          lombard = (n: string).
+        rules
+          lombard(n "carlo").
+        goal
+          ?- lombard(n N).
+        """, name="q")
+        result = apply_module(state, mod, Mode.RIDI)
+        assert [a["N"] for a in result.answers] == ["carlo"]
+        assert not result.state.schema.has("lombard")
+
+
+class TestRADI:
+    def test_rules_become_persistent(self, state):
+        mod = Module.from_source(TRIGGER_MODULE, name="r")
+        result = apply_module(state, mod, Mode.RADI)
+        assert len(result.state.rules) == 3
+        assert result.state.edb == state.edb  # E unchanged
+        # the instance now derives the new facts intensionally
+        assert names(result.instance, "italian") == \
+            ["luca", "sara", "ugo"]
+
+    def test_schema_addition_is_persistent(self, state):
+        mod = Module.from_source("""
+        associations
+          lombard = (n: string).
+        rules
+          lombard(n "carlo").
+        """, name="r")
+        result = apply_module(state, mod, Mode.RADI)
+        assert result.state.schema.has("lombard")
+
+    def test_conflicting_type_redefinition_rejected(self, state):
+        mod = Module.from_source("""
+        associations
+          italian = (other: integer).
+        """, name="bad")
+        with pytest.raises(ModuleApplicationError, match="redefines"):
+            apply_module(state, mod, Mode.RADI)
+
+
+class TestRDDI:
+    def test_rule_deletion(self, schema):
+        mod = Module.from_source(TRIGGER_MODULE, name="r")
+        state0 = DatabaseState(schema, FactSet())
+        state1 = apply_module(state0, mod, Mode.RADI).state
+        assert names(materialize(state1), "italian") == ["luca", "ugo"]
+        # now delete exactly those rules
+        state2 = apply_module(state1, mod, Mode.RDDI).state
+        assert state2.rules == ()
+        assert materialize(state2).count() == 0
+
+
+class TestRIDV:
+    def test_example_4_1(self, state):
+        """E0 = {italian(sara)}, R0 = ∅; RIDV with the trigger module
+        gives E1 = I1 = {italian(sara), italian(luca), italian(ugo),
+        roman(ugo)} — the paper's Example 4.1 verbatim."""
+        mod = Module.from_source(TRIGGER_MODULE, name="ex41")
+        result = apply_module(state, mod, Mode.RIDV)
+        assert names(result.state.edb, "italian") == \
+            ["luca", "sara", "ugo"]
+        assert names(result.state.edb, "roman") == ["ugo"]
+        assert result.instance == result.state.edb  # E1 = I1
+        assert result.state.rules == ()  # rules not persisted
+        assert result.answers is None
+
+    def test_goal_with_data_variant_mode_rejected(self, state):
+        mod = Module.from_source(
+            TRIGGER_MODULE + "goal\n ?- roman(n N).", name="bad"
+        )
+        with pytest.raises(ModuleApplicationError, match="data-variant"):
+            apply_module(state, mod, Mode.RIDV)
+
+    def test_deletion_update(self, state):
+        mod = Module.from_source("""
+        rules
+          ~italian(n "sara") <- italian(n "sara").
+        """, name="del")
+        result = apply_module(state, mod, Mode.RIDV)
+        assert names(result.state.edb, "italian") == []
+
+    def test_rejection_leaves_input_state_unchanged(self, schema):
+        # deleting a referenced object makes the new instance
+        # inconsistent: the application must be rejected wholesale
+        ref_schema = parse_schema_source("""
+        classes
+          person = (name: string).
+        associations
+          likes = (who: person, what: string).
+        """)
+        from repro import Oid
+
+        edb = FactSet()
+        edb.add_object("person", Oid(1), TupleValue(name="a"))
+        edb.add_association("likes", TupleValue(who=Oid(1), what="tea"))
+        state = DatabaseState(ref_schema, edb)
+        mod = Module.from_source("""
+        rules
+          ~person(self S) <- person(self S, name "a").
+        """, name="bad-delete")
+        with pytest.raises(ModuleApplicationError, match="inconsistent"):
+            apply_module(state, mod, Mode.RIDV)
+        assert state.edb.has_oid("person", Oid(1))
+
+
+class TestRADV:
+    def test_updates_edb_and_persists_rules(self, state):
+        mod = Module.from_source(TRIGGER_MODULE, name="radv")
+        result = apply_module(state, mod, Mode.RADV)
+        assert names(result.state.edb, "italian") == \
+            ["luca", "sara", "ugo"]
+        assert len(result.state.rules) == 3
+
+
+class TestRDDV:
+    def test_removes_facts_derivable_from_deleted_rules(self, schema):
+        mod = Module.from_source("""
+        rules
+          italian(n "luca").
+          roman(n "ugo").
+        """, name="facts")
+        state0 = DatabaseState(schema, FactSet())
+        state1 = apply_module(state0, mod, Mode.RADV).state
+        assert names(state1.edb, "italian") == ["luca"]
+        state2 = apply_module(state1, mod, Mode.RDDV).state
+        # E_M = instance of (∅, R_M) = {italian(luca), roman(ugo)}
+        assert names(state2.edb, "italian") == []
+        assert names(state2.edb, "roman") == []
+        assert state2.rules == ()
+
+
+class TestSemanticsParametricity:
+    def test_module_application_accepts_any_semantics(self, state):
+        mod = Module.from_source(TRIGGER_MODULE, name="m")
+        for semantics in (Semantics.INFLATIONARY, Semantics.STRATIFIED):
+            result = apply_module(state, mod, Mode.RIDV,
+                                  semantics=semantics)
+            assert names(result.state.edb, "italian") == \
+                ["luca", "sara", "ugo"]
+
+
+class TestDenialsInModules:
+    def test_passive_constraint_rejects_application(self, state):
+        # RADV module carrying a denial that the updated state violates
+        mod = Module.from_source("""
+        rules
+          roman(n "sara").
+          <- italian(n X), roman(n X).
+        """, name="denial")
+        with pytest.raises(ModuleApplicationError, match="inconsistent"):
+            apply_module(state, mod, Mode.RADV)
+
+    def test_initial_state_consistency_check(self, schema):
+        from repro import Oid
+
+        ref_schema = parse_schema_source("""
+        classes
+          person = (name: string).
+        associations
+          likes = (who: person, what: string).
+        """)
+        edb = FactSet()
+        edb.add_association("likes", TupleValue(who=Oid(9), what="x"))
+        broken = DatabaseState(ref_schema, edb)
+        mod = Module.from_source('rules\n  person(name "a").', name="m")
+        with pytest.raises(ModuleApplicationError, match="initial"):
+            apply_module(broken, mod, Mode.RIDV, check_initial=True)
+
+
+class TestMaterialize:
+    def test_predicates_partly_extensional_partly_intensional(self, schema):
+        """Section 4.2: a predicate may be defined partly in E and partly
+        by rules in R; the instance merges both."""
+        edb = FactSet()
+        edb.add_association("italian", TupleValue(n="sara"))
+        state = DatabaseState(
+            schema, edb,
+            Module.from_source(
+                'rules\n  italian(n "luca").', name="x"
+            ).rules,
+        )
+        inst = materialize(state)
+        assert names(inst, "italian") == ["luca", "sara"]

@@ -1,0 +1,113 @@
+"""Property-based tests of the module-application algebra (Section 4)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    DatabaseState,
+    FactSet,
+    Mode,
+    Module,
+    TupleValue,
+    apply_module,
+    materialize,
+    parse_schema_source,
+)
+
+SCHEMA = parse_schema_source("""
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+""")
+
+people = st.sampled_from([f"p{i}" for i in range(6)])
+edges = st.lists(st.tuples(people, people), max_size=8)
+
+
+def state_of(pairs):
+    edb = FactSet()
+    for a, b in pairs:
+        edb.add_association("parent", TupleValue(par=a, chil=b))
+    return DatabaseState(SCHEMA, edb)
+
+
+def insert_module(pairs):
+    lines = ["rules"] + [
+        f'  parent(par "{a}", chil "{b}").' for a, b in pairs
+    ]
+    if not pairs:
+        lines.append('  parent(par "zz", chil "zz") <- parent(par "zz").')
+    return Module.from_source("\n".join(lines), name="inserts")
+
+
+class TestModuleAlgebraProperties:
+    @given(edges, edges)
+    @settings(max_examples=40, deadline=None)
+    def test_input_state_never_mutated(self, base, extra):
+        state = state_of(base)
+        snapshot = state.edb.copy()
+        for mode in (Mode.RIDI, Mode.RADI, Mode.RIDV, Mode.RADV):
+            apply_module(state, insert_module(extra), mode)
+            assert state.edb == snapshot
+
+    @given(edges, edges)
+    @settings(max_examples=40, deadline=None)
+    def test_radi_then_rddi_restores_rules(self, base, extra):
+        state = state_of(base)
+        module = insert_module(extra)
+        added = apply_module(state, module, Mode.RADI).state
+        removed = apply_module(added, module, Mode.RDDI).state
+        assert removed.rules == state.rules
+        assert removed.edb == state.edb
+
+    @given(edges)
+    @settings(max_examples=30, deadline=None)
+    def test_ridv_with_fact_module_unions_edb(self, base):
+        state = state_of(base)
+        extra = [("x1", "x2"), ("x2", "x3")]
+        result = apply_module(state, insert_module(extra), Mode.RIDV)
+        for a, b in extra:
+            assert TupleValue(par=a, chil=b) in {
+                f.value for f in result.state.edb.facts_of("parent")
+            }
+        # everything extensional before is still there (fact modules
+        # only add)
+        for fact in state.edb.facts():
+            assert fact in result.state.edb
+
+    @given(edges, edges)
+    @settings(max_examples=30, deadline=None)
+    def test_ridv_is_idempotent_for_fact_modules(self, base, extra):
+        state = state_of(base)
+        module = insert_module(extra)
+        once = apply_module(state, module, Mode.RIDV).state
+        twice = apply_module(once, module, Mode.RIDV).state
+        assert once.edb == twice.edb
+
+    @given(edges, edges)
+    @settings(max_examples=30, deadline=None)
+    def test_ridv_then_rddv_removes_module_facts(self, base, extra):
+        state = state_of(base)
+        module = insert_module(extra)
+        grown = apply_module(state, module, Mode.RIDV).state
+        shrunk = apply_module(grown, module, Mode.RDDV).state
+        for a, b in extra:
+            if (a, b) not in base:
+                assert TupleValue(par=a, chil=b) not in {
+                    f.value for f in shrunk.edb.facts_of("parent")
+                }
+
+    @given(edges)
+    @settings(max_examples=30, deadline=None)
+    def test_ridi_instance_equals_materialization(self, base):
+        state = state_of(base)
+        module = Module.from_source("""
+        rules
+          anc(a X, d Y) <- parent(par X, chil Y).
+        goal
+          ?- anc(a A, d D).
+        """, name="query")
+        result = apply_module(state, module, Mode.RIDI)
+        replay = materialize(
+            result.state, extra_rules=module.rules
+        )
+        assert result.instance == replay

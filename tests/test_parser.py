@@ -1,0 +1,288 @@
+"""Unit tests for the LOGRES source parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.language.ast import (
+    ArithExpr,
+    BuiltinLiteral,
+    Constant,
+    FunctionApp,
+    FunctionHead,
+    Literal,
+    Pattern,
+    Var,
+)
+from repro.language.parser import parse_program, parse_schema_source, parse_source
+from repro.types import INTEGER, STRING, NamedType, SequenceType, SetType
+from repro.types.descriptors import MultisetType
+from repro.types.equations import Kind
+from repro.values import NIL, SetValue
+
+
+class TestSchemaSections:
+    def test_football_schema_parses(self):
+        # Example 2.1, regularized
+        schema = parse_schema_source("""
+        domains
+          name = string.
+          role = integer.
+          score = (home: integer, guest: integer).
+        classes
+          player = (name, roles: {role}).
+          team = (team_name: name, base_players: <player>,
+                  substitutes: {player}).
+        associations
+          game = (h_team: team, g_team: team, date: string, score).
+        """)
+        assert schema.is_domain("score")
+        player = schema.effective_type("player")
+        assert player.field("roles").type == SetType(NamedType("role"))
+        team = schema.effective_type("team")
+        assert team.field("base_players").type == \
+            SequenceType(NamedType("player"))
+        game = schema.effective_type("game")
+        assert game.field("score").type == NamedType("score")
+
+    def test_unlabeled_components_take_type_name(self):
+        schema = parse_schema_source("""
+        domains
+          date = string.
+        associations
+          a = (date, n: integer).
+        """)
+        assert schema.effective_type("a").has_label("date")
+
+    def test_duplicate_unlabeled_components_autonumber(self):
+        # the paper's SCORE = (INTEGER, INTEGER)
+        schema = parse_schema_source("""
+        domains
+          score = (integer, integer).
+        """)
+        rhs = schema.rhs_of("score")
+        assert rhs.labels == ("integer", "integer_2")
+
+    def test_multiset_constructor(self):
+        schema = parse_schema_source("""
+        associations
+          bag = (items: [integer]).
+        """)
+        assert schema.effective_type("bag").field("items").type == \
+            MultisetType(INTEGER)
+
+    def test_isa_statement_in_classes_section(self):
+        schema = parse_schema_source("""
+        classes
+          person = (name: string).
+          student = (person, school: string).
+          student isa person.
+        """)
+        assert schema.is_subclass("student", "person")
+
+    def test_labeled_isa_statement(self):
+        schema = parse_schema_source("""
+        classes
+          person = (name: string).
+          empl = (emp: person, manager: person).
+          empl emp isa person.
+        """)
+        assert schema.is_subclass("empl", "person")
+        assert "manager" in schema.effective_type("empl").labels
+
+    def test_section_keyword_and_colon_accepted(self):
+        schema = parse_schema_source("""
+        domains section:
+          name = string.
+        """)
+        assert schema.is_domain("name")
+
+    def test_missing_section_header_rejected(self):
+        with pytest.raises(ParseError, match="section header"):
+            parse_source("name = string.")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_schema_source("""
+            associations
+              a = (x: integer, x: string).
+            """)
+
+
+class TestFunctionDeclarations:
+    def test_unary_function(self):
+        unit = parse_source("""
+        domains
+          name = string.
+        functions
+          desc: name -> {name}.
+        """)
+        decl = unit.functions[0]
+        assert decl.name == "desc"
+        assert decl.arity == 1
+        assert decl.element_type == NamedType("name")
+
+    def test_paper_style_without_colon(self):
+        unit = parse_source("""
+        classes
+          person = (name: string).
+        functions
+          desc person -> {person}.
+        """)
+        assert unit.functions[0].arg_types == (NamedType("person"),)
+
+    def test_nullary_function(self):
+        unit = parse_source("""
+        classes
+          person = (name: string).
+        functions
+          junior -> {person}.
+        """)
+        assert unit.functions[0].arity == 0
+
+    def test_multi_argument_function(self):
+        unit = parse_source("""
+        functions
+          pairs: (integer, string) -> {integer}.
+        """)
+        assert unit.functions[0].arg_types == (INTEGER, STRING)
+
+    def test_non_set_result_rejected(self):
+        with pytest.raises(ParseError, match="set type"):
+            parse_source("functions\n  f: integer -> integer.")
+
+    def test_member_rules_live_in_functions_section(self):
+        unit = parse_source("""
+        associations
+          parent = (par: string, chil: string).
+        functions
+          desc: string -> {string}.
+          member(X, desc(Y)) <- parent(par Y, chil X).
+        """)
+        assert len(unit.rules) == 1
+        assert isinstance(unit.rules[0].head, FunctionHead)
+
+
+class TestRules:
+    def test_fact_without_arrow(self):
+        program = parse_program('p(n "a").')
+        assert program.rules[0].is_fact
+
+    def test_fact_with_empty_body(self):
+        program = parse_program('p(n "a") <- .')
+        assert program.rules[0].is_fact
+
+    def test_denial(self):
+        program = parse_program("<- married(p X), divorced(p X).")
+        assert program.rules[0].is_denial
+
+    def test_negated_head_is_deletion(self):
+        program = parse_program("~p(x X) <- q(x X).")
+        assert program.rules[0].head.negated
+
+    def test_self_argument(self):
+        program = parse_program("p(x X) <- person(self S, name X).")
+        body = program.rules[0].body[0]
+        assert body.args.self_term == Var("S")
+
+    def test_tuple_variable_with_labels(self):
+        program = parse_program("p(x X) <- person(name X, Y, self Z).")
+        args = program.rules[0].body[0].args
+        assert args.tuple_var == Var("Y")
+        assert args.self_term == Var("Z")
+
+    def test_positional_arguments_kept_for_resolution(self):
+        program = parse_program("p(x X) <- advises(X1, Y1).")
+        args = program.rules[0].body[0].args
+        assert args.positional == (Var("X1"), Var("Y1"))
+
+    def test_nested_pattern(self):
+        program = parse_program("p(x X) <- school(dean(self X)).")
+        label, term = program.rules[0].body[0].args.labeled[0]
+        assert label == "dean"
+        assert isinstance(term, Pattern)
+        assert term.args.self_term == Var("X")
+
+    def test_negation_tilde_and_not(self):
+        program = parse_program(
+            "p(x X) <- q(x X), ~r(x X), not s(x X)."
+        )
+        negs = [l.negated for l in program.rules[0].body]
+        assert negs == [False, True, True]
+
+    def test_comparisons(self):
+        program = parse_program("p(x X) <- q(x X), X <= 18, X != 5.")
+        ops = [l.name for l in program.rules[0].body[1:]]
+        assert ops == ["<=", "!="]
+
+    def test_arithmetic(self):
+        program = parse_program("p(x Z) <- q(x Y), Z = Y * 2 + 1.")
+        eq = program.rules[0].body[1]
+        assert isinstance(eq.args[1], ArithExpr)
+        assert eq.args[1].op == "+"
+
+    def test_collection_constants(self):
+        program = parse_program(
+            "p(x X) <- X = {}, q(s {1, 2}), r(m [1, 1]), t(q <1, 2>)."
+        )
+        empty = program.rules[0].body[0].args[1]
+        assert empty == Constant(SetValue())
+
+    def test_nil_constant(self):
+        program = parse_program("p(x X) <- school(dean nil, name X).")
+        label, term = program.rules[0].body[0].args.labeled[0]
+        assert term == Constant(NIL)
+
+    def test_anonymous_variables_are_fresh(self):
+        program = parse_program("p(x X) <- q(a _, b _), r(x X).")
+        q = program.rules[0].body[0]
+        v1, v2 = (t for _, t in q.args.labeled)
+        assert v1 != v2
+
+    def test_function_application_in_equality(self):
+        program = parse_program("a(anc X, des Y) <- p(par X), Y = desc(X).")
+        eq = program.rules[0].body[1]
+        assert isinstance(eq.args[1], FunctionApp)
+
+    def test_builtin_shadowed_by_user_predicate_arity(self):
+        program = parse_program("p(x X) <- mod(Y), q(x X).")
+        assert isinstance(program.rules[0].body[0], Literal)
+
+    def test_builtin_with_matching_arity_stays_builtin(self):
+        program = parse_program("p(x X) <- q(x X), mod(X, 2, Z), Z = 0.")
+        assert isinstance(program.rules[0].body[1], BuiltinLiteral)
+
+    def test_unquoted_constant_gives_helpful_error(self):
+        with pytest.raises(ParseError, match="double-quoted"):
+            parse_program("p(smith) <- q(smith).")
+
+    def test_labeled_unquoted_name_becomes_function_app(self):
+        # 'junior' could be a nullary data function; the analysis phase
+        # rejects it if no such function is declared
+        program = parse_program("p(x X) <- member(X, junior), q(x X).")
+        blit = program.rules[0].body[0]
+        assert isinstance(blit.args[1], FunctionApp)
+
+    def test_goal_section(self):
+        unit = parse_source("""
+        rules
+          p(x 1).
+        goal
+          ?- p(x X), X > 0.
+        """)
+        assert unit.goal is not None
+        assert len(unit.goal.literals) == 2
+
+    def test_two_goals_rejected(self):
+        with pytest.raises(ParseError, match="multiple goals"):
+            parse_source("goal\n ?- p(x X).\ngoal\n ?- q(x X).")
+
+    def test_member_head_requires_function_application(self):
+        with pytest.raises(ParseError, match="data-function"):
+            parse_program("member(X, Y) <- q(x X, y Y).")
+
+
+class TestRoundtripReprs:
+    def test_rule_repr_is_readable(self):
+        program = parse_program("anc(a X, d Z) <- p(par X), anc(a X, d Z).")
+        text = repr(program.rules[0])
+        assert "anc(" in text and "<-" in text

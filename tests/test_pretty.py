@@ -1,0 +1,125 @@
+"""Tests for the source renderer, including parse∘render round-trips."""
+
+import pytest
+
+from repro.language.parser import parse_program, parse_source
+from repro.language.pretty import (
+    render_program,
+    render_rule,
+    render_schema,
+    render_source,
+    render_value,
+)
+from repro.values import (
+    NIL,
+    MultisetValue,
+    Oid,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+)
+
+ROUND_TRIP_PROGRAMS = [
+    'p(x 1).',
+    'p(x X) <- q(x X).',
+    'p(x X) <- q(x X), ~r(x X).',
+    '~p(T) <- p(T), kill(T).',
+    '<- married(p X), divorced(p X).',
+    'p(x Z) <- q(x Y), Z = Y * 2 + 1.',
+    'p(s X) <- X = {}, q(s {1, 2}).',
+    'p(x X) <- person(self S, name X).',
+    'p(x X) <- person(name X, W, self Z), q(x X).',
+    'p(x X) <- school(dean(self X)).',
+    'p(x X) <- q(x X), union(A, B, C), member(A, C), count(C, N),'
+    ' N > 0, q(x A), q(s B), q(s C).',
+    'member(X, desc(Y)) <- parent(par Y, chil X).',
+    'anc(a X, d Y) <- parent(par X), Y = desc(X).',
+]
+
+
+class TestProgramRoundTrip:
+    @pytest.mark.parametrize("source", ROUND_TRIP_PROGRAMS)
+    def test_parse_render_parse_fixpoint(self, source):
+        program = parse_program(source)
+        rendered = render_program(program)
+        reparsed = parse_program(rendered)
+        assert reparsed.rules == program.rules
+
+    def test_goal_round_trip(self):
+        unit = parse_source("rules\n p(x 1).\ngoal\n ?- p(x X), X > 0.")
+        rendered = render_program(unit.program())
+        reparsed = parse_program(rendered)
+        assert reparsed.goal == unit.goal
+
+
+class TestSchemaRoundTrip:
+    SCHEMA = """
+    domains
+      name = string.
+      score = (home: integer, guest: integer).
+    classes
+      player = (name: name, roles: {integer}).
+      team = (tname: name, base: <player>, subs: {player}).
+      captain = (player: player, badge: string).
+      captain isa player.
+    associations
+      game = (h: team, g: team, sc: score).
+    functions
+      desc: (name) -> {name}.
+      junior -> {player}.
+    """
+
+    def test_schema_round_trip(self):
+        schema = parse_source(self.SCHEMA).schema()
+        rendered = render_schema(schema)
+        reparsed = parse_source(rendered).schema()
+        assert reparsed.equations == schema.equations
+        assert reparsed.isa_declarations == schema.isa_declarations
+        assert reparsed.functions == schema.functions
+
+    def test_render_source_combines_sections(self):
+        unit = parse_source(self.SCHEMA + """
+        rules
+          game(h X, g Y, sc S) <- game(h Y, g X, sc S).
+        """)
+        text = render_source(unit.schema(), unit.program())
+        reparsed = parse_source(text)
+        assert reparsed.schema().equations == unit.schema().equations
+        assert reparsed.rules == unit.rules
+
+    def test_hidden_function_predicates_not_rendered(self):
+        from repro.language.analysis import schema_with_functions
+
+        schema = schema_with_functions(parse_source(self.SCHEMA).schema())
+        rendered = render_schema(schema)
+        assert "__fn_" not in rendered
+
+
+class TestValueRendering:
+    @pytest.mark.parametrize("value,expected", [
+        (True, "true"),
+        ("a\"b", '"a\\"b"'),
+        (SetValue([2, 1]), "{1, 2}"),
+        (MultisetValue([1, 1]), "[1, 1]"),
+        (SequenceValue([2, 1]), "<2, 1>"),
+        (TupleValue(a=1), "(a 1)"),
+        (NIL, "nil"),
+    ])
+    def test_rendering(self, value, expected):
+        assert render_value(value) == expected
+
+    def test_oids_are_not_renderable(self):
+        with pytest.raises(ValueError, match="not visible"):
+            render_value(Oid(3))
+
+
+class TestRuleRendering:
+    def test_denial(self):
+        rule = parse_program("<- p(x X), q(x X).").rules[0]
+        assert render_rule(rule).startswith("<- ")
+
+    def test_function_head(self):
+        rule = parse_program(
+            "member(X, desc(Y)) <- parent(par Y, chil X)."
+        ).rules[0]
+        assert render_rule(rule).startswith("member(X, desc(Y))")

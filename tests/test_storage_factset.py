@@ -1,0 +1,152 @@
+"""Unit tests for fact sets and the Appendix B set algebra."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import Fact, FactSet
+from repro.storage.factset import require_factset
+from repro.values import Oid, TupleValue
+
+
+def assoc(pred, **kw):
+    return Fact(pred, TupleValue(kw))
+
+
+def obj(pred, oid, **kw):
+    return Fact(pred, TupleValue(kw), Oid(oid))
+
+
+class TestBasicMutation:
+    def test_add_association_fact(self):
+        fs = FactSet()
+        assert fs.add(assoc("p", x=1))
+        assert not fs.add(assoc("p", x=1))  # duplicate
+        assert fs.count("p") == 1
+        assert assoc("p", x=1) in fs
+
+    def test_add_class_fact_overwrites_same_oid(self):
+        fs = FactSet()
+        fs.add(obj("c", 1, name="a"))
+        assert fs.add(obj("c", 1, name="b"))  # changed
+        assert fs.value_of("c", Oid(1)) == TupleValue(name="b")
+        assert fs.count("c") == 1
+
+    def test_discard_exact_match_only(self):
+        fs = FactSet.from_facts([obj("c", 1, name="a")])
+        assert not fs.discard(obj("c", 1, name="zzz"))
+        assert fs.discard(obj("c", 1, name="a"))
+        assert fs.count() == 0
+
+    def test_discard_oid_ignores_value(self):
+        fs = FactSet.from_facts([obj("c", 1, name="a")])
+        assert fs.discard_oid("c", Oid(1))
+        assert not fs.discard_oid("c", Oid(1))
+
+    def test_add_helpers(self):
+        fs = FactSet()
+        fs.add_association("p", TupleValue(x=1))
+        fs.add_object("C", Oid(1), TupleValue(name="a"))
+        assert fs.count() == 2
+        assert fs.has_oid("c", Oid(1))  # predicate names normalize
+
+
+class TestQueries:
+    def test_facts_of_mixes_nothing(self):
+        fs = FactSet.from_facts([assoc("p", x=1), obj("c", 1, y=2)])
+        assert {f.pred for f in fs.facts()} == {"p", "c"}
+        assert len(list(fs.facts_of("p"))) == 1
+
+    def test_predicates_sorted(self):
+        fs = FactSet.from_facts([assoc("z", x=1), assoc("a", x=1)])
+        assert fs.predicates() == ["a", "z"]
+
+    def test_oids_of(self):
+        fs = FactSet.from_facts([obj("c", 1), obj("c", 2)])
+        assert fs.oids_of("c") == {Oid(1), Oid(2)}
+
+    def test_lookup_by_label_uses_index(self):
+        fs = FactSet.from_facts(
+            [assoc("p", x=i, y=i % 2) for i in range(10)]
+        )
+        hits = fs.lookup("p", "y", 1)
+        assert len(hits) == 5
+        assert all(f.value["y"] == 1 for f in hits)
+
+    def test_lookup_by_self_pseudo_label(self):
+        fs = FactSet.from_facts([obj("c", 7, name="a")])
+        hits = fs.lookup("c", "self", Oid(7))
+        assert len(hits) == 1 and hits[0].oid == Oid(7)
+
+    def test_index_invalidated_on_mutation(self):
+        fs = FactSet.from_facts([assoc("p", x=1)])
+        assert len(fs.lookup("p", "x", 1)) == 1
+        fs.add(assoc("p", y=9, x=1))
+        assert len(fs.lookup("p", "x", 1)) == 2
+
+
+class TestSetAlgebra:
+    def test_compose_right_bias_on_oid_conflict(self):
+        left = FactSet.from_facts([obj("c", 1, name="old")])
+        right = FactSet.from_facts([obj("c", 1, name="new")])
+        merged = left.compose(right)
+        assert merged.value_of("c", Oid(1)) == TupleValue(name="new")
+
+    def test_compose_is_noncommutative(self):
+        left = FactSet.from_facts([obj("c", 1, name="a")])
+        right = FactSet.from_facts([obj("c", 1, name="b")])
+        assert left.compose(right) != right.compose(left)
+
+    def test_union_inflationary_left_bias(self):
+        left = FactSet.from_facts([obj("c", 1, name="keep")])
+        right = FactSet.from_facts([obj("c", 1, name="drop")])
+        merged = left.union_inflationary(right)
+        assert merged.value_of("c", Oid(1)) == TupleValue(name="keep")
+
+    def test_minus_exact_facts(self):
+        base = FactSet.from_facts([assoc("p", x=1), assoc("p", x=2)])
+        delta = FactSet.from_facts([assoc("p", x=1)])
+        assert [f.value["x"] for f in base.minus(delta).facts_of("p")] == [2]
+
+    def test_intersection(self):
+        a = FactSet.from_facts([assoc("p", x=1), assoc("p", x=2)])
+        b = FactSet.from_facts([assoc("p", x=2), assoc("p", x=3)])
+        inter = a.intersection(b)
+        assert [f.value["x"] for f in inter.facts_of("p")] == [2]
+
+    def test_equality_ignores_empty_tables(self):
+        a = FactSet()
+        a.add(assoc("p", x=1))
+        a.discard(assoc("p", x=1))
+        assert a == FactSet()
+
+    def test_factset_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(FactSet())
+
+
+class TestConversion:
+    def test_to_instance_merges_hierarchy_values(self):
+        fs = FactSet()
+        fs.add(obj("person", 1, name="luca"))
+        fs.add(obj("student", 1, name="luca", year=2))
+        inst = fs.to_instance()
+        assert inst.pi["person"] == {Oid(1)}
+        assert inst.nu[Oid(1)] == TupleValue(name="luca", year=2)
+
+    def test_max_oid_number_scans_nested_values(self):
+        fs = FactSet()
+        fs.add(assoc("likes", who=Oid(9), what="x"))
+        fs.add(obj("c", 3))
+        assert fs.max_oid_number() == 9
+
+    def test_copy_is_independent(self):
+        fs = FactSet.from_facts([assoc("p", x=1)])
+        clone = fs.copy()
+        clone.add(assoc("p", x=2))
+        assert fs.count() == 1
+
+    def test_require_factset(self):
+        fs = FactSet()
+        assert require_factset(fs) is fs
+        with pytest.raises(StorageError):
+            require_factset({"not": "a factset"})

@@ -1,0 +1,155 @@
+"""Unit tests for JSON persistence round-trips."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.language.parser import parse_source
+from repro.storage import FactSet, dumps_state, loads_state
+from repro.storage.persist import (
+    decode_program,
+    decode_schema,
+    decode_type,
+    decode_value,
+    encode_program,
+    encode_schema,
+    encode_type,
+    encode_value,
+)
+from repro.types import INTEGER, STRING, NamedType, SchemaBuilder, SetType
+from repro.types.descriptors import (
+    MultisetType,
+    SequenceType,
+    TupleField,
+    TupleType,
+)
+from repro.values import (
+    MultisetValue,
+    Oid,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+)
+
+
+class TestValueRoundtrip:
+    @pytest.mark.parametrize("value", [
+        1,
+        -3,
+        "hello",
+        True,
+        False,
+        2.5,
+        Oid(7),
+        Oid(0),
+        TupleValue(a=1, b="x"),
+        SetValue([1, 2, 3]),
+        MultisetValue(["a", "a", "b"]),
+        SequenceValue([3, 1, 2]),
+        TupleValue(nested=SetValue([TupleValue(x=Oid(1))])),
+    ])
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_float_distinguished_from_int(self):
+        assert isinstance(decode_value(encode_value(2.0)), float)
+        assert isinstance(decode_value(encode_value(2)), int)
+
+    def test_bool_distinguished_from_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+
+    def test_bad_payload_raises(self):
+        with pytest.raises(StorageError):
+            decode_value({"$nonsense": 1})
+
+
+class TestTypeRoundtrip:
+    @pytest.mark.parametrize("descriptor", [
+        INTEGER,
+        STRING,
+        NamedType("person"),
+        SetType(INTEGER),
+        MultisetType(STRING),
+        SequenceType(NamedType("player")),
+        TupleType((TupleField("a", INTEGER),
+                   TupleField("b", SetType(STRING)))),
+    ])
+    def test_roundtrip(self, descriptor):
+        assert decode_type(encode_type(descriptor)) == descriptor
+
+    def test_bad_payload_raises(self):
+        with pytest.raises(StorageError):
+            decode_type({"$nonsense": 1})
+        with pytest.raises(StorageError):
+            decode_type("not a dict")
+
+
+class TestSchemaRoundtrip:
+    def test_full_schema(self):
+        schema = (
+            SchemaBuilder()
+            .domain("name", STRING)
+            .clazz("person", ("name", "name"))
+            .clazz("student", ("person", "person"), ("year", INTEGER))
+            .association("likes", ("who", "person"), ("tag", STRING))
+            .isa("student", "person")
+            .function("friends", ["person"], "person")
+            .build()
+        )
+        restored = decode_schema(encode_schema(schema))
+        assert restored.equations == schema.equations
+        assert restored.isa_declarations == schema.isa_declarations
+        assert restored.functions == schema.functions
+
+
+class TestProgramRoundtrip:
+    def test_rules_with_every_construct(self):
+        unit = parse_source("""
+        domains
+          name = string.
+        associations
+          parent = (par: name, chil: name).
+          power = (s: {integer}).
+        functions
+          desc: name -> {name}.
+          member(X, desc(Y)) <- parent(par Y, chil X).
+        rules
+          power(s X) <- X = {}.
+          power(s X) <- power(s Y), power(s Z), union(Y, Z, X).
+          ~parent(T) <- parent(T, par "x").
+          <- parent(par X, chil X).
+        goal
+          ?- parent(par X, chil Y), X != Y.
+        """)
+        program = unit.program()
+        restored = decode_program(encode_program(program))
+        assert restored == program
+
+
+class TestStateRoundtrip:
+    def test_dumps_loads_state(self):
+        unit = parse_source("""
+        classes
+          person = (name: string).
+        associations
+          parent = (par: string, chil: string).
+        rules
+          parent(par "a", chil "b").
+        """)
+        schema, program = unit.schema(), unit.program()
+        edb = FactSet()
+        edb.add_association("parent", TupleValue(par="x", chil="y"))
+        edb.add_object("person", Oid(4), TupleValue(name="sara"))
+        text = dumps_state(schema, edb, program)
+        schema2, edb2, program2 = loads_state(text)
+        assert schema2.equations == schema.equations
+        assert edb2 == edb
+        assert program2 == program
+
+    def test_corrupt_payload_raises(self):
+        with pytest.raises(StorageError, match="corrupt"):
+            loads_state("not json at all {")
+
+    def test_version_skew_raises(self):
+        with pytest.raises(StorageError, match="version"):
+            loads_state('{"version": 999}')

@@ -1,0 +1,88 @@
+"""Unit tests for type descriptors (Appendix A, Definition 1)."""
+
+import pytest
+
+from repro.errors import TypeEquationError
+from repro.types.descriptors import (
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    STRING,
+    ElementaryType,
+    MultisetType,
+    NamedType,
+    SequenceType,
+    SetType,
+    TupleField,
+    TupleType,
+)
+
+
+class TestElementaryTypes:
+    def test_singletons_exist(self):
+        assert INTEGER.name == "integer"
+        assert STRING.name == "string"
+        assert REAL.name == "real"
+        assert BOOLEAN.name == "boolean"
+
+    def test_equality_by_name(self):
+        assert INTEGER == ElementaryType("integer")
+        assert INTEGER != STRING
+
+    def test_hashable(self):
+        assert len({INTEGER, STRING, INTEGER}) == 2
+
+
+class TestTupleType:
+    def test_labels_in_declaration_order(self):
+        t = TupleType((TupleField("b", INTEGER), TupleField("a", STRING)))
+        assert t.labels == ("b", "a")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(TypeEquationError, match="duplicate"):
+            TupleType((TupleField("x", INTEGER), TupleField("x", STRING)))
+
+    def test_field_lookup(self):
+        t = TupleType((TupleField("x", INTEGER),))
+        assert t.field("x").type == INTEGER
+        with pytest.raises(KeyError):
+            t.field("missing")
+
+    def test_has_label(self):
+        t = TupleType((TupleField("x", INTEGER),))
+        assert t.has_label("x")
+        assert not t.has_label("y")
+
+    def test_empty_tuple_is_legal(self):
+        assert TupleType(()).labels == ()
+
+    def test_accepts_bare_pairs(self):
+        t = TupleType((("x", INTEGER), ("y", STRING)))
+        assert t.field("y").type == STRING
+
+
+class TestWalkAndReferences:
+    def test_walk_visits_nested_descriptors(self):
+        t = SetType(TupleType((TupleField("a", NamedType("person")),)))
+        kinds = [type(d).__name__ for d in t.walk()]
+        assert kinds == ["SetType", "TupleType", "NamedType"]
+
+    def test_named_references_collects_names(self):
+        t = TupleType((
+            TupleField("a", NamedType("person")),
+            TupleField("b", SequenceType(NamedType("team"))),
+            TupleField("c", MultisetType(INTEGER)),
+        ))
+        assert t.named_references() == {"person", "team"}
+
+    def test_elementary_has_no_references(self):
+        assert INTEGER.named_references() == set()
+
+
+class TestReprs:
+    def test_constructor_reprs_match_paper_notation(self):
+        assert repr(SetType(INTEGER)) == "{INTEGER}"
+        assert repr(MultisetType(INTEGER)) == "[INTEGER]"
+        assert repr(SequenceType(INTEGER)) == "<INTEGER>"
+        t = TupleType((TupleField("x", INTEGER),))
+        assert repr(t) == "(x: INTEGER)"

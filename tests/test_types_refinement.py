@@ -1,0 +1,152 @@
+"""Unit tests for the refinement preorder ``≼`` (Appendix A)."""
+
+import pytest
+
+from repro.types import (
+    INTEGER,
+    STRING,
+    MultisetType,
+    NamedType,
+    SchemaBuilder,
+    SequenceType,
+    SetType,
+    TupleField,
+    TupleType,
+    is_refinement,
+    types_compatible,
+)
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder()
+        .domain("name", STRING)
+        .domain("score", (("home", INTEGER), ("guest", INTEGER)))
+        .clazz("person", ("name", "name"), ("address", STRING))
+        .clazz("student", ("person", "person"), ("school", STRING))
+        .isa("student", "person")
+        .build()
+    )
+
+
+def tt(*fields):
+    return TupleType(tuple(TupleField(l, t) for l, t in fields))
+
+
+class TestClause1Identity:
+    def test_elementary_reflexive(self, schema):
+        assert is_refinement(INTEGER, INTEGER, schema)
+        assert not is_refinement(INTEGER, STRING, schema)
+
+    def test_named_reflexive(self, schema):
+        assert is_refinement(NamedType("name"), NamedType("name"), schema)
+
+
+class TestClause2DomainExpansion:
+    def test_domain_refines_its_rhs(self, schema):
+        assert is_refinement(NamedType("name"), STRING, schema)
+
+    def test_rhs_does_not_refine_domain(self, schema):
+        # domains denote subsets: STRING is not a refinement of NAME
+        assert not is_refinement(STRING, NamedType("name"), schema)
+
+    def test_complex_domain_refines_structure(self, schema):
+        target = tt(("home", INTEGER), ("guest", INTEGER))
+        assert is_refinement(NamedType("score"), target, schema)
+
+
+class TestClause3Classes:
+    def test_subclass_refines_superclass(self, schema):
+        assert is_refinement(
+            NamedType("student"), NamedType("person"), schema
+        )
+
+    def test_superclass_does_not_refine_subclass(self, schema):
+        assert not is_refinement(
+            NamedType("person"), NamedType("student"), schema
+        )
+
+    def test_structurally_wider_class_refines(self):
+        # no isa declared, but clause 3 compares structure
+        schema = (
+            SchemaBuilder()
+            .clazz("a", ("x", INTEGER))
+            .clazz("b", ("x", INTEGER), ("y", STRING))
+            .build()
+        )
+        assert is_refinement(NamedType("b"), NamedType("a"), schema)
+        assert not is_refinement(NamedType("a"), NamedType("b"), schema)
+
+
+class TestClause4Tuples:
+    def test_width_subtyping(self, schema):
+        wide = tt(("x", INTEGER), ("y", STRING))
+        narrow = tt(("x", INTEGER))
+        assert is_refinement(wide, narrow, schema)
+        assert not is_refinement(narrow, wide, schema)
+
+    def test_field_types_must_refine(self, schema):
+        t1 = tt(("x", NamedType("name")))
+        t2 = tt(("x", STRING))
+        assert is_refinement(t1, t2, schema)
+        assert not is_refinement(t2, t1, schema)
+
+    def test_label_mismatch_fails(self, schema):
+        assert not is_refinement(
+            tt(("x", INTEGER)), tt(("y", INTEGER)), schema
+        )
+
+
+class TestClauses5to7Collections:
+    def test_set_covariance(self, schema):
+        assert is_refinement(
+            SetType(NamedType("name")), SetType(STRING), schema
+        )
+        assert not is_refinement(
+            SetType(STRING), SetType(INTEGER), schema
+        )
+
+    def test_multiset_covariance(self, schema):
+        assert is_refinement(
+            MultisetType(NamedType("name")), MultisetType(STRING), schema
+        )
+
+    def test_sequence_covariance(self, schema):
+        assert is_refinement(
+            SequenceType(NamedType("student")),
+            SequenceType(NamedType("person")),
+            schema,
+        )
+
+    def test_different_constructors_incompatible(self, schema):
+        assert not is_refinement(SetType(INTEGER), MultisetType(INTEGER),
+                                 schema)
+        assert not is_refinement(SequenceType(INTEGER), SetType(INTEGER),
+                                 schema)
+
+
+class TestRecursiveEquations:
+    def test_recursive_domain_handled_coinductively(self):
+        # a recursive domain equation must not loop the checker
+        schema = (
+            SchemaBuilder()
+            .domain("tree", (("label", INTEGER), ("kids", {"tree"})))
+            .build()
+        )
+        target = schema.rhs_of("tree")
+        assert is_refinement(NamedType("tree"), target, schema)
+
+
+class TestCompatibility:
+    def test_compatibility_is_symmetric(self, schema):
+        assert types_compatible(NamedType("name"), STRING, schema)
+        assert types_compatible(STRING, NamedType("name"), schema)
+
+    def test_incompatible_types(self, schema):
+        assert not types_compatible(INTEGER, STRING, schema)
+
+    def test_preorder_transitivity_sample(self, schema):
+        # student ≼ person and person ≼ (name) imply student ≼ (name)
+        narrow = tt(("name", NamedType("name")))
+        assert is_refinement(NamedType("student"), narrow, schema)

@@ -1,0 +1,315 @@
+"""Unit tests for schemas: validation, effective types, isa hierarchies."""
+
+import pytest
+
+from repro.errors import IsaError, SchemaError, TypeEquationError
+from repro.types import (
+    INTEGER,
+    STRING,
+    NamedType,
+    SchemaBuilder,
+    SetType,
+)
+
+
+def simple_builder():
+    return (
+        SchemaBuilder()
+        .domain("name", STRING)
+        .clazz("person", ("name", "name"), ("address", STRING))
+    )
+
+
+class TestSchemaBuilder:
+    def test_duplicate_equation_rejected(self):
+        b = simple_builder()
+        with pytest.raises(TypeEquationError, match="duplicate"):
+            b.domain("name", INTEGER)
+
+    def test_unknown_reference_rejected(self):
+        b = SchemaBuilder().clazz("person", ("name", "missing"))
+        with pytest.raises(SchemaError, match="unknown type"):
+            b.build()
+
+    def test_elementary_shadowing_rejected(self):
+        b = SchemaBuilder().domain("integer", STRING)
+        with pytest.raises(TypeEquationError, match="shadows"):
+            b.build()
+
+    def test_names_are_case_insensitive(self):
+        schema = (
+            SchemaBuilder()
+            .domain("NAME", STRING)
+            .clazz("Person", ("Name", "NAME"))
+            .build()
+        )
+        assert schema.is_class("PERSON")
+        assert schema.is_domain("name")
+
+    def test_set_shorthand(self):
+        schema = (
+            SchemaBuilder()
+            .clazz("player", ("roles", {INTEGER}))
+            .build()
+        )
+        assert schema.effective_type("player").field("roles").type == \
+            SetType(INTEGER)
+
+    def test_kind_predicates(self):
+        schema = (
+            simple_builder()
+            .association("likes", ("who", "person"), ("what", STRING))
+            .build()
+        )
+        assert schema.is_association("likes")
+        assert not schema.is_association("person")
+        assert schema.predicate_names == ["person", "likes"]
+
+    def test_kind_of_unknown_raises(self):
+        schema = simple_builder().build()
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.kind_of("ghost")
+
+
+class TestDomainRestrictions:
+    def test_domain_may_not_reference_class(self):
+        b = (
+            simple_builder()
+            .domain("bad", NamedType("person"))
+        )
+        with pytest.raises(TypeEquationError, match="domains may only"):
+            b.build()
+
+    def test_domain_chain_is_legal(self):
+        schema = (
+            SchemaBuilder()
+            .domain("name", STRING)
+            .domain("nickname", "name")
+            .build()
+        )
+        assert schema.is_domain("nickname")
+
+
+class TestAssociationRestrictions:
+    def test_association_cannot_nest_association(self):
+        b = (
+            SchemaBuilder()
+            .association("a", ("x", INTEGER))
+            .association("b", ("inner", "a"))
+        )
+        with pytest.raises(TypeEquationError, match="cannot be nested"):
+            b.build()
+
+    def test_class_may_alias_association_at_top_level(self):
+        # Example 3.4: "Classes section: IP = PAIR"
+        schema = (
+            SchemaBuilder()
+            .association("pair", ("employee", STRING), ("manager", STRING))
+            .clazz("ip", "pair")
+            .build()
+        )
+        eff = schema.effective_type("ip")
+        assert set(eff.labels) == {"employee", "manager"}
+
+    def test_class_may_not_nest_association(self):
+        b = (
+            SchemaBuilder()
+            .association("pair", ("e", STRING))
+            .clazz("bad", ("p", "pair"), ("x", INTEGER))
+        )
+        with pytest.raises(TypeEquationError, match="cannot be nested"):
+            b.build()
+
+
+class TestIsaHierarchies:
+    def build_university(self):
+        return (
+            SchemaBuilder()
+            .domain("name", STRING)
+            .clazz("person", ("name", "name"), ("address", STRING))
+            .clazz("student", ("person", "person"), ("school", STRING))
+            .clazz("professor", ("person", "person"), ("course", STRING))
+            .isa("student", "person")
+            .isa("professor", "person")
+            .build()
+        )
+
+    def test_effective_type_flattens_inheritance(self):
+        schema = self.build_university()
+        assert set(schema.effective_type("student").labels) == {
+            "name", "address", "school"
+        }
+
+    def test_superclasses_and_subclasses(self):
+        schema = self.build_university()
+        assert schema.superclasses("student") == ["person"]
+        assert sorted(schema.subclasses("person")) == [
+            "professor", "student"
+        ]
+
+    def test_is_subclass_is_reflexive_transitive(self):
+        schema = self.build_university()
+        assert schema.is_subclass("student", "student")
+        assert schema.is_subclass("student", "person")
+        assert not schema.is_subclass("person", "student")
+
+    def test_hierarchy_root(self):
+        schema = self.build_university()
+        assert schema.hierarchy_root("student") == "person"
+        assert schema.hierarchy_root("person") == "person"
+        assert schema.same_hierarchy("student", "professor")
+
+    def test_isa_cycle_rejected(self):
+        b = (
+            SchemaBuilder()
+            .clazz("a", ("x", INTEGER))
+            .clazz("b", ("a", "a"))
+            .isa("a", "b")
+            .isa("b", "a")
+        )
+        with pytest.raises(IsaError):
+            b.build()
+
+    def test_reflexive_isa_rejected(self):
+        b = SchemaBuilder().clazz("a", ("x", INTEGER)).isa("a", "a")
+        with pytest.raises(IsaError, match="reflexive"):
+            b.build()
+
+    def test_isa_between_non_classes_rejected(self):
+        b = (
+            SchemaBuilder()
+            .domain("d", STRING)
+            .clazz("c", ("x", INTEGER))
+            .isa("c", "d")
+        )
+        with pytest.raises(IsaError, match="not a class"):
+            b.build()
+
+    def test_isa_requires_occurrence_in_rhs(self):
+        b = (
+            SchemaBuilder()
+            .clazz("person", ("name", STRING))
+            .clazz("student", ("school", STRING))
+            .isa("student", "person")
+        )
+        with pytest.raises(IsaError, match="no occurrence"):
+            b.build()
+
+    def test_multiple_inheritance_needs_common_ancestor(self):
+        # two disjoint roots cannot be combined (Section 2.1)
+        b = (
+            SchemaBuilder()
+            .clazz("vehicle", ("wheels", INTEGER))
+            .clazz("animal", ("legs", INTEGER))
+            .clazz("chimera", ("vehicle", "vehicle"), ("animal", "animal"))
+            .isa("chimera", "vehicle")
+            .isa("chimera", "animal")
+        )
+        with pytest.raises(IsaError, match="multiple hierarchies"):
+            b.build()
+
+    def test_multiple_inheritance_with_common_ancestor(self):
+        schema = (
+            SchemaBuilder()
+            .clazz("person", ("name", STRING))
+            .clazz("student", ("person", "person"), ("school", STRING))
+            .clazz("employee", ("person", "person"), ("firm", STRING))
+            .clazz(
+                "working_student",
+                ("student", "student"), ("employee", "employee"),
+            )
+            .isa("student", "person")
+            .isa("employee", "person")
+            .isa("working_student", "student")
+            .isa("working_student", "employee")
+            .build()
+        )
+        eff = schema.effective_type("working_student")
+        # 'name' inherited twice: the second occurrence is renamed
+        assert "name" in eff.labels
+        assert "school" in eff.labels
+        assert "firm" in eff.labels
+        assert schema.hierarchy_root("working_student") == "person"
+
+    def test_labeled_isa_selects_occurrence(self):
+        # the paper's EMPL emp ISA PERSON
+        schema = (
+            SchemaBuilder()
+            .clazz("person", ("name", STRING))
+            .clazz("empl", ("emp", "person"), ("manager", "person"))
+            .isa("empl", "person", label="emp")
+            .build()
+        )
+        eff = schema.effective_type("empl")
+        assert "name" in eff.labels        # inherited through emp
+        assert "manager" in eff.labels     # still an oid reference
+        assert eff.field("manager").type == NamedType("person")
+
+    def test_labeled_isa_with_wrong_label_rejected(self):
+        b = (
+            SchemaBuilder()
+            .clazz("person", ("name", STRING))
+            .clazz("empl", ("emp", "person"))
+            .isa("empl", "person", label="boss")
+        )
+        with pytest.raises(IsaError, match="no component labeled"):
+            b.build()
+
+
+class TestReferenceFields:
+    def test_reference_fields_lists_class_references(self):
+        schema = (
+            SchemaBuilder()
+            .clazz("team", ("tname", STRING))
+            .association(
+                "game", ("home", "team"), ("guest", "team"),
+                ("day", STRING),
+            )
+            .build()
+        )
+        refs = schema.reference_fields("game")
+        assert sorted(f.label for f in refs) == ["guest", "home"]
+
+    def test_field_type_resolves_labels(self):
+        schema = simple_builder().build()
+        assert schema.field_type("person", "address") == STRING
+        with pytest.raises(SchemaError, match="no argument labeled"):
+            schema.field_type("person", "ghost")
+
+
+class TestSchemaComposition:
+    def test_union_merges_and_rejects_conflicts(self):
+        s1 = SchemaBuilder().clazz("a", ("x", INTEGER)).build()
+        s2 = SchemaBuilder().clazz("b", ("y", STRING)).build()
+        merged = s1.union(s2)
+        assert merged.is_class("a") and merged.is_class("b")
+        s3 = SchemaBuilder().clazz("a", ("x", STRING)).build()
+        with pytest.raises(SchemaError, match="conflicting"):
+            s1.union(s3)
+
+    def test_difference_drops_equations_and_isa(self):
+        full = (
+            SchemaBuilder()
+            .clazz("person", ("name", STRING))
+            .clazz("student", ("person", "person"), ("school", STRING))
+            .isa("student", "person")
+            .build()
+        )
+        fragment = (
+            SchemaBuilder()
+            .clazz("person", ("name", STRING))
+            .clazz("student", ("person", "person"), ("school", STRING))
+            .isa("student", "person")
+            .build()
+        )
+        left = full.difference(fragment)
+        assert left.class_names == []
+
+    def test_recursive_class_equation_through_inheritance_rejected(self):
+        b = (
+            SchemaBuilder()
+            .clazz("a", ("a", "a"))
+            .isa("a", "a")
+        )
+        with pytest.raises(IsaError):
+            b.build()

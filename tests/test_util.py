@@ -1,0 +1,92 @@
+"""Unit tests for the shared algorithmic helpers."""
+
+import pytest
+
+from repro._util import (
+    strongly_connected_components,
+    topological_order,
+    unique_in_order,
+)
+
+
+class TestStronglyConnectedComponents:
+    def test_empty_graph(self):
+        assert strongly_connected_components({}) == []
+
+    def test_single_node_no_self_loop(self):
+        assert strongly_connected_components({"a": []}) == [["a"]]
+
+    def test_self_loop_is_single_component(self):
+        comps = strongly_connected_components({"a": ["a"]})
+        assert comps == [["a"]]
+
+    def test_two_node_cycle(self):
+        comps = strongly_connected_components({"a": ["b"], "b": ["a"]})
+        assert len(comps) == 1
+        assert sorted(comps[0]) == ["a", "b"]
+
+    def test_dag_components_are_singletons(self):
+        comps = strongly_connected_components(
+            {"a": ["b", "c"], "b": ["c"], "c": []}
+        )
+        assert sorted(len(c) for c in comps) == [1, 1, 1]
+
+    def test_reverse_topological_order(self):
+        # every edge must go from a later component to an earlier one
+        graph = {"a": ["b"], "b": ["c"], "c": [], "d": ["b"]}
+        comps = strongly_connected_components(graph)
+        position = {n: i for i, c in enumerate(comps) for n in c}
+        for node, succs in graph.items():
+            for succ in succs:
+                assert position[succ] <= position[node]
+
+    def test_implicit_nodes_from_successor_lists(self):
+        comps = strongly_connected_components({"a": ["ghost"]})
+        flattened = {n for c in comps for n in c}
+        assert flattened == {"a", "ghost"}
+
+    def test_two_separate_cycles(self):
+        graph = {"a": ["b"], "b": ["a"], "x": ["y"], "y": ["x"],
+                 "a2": ["x"]}
+        comps = strongly_connected_components(graph)
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 2, 2]
+
+    def test_deep_chain_does_not_recurse(self):
+        n = 50_000
+        graph = {i: [i + 1] for i in range(n)}
+        comps = strongly_connected_components(graph)
+        assert len(comps) == n + 1
+
+
+class TestTopologicalOrder:
+    def test_simple_chain(self):
+        order = topological_order({"a": ["b"], "b": ["c"]})
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_raises(self):
+        with pytest.raises(ValueError):
+            topological_order({"a": ["b"], "b": ["a"]})
+
+    def test_includes_isolated_nodes(self):
+        assert set(topological_order({"a": [], "b": []})) == {"a", "b"}
+
+    def test_diamond(self):
+        order = topological_order(
+            {"top": ["l", "r"], "l": ["bot"], "r": ["bot"], "bot": []}
+        )
+        assert order.index("top") < order.index("l")
+        assert order.index("top") < order.index("r")
+        assert order.index("l") < order.index("bot")
+        assert order.index("r") < order.index("bot")
+
+
+class TestUniqueInOrder:
+    def test_preserves_first_occurrence_order(self):
+        assert unique_in_order([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_empty(self):
+        assert unique_in_order([]) == []
+
+    def test_all_unique(self):
+        assert unique_in_order(["x", "y"]) == ["x", "y"]

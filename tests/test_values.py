@@ -1,0 +1,152 @@
+"""Unit tests for the complex value model and oids."""
+
+import pytest
+
+from repro.values import (
+    NIL,
+    MultisetValue,
+    Oid,
+    OidGenerator,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+    value_repr,
+)
+
+
+class TestOids:
+    def test_nil_is_oid_zero(self):
+        assert NIL == Oid(0)
+        assert NIL.is_nil
+        assert not Oid(1).is_nil
+
+    def test_repr(self):
+        assert repr(NIL) == "nil"
+        assert repr(Oid(7)) == "&7"
+
+    def test_generator_is_sequential(self):
+        gen = OidGenerator()
+        assert [gen.fresh().number for _ in range(3)] == [1, 2, 3]
+
+    def test_generator_reserve_above(self):
+        gen = OidGenerator()
+        gen.reserve_above(Oid(10))
+        assert gen.fresh() == Oid(11)
+        gen.reserve_above(Oid(5))  # no effect backwards
+        assert gen.fresh() == Oid(12)
+
+    def test_generator_rejects_zero_start(self):
+        with pytest.raises(ValueError):
+            OidGenerator(start=0)
+
+
+class TestTupleValue:
+    def test_label_order_does_not_matter(self):
+        assert TupleValue(a=1, b=2) == TupleValue(b=2, a=1)
+        assert hash(TupleValue(a=1, b=2)) == hash(TupleValue(b=2, a=1))
+
+    def test_mapping_protocol(self):
+        t = TupleValue(x=1, y="s")
+        assert t["x"] == 1
+        assert t.get("ghost") is None
+        assert "y" in t
+        assert sorted(t) == ["x", "y"]
+        assert len(t) == 2
+        with pytest.raises(KeyError):
+            t["ghost"]
+
+    def test_project(self):
+        t = TupleValue(a=1, b=2, c=3)
+        assert t.project(["a", "c"]) == TupleValue(a=1, c=3)
+        assert t.project(["ghost"]) == TupleValue()
+
+    def test_with_field_and_without(self):
+        t = TupleValue(a=1)
+        assert t.with_field("b", 2) == TupleValue(a=1, b=2)
+        assert t.with_field("a", 9) == TupleValue(a=9)
+        assert TupleValue(a=1, b=2).without("b") == TupleValue(a=1)
+
+    def test_merged_right_bias(self):
+        assert TupleValue(a=1, b=2).merged(TupleValue(b=9, c=3)) == \
+            TupleValue(a=1, b=9, c=3)
+
+    def test_nested_values(self):
+        t = TupleValue(inner=TupleValue(x=1), s=SetValue([1, 2]))
+        assert t["inner"]["x"] == 1
+        assert 2 in t["s"]
+
+
+class TestSetValue:
+    def test_deduplicates(self):
+        assert len(SetValue([1, 1, 2])) == 2
+
+    def test_set_operations(self):
+        a, b = SetValue([1, 2]), SetValue([2, 3])
+        assert a.union(b) == SetValue([1, 2, 3])
+        assert a.intersection(b) == SetValue([2])
+        assert a.difference(b) == SetValue([1])
+        assert a.with_element(5) == SetValue([1, 2, 5])
+
+    def test_hashable_nested(self):
+        outer = SetValue([SetValue([1]), SetValue([2])])
+        assert SetValue([1]) in outer
+
+
+class TestMultisetValue:
+    def test_counts_duplicates(self):
+        m = MultisetValue([1, 1, 2])
+        assert m.multiplicity(1) == 2
+        assert m.multiplicity(2) == 1
+        assert m.multiplicity(3) == 0
+        assert len(m) == 3
+        assert sorted(m) == [1, 1, 2]
+
+    def test_support(self):
+        assert MultisetValue([1, 1, 2]).support == frozenset({1, 2})
+
+    def test_union_adds_multiplicities(self):
+        merged = MultisetValue([1]).union(MultisetValue([1, 2]))
+        assert merged.multiplicity(1) == 2
+        assert merged.multiplicity(2) == 1
+
+    def test_equality_ignores_order(self):
+        assert MultisetValue([1, 2, 1]) == MultisetValue([1, 1, 2])
+        assert MultisetValue([1]) != MultisetValue([1, 1])
+
+    def test_from_counts_drops_nonpositive(self):
+        m = MultisetValue.from_counts({1: 2, 2: 0})
+        assert m.multiplicity(2) == 0
+        assert len(m) == 2
+
+
+class TestSequenceValue:
+    def test_order_matters(self):
+        assert SequenceValue([1, 2]) != SequenceValue([2, 1])
+
+    def test_indexing_and_length(self):
+        s = SequenceValue(["a", "b"])
+        assert s[0] == "a"
+        assert len(s) == 2
+
+    def test_appended_and_concat(self):
+        s = SequenceValue([1]).appended(2)
+        assert s == SequenceValue([1, 2])
+        assert s.concat(SequenceValue([3])) == SequenceValue([1, 2, 3])
+
+    def test_membership(self):
+        assert 1 in SequenceValue([1, 2])
+        assert 9 not in SequenceValue([1, 2])
+
+
+class TestValueRepr:
+    def test_strings_quoted(self):
+        assert value_repr("x") == '"x"'
+
+    def test_booleans_lowercase(self):
+        assert value_repr(True) == "true"
+        assert value_repr(False) == "false"
+
+    def test_collections_render_with_constructors(self):
+        assert repr(SetValue([1])) == "{1}"
+        assert repr(SequenceValue([1, 2])) == "<1, 2>"
+        assert repr(MultisetValue([1, 1])) == "[1, 1]"

@@ -1,0 +1,177 @@
+"""Unit tests for instances ``(π, ν, ρ)`` (Appendix A, Definition 4)."""
+
+import pytest
+
+from repro.errors import OidError, ValueError_
+from repro.types import INTEGER, STRING, SchemaBuilder
+from repro.values import NIL, Instance, Oid, TupleValue
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder()
+        .clazz("person", ("name", STRING))
+        .clazz("student", ("person", "person"), ("year", INTEGER))
+        .clazz("team", ("captain", "person"))
+        .association("likes", ("who", "person"), ("whom", "person"))
+        .isa("student", "person")
+        .build()
+    )
+
+
+def valid_instance():
+    sara, luca = Oid(1), Oid(2)
+    return Instance(
+        pi={"person": {sara, luca}, "student": {luca}},
+        nu={
+            sara: TupleValue(name="sara"),
+            luca: TupleValue(name="luca", year=3),
+        },
+        rho={"likes": {TupleValue(who=sara, whom=luca)}},
+    )
+
+
+class TestValidInstances:
+    def test_valid_instance_passes(self, schema):
+        valid_instance().validate(schema)
+
+    def test_accessors(self, schema):
+        inst = valid_instance()
+        assert inst.objects("person") == {Oid(1), Oid(2)}
+        assert inst.objects("ghost") == set()
+        assert inst.value_of(Oid(1))["name"] == "sara"
+        assert len(inst.tuples("likes")) == 1
+        assert inst.all_oids() == {Oid(1), Oid(2)}
+        assert inst.fact_count() == 4
+
+    def test_value_of_unknown_oid_raises(self):
+        with pytest.raises(OidError):
+            valid_instance().value_of(Oid(99))
+
+    def test_copy_is_deep_for_containers(self, schema):
+        inst = valid_instance()
+        clone = inst.copy()
+        clone.pi["person"].add(Oid(9))
+        assert Oid(9) not in inst.pi["person"]
+
+    def test_nil_reference_in_class_is_legal(self, schema):
+        inst = Instance(
+            pi={"team": {Oid(5)}},
+            nu={Oid(5): TupleValue(captain=NIL)},
+        )
+        inst.validate(schema)
+
+
+class TestConditionA_IsaSubset:
+    def test_student_missing_from_person_rejected(self, schema):
+        inst = valid_instance()
+        inst.pi["person"].discard(Oid(2))
+        inst.pi["student"] = {Oid(2)}
+        with pytest.raises(OidError, match="superclass"):
+            inst.validate(schema)
+
+
+class TestConditionB_HierarchyPartition:
+    def test_oid_in_two_hierarchies_rejected(self):
+        schema = (
+            SchemaBuilder()
+            .clazz("animal", ("legs", INTEGER))
+            .clazz("robot", ("volts", INTEGER))
+            .build()
+        )
+        inst = Instance(
+            pi={"animal": {Oid(1)}, "robot": {Oid(1)}},
+            nu={Oid(1): TupleValue(legs=4, volts=12)},
+        )
+        with pytest.raises(OidError, match="partition"):
+            inst.validate(schema)
+
+    def test_nil_in_pi_rejected(self, schema):
+        inst = Instance(pi={"person": {NIL}}, nu={NIL: TupleValue()})
+        with pytest.raises(OidError, match="nil"):
+            inst.validate(schema)
+
+
+class TestOValues:
+    def test_object_without_ovalue_rejected(self, schema):
+        inst = Instance(pi={"person": {Oid(1)}}, nu={})
+        with pytest.raises(OidError, match="no o-value"):
+            inst.validate(schema)
+
+    def test_ovalue_for_unknown_oid_rejected(self, schema):
+        inst = valid_instance()
+        inst.nu[Oid(42)] = TupleValue(name="ghost")
+        with pytest.raises(OidError, match="no class contains"):
+            inst.validate(schema)
+
+    def test_type_violation_rejected(self, schema):
+        inst = valid_instance()
+        inst.nu[Oid(1)] = TupleValue(name=123)
+        with pytest.raises(ValueError_):
+            inst.validate(schema)
+
+
+class TestAssociations:
+    def test_nil_in_association_rejected(self, schema):
+        inst = valid_instance()
+        inst.rho["likes"].add(TupleValue(who=NIL, whom=Oid(1)))
+        with pytest.raises(ValueError_, match="nil"):
+            inst.validate(schema)
+
+    def test_dangling_association_reference_rejected(self, schema):
+        inst = valid_instance()
+        inst.rho["likes"].add(TupleValue(who=Oid(1), whom=Oid(77)))
+        with pytest.raises(ValueError_):
+            inst.validate(schema)
+
+    def test_rho_over_non_association_rejected(self, schema):
+        inst = valid_instance()
+        inst.rho["person"] = {TupleValue(name="x")}
+        with pytest.raises(ValueError_, match="non-association"):
+            inst.validate(schema)
+
+    def test_dangling_class_reference_rejected(self, schema):
+        inst = Instance(
+            pi={"team": {Oid(5)}},
+            nu={Oid(5): TupleValue(captain=Oid(99))},
+        )
+        # rejected either by the typed-membership check ([person]π) or by
+        # the explicit reference walk, depending on evaluation order
+        with pytest.raises((OidError, ValueError_)):
+            inst.validate(schema)
+
+
+class TestIsomorphism:
+    def test_renamed_oids_are_isomorphic(self, schema):
+        a = valid_instance()
+        sara, luca = Oid(10), Oid(20)
+        b = Instance(
+            pi={"person": {sara, luca}, "student": {luca}},
+            nu={
+                sara: TupleValue(name="sara"),
+                luca: TupleValue(name="luca", year=3),
+            },
+            rho={"likes": {TupleValue(who=sara, whom=luca)}},
+        )
+        assert a.isomorphic_to(b)
+        assert b.isomorphic_to(a)
+
+    def test_different_structure_not_isomorphic(self, schema):
+        a = valid_instance()
+        b = valid_instance()
+        b.rho["likes"] = {TupleValue(who=Oid(2), whom=Oid(1))}
+        assert not a.isomorphic_to(b)
+
+    def test_different_attribute_values_not_isomorphic(self, schema):
+        a = valid_instance()
+        b = valid_instance()
+        b.nu[Oid(1)] = TupleValue(name="mara")
+        assert not a.isomorphic_to(b)
+
+    def test_cardinality_mismatch_not_isomorphic(self, schema):
+        a = valid_instance()
+        b = valid_instance()
+        b.pi["person"].add(Oid(3))
+        b.nu[Oid(3)] = TupleValue(name="zoe")
+        assert not a.isomorphic_to(b)

@@ -1,0 +1,118 @@
+"""Unit tests for ``[τ]π`` membership (value_matches_type)."""
+
+import pytest
+
+from repro.types import (
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    STRING,
+    MultisetType,
+    NamedType,
+    SchemaBuilder,
+    SequenceType,
+    SetType,
+)
+from repro.values import (
+    NIL,
+    MultisetValue,
+    Oid,
+    SequenceValue,
+    SetValue,
+    TupleValue,
+    value_matches_type,
+)
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder()
+        .domain("name", STRING)
+        .domain("score", (("home", INTEGER), ("guest", INTEGER)))
+        .clazz("person", ("name", "name"))
+        .build()
+    )
+
+
+class TestElementary:
+    def test_integer(self, schema):
+        assert value_matches_type(3, INTEGER, schema)
+        assert not value_matches_type("3", INTEGER, schema)
+
+    def test_bool_is_not_integer(self, schema):
+        # Python bool subclasses int; LOGRES keeps them distinct
+        assert not value_matches_type(True, INTEGER, schema)
+        assert value_matches_type(True, BOOLEAN, schema)
+
+    def test_real_accepts_int_and_float(self, schema):
+        assert value_matches_type(2.5, REAL, schema)
+        assert value_matches_type(2, REAL, schema)
+        assert not value_matches_type(True, REAL, schema)
+
+    def test_string(self, schema):
+        assert value_matches_type("x", STRING, schema)
+        assert not value_matches_type(1, STRING, schema)
+
+
+class TestNamedTypes:
+    def test_domain_expands(self, schema):
+        assert value_matches_type("sara", NamedType("name"), schema)
+        assert not value_matches_type(5, NamedType("name"), schema)
+
+    def test_complex_domain(self, schema):
+        good = TupleValue(home=1, guest=0)
+        assert value_matches_type(good, NamedType("score"), schema)
+        bad = TupleValue(home="x", guest=0)
+        assert not value_matches_type(bad, NamedType("score"), schema)
+
+    def test_class_position_takes_oids(self, schema):
+        assert value_matches_type(Oid(3), NamedType("person"), schema)
+        assert not value_matches_type("sara", NamedType("person"), schema)
+
+    def test_nil_controlled_by_allow_nil(self, schema):
+        t = NamedType("person")
+        assert value_matches_type(NIL, t, schema, allow_nil=True)
+        assert not value_matches_type(NIL, t, schema, allow_nil=False)
+
+    def test_pi_restricts_class_membership(self, schema):
+        pi = {"person": {Oid(1)}}
+        t = NamedType("person")
+        assert value_matches_type(Oid(1), t, schema, pi)
+        assert not value_matches_type(Oid(2), t, schema, pi)
+
+
+class TestTuples:
+    def test_extra_labels_tolerated_by_default(self, schema):
+        t = NamedType("score")
+        wide = TupleValue(home=1, guest=2, extra=9)
+        assert value_matches_type(wide, t, schema)
+        assert not value_matches_type(wide, t, schema, exact_labels=True)
+
+    def test_missing_label_fails(self, schema):
+        assert not value_matches_type(
+            TupleValue(home=1), NamedType("score"), schema
+        )
+
+
+class TestCollections:
+    def test_set(self, schema):
+        t = SetType(INTEGER)
+        assert value_matches_type(SetValue([1, 2]), t, schema)
+        assert not value_matches_type(SetValue(["x"]), t, schema)
+        assert not value_matches_type([1, 2], t, schema)
+
+    def test_multiset(self, schema):
+        t = MultisetType(STRING)
+        assert value_matches_type(MultisetValue(["a", "a"]), t, schema)
+        assert not value_matches_type(SetValue(["a"]), t, schema)
+
+    def test_sequence(self, schema):
+        t = SequenceType(INTEGER)
+        assert value_matches_type(SequenceValue([1, 2]), t, schema)
+        assert not value_matches_type(SequenceValue([1, "x"]), t, schema)
+
+    def test_nested_collection_of_oids(self, schema):
+        t = SetType(NamedType("person"))
+        assert value_matches_type(SetValue([Oid(1), Oid(2)]), t, schema)
+        assert not value_matches_type(SetValue([1]), t, schema)

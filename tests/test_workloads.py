@@ -1,0 +1,114 @@
+"""Tests for the workload generators."""
+
+from repro import Mode, Semantics
+from repro.workloads import (
+    chain_edges,
+    football_database,
+    genealogy_facts,
+    grid_edges,
+    random_edges,
+    tree_edges,
+    university_database,
+    update_stream,
+)
+
+
+class TestGenealogy:
+    def test_deterministic_per_seed(self):
+        assert genealogy_facts(40, seed=7) == genealogy_facts(40, seed=7)
+        assert genealogy_facts(40, seed=7) != genealogy_facts(40, seed=8)
+
+    def test_acyclic_parent_relation(self):
+        facts = genealogy_facts(60, seed=1)
+        for fact in facts.facts_of("parent"):
+            par = int(fact.value["par"][1:])
+            chil = int(fact.value["chil"][1:])
+            assert par < chil
+
+
+class TestGraphs:
+    def test_chain(self):
+        facts = chain_edges(5)
+        assert facts.count("parent") == 5
+
+    def test_tree_size(self):
+        facts = tree_edges(3, fanout=2)
+        assert facts.count("parent") == 2 + 4 + 8
+
+    def test_grid_edge_count(self):
+        # each cell has a right edge (except last column) and a down
+        # edge (except last row)
+        facts = grid_edges(3, 4)
+        assert facts.count("parent") == 3 * 3 + 2 * 4
+
+    def test_random_edges_respect_bounds(self):
+        facts = random_edges(10, 15, seed=2)
+        assert facts.count("parent") == 15
+        for f in facts.facts_of("parent"):
+            a = int(f.value["par"][1:])
+            b = int(f.value["chil"][1:])
+            assert a < b  # acyclic by construction
+
+    def test_custom_predicate_and_labels(self):
+        facts = chain_edges(2, pred="edge", a="src", b="dst")
+        (fact, _) = sorted(facts.facts_of("edge"), key=repr)
+        assert set(fact.value.labels) == {"src", "dst"}
+
+
+class TestFootball:
+    def test_database_is_consistent(self):
+        db = football_database(teams=3, games=5, seed=3)
+        assert db.check() == []
+
+    def test_team_composition(self):
+        db = football_database(teams=2, players_per_team=4,
+                               substitutes_per_team=2, games=1)
+        teams = db.objects("team")
+        assert len(teams) == 2
+        for value in teams.values():
+            assert len(value["base_players"]) == 4
+            assert len(value["substitutes"]) == 2
+
+    def test_games_reference_existing_teams(self):
+        db = football_database(teams=3, games=6, seed=0)
+        team_oids = set(db.objects("team"))
+        for game in db.tuples("game"):
+            assert game["h_team"] in team_oids
+            assert game["g_team"] in team_oids
+            assert game["h_team"] != game["g_team"]
+
+
+class TestUniversity:
+    def test_database_is_consistent(self):
+        db = university_database(students=8, professors=3, seed=5)
+        assert db.check() == []
+
+    def test_isa_propagation_at_insert(self):
+        db = university_database(students=4, professors=2, seed=1)
+        assert len(db.objects("person")) == 6
+
+    def test_advises_links_real_objects(self):
+        db = university_database(students=5, professors=2, seed=1)
+        studs = set(db.objects("student"))
+        profs = set(db.objects("professor"))
+        for t in db.tuples("advises"):
+            assert t["prof"] in profs
+            assert t["stud"] in studs
+
+
+class TestUpdateStream:
+    def test_stream_applies_cleanly(self):
+        from repro import Database
+        from repro.workloads import GENEALOGY_SCHEMA
+
+        db = Database.from_source(GENEALOGY_SCHEMA)
+        for module in update_stream(6, people=20, seed=4):
+            db.run_module(module, Mode.RIDV,
+                          semantics=Semantics.INFLATIONARY)
+        assert db.check() == []
+        assert len(db.tuples("parent")) > 0
+
+    def test_stream_deterministic(self):
+        a = update_stream(5, seed=9)
+        b = update_stream(5, seed=9)
+        assert [m.rules for m in a] == [m.rules for m in b]
