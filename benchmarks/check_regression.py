@@ -1,0 +1,159 @@
+"""Guard the hot-path benchmarks against performance regressions.
+
+Compares a benchmark run (pytest-benchmark JSON) against the committed
+baseline ``benchmarks/baseline.json`` and fails when any guarded
+benchmark is more than ``--threshold`` (default 25%) slower than its
+baseline.  Guarded groups are the hot-path experiments E01 (transitive
+closure) and A01 (indexing ablation); other experiments are reported but
+never fail the check.
+
+    python benchmarks/check_regression.py                # run E01+A01, compare
+    python benchmarks/check_regression.py --json run.json  # compare a prior run
+    python benchmarks/check_regression.py --update       # rewrite the baseline
+
+Comparison uses each benchmark's *min* time, which is far less noisy
+than the mean on shared machines.  Transient load can still inflate a
+whole run, so the suite is executed ``--runs`` times (default 2) and
+each benchmark's best time across runs is what gets compared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+HERE = pathlib.Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "baseline.json"
+GUARDED_GROUPS = ("e01-transitive-closure", "a01-indexing")
+GUARDED_TARGETS = [
+    str(HERE / "test_e01_transitive_closure.py"),
+    str(HERE / "test_a01_indexing_ablation.py"),
+]
+DEFAULT_THRESHOLD = 0.25
+
+
+def extract(json_path: pathlib.Path) -> dict[str, dict]:
+    """``{fullname: {group, min, mean}}`` for every guarded benchmark."""
+    payload = json.loads(json_path.read_text())
+    out: dict[str, dict] = {}
+    for bench in payload.get("benchmarks", []):
+        group = bench.get("group") or "ungrouped"
+        if group not in GUARDED_GROUPS:
+            continue
+        out[bench["name"]] = {
+            "group": group,
+            "min": bench["stats"]["min"],
+            "mean": bench["stats"]["mean"],
+        }
+    return out
+
+
+def compare(
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    threshold: float,
+) -> tuple[list[str], list[str]]:
+    """(report lines, failure lines) for current vs baseline."""
+    lines: list[str] = []
+    failures: list[str] = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        now = current.get(name)
+        if now is None:
+            failures.append(f"{name}: present in baseline but not run")
+            continue
+        ratio = now["min"] / base["min"] if base["min"] else float("inf")
+        verdict = "ok"
+        if ratio > 1 + threshold:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {base['min'] * 1000:.2f} ms →"
+                f" {now['min'] * 1000:.2f} ms ({ratio:.2f}x)"
+            )
+        lines.append(
+            f"{verdict:>10}  {name}  {base['min'] * 1000:8.2f} ms →"
+            f" {now['min'] * 1000:8.2f} ms  ({ratio:.2f}x)"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"{'new':>10}  {name}  (no baseline entry)")
+    return lines, failures
+
+
+def best_of(runs: list[dict[str, dict]]) -> dict[str, dict]:
+    """Per-benchmark fastest entry across several extracted runs."""
+    out: dict[str, dict] = {}
+    for run in runs:
+        for name, entry in run.items():
+            best = out.get(name)
+            if best is None or entry["min"] < best["min"]:
+                out[name] = entry
+    return out
+
+
+def run_guarded_benchmarks(json_path: pathlib.Path) -> None:
+    from benchmarks.report import run_benchmarks
+
+    run_benchmarks(GUARDED_TARGETS, json_path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", help="reuse an existing benchmark JSON"
+                                       " instead of running the suite")
+    parser.add_argument("--baseline", default=str(BASELINE_PATH),
+                        help="baseline JSON path")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="allowed slowdown fraction (0.25 = 25%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run instead"
+                             " of comparing")
+    parser.add_argument("--runs", type=int, default=2,
+                        help="benchmark suite executions; each benchmark's"
+                             " best time across runs is compared")
+    args = parser.parse_args(argv)
+
+    if args.json:
+        current = extract(pathlib.Path(args.json))
+    else:
+        runs = []
+        for _ in range(max(1, args.runs)):
+            json_path = pathlib.Path(tempfile.mkstemp(suffix=".json")[1])
+            run_guarded_benchmarks(json_path)
+            runs.append(extract(json_path))
+        current = best_of(runs)
+    if not current:
+        print("error: no guarded benchmarks in the run", file=sys.stderr)
+        return 2
+
+    baseline_path = pathlib.Path(args.baseline)
+    if args.update:
+        baseline_path.write_text(json.dumps(current, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"wrote {len(current)} baseline entries to {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"error: no baseline at {baseline_path};"
+              " run with --update first", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    lines, failures = compare(baseline, current, args.threshold)
+    print("\n".join(lines))
+    if failures:
+        print(f"\n{len(failures)} regression(s) over"
+              f" {args.threshold:.0%} threshold:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nok: no benchmark slower than baseline by more than"
+          f" {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(HERE.parent))
+    sys.exit(main())

@@ -62,7 +62,8 @@ def _print_instance(instance: FactSet) -> None:
 def cmd_run(args) -> int:
     schema, program, edb = _load_unit(args.file, args.state)
     engine = Engine(schema, program,
-                    EvalConfig(max_iterations=args.max_iterations))
+                    EvalConfig(max_iterations=args.max_iterations,
+                               incremental=not args.reference))
     instance = engine.run(edb, Semantics(args.semantics))
     if program.goal is not None:
         answers = answer_goal(program.goal, instance, schema)
@@ -74,10 +75,15 @@ def cmd_run(args) -> int:
             print(f"  {rendered}")
     else:
         _print_instance(instance)
+    stats = engine.stats
+    slowest = max(stats.time_per_iteration, default=0.0)
     print(
-        f"-- {engine.stats.iterations} iteration(s),"
+        f"-- {stats.iterations} iteration(s),"
         f" {instance.count()} fact(s),"
-        f" {engine.stats.inventions} invented oid(s)",
+        f" {stats.inventions} invented oid(s),"
+        f" {stats.time_total * 1000:.1f} ms total"
+        f" ({slowest * 1000:.1f} ms slowest iteration,"
+        f" {'incremental' if not args.reference else 'reference'} kernel)",
         file=sys.stderr,
     )
     return 0
@@ -162,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="evaluate and print the instance")
     common(p_run)
     p_run.add_argument("--max-iterations", type=int, default=10_000)
+    p_run.add_argument(
+        "--reference",
+        action="store_true",
+        help="use the copying reference kernel instead of the"
+             " incremental one (for timing comparisons)",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_check = sub.add_parser("check", help="analyze and verify consistency")

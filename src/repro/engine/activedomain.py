@@ -7,12 +7,15 @@ occurring only in negated literals range over the active domain of their
 type.
 
 :class:`ActiveDomains` scans a fact set once (lazily, per requested type)
-and serves the value sets; the engine rebuilds it each fixpoint step.
+and serves the value sets.  The incremental engine keeps one instance
+alive across fixpoint rounds and calls :meth:`ActiveDomains.invalidate`
+with the predicates whose extensions changed; only the cached domains
+that can draw values from those predicates are dropped.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.storage.factset import FactSet
 from repro.types.descriptors import (
@@ -83,6 +86,36 @@ class ActiveDomains:
     def enumerate(self, descriptor: TypeDescriptor) -> Iterator[Value]:
         # deterministic order for reproducible evaluation
         yield from sorted(self.domain(descriptor), key=_sort_key)
+
+    def invalidate(self, predicates: Iterable[str]) -> None:
+        """Drop cached domains that may draw values from ``predicates``.
+
+        Called by the incremental engine after applying a delta, with the
+        predicates whose extensions changed; domains fed only by other
+        predicates survive, so a round touching one relation does not
+        re-scan the whole fact set for every negated literal.
+        """
+        changed = {p.lower() for p in predicates}
+        if not changed:
+            return
+        for descriptor in list(self._cache):
+            if any(self._feeds(pred, descriptor) for pred in changed):
+                del self._cache[descriptor]
+
+    def _feeds(self, pred: str, descriptor: TypeDescriptor) -> bool:
+        """Could facts of ``pred`` contribute to ``descriptor``'s domain?"""
+        schema = self._schema
+        if isinstance(descriptor, NamedType) and schema.is_class(
+            descriptor.name
+        ):
+            return pred == descriptor.name.lower()
+        if not schema.has(pred):
+            return True  # unknown predicate: be conservative
+        eff = schema.effective_type(pred)
+        return any(
+            _positions_overlap(f.type, descriptor, schema)
+            for f in eff.fields
+        )
 
 
 def _positions_overlap(

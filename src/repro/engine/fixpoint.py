@@ -28,7 +28,8 @@ iteration / fact / invention budgets of :class:`EvalConfig` and raises
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.errors import EvaluationError, NonTerminationError
 from repro.engine.activedomain import ActiveDomains
@@ -37,6 +38,7 @@ from repro.engine.step import (
     RuleRuntime,
     StepDeltas,
     apply_deltas,
+    apply_deltas_inplace,
     compute_deltas,
     evaluate_body,
     process_head,
@@ -72,13 +74,22 @@ class Semantics(enum.Enum):
 
 @dataclass
 class EvalConfig:
-    """Budgets and switches for fixpoint evaluation."""
+    """Budgets and switches for fixpoint evaluation.
+
+    ``incremental`` selects the O(|Δ|) kernel: deltas are applied to the
+    working fact set in place (:func:`apply_deltas_inplace`), fixpoint
+    detection is "the net change is empty", and indexes / active domains
+    persist across iterations.  ``incremental=False`` keeps the
+    reference copy-per-iteration implementation, which the property
+    suite pins the kernel against.
+    """
 
     max_iterations: int = 10_000
     max_facts: int = 1_000_000
     max_inventions: int = 100_000
     seminaive: bool = True
     use_indexes: bool = True
+    incremental: bool = True
 
 
 @dataclass
@@ -90,6 +101,8 @@ class EvalStats:
     inventions: int = 0
     used_seminaive: bool = False
     strata: int = 1
+    time_total: float = 0.0
+    time_per_iteration: list[float] = field(default_factory=list)
 
 
 class Engine:
@@ -133,6 +146,18 @@ class Engine:
         every derivation is observed.
         """
         self.stats = EvalStats()
+        started = time.perf_counter()
+        try:
+            return self._run(edb, semantics, tracer)
+        finally:
+            self.stats.time_total = time.perf_counter() - started
+
+    def _run(
+        self,
+        edb: FactSet,
+        semantics: Semantics,
+        tracer=None,
+    ) -> FactSet:
         self._reserve(edb)
         inventions = InventionRegistry(self.oidgen)
         rules = [r for r in self.runtimes if r.rule.head is not None]
@@ -172,8 +197,83 @@ class Engine:
         inventions: InventionRegistry,
         tracer=None,
     ) -> FactSet:
+        if self.config.incremental:
+            return self._run_inflationary_incremental(
+                facts, rules, inventions, tracer
+            )
+        return self._run_inflationary_reference(
+            facts, rules, inventions, tracer
+        )
+
+    def _run_inflationary_incremental(
+        self,
+        facts: FactSet,
+        rules: list[RuleRuntime],
+        inventions: InventionRegistry,
+        tracer=None,
+    ) -> FactSet:
+        """O(|Δ|) kernel: one working fact set mutated in place.
+
+        The match context, hash indexes and active-domain caches persist
+        across iterations; only the domains of predicates named by the
+        net change are invalidated.  Fixpoint is detected by an empty
+        net change and the fact count is maintained by a running
+        counter, so no iteration copies, compares or recounts the full
+        fact set.
+        """
+        cfg = self.config
+        ctx = MatchContext(facts, self.schema, cfg.use_indexes)
+        domains = ActiveDomains(facts, self.schema)
+        live = facts.count()
+        for _ in range(cfg.max_iterations):
+            iteration_started = time.perf_counter()
+            self.stats.iterations += 1
+            if tracer is not None:
+                tracer.begin_iteration(self.stats.iterations)
+            deltas = compute_deltas(rules, ctx, inventions, tracer=tracer,
+                                    domains=domains)
+            self.stats.inventions += deltas.inventions
+            if inventions.count > cfg.max_inventions:
+                raise NonTerminationError(
+                    f"oid invention budget exceeded"
+                    f" ({inventions.count} oids)",
+                    self.stats.iterations,
+                )
+            net = apply_deltas_inplace(facts, deltas)
+            self.stats.time_per_iteration.append(
+                time.perf_counter() - iteration_started
+            )
+            if net.is_empty:
+                return facts
+            live += net.count_drift
+            self.stats.facts_derived = live
+            domains.invalidate(net.predicates())
+            if live > cfg.max_facts:
+                raise NonTerminationError(
+                    f"fact budget exceeded ({live} facts)",
+                    self.stats.iterations,
+                )
+        raise NonTerminationError(
+            f"no fixpoint after {cfg.max_iterations} iterations",
+            self.stats.iterations,
+        )
+
+    def _run_inflationary_reference(
+        self,
+        facts: FactSet,
+        rules: list[RuleRuntime],
+        inventions: InventionRegistry,
+        tracer=None,
+    ) -> FactSet:
+        """Copying reference implementation (``incremental=False``).
+
+        Kept verbatim as the executable specification the incremental
+        kernel is property-tested against: every iteration builds a new
+        fact set and compares whole states for fixpoint detection.
+        """
         cfg = self.config
         for _ in range(cfg.max_iterations):
+            iteration_started = time.perf_counter()
             self.stats.iterations += 1
             if tracer is not None:
                 tracer.begin_iteration(self.stats.iterations)
@@ -188,6 +288,9 @@ class Engine:
                     self.stats.iterations,
                 )
             new_facts = apply_deltas(facts, deltas)
+            self.stats.time_per_iteration.append(
+                time.perf_counter() - iteration_started
+            )
             if new_facts == facts:
                 return facts
             facts = new_facts
@@ -229,25 +332,43 @@ class Engine:
         self, facts: FactSet, rules: list[RuleRuntime]
     ) -> FactSet:
         cfg = self.config
-        # initial round: fact rules and rules over the EDB
-        delta = facts.copy()
+        incremental = cfg.incremental
         inventions = InventionRegistry(self.oidgen)  # unused but uniform
-        ctx = MatchContext(facts, self.schema,
-                               self.config.use_indexes)
+        # initial round: fact rules and rules over the EDB
+        round_started = time.perf_counter()
+        ctx = MatchContext(facts, self.schema, cfg.use_indexes)
         first = compute_deltas(rules, ctx, inventions)
-        facts = apply_deltas(facts, first)
-        delta = first.plus
+        if incremental:
+            # one working fact set, mutated in place; the net change is
+            # exactly the facts the EDB did not already contain, so
+            # round 2 never re-joins the whole EDB.
+            net = apply_deltas_inplace(facts, first)
+            delta = FactSet.from_facts(net.added)
+        else:
+            edb = facts
+            facts = apply_deltas(facts, first)
+            # seed with the *net-new* facts only; ``first.plus`` may
+            # repeat EDB facts, which round 2 would pointlessly re-join.
+            delta = first.plus.minus(edb)
+            ctx = MatchContext(facts, self.schema, cfg.use_indexes)
+        live = facts.count()
+        domains = ActiveDomains(facts, self.schema)
         self.stats.iterations += 1
+        self.stats.facts_derived = live
+        self.stats.time_per_iteration.append(
+            time.perf_counter() - round_started
+        )
         while delta.count():
+            round_started = time.perf_counter()
             self.stats.iterations += 1
             if self.stats.iterations > cfg.max_iterations:
                 raise NonTerminationError(
                     f"no fixpoint after {cfg.max_iterations} iterations",
                     self.stats.iterations,
                 )
-            ctx = MatchContext(facts, self.schema,
-                               self.config.use_indexes)
-            domains = ActiveDomains(facts, self.schema)
+            if not incremental:
+                ctx = MatchContext(facts, self.schema, cfg.use_indexes)
+                domains = ActiveDomains(facts, self.schema)
             round_delta = StepDeltas()
             for runtime in rules:
                 body = list(runtime.rule.body)
@@ -269,13 +390,25 @@ class Engine:
                                 runtime, bindings, ctx, round_delta,
                                 inventions,
                             )
-            fresh = round_delta.plus.minus(facts)
-            facts = facts.compose(fresh)
+            if incremental:
+                # in-place union: `add` reports exactly the fresh facts
+                fresh = FactSet.from_facts(
+                    f for f in round_delta.plus.facts() if facts.add(f)
+                )
+                live += fresh.count()
+                domains.invalidate(fresh.predicates())
+            else:
+                fresh = round_delta.plus.minus(facts)
+                facts = facts.compose(fresh)
+                live = facts.count()
             delta = fresh
-            self.stats.facts_derived = facts.count()
-            if facts.count() > cfg.max_facts:
+            self.stats.facts_derived = live
+            self.stats.time_per_iteration.append(
+                time.perf_counter() - round_started
+            )
+            if live > cfg.max_facts:
                 raise NonTerminationError(
-                    f"fact budget exceeded ({facts.count()} facts)",
+                    f"fact budget exceeded ({live} facts)",
                     self.stats.iterations,
                 )
         return facts
@@ -297,12 +430,16 @@ class Engine:
         facts = edb.copy()
         seen: list[FactSet] = [facts.copy()]
         for _ in range(cfg.max_iterations):
+            iteration_started = time.perf_counter()
             self.stats.iterations += 1
             ctx = MatchContext(facts, self.schema,
                                self.config.use_indexes)
             deltas = compute_deltas(rules, ctx, inventions,
                                     skip_satisfied=False)
             new_facts = edb.copy().compose(deltas.plus).minus(deltas.minus)
+            self.stats.time_per_iteration.append(
+                time.perf_counter() - iteration_started
+            )
             if new_facts == facts:
                 return facts
             for previous in seen:

@@ -93,6 +93,36 @@ class StepDeltas:
         return self.plus.count() == 0 and self.minus.count() == 0
 
 
+@dataclass
+class NetChange:
+    """The *net* effect of one in-place delta application.
+
+    ``added`` and ``removed`` are exact: a fact inserted by Δ⁺ and
+    deleted again by Δ⁻ in the same step appears in neither, and a class
+    fact whose o-value is overwritten contributes the old fact to
+    ``removed`` and the new one to ``added``.  ``is_empty`` is therefore
+    equivalent to ``new state == old state`` — the fixpoint test — and
+    ``len(added) - len(removed)`` is the fact-count drift, so neither
+    needs an O(|F|) comparison or recount.
+    """
+
+    added: list[Fact] = field(default_factory=list)
+    removed: list[Fact] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+    @property
+    def count_drift(self) -> int:
+        return len(self.added) - len(self.removed)
+
+    def predicates(self) -> set[str]:
+        return {f.pred for f in self.added} | {
+            f.pred for f in self.removed
+        }
+
+
 # ---------------------------------------------------------------------------
 # body evaluation
 # ---------------------------------------------------------------------------
@@ -550,10 +580,17 @@ def compute_deltas(
     inventions: InventionRegistry,
     skip_satisfied: bool = True,
     tracer=None,
+    domains: ActiveDomains | None = None,
 ) -> StepDeltas:
-    """Apply every rule once against the current fact set."""
+    """Apply every rule once against the current fact set.
+
+    ``domains`` lets the incremental engine pass a persistent
+    :class:`ActiveDomains` (invalidated per changed predicate) instead of
+    rebuilding the caches from scratch each step.
+    """
     deltas = StepDeltas()
-    domains = ActiveDomains(ctx.facts, ctx.schema)
+    if domains is None:
+        domains = ActiveDomains(ctx.facts, ctx.schema)
     for runtime in runtimes:
         if runtime.rule.head is None:
             continue  # denials are evaluated by the consistency checker
@@ -567,8 +604,63 @@ def apply_deltas(current: FactSet, deltas: StepDeltas) -> FactSet:
     """The ``VAR'`` formula of the one-step inflationary operator:
 
     ``((F ⊕ Δ⁺) − Δ⁻) ⊕ (F ∩ Δ⁺ ∩ Δ⁻)``
+
+    Reference (copying) implementation: builds a fresh fact set in
+    O(|F|).  The incremental kernel uses :func:`apply_deltas_inplace`,
+    which computes the identical state in O(|Δ|).
     """
     survivors = current.intersection(deltas.plus).intersection(deltas.minus)
     return current.compose(deltas.plus).minus(deltas.minus).compose(
         survivors
     )
+
+
+def apply_deltas_inplace(facts: FactSet, deltas: StepDeltas) -> NetChange:
+    """Apply the ``VAR'`` formula by mutating ``facts``, in O(|Δ|).
+
+    Equivalent to ``facts = apply_deltas(facts, deltas)`` (the same
+    composition order, so o-value conflicts resolve identically), but
+    only the entries named by Δ⁺ / Δ⁻ are touched and the returned
+    :class:`NetChange` reports the exact difference between the old and
+    new states — empty net change *is* the fixpoint condition.
+    """
+    plus_facts = list(deltas.plus.facts())
+    minus_facts = list(deltas.minus.facts())
+    # F ∩ Δ⁺ ∩ Δ⁻, evaluated over the delta (small) side
+    survivors = [
+        f for f in plus_facts if f in deltas.minus and f in facts
+    ]
+    # snapshot the touched entries so the net change is exact
+    before_class: dict[tuple[str, Oid], TupleValue | None] = {}
+    before_assoc: dict[tuple[str, TupleValue], bool] = {}
+    for f in itertools.chain(plus_facts, minus_facts):
+        if f.oid is not None:
+            key = (f.pred, f.oid)
+            if key not in before_class:
+                before_class[key] = facts.value_of(f.pred, f.oid)
+        else:
+            akey = (f.pred, f.value)
+            if akey not in before_assoc:
+                before_assoc[akey] = f in facts
+    for f in plus_facts:  # F ⊕ Δ⁺ (right bias overwrites o-values)
+        facts.add(f)
+    for f in minus_facts:  # − Δ⁻ (exact match)
+        facts.discard(f)
+    for f in survivors:  # ⊕ (F ∩ Δ⁺ ∩ Δ⁻)
+        facts.add(f)
+    net = NetChange()
+    for (pred, oid), old in before_class.items():
+        new = facts.value_of(pred, oid)
+        if new == old:
+            continue
+        if old is not None:
+            net.removed.append(Fact(pred, old, oid))
+        if new is not None:
+            net.added.append(Fact(pred, new, oid))
+    for (pred, value), was_present in before_assoc.items():
+        now_present = Fact(pred, value) in facts
+        if now_present and not was_present:
+            net.added.append(Fact(pred, value))
+        elif was_present and not now_present:
+            net.removed.append(Fact(pred, value))
+    return net

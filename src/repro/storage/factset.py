@@ -8,7 +8,11 @@ biased composition), difference and intersection implement the one-step
 operator's ``VAR'`` formula.
 
 Per-predicate hash indexes on (label, value) accelerate the engine's
-literal matching; indexes are built lazily and invalidated on mutation.
+literal matching; indexes are built lazily and then maintained
+*incrementally*: ``add`` / ``discard`` / ``discard_oid`` update the
+existing ``(label → value → facts)`` entries in place, and ``copy()``
+carries the built indexes over, so a mutation costs O(Δ) index work
+instead of forcing an O(|F|) rebuild on the next lookup.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import StorageError
-from repro.values.complex import TupleValue, Value
+from repro.values.complex import TupleValue, Value, max_oid_in
 from repro.values.instance import Instance
 from repro.values.oids import Oid
 
@@ -70,6 +74,13 @@ class FactSet:
         out = FactSet()
         out._assoc = {p: set(ts) for p, ts in self._assoc.items()}
         out._class = {p: dict(m) for p, m in self._class.items()}
+        out._indexes = {
+            pred: {
+                label: {key: list(bucket) for key, bucket in by_label.items()}
+                for label, by_label in index.items()
+            }
+            for pred, index in self._indexes.items()
+        }
         out._max_oid = self._max_oid
         return out
 
@@ -84,22 +95,29 @@ class FactSet:
         conflicts in favour of the newer fact).
         """
         pred = fact.pred
+        index = self._indexes.get(pred)
         if fact.oid is not None:
             table = self._class.setdefault(pred, {})
-            if table.get(fact.oid) == fact.value:
+            old = table.get(fact.oid)
+            if old == fact.value:
                 return False
             table[fact.oid] = fact.value
             if fact.oid.number > self._max_oid:
                 self._max_oid = fact.oid.number
+            if index is not None:
+                if old is not None:
+                    _index_remove(index, Fact(pred, old, fact.oid))
+                _index_add(index, fact)
         else:
             table = self._assoc.setdefault(pred, set())
             if fact.value in table:
                 return False
             table.add(fact.value)
-        nested = _max_oid_in(fact.value)
+            if index is not None:
+                _index_add(index, fact)
+        nested = max_oid_in(fact.value)
         if nested > self._max_oid:
             self._max_oid = nested
-        self._indexes.pop(pred, None)
         return True
 
     def add_association(self, pred: str, value: TupleValue) -> bool:
@@ -125,16 +143,21 @@ class FactSet:
             if table is None or fact.value not in table:
                 return False
             table.remove(fact.value)
-        self._indexes.pop(pred, None)
+        index = self._indexes.get(pred)
+        if index is not None:
+            _index_remove(index, fact)
         return True
 
     def discard_oid(self, pred: str, oid: Oid) -> bool:
         """Remove the object ``oid`` from class ``pred`` regardless of value."""
-        table = self._class.get(pred.lower())
+        pred = pred.lower()
+        table = self._class.get(pred)
         if table is None or oid not in table:
             return False
-        del table[oid]
-        self._indexes.pop(pred.lower(), None)
+        stored = table.pop(oid)
+        index = self._indexes.get(pred)
+        if index is not None:
+            _index_remove(index, Fact(pred, stored, oid))
         return True
 
     # ------------------------------------------------------------------
@@ -294,14 +317,33 @@ class FactSet:
         return f"FactSet({self.count()} facts, {len(self.predicates())} predicates)"
 
 
-def _max_oid_in(value: Value) -> int:
-    if isinstance(value, Oid):
-        return value.number
-    if isinstance(value, TupleValue):
-        return max((_max_oid_in(v) for _, v in value.items), default=0)
-    if hasattr(value, "__iter__") and not isinstance(value, str):
-        return max((_max_oid_in(v) for v in value), default=0)
-    return 0
+def _index_key(fact: Fact, label: str) -> Value | None:
+    return fact.oid if label == _SELF else fact.value.get(label)
+
+
+def _index_add(index: dict[str, dict[Value, list[Fact]]], fact: Fact) -> None:
+    for label, by_label in index.items():
+        key = _index_key(fact, label)
+        if key is not None:
+            by_label.setdefault(key, []).append(fact)
+
+
+def _index_remove(
+    index: dict[str, dict[Value, list[Fact]]], fact: Fact
+) -> None:
+    for label, by_label in index.items():
+        key = _index_key(fact, label)
+        if key is None:
+            continue
+        bucket = by_label.get(key)
+        if bucket is None:
+            continue
+        try:
+            bucket.remove(fact)
+        except ValueError:
+            continue
+        if not bucket:
+            del by_label[key]
 
 
 def require_factset(obj) -> FactSet:

@@ -7,7 +7,7 @@ keys in fact stores.  Elementary values are plain Python ``int``, ``str``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Union
 
 from repro.values.oids import Oid
@@ -28,6 +28,9 @@ class TupleValue:
     """
 
     items: tuple[tuple[str, Value], ...]
+    # lazily computed cache of the largest nested oid number (-1 =
+    # unscanned); excluded from equality, hashing, and repr
+    _max_oid: int = field(default=-1, compare=False, repr=False)
 
     # positional-only parameters so that "self" remains usable as a
     # keyword label (class tuple bindings carry a reserved self field)
@@ -38,6 +41,20 @@ class TupleValue:
         object.__setattr__(
             __tv, "items", tuple(sorted(pairs.items()))
         )
+        object.__setattr__(__tv, "_max_oid", -1)
+
+    def max_oid_number(self) -> int:
+        """The largest oid number nested anywhere in this tuple, 0 when
+        none.  Cached on first call — the value is immutable — so fact
+        stores can track their oid high-water mark without rescanning a
+        tuple every time it is added to another set."""
+        cached = self._max_oid
+        if cached < 0:
+            cached = max(
+                (max_oid_in(v) for _, v in self.items), default=0
+            )
+            object.__setattr__(self, "_max_oid", cached)
+        return cached
 
     # -- mapping protocol -------------------------------------------------
     def __getitem__(self, label: str) -> Value:
@@ -214,6 +231,22 @@ class SequenceValue:
     def __repr__(self) -> str:
         inner = ", ".join(value_repr(v) for v in self.elements)
         return f"<{inner}>"
+
+
+def max_oid_in(value: Value) -> int:
+    """The largest oid number nested anywhere in ``value``, 0 when none.
+
+    Tuple values cache the answer (see ``TupleValue.max_oid_number``), so
+    repeated scans of the same immutable value — e.g. a fact flowing
+    through several fact sets during fixpoint iteration — are O(1).
+    """
+    if isinstance(value, Oid):
+        return value.number
+    if isinstance(value, TupleValue):
+        return value.max_oid_number()
+    if hasattr(value, "__iter__") and not isinstance(value, str):
+        return max((max_oid_in(v) for v in value), default=0)
+    return 0
 
 
 def value_repr(value: Value) -> str:

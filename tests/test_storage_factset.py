@@ -84,6 +84,87 @@ class TestQueries:
         assert len(fs.lookup("p", "x", 1)) == 2
 
 
+class TestIncrementalIndexes:
+    """The (label → value → facts) indexes are maintained in place by
+    ``add`` / ``discard`` / ``discard_oid`` and survive ``copy()``."""
+
+    def test_copy_carries_indexes_without_rescan(self, monkeypatch):
+        fs = FactSet.from_facts([assoc("p", x=i) for i in range(5)])
+        assert len(fs.lookup("p", "x", 3)) == 1  # build the index
+        clone = fs.copy()
+
+        def explode(self, pred):
+            raise AssertionError("copy() forced an index rebuild scan")
+
+        monkeypatch.setattr(FactSet, "facts_of", explode)
+        assert len(clone.lookup("p", "x", 3)) == 1
+
+    def test_copied_index_is_independent(self):
+        fs = FactSet.from_facts([assoc("p", x=1)])
+        fs.lookup("p", "x", 1)
+        clone = fs.copy()
+        clone.add(assoc("p", x=2))
+        assert len(clone.lookup("p", "x", 2)) == 1
+        assert fs.lookup("p", "x", 2) == []
+
+    def test_add_maintains_index_in_place(self):
+        fs = FactSet.from_facts([assoc("p", x=1)])
+        fs.lookup("p", "x", 1)
+        index_before = fs._indexes["p"]
+        fs.add(assoc("p", x=2))
+        assert fs._indexes["p"] is index_before  # no wholesale pop
+        assert len(fs.lookup("p", "x", 2)) == 1
+
+    def test_discard_maintains_index(self):
+        fs = FactSet.from_facts([assoc("p", x=1), assoc("p", x=2)])
+        fs.lookup("p", "x", 1)
+        fs.discard(assoc("p", x=1))
+        assert fs.lookup("p", "x", 1) == []
+        assert len(fs.lookup("p", "x", 2)) == 1
+
+    def test_discard_oid_on_indexed_predicate(self):
+        fs = FactSet.from_facts(
+            [obj("c", 1, name="a"), obj("c", 2, name="b")]
+        )
+        assert len(fs.lookup("c", "name", "a")) == 1
+        assert len(fs.lookup("c", "self", Oid(1))) == 1
+        assert fs.discard_oid("c", Oid(1))
+        assert fs.lookup("c", "name", "a") == []
+        assert fs.lookup("c", "self", Oid(1)) == []
+        assert len(fs.lookup("c", "name", "b")) == 1
+
+    def test_ovalue_overwrite_replaces_index_entries(self):
+        fs = FactSet.from_facts([obj("c", 1, name="old")])
+        fs.lookup("c", "name", "old")
+        fs.lookup("c", "self", Oid(1))
+        fs.add(obj("c", 1, name="new"))
+        assert fs.lookup("c", "name", "old") == []
+        hits = fs.lookup("c", "name", "new")
+        assert len(hits) == 1 and hits[0].oid == Oid(1)
+        by_self = fs.lookup("c", "self", Oid(1))
+        assert len(by_self) == 1
+        assert by_self[0].value == TupleValue(name="new")
+
+    def test_compose_and_minus_results_serve_correct_lookups(self):
+        left = FactSet.from_facts(
+            [assoc("p", x=1, y="a"), assoc("p", x=2, y="b")]
+        )
+        right = FactSet.from_facts([assoc("p", x=3, y="a")])
+        left.lookup("p", "y", "a")  # live index carried through compose
+        merged = left.compose(right)
+        assert {f.value["x"] for f in merged.lookup("p", "y", "a")} == {1, 3}
+        remainder = merged.minus(right)
+        assert {f.value["x"] for f in remainder.lookup("p", "y", "a")} == {1}
+
+    def test_label_built_after_mutations_is_correct(self):
+        fs = FactSet.from_facts([assoc("p", x=1, y="a")])
+        fs.lookup("p", "x", 1)  # builds only the x label
+        fs.add(assoc("p", x=2, y="b"))
+        fs.discard(assoc("p", x=1, y="a"))
+        assert [f.value["x"] for f in fs.lookup("p", "y", "b")] == [2]
+        assert fs.lookup("p", "y", "a") == []
+
+
 class TestSetAlgebra:
     def test_compose_right_bias_on_oid_conflict(self):
         left = FactSet.from_facts([obj("c", 1, name="old")])
