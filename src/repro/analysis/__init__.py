@@ -1,0 +1,58 @@
+"""Diagnostics-based static analysis (``repro lint``).
+
+The package has three layers:
+
+* :mod:`repro.analysis.diagnostics` — :class:`Diagnostic`, stable codes,
+  severities, and the :class:`Collector` that accumulates findings;
+* :mod:`repro.analysis.passes` — warning-level lint passes (singleton
+  variables, duplicate / subsumed / unreachable rules, oid invention in
+  recursive cycles, derive+delete conflicts);
+* :mod:`repro.analysis.driver` — the collect-all driver running every
+  check over a parsed unit or source text, feeding ``repro lint``,
+  ``repro check`` and ``Engine.__init__``.
+
+Only the diagnostics layer is imported eagerly — the driver pulls in the
+language package, which itself reports through this package, so it is
+exposed lazily to keep the import graph acyclic.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Collector,
+    Diagnostic,
+    Related,
+    Severity,
+    diagnostics_to_json,
+)
+
+__all__ = [
+    "CODES",
+    "Collector",
+    "Diagnostic",
+    "Related",
+    "Severity",
+    "diagnostics_to_json",
+    # lazily loaded from repro.analysis.driver / .modules:
+    "AnalysisReport",
+    "analyze_or_raise",
+    "lint_source",
+    "lint_unit",
+    "check_module_application",
+]
+
+_LAZY = {
+    "AnalysisReport": "repro.analysis.driver",
+    "analyze_or_raise": "repro.analysis.driver",
+    "lint_source": "repro.analysis.driver",
+    "lint_unit": "repro.analysis.driver",
+    "check_module_application": "repro.analysis.modules",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

@@ -1,0 +1,284 @@
+"""Diagnostics: stable codes, severities, spans, and collection.
+
+The static analyzer reports problems as :class:`Diagnostic` values instead
+of raising on the first failure.  Each diagnostic carries
+
+* a **stable code** (``LG101`` ... ``LG704``, catalogued in
+  :data:`CODES` and ``docs/DIAGNOSTICS.md``),
+* a **severity** (:class:`Severity`),
+* a human-readable **message**,
+* an optional **span** (:class:`repro.span.Span`) and **file**, and
+* optional **related** locations (e.g. the first definition of a
+  duplicated rule).
+
+A :class:`Collector` accumulates every diagnostic of an analysis run; the
+legacy exception API (``TypingError`` and friends raised on the first
+error) is preserved by calling the analysis entry points without a
+collector, in which case :func:`raise_for` converts the first
+error-severity diagnostic into the matching exception.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    IllegalOidRuleError,
+    ModuleApplicationError,
+    ParseError,
+    SafetyError,
+    SchemaError,
+    StratificationError,
+    TypingError,
+)
+from repro.span import Span
+
+
+class Severity(enum.Enum):
+    """How serious a diagnostic is.
+
+    ``ERROR`` prevents evaluation; ``WARNING`` flags probable mistakes
+    (lint may be asked to treat them as errors); ``INFO`` is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: every stable diagnostic code, with a one-line title.  ``repro lint``
+#: and ``docs/DIAGNOSTICS.md`` are kept in sync with this table (tested).
+CODES: dict[str, str] = {
+    # syntax and schema
+    "LG101": "syntax error",
+    "LG102": "invalid schema",
+    "LG103": "unknown type name in equation",
+    # resolution
+    "LG201": "unknown predicate",
+    "LG202": "unresolvable positional arguments",
+    "LG203": "data-function arity mismatch",
+    "LG204": "unknown data function",
+    # typing
+    "LG301": "unknown attribute label",
+    "LG302": "illegal self argument",
+    "LG303": "constant does not belong to its type",
+    "LG304": "variable used at incompatible types",
+    "LG305": "variable used both as object and as value",
+    "LG306": "oid variable ranges over distinct hierarchies",
+    "LG307": "head object variable bound to a plain value",
+    # safety
+    "LG401": "argument-less literal over a predicate with arguments",
+    "LG402": "builtin variable cannot be bound",
+    "LG403": "head variable not bound by the body",
+    # stratification
+    "LG501": "program is not stratified",
+    # lint warnings
+    "LG601": "singleton variable",
+    "LG602": "duplicate rule",
+    "LG603": "subsumed rule",
+    "LG604": "rule unreachable from the goal or any class",
+    "LG605": "oid invention inside a recursive cycle",
+    "LG606": "predicate both derived and deleted in one stratum",
+    # module application
+    "LG701": "goal not allowed under a data-variant mode",
+    "LG702": "deleted rule does not occur in the database rules",
+    "LG703": "module application yields an inconsistent state",
+    "LG704": "initial state is inconsistent",
+}
+
+#: which legacy exception class a code maps onto when no collector is
+#: supplied (fail-fast API compatibility).
+_EXCEPTIONS = {
+    "LG1": ParseError,
+    "LG102": SchemaError,
+    "LG103": SchemaError,
+    "LG2": TypingError,
+    "LG3": TypingError,
+    "LG306": IllegalOidRuleError,
+    "LG4": SafetyError,
+    "LG5": StratificationError,
+    "LG7": ModuleApplicationError,
+}
+
+
+@dataclass(frozen=True)
+class Related:
+    """A secondary source location attached to a diagnostic."""
+
+    message: str
+    span: Span | None = None
+    file: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "message": self.message,
+            "file": self.file,
+            "line": self.span.line if self.span else None,
+            "column": self.span.column if self.span else None,
+        }
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span | None = None
+    file: str | None = None
+    related: tuple[Related, ...] = ()
+
+    def __post_init__(self):
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    def with_file(self, file: str) -> "Diagnostic":
+        """A copy of this diagnostic attributed to ``file`` (set on every
+        related location that has none)."""
+        return Diagnostic(
+            self.code, self.severity, self.message, self.span, file,
+            tuple(
+                r if r.file else Related(r.message, r.span, file)
+                for r in self.related
+            ),
+        )
+
+    def render(self) -> str:
+        """``file:line:col: severity[CODE]: message`` (parts optional)."""
+        line = self.span.line if self.span else 0
+        column = self.span.column if self.span else 0
+        location = f"{self.file or '<input>'}:{line}:{column}"
+        out = f"{location}: {self.severity.value}[{self.code}]: {self.message}"
+        for rel in self.related:
+            rline = rel.span.line if rel.span else 0
+            rcol = rel.span.column if rel.span else 0
+            out += (
+                f"\n  note: {rel.file or self.file or '<input>'}"
+                f":{rline}:{rcol}: {rel.message}"
+            )
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "file": self.file,
+            "line": self.span.line if self.span else None,
+            "column": self.span.column if self.span else None,
+            "related": [r.to_dict() for r in self.related],
+        }
+
+
+def diagnostics_to_json(diagnostics: list[Diagnostic]) -> str:
+    """Machine-readable output of ``repro lint --format json``."""
+    return json.dumps(
+        {"diagnostics": [d.to_dict() for d in diagnostics]}, indent=2
+    )
+
+
+def exception_for(diag: Diagnostic):
+    """The legacy exception class a diagnostic code maps onto."""
+    cls = _EXCEPTIONS.get(diag.code) or _EXCEPTIONS.get(diag.code[:3])
+    return cls or TypingError
+
+
+def raise_for(diag: Diagnostic) -> None:
+    """Raise the legacy exception matching ``diag`` (fail-fast mode).
+
+    The raised exception carries the diagnostic as ``exc.diagnostic`` so
+    callers migrating to the new API can recover code and span.
+    """
+    cls = exception_for(diag)
+    message = diag.message
+    if diag.span is not None and cls is not ParseError:
+        message = f"{message} (line {diag.span.line}," \
+                  f" column {diag.span.column})"
+    if cls is ParseError:
+        exc = cls(
+            diag.message,
+            diag.span.line if diag.span else 0,
+            diag.span.column if diag.span else 0,
+        )
+    else:
+        exc = cls(message)
+    exc.diagnostic = diag
+    exc.diagnostics = (diag,)
+    raise exc
+
+
+class Collector:
+    """Accumulates diagnostics; the collect-all counterpart of raising.
+
+    Passing a collector into the analysis entry points switches them from
+    fail-fast (raise on first error) to collect-all: every diagnostic is
+    recorded and analysis continues wherever recovery is possible.
+    """
+
+    def __init__(self):
+        self.diagnostics: list[Diagnostic] = []
+
+    def emit(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags) -> None:
+        for d in diags:
+            self.emit(d)
+
+    # convenience constructors -----------------------------------------
+    def error(self, code: str, message: str, span: Span | None = None,
+              related: tuple[Related, ...] = ()) -> None:
+        self.emit(Diagnostic(code, Severity.ERROR, message, span,
+                             related=related))
+
+    def warning(self, code: str, message: str, span: Span | None = None,
+                related: tuple[Related, ...] = ()) -> None:
+        self.emit(Diagnostic(code, Severity.WARNING, message, span,
+                             related=related))
+
+    def info(self, code: str, message: str, span: Span | None = None,
+             related: tuple[Related, ...] = ()) -> None:
+        self.emit(Diagnostic(code, Severity.INFO, message, span,
+                             related=related))
+
+    # queries ----------------------------------------------------------
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+
+def emit_or_raise(
+    sink: Collector | None,
+    code: str,
+    message: str,
+    span: Span | None = None,
+    related: tuple[Related, ...] = (),
+    severity: Severity = Severity.ERROR,
+) -> None:
+    """Report one diagnostic: collect when a sink is given, raise the
+    legacy exception otherwise (only error severity ever raises)."""
+    diag = Diagnostic(code, severity, message, span, related=related)
+    if sink is not None:
+        sink.emit(diag)
+    elif severity is Severity.ERROR:
+        raise_for(diag)

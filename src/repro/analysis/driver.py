@@ -1,0 +1,145 @@
+"""The collect-all analysis driver behind ``repro lint``.
+
+:func:`lint_source` takes raw LOGRES text and produces an
+:class:`AnalysisReport` holding **every** diagnostic found — syntax,
+schema, resolution, typing, safety, stratification, and the ``LG6xx``
+warning passes — instead of stopping at the first problem.
+:func:`analyze_or_raise` is the fail-fast facade built on the same
+machinery: it raises the legacy exception for the first error but
+attaches the complete list as ``exc.diagnostics`` (used by
+``Engine.__init__``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import (
+    Collector,
+    Diagnostic,
+    Severity,
+    diagnostics_to_json,
+    raise_for,
+)
+from repro.analysis.passes import run_warning_passes
+from repro.errors import LogresError, ParseError, SchemaError
+from repro.language.analysis import (
+    AnalyzedProgram,
+    analyze_program,
+    stratify,
+)
+from repro.language.ast import Program
+from repro.language.parser import ParsedUnit, parse_source
+from repro.span import Span
+from repro.types.descriptors import NamedType
+from repro.types.schema import Schema
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one lint run found about one source unit."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    file: str | None = None
+    unit: ParsedUnit | None = None       # None if parsing failed
+    analyzed: AnalyzedProgram | None = None  # None before rule analysis
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def render(self) -> str:
+        return "\n".join(d.render() for d in self.diagnostics)
+
+    def to_json(self) -> str:
+        return diagnostics_to_json(self.diagnostics)
+
+
+def lint_source(text: str, file: str | None = None) -> AnalysisReport:
+    """Parse and fully analyze LOGRES source, collecting all diagnostics."""
+    try:
+        unit = parse_source(text)
+    except ParseError as exc:
+        diag = Diagnostic(
+            "LG101", Severity.ERROR, exc.raw_message,
+            Span(exc.line, exc.column) if exc.line else None, file,
+        )
+        return AnalysisReport([diag], file)
+    return lint_unit(unit, file)
+
+
+def lint_unit(unit: ParsedUnit, file: str | None = None) -> AnalysisReport:
+    """Analyze an already-parsed unit, collecting all diagnostics."""
+    collector = Collector()
+    analyzed = None
+    schema = _check_schema(unit, collector)
+    if schema is not None:
+        program = unit.program()
+        analyzed = analyze_program(program, schema, collector)
+        stratify(
+            Program(analyzed.rules, analyzed.goal),
+            analyzed.schema,
+            collector,
+        )
+        run_warning_passes(analyzed, collector)
+    diagnostics = [
+        d.with_file(file) if file else d for d in collector
+    ]
+    return AnalysisReport(diagnostics, file, unit, analyzed)
+
+
+def _check_schema(unit: ParsedUnit, sink: Collector) -> Schema | None:
+    """Validate the unit's schema fragment.
+
+    Unknown type names are reported per-equation with their spans
+    (``LG103``); any other construction failure is one ``LG102``.
+    Returns ``None`` when the schema cannot be built — rule analysis is
+    pointless without one.
+    """
+    declared = {eq.name.lower() for eq in unit.equations}
+    declared |= {f.name.lower() for f in unit.functions}
+    resolved = True
+    for eq in unit.equations:
+        for t in eq.rhs.walk():
+            if isinstance(t, NamedType) and t.name.lower() not in declared:
+                sink.error(
+                    "LG103",
+                    f"equation {eq.name!r} references unknown type"
+                    f" name {t.name!r}",
+                    getattr(eq, "span", None),
+                )
+                resolved = False
+    if not resolved:
+        return None
+    try:
+        return unit.schema()
+    except SchemaError as exc:
+        sink.error("LG102", str(exc))
+        return None
+
+
+def analyze_or_raise(program: Program, schema: Schema) -> AnalyzedProgram:
+    """Fail-fast facade over the collect-all analyzer.
+
+    Raises the legacy exception for the *first* error, but with every
+    error of the run attached as ``exc.diagnostics`` — callers that can
+    display more than one problem (the CLI) get them all in one go.
+    """
+    collector = Collector()
+    analyzed = analyze_program(program, schema, collector)
+    errors = collector.errors()
+    if errors:
+        try:
+            raise_for(errors[0])
+        except LogresError as exc:
+            exc.diagnostics = tuple(errors)
+            raise
+    return analyzed

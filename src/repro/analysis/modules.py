@@ -1,0 +1,44 @@
+"""Static mode checks for module application (codes ``LG7xx``).
+
+:func:`check_module_application` validates a ``(state, module, mode)``
+triple *before* any fixpoint is computed:
+
+* ``LG701`` (error) — the module has a goal but the mode is data-variant
+  (Section 4.1: data-variant applications never answer a goal);
+* ``LG702`` (warning) — a rule-deletion mode names a rule that does not
+  occur in the database rules, so the deletion is a no-op (likely a
+  stale or mistyped module).
+
+Inconsistency of the initial/resulting state (``LG704``/``LG703``) is a
+runtime property and is diagnosed by :func:`repro.modules.apply_module`,
+which attaches the corresponding diagnostic to the
+:class:`~repro.errors.ModuleApplicationError` it raises.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+
+def check_module_application(state, module, mode) -> list[Diagnostic]:
+    """Statically checkable legality conditions of one application."""
+    diagnostics: list[Diagnostic] = []
+    if module.goal is not None and not mode.allows_goal:
+        diagnostics.append(Diagnostic(
+            "LG701", Severity.ERROR,
+            f"mode {mode.value} is data-variant and cannot answer the"
+            f" goal of module {module.name!r}",
+            getattr(module.goal, "span", None),
+        ))
+    if mode.rule_effect == "deletion":
+        present = set(state.rules)
+        for rule in module.rules:
+            if rule not in present:
+                diagnostics.append(Diagnostic(
+                    "LG702", Severity.WARNING,
+                    f"module {module.name!r} ({mode.value}): deleted rule"
+                    f" {rule!r} does not occur in the database rules;"
+                    " the deletion is a no-op",
+                    getattr(rule, "span", None),
+                ))
+    return diagnostics

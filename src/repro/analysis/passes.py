@@ -1,0 +1,267 @@
+"""Warning-level lint passes (codes ``LG6xx``).
+
+These run only over rules that analyzed without errors (the driver's
+``clean_rules``): each pass flags a construct that is *legal* but almost
+certainly not what the author meant — a probable typo (singleton
+variable), dead weight (duplicate / subsumed / unreachable rules), or a
+semantic trap of the LOGRES evaluation model (oid invention inside a
+recursive cycle, deriving and deleting one predicate in the same
+stratum).
+"""
+
+from __future__ import annotations
+
+from repro._util import strongly_connected_components
+from repro.analysis.diagnostics import Collector, Related
+from repro.language.analysis import AnalyzedProgram, stratify
+from repro.language.ast import Goal, Literal, Program, Rule, Var
+from repro.span import Span
+
+
+def run_warning_passes(
+    analyzed: AnalyzedProgram, sink: Collector,
+) -> None:
+    """Run every ``LG6xx`` pass over the clean rules of ``analyzed``."""
+    clean = analyzed.clean_rules()
+    check_singleton_variables(clean, analyzed, sink)
+    check_duplicate_and_subsumed(clean, sink)
+    check_unreachable(clean, analyzed.goal, analyzed, sink)
+    check_invention_in_recursion(clean, sink)
+    check_derive_and_delete(analyzed, sink)
+
+
+def _span_of(node) -> Span | None:
+    return getattr(node, "span", None)
+
+
+def _head_pred(rule: Rule) -> str | None:
+    if isinstance(rule.head, Literal):
+        return rule.head.pred
+    return None
+
+
+# ---------------------------------------------------------------------------
+# LG601 — singleton variables
+# ---------------------------------------------------------------------------
+def check_singleton_variables(clean, analyzed, sink: Collector) -> None:
+    """A variable occurring exactly once in a rule is usually a typo.
+
+    Exempt: names starting with ``_`` (the conventional don't-care
+    prefix) and the head object variable of an oid-inventing rule, which
+    by design occurs only in the head.
+    """
+    for idx, rule, report in clean:
+        counts: dict[Var, int] = {}
+        literals = list(rule.body) + (
+            [rule.head] if rule.head is not None else []
+        )
+        for lit in literals:
+            for var in lit.variables():
+                counts[var] = counts.get(var, 0) + 1
+        invented: set[Var] = set()
+        if report.invents_oid and isinstance(rule.head, Literal):
+            if isinstance(rule.head.args.self_term, Var):
+                invented.add(rule.head.args.self_term)
+            if rule.head.args.tuple_var is not None:
+                invented.add(rule.head.args.tuple_var)
+        for var, n in counts.items():
+            if n > 1 or var.name.startswith("_") or var in invented:
+                continue
+            sink.warning(
+                "LG601",
+                f"variable {var!r} occurs only once in rule {rule!r};"
+                " prefix it with '_' if that is intentional",
+                _span_of(rule),
+            )
+
+
+# ---------------------------------------------------------------------------
+# LG602 / LG603 — duplicate and subsumed rules
+# ---------------------------------------------------------------------------
+def check_duplicate_and_subsumed(clean, sink: Collector) -> None:
+    """Flag rules equal up to body order (LG602) and rules whose body is
+    a proper superset of another rule with the same head (LG603): the
+    smaller body already derives everything the larger one does, so the
+    larger rule is redundant.  Oid-inventing rules are exempt from
+    subsumption — each derivation creates a distinct object."""
+    seen: dict[tuple, tuple[int, Rule]] = {}
+    for idx, rule, report in clean:
+        key = (rule.head, frozenset(rule.body), len(rule.body))
+        prior = seen.get(key)
+        if prior is not None:
+            sink.warning(
+                "LG602",
+                f"rule {rule!r} duplicates an earlier rule",
+                _span_of(rule),
+                related=(Related("first occurrence here",
+                                 _span_of(prior[1])),),
+            )
+            continue
+        seen[key] = (idx, rule)
+
+    for i, rule_a, rep_a in clean:
+        if rule_a.head is None or rep_a.invents_oid:
+            continue
+        body_a = set(rule_a.body)
+        for j, rule_b, rep_b in clean:
+            if i == j or rule_b.head is None or rep_b.invents_oid:
+                continue
+            if rule_a.head != rule_b.head:
+                continue
+            body_b = set(rule_b.body)
+            if body_a < body_b:
+                sink.warning(
+                    "LG603",
+                    f"rule {rule_b!r} is subsumed by a rule with the same"
+                    " head and fewer body literals",
+                    _span_of(rule_b),
+                    related=(Related("subsuming rule here",
+                                     _span_of(rule_a)),),
+                )
+
+
+# ---------------------------------------------------------------------------
+# LG604 — unreachable rules
+# ---------------------------------------------------------------------------
+def check_unreachable(clean, goal: Goal | None, analyzed,
+                      sink: Collector) -> None:
+    """With a goal present, a rule whose head feeds neither the goal, nor
+    a class extension, nor a denial, nor a deletion is dead code.
+
+    Reachability closes over body dependencies starting from the goal's
+    predicates and the bodies of headless rules (denials).  Class heads
+    are always live — they populate the object base itself — and so are
+    deletion heads (they mutate the state) and the hidden data-function
+    associations read through ``=``/``member``.
+    """
+    if goal is None:
+        return
+    schema = analyzed.schema
+    defines: dict[str, list[tuple[int, Rule]]] = {}
+    for idx, rule, _ in clean:
+        head = _head_pred(rule)
+        if head is not None:
+            defines.setdefault(head, []).append((idx, rule))
+
+    roots: set[str] = set()
+    for lit in goal.literals:
+        if isinstance(lit, Literal):
+            roots.add(lit.pred)
+    for idx, rule, _ in clean:
+        live_head = (
+            rule.head is None
+            or (isinstance(rule.head, Literal)
+                and (rule.head.negated or schema.is_class(rule.head.pred)))
+        )
+        if live_head:
+            for lit in rule.body:
+                if isinstance(lit, Literal):
+                    roots.add(lit.pred)
+
+    reached: set[str] = set()
+    frontier = list(roots)
+    while frontier:
+        pred = frontier.pop()
+        if pred in reached:
+            continue
+        reached.add(pred)
+        for _, rule in defines.get(pred, ()):
+            for lit in rule.body:
+                if isinstance(lit, Literal) and lit.pred not in reached:
+                    frontier.append(lit.pred)
+
+    for idx, rule, _ in clean:
+        head = rule.head
+        if not isinstance(head, Literal) or head.negated:
+            continue
+        if schema.is_class(head.pred) or head.pred.startswith("__fn_"):
+            continue
+        if head.pred not in reached:
+            sink.warning(
+                "LG604",
+                f"rule for {head.pred!r} is unreachable from the goal or"
+                " any class; it never contributes to an answer",
+                _span_of(rule),
+            )
+
+
+# ---------------------------------------------------------------------------
+# LG605 — oid invention inside a recursive cycle
+# ---------------------------------------------------------------------------
+def check_invention_in_recursion(clean, sink: Collector) -> None:
+    """An inventing rule whose body depends (transitively) on its own head
+    creates fresh objects from facts about fresh objects — the classic
+    non-terminating pattern of Appendix B.  The engine's iteration budget
+    catches it at runtime; this pass catches it at compile time."""
+    graph: dict[str, set[str]] = {}
+    for idx, rule, _ in clean:
+        head = _head_pred(rule)
+        if head is None:
+            continue
+        graph.setdefault(head, set())
+        for lit in rule.body:
+            if isinstance(lit, Literal):
+                graph[head].add(lit.pred)
+                graph.setdefault(lit.pred, set())
+    comp_of: dict[str, int] = {}
+    for n, comp in enumerate(strongly_connected_components(graph)):
+        for pred in comp:
+            comp_of[pred] = n
+    for idx, rule, report in clean:
+        if not report.invents_oid:
+            continue
+        head = _head_pred(rule)
+        if head is None:
+            continue
+        in_cycle = any(
+            isinstance(lit, Literal)
+            and comp_of.get(lit.pred) == comp_of.get(head)
+            for lit in rule.body
+        ) or any(
+            isinstance(lit, Literal) and lit.pred == head
+            for lit in rule.body
+        )
+        if in_cycle:
+            sink.warning(
+                "LG605",
+                f"rule {rule!r} invents an oid inside a recursive cycle"
+                f" through {head!r}; the fixpoint may not terminate",
+                _span_of(rule),
+            )
+
+
+# ---------------------------------------------------------------------------
+# LG606 — derived and deleted in one stratum
+# ---------------------------------------------------------------------------
+def check_derive_and_delete(analyzed: AnalyzedProgram,
+                            sink: Collector) -> None:
+    """Deriving ``p`` and ``~p`` in the same stratum makes the outcome
+    depend on rule application order under inflationary semantics; the
+    deletion may fire before the derivation it was meant to retract.
+    Legitimate update idioms do this on purpose — hence a warning."""
+    local = Collector()
+    try:
+        strata = stratify(
+            Program(analyzed.rules, analyzed.goal), analyzed.schema, local,
+        )
+    except Exception:  # pragma: no cover - stratify collects, not raises
+        return
+    for stratum in strata:
+        derived: dict[str, Rule] = {}
+        deleted: dict[str, Rule] = {}
+        for rule in stratum:
+            head = rule.head
+            if not isinstance(head, Literal):
+                continue
+            (deleted if head.negated else derived).setdefault(
+                head.pred, rule
+            )
+        for pred in sorted(set(derived) & set(deleted)):
+            sink.warning(
+                "LG606",
+                f"predicate {pred!r} is both derived and deleted in the"
+                " same stratum; the result depends on application order",
+                _span_of(deleted[pred]),
+                related=(Related("derived here",
+                                 _span_of(derived[pred])),),
+            )

@@ -6,11 +6,18 @@ programming environment" of Section 5:
 * ``run FILE``    — evaluate a LOGRES source unit and print the computed
   instance (and goal answers if the unit has a goal);
 * ``check FILE``  — parse, analyze and consistency-check without
-  printing the instance (a linter for schemas and programs);
+  printing the instance; ``--static-only`` skips evaluation;
+* ``lint FILES``  — collect-all static analysis: every error and warning
+  of every file, as ``file:line:col: severity[CODE]: message`` lines or
+  JSON (``--format json``);
 * ``fmt FILE``    — reprint the unit in canonical form;
 * ``explain FILE FACT`` — evaluate with tracing and print the
   derivation tree of one association fact, given as
   ``pred(label=value, ...)``.
+
+Failures in parsing or analysis are printed as diagnostics
+(``file:line:col: error[CODE]: message``), never as tracebacks, and exit
+with status 2.
 
 Source units may carry facts as rules (``p(x 1).``); a persisted state
 can be supplied with ``--state state.json`` (see ``Database.save``).
@@ -21,13 +28,15 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis import Diagnostic, Severity, diagnostics_to_json
 from repro.constraints.checker import ConsistencyChecker
 from repro.engine import Engine, EvalConfig, Semantics
 from repro.engine.goals import answer_goal
 from repro.engine.trace import Tracer
-from repro.errors import LogresError
+from repro.errors import LogresError, ParseError
 from repro.language.parser import parse_source
 from repro.language.pretty import render_source
+from repro.span import Span
 from repro.storage.factset import Fact, FactSet
 from repro.storage.persist import loads_state
 from repro.values.complex import TupleValue
@@ -90,6 +99,17 @@ def cmd_run(args) -> int:
 
 
 def cmd_check(args) -> int:
+    if args.static_only:
+        from repro.analysis import lint_source
+
+        with open(args.file, encoding="utf-8") as f:
+            report = lint_source(f.read(), file=args.file)
+        for diag in report.errors():
+            print(diag.render(), file=sys.stderr)
+        if report.has_errors:
+            return 1
+        print("ok: schema valid, program safe (evaluation skipped)")
+        return 0
     schema, program, edb = _load_unit(args.file, args.state)
     engine = Engine(schema, program)  # analysis runs in the constructor
     instance = engine.run(edb, Semantics(args.semantics))
@@ -98,10 +118,42 @@ def cmd_check(args) -> int:
     if violations:
         print(f"{len(violations)} violation(s):")
         for v in violations:
-            print(f"  {v!r}")
+            print(f"  {v.render()}")
         return 1
     print("ok: schema valid, program safe, instance consistent")
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis import lint_source
+
+    diagnostics = []
+    for path in args.files:
+        with open(path, encoding="utf-8") as f:
+            report = lint_source(f.read(), file=path)
+        diagnostics.extend(report.diagnostics)
+    if args.format == "json":
+        print(diagnostics_to_json(diagnostics))
+    else:
+        for diag in diagnostics:
+            print(diag.render())
+        errors = sum(
+            1 for d in diagnostics if d.severity is Severity.ERROR
+        )
+        warnings = sum(
+            1 for d in diagnostics if d.severity is Severity.WARNING
+        )
+        print(
+            f"{len(args.files)} file(s): {errors} error(s),"
+            f" {warnings} warning(s)",
+            file=sys.stderr,
+        )
+    failing = any(
+        d.severity is Severity.ERROR
+        or (args.error_on_warning and d.severity is Severity.WARNING)
+        for d in diagnostics
+    )
+    return 1 if failing else 0
 
 
 def cmd_fmt(args) -> int:
@@ -178,7 +230,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser("check", help="analyze and verify consistency")
     common(p_check)
+    p_check.add_argument(
+        "--static-only",
+        action="store_true",
+        help="stop after static analysis; do not evaluate the program"
+             " or check instance consistency",
+    )
     p_check.set_defaults(fn=cmd_check)
+
+    p_lint = sub.add_parser(
+        "lint", help="report every error and warning of the given files"
+    )
+    p_lint.add_argument("files", nargs="+", help="LOGRES source files")
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output style (default: text)",
+    )
+    p_lint.add_argument(
+        "--error-on-warning",
+        action="store_true",
+        help="exit non-zero on warnings, not only on errors",
+    )
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_fmt = sub.add_parser("fmt", help="print the canonical source form")
     p_fmt.add_argument("file")
@@ -195,12 +268,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _diagnostics_of(exc: LogresError) -> tuple[Diagnostic, ...]:
+    """The diagnostics an exception carries, synthesizing one for a bare
+    :class:`ParseError` so every failure renders uniformly."""
+    if exc.diagnostics:
+        return tuple(exc.diagnostics)
+    if isinstance(exc, ParseError):
+        return (Diagnostic(
+            "LG101", Severity.ERROR, exc.raw_message,
+            Span(exc.line, exc.column) if exc.line else None,
+        ),)
+    return ()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
     except LogresError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        diagnostics = _diagnostics_of(exc)
+        if diagnostics:
+            file = getattr(args, "file", None)
+            for diag in diagnostics:
+                if file and diag.file is None:
+                    diag = diag.with_file(file)
+                print(diag.render(), file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -64,6 +64,13 @@ class Violation:
     def __repr__(self) -> str:
         return f"[{self.kind}] {self.predicate}: {self.message}"
 
+    def render(self) -> str:
+        """A human-readable one-liner, used by ``repro check``."""
+        out = f"{self.kind} violation on {self.predicate!r}: {self.message}"
+        if self.fact is not None:
+            out += f"\n    offending fact: {self.fact!r}"
+        return out
+
 
 class ConsistencyChecker:
     """Checks fact sets against a schema and a set of passive denials."""

@@ -44,9 +44,9 @@ from repro.engine.step import (
     process_head,
 )
 from repro.engine.valuation import MatchContext, match_fact
+from repro.analysis.driver import analyze_or_raise
 from repro.language.analysis import (
     AnalyzedProgram,
-    analyze_program,
     check_types,
 )
 from repro.language.ast import (
@@ -116,7 +116,9 @@ class Engine:
         oidgen: OidGenerator | None = None,
     ):
         self.config = config or EvalConfig()
-        self.analysis: AnalyzedProgram = analyze_program(program, schema)
+        # collect-all analysis: an error raises the legacy exception, but
+        # with every error of the run attached as ``exc.diagnostics``
+        self.analysis: AnalyzedProgram = analyze_or_raise(program, schema)
         self.schema = self.analysis.schema
         self.oidgen = oidgen or OidGenerator()
         self.runtimes = [

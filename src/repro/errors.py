@@ -11,7 +11,17 @@ from __future__ import annotations
 
 
 class LogresError(Exception):
-    """Base class of every error raised by the library."""
+    """Base class of every error raised by the library.
+
+    Errors surfaced through the static analyzer additionally carry the
+    collected :class:`repro.analysis.Diagnostic` values: ``diagnostic``
+    is the finding this exception stands for (or ``None``), and
+    ``diagnostics`` is every finding of the analysis run that raised it
+    (the fail-fast API raises on the first error but keeps the rest).
+    """
+
+    diagnostic = None
+    diagnostics: tuple = ()
 
 
 class SchemaError(LogresError):
@@ -48,6 +58,7 @@ class ParseError(LogresError):
     def __init__(self, message: str, line: int = 0, column: int = 0):
         self.line = line
         self.column = column
+        self.raw_message = message
         if line:
             message = f"{message} (line {line}, column {column})"
         super().__init__(message)
@@ -106,7 +117,16 @@ class ConsistencyError(LogresError):
 class ModuleApplicationError(LogresError):
     """A module application is illegal: the initial state is inconsistent,
     the resulting instance is undefined, or a goal was supplied with a
-    data-variant mode that forbids it (Section 4.1)."""
+    data-variant mode that forbids it (Section 4.1).
+
+    ``diagnostics`` holds the mode-check findings (codes ``LG7xx``) when
+    the failure came from :func:`repro.analysis.check_module_application`.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+        self.diagnostic = self.diagnostics[0] if self.diagnostics else None
 
 
 class CompilationError(LogresError):

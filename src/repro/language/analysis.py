@@ -18,6 +18,14 @@ Runs at "compilation time", before any evaluation:
   hierarchies (two objects cannot share an oid across hierarchies);
 * **stratification** — strata with respect to negation and data-function
   reads, used by the stratified (perfect-model) semantics.
+
+Every check reports through :mod:`repro.analysis.diagnostics`: called
+without a ``sink`` the first error raises the legacy exception
+(:class:`~repro.errors.TypingError` and friends — fail-fast API), while
+passing a :class:`repro.analysis.Collector` switches to collect-all mode,
+in which analysis records each diagnostic and keeps going wherever
+recovery is possible.  ``repro lint`` builds on the collect-all mode via
+:mod:`repro.analysis.driver`.
 """
 
 from __future__ import annotations
@@ -25,11 +33,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro._util import strongly_connected_components
-from repro.errors import (
-    IllegalOidRuleError,
-    SafetyError,
-    StratificationError,
-    TypingError,
+from repro.analysis.diagnostics import (
+    Collector,
+    Related,
+    emit_or_raise,
 )
 from repro.language.ast import (
     Args,
@@ -47,10 +54,10 @@ from repro.language.ast import (
     Term,
     Var,
 )
-from repro.language.builtins import NON_BINDING, RESULT_LAST, is_builtin
+from repro.language.builtins import NON_BINDING, RESULT_LAST
+from repro.span import Span
 from repro.types.descriptors import (
     NamedType,
-    SetType,
     TupleField,
     TupleType,
     TypeDescriptor,
@@ -60,6 +67,10 @@ from repro.types.refinement import types_compatible
 from repro.types.schema import Schema
 
 FUNCTION_VALUE_LABEL = "value"
+
+
+def _span_of(node) -> Span | None:
+    return getattr(node, "span", None)
 
 
 # ---------------------------------------------------------------------------
@@ -90,13 +101,22 @@ def schema_with_functions(schema: Schema) -> Schema:
 # ---------------------------------------------------------------------------
 # resolution
 # ---------------------------------------------------------------------------
-def resolve_literal(literal: Literal, schema: Schema) -> Literal:
-    """Resolve positional arguments of one literal against the schema."""
+def resolve_literal(
+    literal: Literal, schema: Schema, sink: Collector | None = None,
+) -> Literal:
+    """Resolve positional arguments of one literal against the schema.
+
+    In collect-all mode an unresolvable literal is reported and returned
+    unchanged, so the caller can continue with the rest of the rule.
+    """
     args = literal.args
     if not args.positional:
         return literal
+    span = _span_of(literal)
     if not schema.has(literal.pred):
-        raise TypingError(f"unknown predicate {literal.pred!r}")
+        emit_or_raise(sink, "LG201",
+                      f"unknown predicate {literal.pred!r}", span)
+        return literal
     fields = schema.effective_type(literal.pred).fields
     bare = list(args.positional)
     if (
@@ -111,7 +131,7 @@ def resolve_literal(literal: Literal, schema: Schema) -> Literal:
             (f.label, term) for f, term in zip(fields, bare)
         )
         return Literal(literal.pred, Args(labeled=labeled),
-                       literal.negated)
+                       literal.negated, span=span)
     if len(bare) == 1 and isinstance(bare[0], Var):
         return Literal(
             literal.pred,
@@ -121,14 +141,20 @@ def resolve_literal(literal: Literal, schema: Schema) -> Literal:
                 tuple_var=bare[0],
             ),
             literal.negated,
+            span=span,
         )
-    raise TypingError(
+    emit_or_raise(
+        sink, "LG202",
         f"cannot resolve unlabeled arguments of {literal!r}: use labels,"
-        f" or supply exactly {len(fields)} positional terms"
+        f" or supply exactly {len(fields)} positional terms",
+        span,
     )
+    return literal
 
 
-def _rewrite_member(blit: BuiltinLiteral, schema: Schema) -> Literal | None:
+def _rewrite_member(
+    blit: BuiltinLiteral, schema: Schema, sink: Collector | None = None,
+) -> Literal | None:
     """``member(X, f(Y))`` over a declared function -> ``__fn_f`` literal."""
     if blit.name != "member" or len(blit.args) != 2:
         return None
@@ -139,87 +165,112 @@ def _rewrite_member(blit: BuiltinLiteral, schema: Schema) -> Literal | None:
     if decl is None:
         return None
     if len(target.args) != decl.arity:
-        raise TypingError(
+        emit_or_raise(
+            sink, "LG203",
             f"function {decl.name!r} takes {decl.arity} arguments,"
-            f" got {len(target.args)}"
+            f" got {len(target.args)}",
+            _span_of(blit),
         )
+        return None
     labeled = tuple(zip(decl.arg_labels, target.args)) + (
         (FUNCTION_VALUE_LABEL, element),
     )
     return Literal(decl.backing_predicate(), Args(labeled=labeled),
-                   blit.negated)
+                   blit.negated, span=_span_of(blit))
 
 
-def _check_function_apps(term: Term, schema: Schema) -> None:
+def _check_function_apps(
+    term: Term, schema: Schema, sink: Collector | None = None,
+    span: Span | None = None,
+) -> None:
     """Every FunctionApp must name a declared data function."""
     if isinstance(term, FunctionApp):
         decl = schema.functions.get(term.name)
         if decl is None:
-            raise TypingError(
-                f"unknown data function or unquoted constant: {term.name!r}"
+            emit_or_raise(
+                sink, "LG204",
+                f"unknown data function or unquoted constant:"
+                f" {term.name!r}",
+                span,
             )
+            return
         if len(term.args) != decl.arity:
-            raise TypingError(
+            emit_or_raise(
+                sink, "LG203",
                 f"function {term.name!r} takes {decl.arity} arguments,"
-                f" got {len(term.args)}"
+                f" got {len(term.args)}",
+                span,
             )
         for a in term.args:
-            _check_function_apps(a, schema)
+            _check_function_apps(a, schema, sink, span)
     elif isinstance(term, ArithExpr):
-        _check_function_apps(term.left, schema)
-        _check_function_apps(term.right, schema)
+        _check_function_apps(term.left, schema, sink, span)
+        _check_function_apps(term.right, schema, sink, span)
     elif isinstance(term, CollectionTerm):
         for e in term.elements:
-            _check_function_apps(e, schema)
+            _check_function_apps(e, schema, sink, span)
     elif isinstance(term, Pattern):
         for _, t in term.args.labeled:
-            _check_function_apps(t, schema)
+            _check_function_apps(t, schema, sink, span)
 
 
-def resolve_rule(rule: Rule, schema: Schema) -> Rule:
+def resolve_rule(
+    rule: Rule, schema: Schema, sink: Collector | None = None,
+) -> Rule:
     """Resolve positionals and rewrite data-function sugar in one rule."""
     head = rule.head
     if isinstance(head, FunctionHead):
+        hspan = _span_of(head) or _span_of(rule)
         decl = schema.functions.get(head.function)
         if decl is None:
-            raise TypingError(f"unknown data function {head.function!r}")
-        if len(head.args) != decl.arity:
-            raise TypingError(
-                f"function {head.function!r} takes {decl.arity} arguments,"
-                f" got {len(head.args)}"
+            emit_or_raise(
+                sink, "LG204",
+                f"unknown data function {head.function!r}", hspan,
             )
-        labeled = tuple(zip(decl.arg_labels, head.args)) + (
-            (FUNCTION_VALUE_LABEL, head.element),
-        )
-        head = Literal(decl.backing_predicate(), Args(labeled=labeled),
-                       head.negated)
+            head = None
+        elif len(head.args) != decl.arity:
+            emit_or_raise(
+                sink, "LG203",
+                f"function {head.function!r} takes {decl.arity} arguments,"
+                f" got {len(head.args)}",
+                hspan,
+            )
+            head = None
+        else:
+            labeled = tuple(zip(decl.arg_labels, head.args)) + (
+                (FUNCTION_VALUE_LABEL, head.element),
+            )
+            head = Literal(decl.backing_predicate(),
+                           Args(labeled=labeled), head.negated, span=hspan)
     elif isinstance(head, Literal):
-        head = resolve_literal(head, schema)
+        head = resolve_literal(head, schema, sink)
 
     body: list = []
     for blit in rule.body:
         if isinstance(blit, Literal):
-            body.append(resolve_literal(blit, schema))
+            body.append(resolve_literal(blit, schema, sink))
         else:
-            rewritten = _rewrite_member(blit, schema)
+            rewritten = _rewrite_member(blit, schema, sink)
             if rewritten is not None:
                 body.append(rewritten)
             else:
                 for t in blit.args:
-                    _check_function_apps(t, schema)
+                    _check_function_apps(t, schema, sink, _span_of(blit))
                 body.append(blit)
-    return Rule(head, tuple(body), rule.name)
+    return Rule(head, tuple(body), rule.name, span=_span_of(rule))
 
 
-def resolve_goal(goal: Goal, schema: Schema) -> Goal:
+def resolve_goal(
+    goal: Goal, schema: Schema, sink: Collector | None = None,
+) -> Goal:
     out = []
     for blit in goal.literals:
         if isinstance(blit, Literal):
-            out.append(resolve_literal(blit, schema))
+            out.append(resolve_literal(blit, schema, sink))
         else:
-            rewritten = _rewrite_member(blit, schema)
+            rewritten = _rewrite_member(blit, schema, sink)
             out.append(rewritten if rewritten is not None else blit)
-    return Goal(tuple(out))
+    return Goal(tuple(out), span=_span_of(goal))
 
 
 # ---------------------------------------------------------------------------
@@ -243,7 +294,8 @@ class VarInfo:
 
 def _record_term(
     term: Term, expected: TypeDescriptor, schema: Schema,
-    info: dict[Var, VarInfo],
+    info: dict[Var, VarInfo], sink: Collector | None = None,
+    span: Span | None = None,
 ) -> None:
     if isinstance(term, Var):
         entry = info.setdefault(term, VarInfo())
@@ -256,20 +308,28 @@ def _record_term(
         target = expected
         if isinstance(target, NamedType):
             if schema.is_class(target.name):
-                _record_args(term.args, target.name, schema, info)
+                _record_args(term.args, target.name, schema, info,
+                             sink=sink, span=span)
                 return
             if schema.is_domain(target.name):
                 target = schema.rhs_of(target.name)
         if isinstance(target, TupleType):
             for label, sub in term.args.labeled:
                 if not target.has_label(label):
-                    raise TypingError(
-                        f"pattern component {label!r} not in type {target!r}"
+                    emit_or_raise(
+                        sink, "LG301",
+                        f"pattern component {label!r} not in type"
+                        f" {target!r}",
+                        span,
                     )
-                _record_term(sub, target.field(label).type, schema, info)
+                    continue
+                _record_term(sub, target.field(label).type, schema, info,
+                             sink, span)
             if term.args.self_term is not None:
-                raise TypingError(
-                    "self is only legal in patterns over class components"
+                emit_or_raise(
+                    sink, "LG302",
+                    "self is only legal in patterns over class components",
+                    span,
                 )
         return
     if isinstance(term, Constant):
@@ -278,8 +338,10 @@ def _record_term(
         from repro.values.typing import value_matches_type
 
         if not value_matches_type(term.value, expected, schema):
-            raise TypingError(
-                f"constant {term!r} does not belong to type {expected!r}"
+            emit_or_raise(
+                sink, "LG303",
+                f"constant {term!r} does not belong to type {expected!r}",
+                span,
             )
         return
     # arithmetic / collection / function-app: element types handled at
@@ -288,22 +350,27 @@ def _record_term(
 
 def _record_args(
     args: Args, pred: str, schema: Schema, info: dict[Var, VarInfo],
-    in_head: bool = False,
+    in_head: bool = False, sink: Collector | None = None,
+    span: Span | None = None,
 ) -> None:
     eff = schema.effective_type(pred)
     is_class = schema.is_class(pred)
     for label, term in args.labeled:
         if not eff.has_label(label):
-            raise TypingError(
-                f"predicate {pred!r} has no argument labeled {label!r}"
+            emit_or_raise(
+                sink, "LG301",
+                f"predicate {pred!r} has no argument labeled {label!r}",
+                span,
             )
-        _record_term(term, eff.field(label).type, schema, info)
+            continue
+        _record_term(term, eff.field(label).type, schema, info, sink, span)
     if args.self_term is not None:
         if not is_class:
-            raise TypingError(
-                f"self argument on non-class predicate {pred!r}"
+            emit_or_raise(
+                sink, "LG302",
+                f"self argument on non-class predicate {pred!r}", span,
             )
-        if isinstance(args.self_term, Var):
+        elif isinstance(args.self_term, Var):
             entry = info.setdefault(args.self_term, VarInfo())
             (entry.head_classes if in_head else entry.classes).append(
                 pred.lower()
@@ -323,26 +390,39 @@ def _record_args(
             entry.types.append(eff)
 
 
-def infer_variable_types(rule: Rule, schema: Schema) -> dict[Var, VarInfo]:
+def infer_variable_types(
+    rule: Rule, schema: Schema, sink: Collector | None = None,
+) -> dict[Var, VarInfo]:
     """Collect per-variable type evidence from every ordinary literal."""
     info: dict[Var, VarInfo] = {}
     for lit in rule.body:
         if not isinstance(lit, Literal):
             continue
         if not schema.has(lit.pred):
-            raise TypingError(f"unknown predicate {lit.pred!r}")
-        _record_args(lit.args, lit.pred, schema, info)
+            emit_or_raise(sink, "LG201",
+                          f"unknown predicate {lit.pred!r}",
+                          _span_of(lit) or _span_of(rule))
+            continue
+        _record_args(lit.args, lit.pred, schema, info, sink=sink,
+                     span=_span_of(lit) or _span_of(rule))
     if isinstance(rule.head, Literal):
         if not schema.has(rule.head.pred):
-            raise TypingError(f"unknown predicate {rule.head.pred!r}")
-        _record_args(rule.head.args, rule.head.pred, schema, info,
-                     in_head=True)
+            emit_or_raise(sink, "LG201",
+                          f"unknown predicate {rule.head.pred!r}",
+                          _span_of(rule.head) or _span_of(rule))
+        else:
+            _record_args(rule.head.args, rule.head.pred, schema, info,
+                         in_head=True, sink=sink,
+                         span=_span_of(rule.head) or _span_of(rule))
     return info
 
 
-def check_types(rule: Rule, schema: Schema) -> dict[Var, VarInfo]:
+def check_types(
+    rule: Rule, schema: Schema, sink: Collector | None = None,
+) -> dict[Var, VarInfo]:
     """Verify unification compatibility of every variable's occurrences."""
-    info = infer_variable_types(rule, schema)
+    info = infer_variable_types(rule, schema, sink)
+    span = _span_of(rule)
     for var, entry in info.items():
         # class occurrences must share a generalization hierarchy; head
         # classes only constrain the variable if the body binds it to an
@@ -352,10 +432,12 @@ def check_types(rule: Rule, schema: Schema) -> dict[Var, VarInfo]:
             constraining += entry.head_classes
         roots = {schema.hierarchy_root(c) for c in constraining}
         if len(roots) > 1:
-            raise IllegalOidRuleError(
+            emit_or_raise(
+                sink, "LG306",
                 f"variable {var!r} in rule {rule!r} ranges over classes of"
                 f" different hierarchies {sorted(roots)}; objects of"
-                " distinct hierarchies can never share an oid"
+                " distinct hierarchies can never share an oid",
+                span,
             )
         # pairwise compatibility of non-class types
         plain = [
@@ -365,21 +447,26 @@ def check_types(rule: Rule, schema: Schema) -> dict[Var, VarInfo]:
         for i in range(len(plain)):
             for j in range(i + 1, len(plain)):
                 if not types_compatible(plain[i], plain[j], schema):
-                    raise TypingError(
+                    emit_or_raise(
+                        sink, "LG304",
                         f"variable {var!r} used at incompatible types"
-                        f" {plain[i]!r} and {plain[j]!r} in rule {rule!r}"
+                        f" {plain[i]!r} and {plain[j]!r} in rule {rule!r}",
+                        span,
                     )
         if entry.classes and plain:
-            raise TypingError(
+            emit_or_raise(
+                sink, "LG305",
                 f"variable {var!r} is used both as an object of class"
-                f" {entry.classes[0]!r} and at value type {plain[0]!r}"
+                f" {entry.classes[0]!r} and at value type {plain[0]!r}",
+                span,
             )
-    _check_head_oid_legality(rule, schema, info)
+    _check_head_oid_legality(rule, schema, info, sink)
     return info
 
 
 def _check_head_oid_legality(
-    rule: Rule, schema: Schema, info: dict[Var, VarInfo]
+    rule: Rule, schema: Schema, info: dict[Var, VarInfo],
+    sink: Collector | None = None,
 ) -> None:
     """Section 3.1: ``C1(X) <- C2(X)`` legality across hierarchies is
     already excluded by the shared-root check; here we validate that a
@@ -396,10 +483,12 @@ def _check_head_oid_legality(
     if isinstance(var, Var) and var in body_vars:
         entry = info.get(var)
         if entry is not None and not entry.classes:
-            raise TypingError(
+            emit_or_raise(
+                sink, "LG307",
                 f"head variable {var!r} of class {head.pred!r} must be"
                 " bound to an object (oid or tuple variable of a"
-                " class), not a plain value"
+                " class), not a plain value",
+                _span_of(head) or _span_of(rule),
             )
 
 
@@ -414,7 +503,9 @@ class SafetyReport:
     active_domain_vars: tuple[Var, ...]
 
 
-def check_safety(rule: Rule, schema: Schema) -> SafetyReport:
+def check_safety(
+    rule: Rule, schema: Schema, sink: Collector | None = None,
+) -> SafetyReport:
     """Enforce the safety requirements of Section 3.1."""
     # argument-less literals over predicates with arguments
     for lit in list(rule.body) + (
@@ -424,9 +515,11 @@ def check_safety(rule: Rule, schema: Schema) -> SafetyReport:
             if schema.has(lit.pred) and schema.effective_type(
                 lit.pred
             ).fields:
-                raise SafetyError(
+                emit_or_raise(
+                    sink, "LG401",
                     f"literal {lit!r} has no arguments but predicate"
-                    f" {lit.pred!r} has arguments"
+                    f" {lit.pred!r} has arguments",
+                    _span_of(lit) or _span_of(rule),
                 )
 
     bound: set[Var] = set()
@@ -460,9 +553,11 @@ def check_safety(rule: Rule, schema: Schema) -> SafetyReport:
     for blit in builtins:
         for var in blit.variables():
             if var not in bound:
-                raise SafetyError(
+                emit_or_raise(
+                    sink, "LG402",
                     f"variable {var!r} of builtin {blit!r} occurs in no"
-                    " ordinary literal and cannot be bound"
+                    " ordinary literal and cannot be bound",
+                    _span_of(blit) or _span_of(rule),
                 )
 
     # head safety
@@ -482,9 +577,11 @@ def check_safety(rule: Rule, schema: Schema) -> SafetyReport:
                     and not head.negated and self_term is None:
                 invents = True
                 continue
-            raise SafetyError(
+            emit_or_raise(
+                sink, "LG403",
                 f"head variable {var!r} of rule {rule!r} is not bound by"
-                " the body"
+                " the body",
+                _span_of(head) or _span_of(rule),
             )
         if schema.is_class(head.pred) and not head.negated and \
                 self_term is None and head.args.tuple_var is None:
@@ -609,15 +706,21 @@ def _function_reads(rule: Rule) -> tuple[set[str], set[str]]:
     return positive, preds
 
 
-def stratify(program: Program, schema: Schema) -> list[list[Rule]]:
+def stratify(
+    program: Program, schema: Schema, sink: Collector | None = None,
+) -> list[list[Rule]]:
     """Partition rules into strata w.r.t. negation and data functions.
 
-    Raises :class:`StratificationError` if a predicate depends negatively
-    (or through a data-function read) on itself, directly or transitively.
+    Raises :class:`~repro.errors.StratificationError` (or, in collect-all
+    mode, emits one ``LG501`` diagnostic per offending dependency) if a
+    predicate depends negatively — or through a data-function read — on
+    itself, directly or transitively.  In collect-all mode the strata of
+    the remaining dependencies are still returned, so downstream warning
+    passes can run.
     """
     rules = list(program.rules)
     graph: dict[str, set[str]] = {}
-    negative_edges: set[tuple[str, str]] = set()
+    negative_edges: dict[tuple[str, str], Rule] = {}
     for rule in rules:
         head = _head_pred(rule)
         if head is None:
@@ -628,7 +731,7 @@ def stratify(program: Program, schema: Schema) -> list[list[Rule]]:
                 graph[head].add(blit.pred)
                 graph.setdefault(blit.pred, set())
                 if blit.negated:
-                    negative_edges.add((head, blit.pred))
+                    negative_edges.setdefault((head, blit.pred), rule)
         elementwise, wholeset = _function_reads(rule)
         for fpred in elementwise:
             graph[head].add(fpred)
@@ -636,24 +739,26 @@ def stratify(program: Program, schema: Schema) -> list[list[Rule]]:
         for fpred in wholeset:
             graph[head].add(fpred)
             graph.setdefault(fpred, set())
-            negative_edges.add((head, fpred))
+            negative_edges.setdefault((head, fpred), rule)
         if isinstance(rule.head, Literal) and rule.head.negated:
             # a deletion of p must see the final p of earlier strata
             for blit in rule.body:
                 if isinstance(blit, Literal) and blit.pred != head:
-                    negative_edges.add((head, blit.pred))
+                    negative_edges.setdefault((head, blit.pred), rule)
 
     components = strongly_connected_components(graph)
     comp_of: dict[str, int] = {}
     for idx, comp in enumerate(components):
         for pred in comp:
             comp_of[pred] = idx
-    for head, dep in negative_edges:
+    for (head, dep), rule in negative_edges.items():
         if comp_of.get(head) == comp_of.get(dep):
-            raise StratificationError(
+            emit_or_raise(
+                sink, "LG501",
                 f"predicate {head!r} depends on {dep!r} through negation,"
                 " deletion, or a data-function read inside a recursive"
-                " cycle; the program is not stratified"
+                " cycle; the program is not stratified",
+                _span_of(rule),
             )
     # components are produced in reverse topological order: dependencies
     # first — which is exactly evaluation order.
@@ -680,28 +785,55 @@ class AnalyzedProgram:
     has_negation: bool
     has_deletion: bool
     has_invention: bool
+    #: indexes of rules with no error diagnostics; ``None`` in fail-fast
+    #: mode, where reaching the result implies every rule is clean
+    clean_indices: tuple[int, ...] | None = None
 
     def strata(self) -> list[list[Rule]]:
         return stratify(Program(self.rules, self.goal), self.schema)
 
+    def clean_rules(self) -> list[tuple[int, Rule, SafetyReport]]:
+        """(index, rule, safety report) of every error-free rule."""
+        indices = (
+            range(len(self.rules))
+            if self.clean_indices is None else self.clean_indices
+        )
+        return [(i, self.rules[i], self.safety[i]) for i in indices]
 
-def analyze_program(program: Program, schema: Schema) -> AnalyzedProgram:
-    """Resolve, type-check, and safety-check a program."""
+
+def analyze_program(
+    program: Program, schema: Schema, collector: Collector | None = None,
+) -> AnalyzedProgram:
+    """Resolve, type-check, and safety-check a program.
+
+    Without a collector the first problem raises (fail-fast, the engine
+    API).  With a collector every diagnostic of every rule is recorded
+    and a best-effort :class:`AnalyzedProgram` is returned whose
+    ``clean_indices`` names the rules that analyzed without errors —
+    ``repro lint`` runs its warning passes over exactly those.
+    """
     extended = schema_with_functions(schema)
     resolved: list[Rule] = []
     safety: dict[int, SafetyReport] = {}
+    clean: list[int] = []
     has_negation = has_deletion = has_invention = False
     for idx, rule in enumerate(program.rules):
-        r = resolve_rule(rule, extended)
-        check_types(r, extended)
-        report = check_safety(r, extended)
+        before = len(collector.errors()) if collector is not None else 0
+        r = resolve_rule(rule, extended, collector)
+        check_types(r, extended, collector)
+        report = check_safety(r, extended, collector)
         safety[idx] = report
         resolved.append(r)
-        has_invention |= report.invents_oid
-        has_negation |= any(l.negated for l in r.body)
-        if isinstance(r.head, Literal) and r.head.negated:
-            has_deletion = True
-    goal = resolve_goal(program.goal, extended) if program.goal else None
+        if collector is None or len(collector.errors()) == before:
+            clean.append(idx)
+            has_invention |= report.invents_oid
+            has_negation |= any(l.negated for l in r.body)
+            if isinstance(r.head, Literal) and r.head.negated:
+                has_deletion = True
+    goal = (
+        resolve_goal(program.goal, extended, collector)
+        if program.goal else None
+    )
     return AnalyzedProgram(
         schema=extended,
         rules=tuple(resolved),
@@ -710,4 +842,5 @@ def analyze_program(program: Program, schema: Schema) -> AnalyzedProgram:
         has_negation=has_negation,
         has_deletion=has_deletion,
         has_invention=has_invention,
+        clean_indices=tuple(clean) if collector is not None else None,
     )

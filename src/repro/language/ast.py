@@ -22,7 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Union
 
+from repro.span import Span
 from repro.values.complex import Value, value_repr
+
+# Span is re-exported here for convenience: it is carried by Rule,
+# Literal, BuiltinLiteral, FunctionHead and Goal when the node came from
+# the parser; programmatically built nodes have span=None.
 
 
 class Term:
@@ -205,6 +210,7 @@ class Literal:
     pred: str
     args: Args = field(default_factory=Args)
     negated: bool = False
+    span: Span | None = field(default=None, compare=False)
 
     def __post_init__(self):
         object.__setattr__(self, "pred", self.pred.lower())
@@ -213,7 +219,8 @@ class Literal:
         return self.args.variables()
 
     def negate(self) -> "Literal":
-        return Literal(self.pred, self.args, not self.negated)
+        return Literal(self.pred, self.args, not self.negated,
+                       span=self.span)
 
     def __repr__(self) -> str:
         sign = "~" if self.negated else ""
@@ -231,6 +238,7 @@ class BuiltinLiteral:
     name: str
     args: tuple[Term, ...] = ()
     negated: bool = False
+    span: Span | None = field(default=None, compare=False)
 
     def __post_init__(self):
         object.__setattr__(self, "name", self.name.lower())
@@ -244,7 +252,8 @@ class BuiltinLiteral:
             yield from a.variables()
 
     def negate(self) -> "BuiltinLiteral":
-        return BuiltinLiteral(self.name, self.args, not self.negated)
+        return BuiltinLiteral(self.name, self.args, not self.negated,
+                              span=self.span)
 
     def __repr__(self) -> str:
         sign = "~" if self.negated else ""
@@ -264,6 +273,7 @@ class FunctionHead:
     element: Term
     args: tuple[Term, ...] = ()
     negated: bool = False
+    span: Span | None = field(default=None, compare=False)
 
     def variables(self) -> Iterator[Var]:
         yield from self.element.variables()
@@ -287,6 +297,7 @@ class Rule:
     head: Literal | FunctionHead | None
     body: tuple[BodyLiteral, ...] = ()
     name: str = ""
+    span: Span | None = field(default=None, compare=False)
 
     @property
     def is_fact(self) -> bool:
@@ -335,6 +346,7 @@ class Goal:
     """
 
     literals: tuple[BodyLiteral, ...]
+    span: Span | None = field(default=None, compare=False)
 
     def variables(self) -> list[Var]:
         seen: list[Var] = []

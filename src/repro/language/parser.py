@@ -55,6 +55,7 @@ from repro.language.ast import (
 )
 from repro.language.builtins import is_builtin
 from repro.language.lexer import Token, tokenize
+from repro.span import Span
 from repro.types.descriptors import (
     ELEMENTARY_TYPES,
     MultisetType,
@@ -202,6 +203,11 @@ class _Parser:
         self._anon += 1
         return Var(f"_G{self._anon}")
 
+    def span(self, tok: Token | None = None) -> Span:
+        """The source location of ``tok`` (default: the current token)."""
+        tok = tok or self.peek()
+        return Span(tok.line, tok.column)
+
     # ------------------------------------------------------------------
     # unit & sections
     # ------------------------------------------------------------------
@@ -235,6 +241,7 @@ class _Parser:
     # schema statements
     # ------------------------------------------------------------------
     def parse_schema_statement(self, unit: ParsedUnit, kind: Kind) -> None:
+        span = self.span()
         name = self.take_name("type name")
         tok = self.peek()
         if tok.kind == "keyword" and tok.value == "isa":
@@ -255,7 +262,7 @@ class _Parser:
         self.expect_symbol("=")
         rhs = self.parse_type_expr()
         self.expect_symbol(".")
-        unit.equations.append(TypeEquation(name, kind, rhs))
+        unit.equations.append(TypeEquation(name, kind, rhs, span=span))
 
     def parse_type_expr(self) -> TypeDescriptor:
         tok = self.peek()
@@ -374,10 +381,11 @@ class _Parser:
     # rules and goals
     # ------------------------------------------------------------------
     def parse_rule(self) -> Rule:
+        span = self.span()
         if self.accept_symbol("<-"):
             body = self.parse_body()
             self.expect_symbol(".")
-            return Rule(None, tuple(body))
+            return Rule(None, tuple(body), span=span)
         negated = self.accept_symbol("~") or self.accept_keyword("not")
         head = self.parse_head(negated)
         body: list = []
@@ -386,10 +394,11 @@ class _Parser:
         ):
             body = self.parse_body()
         self.expect_symbol(".")
-        return Rule(head, tuple(body))
+        return Rule(head, tuple(body), span=span)
 
     def parse_head(self, negated: bool) -> Literal | FunctionHead:
         tok = self.peek()
+        span = self.span(tok)
         if tok.kind != "name":
             raise self.error(
                 f"rule head must start with a predicate name,"
@@ -409,17 +418,19 @@ class _Parser:
                     "the second argument of a member(...) head must be a"
                     " data-function application"
                 )
-            return FunctionHead(fn.name, element, fn.args, negated)
+            return FunctionHead(fn.name, element, fn.args, negated,
+                                span=span)
         # builtin names other than member are allowed as heads only when
         # they denote user predicates shadowing the builtin
         literal = self.parse_ordinary_literal(negated)
         return literal
 
     def parse_goal(self) -> Goal:
+        span = self.span()
         self.accept_symbol("?-")
         body = self.parse_body()
         self.expect_symbol(".")
-        return Goal(tuple(body))
+        return Goal(tuple(body), span=span)
 
     def parse_body(self) -> list:
         out = [self.parse_body_literal()]
@@ -430,6 +441,7 @@ class _Parser:
     def parse_body_literal(self):
         negated = self.accept_symbol("~") or self.accept_keyword("not")
         tok = self.peek()
+        span = self.span(tok)
         if tok.kind == "name":
             name = str(tok.value)
             nxt = self.peek(1)
@@ -465,10 +477,11 @@ class _Parser:
             if nxt.kind == "symbol" and nxt.value in _COMPARISONS:
                 return self.parse_comparison(negated)
             self.advance()
-            return Literal(name, Args(), negated)
+            return Literal(name, Args(), negated, span=span)
         return self.parse_comparison(negated)
 
     def parse_comparison(self, negated: bool) -> BuiltinLiteral:
+        span = self.span()
         left = self.parse_term()
         tok = self.peek()
         if not (tok.kind == "symbol" and tok.value in _COMPARISONS):
@@ -477,9 +490,10 @@ class _Parser:
             )
         op = self.advance().value
         right = self.parse_term()
-        return BuiltinLiteral(str(op), (left, right), negated)
+        return BuiltinLiteral(str(op), (left, right), negated, span=span)
 
     def parse_builtin_call(self, negated: bool) -> BuiltinLiteral:
+        span = self.span()
         name = self.take_name("builtin name")
         self.expect_symbol("(")
         args: list[Term] = []
@@ -489,15 +503,16 @@ class _Parser:
                 if self.accept_symbol(")"):
                     break
                 self.expect_symbol(",")
-        return BuiltinLiteral(name, tuple(args), negated)
+        return BuiltinLiteral(name, tuple(args), negated, span=span)
 
     def parse_ordinary_literal(self, negated: bool) -> Literal:
+        span = self.span()
         name = self.take_name("predicate name")
         args = Args()
         if self.accept_symbol("("):
             args = self.parse_args()
             # closing ')' consumed by parse_args
-        return Literal(name, args, negated)
+        return Literal(name, args, negated, span=span)
 
     def parse_args(self) -> Args:
         """Parse literal arguments up to and including the closing ')'."""

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.modules import check_module_application
 from repro.constraints.checker import ConsistencyChecker, Violation
 from repro.engine import Engine, EvalConfig, Semantics
 from repro.engine.goals import answer_goal
@@ -75,11 +77,10 @@ def apply_module(
     this is the mechanism making "modules and databases parametric with
     respect to the semantics of the rules they support" (Section 1).
     """
-    if module.goal is not None and not mode.allows_goal:
-        raise ModuleApplicationError(
-            f"mode {mode.value} is data-variant and cannot answer the"
-            f" goal of module {module.name!r}"
-        )
+    mode_diags = check_module_application(state, module, mode)
+    errors = [d for d in mode_diags if d.severity is Severity.ERROR]
+    if errors:
+        raise ModuleApplicationError(errors[0].message, tuple(mode_diags))
     if check_initial:
         checker = ConsistencyChecker(state.schema, state.denials())
         initial = materialize(state, semantics, config, oidgen)
@@ -121,9 +122,14 @@ def _reject_if_inconsistent(
 ) -> None:
     if violations:
         preview = "; ".join(repr(v) for v in violations[:3])
-        raise ModuleApplicationError(
+        message = (
             f"module {module.name!r} ({mode.value}): the {which} state is"
             f" inconsistent — {preview}"
+        )
+        code = "LG704" if which == "initial" else "LG703"
+        raise ModuleApplicationError(
+            message,
+            (Diagnostic(code, Severity.ERROR, message),),
         )
 
 

@@ -1,0 +1,29 @@
+"""Source locations.
+
+:class:`Span` records where a syntax node came from (1-based line and
+column).  It lives in its own tiny module so that both the language layer
+(:mod:`repro.language.ast`) and the schema layer
+(:mod:`repro.types.equations`) can attach spans without importing each
+other, and so diagnostics (:mod:`repro.analysis`) can point at source
+text from anywhere in the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A 1-based (line, column) source position.
+
+    Spans never participate in the equality or hashing of the nodes that
+    carry them, so structurally equal nodes parsed from different source
+    locations still compare equal.
+    """
+
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"

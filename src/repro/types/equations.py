@@ -27,11 +27,18 @@ class Kind(enum.Enum):
 
 @dataclass(frozen=True, slots=True)
 class TypeEquation:
-    """One equation ``name = rhs`` in the given schema section."""
+    """One equation ``name = rhs`` in the given schema section.
+
+    ``span`` is the source location of the equation when it was parsed
+    from text (``None`` for programmatically built equations); it is
+    excluded from equality so equations from different files still
+    compare structurally.
+    """
 
     name: str
     kind: Kind
     rhs: TypeDescriptor
+    span: object | None = field(default=None, compare=False)
 
     def __repr__(self) -> str:
         return f"{self.name} = {self.rhs!r}  [{self.kind}]"

@@ -47,7 +47,10 @@ class TestRun:
         path = tmp_path / "bad.logres"
         path.write_text("rules\n p(x X <- q.")
         assert main(["run", str(path)]) == 2
-        assert "error:" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "error[LG101]" in err
+        assert f"{path}:2:" in err  # file:line:col prefix
+        assert "Traceback" not in err
 
 
 class TestCheck:

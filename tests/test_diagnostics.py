@@ -1,0 +1,342 @@
+"""Tests for the collect-all diagnostics subsystem (``repro.analysis``)."""
+
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    Collector,
+    Diagnostic,
+    Severity,
+    analyze_or_raise,
+    lint_source,
+)
+from repro.errors import TypingError
+from repro.language.parser import parse_source
+from repro.span import Span
+
+CLEAN_SOURCE = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+goal
+  ?- anc(a "a", d D).
+"""
+
+
+def codes(source: str) -> list[str]:
+    return [d.code for d in lint_source(source).diagnostics]
+
+
+class TestDiagnosticCore:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic("LG999", Severity.ERROR, "nope")
+
+    def test_render_format(self):
+        diag = Diagnostic("LG201", Severity.ERROR, "unknown predicate 'p'",
+                          Span(3, 7), "m.lg")
+        assert diag.render() == \
+            "m.lg:3:7: error[LG201]: unknown predicate 'p'"
+
+    def test_render_without_location(self):
+        diag = Diagnostic("LG102", Severity.ERROR, "bad schema")
+        assert diag.render() == "<input>:0:0: error[LG102]: bad schema"
+
+    def test_collector_partitions_by_severity(self):
+        c = Collector()
+        c.error("LG201", "e")
+        c.warning("LG601", "w")
+        assert [d.code for d in c.errors()] == ["LG201"]
+        assert [d.code for d in c.warnings()] == ["LG601"]
+        assert c.has_errors and len(c) == 2
+
+    def test_every_code_documented(self):
+        doc = (pathlib.Path(__file__).parent.parent
+               / "docs" / "DIAGNOSTICS.md").read_text()
+        for code in CODES:
+            assert f"### {code}" in doc, f"{code} missing from docs"
+
+    def test_documented_examples_trigger_their_code(self):
+        """Each LOGRES snippet in the catalogue reproduces its code."""
+        doc = (pathlib.Path(__file__).parent.parent
+               / "docs" / "DIAGNOSTICS.md").read_text()
+        checked = 0
+        for section in doc.split("### ")[1:]:
+            code = section.split(" ", 1)[0]
+            # only plain-fenced blocks are LOGRES source; ```python
+            # blocks document the module-application API
+            match = re.search(r"```\n(.*?)```", section, re.DOTALL)
+            if match is None:
+                continue
+            snippet = match.group(1)
+            found = [d.code for d in lint_source(snippet).diagnostics]
+            assert code in found, f"{code} example produced {found}"
+            checked += 1
+        assert checked >= 18  # every LG1xx-LG6xx code has a snippet
+
+
+class TestLintClean:
+    def test_silent_on_clean_program(self):
+        report = lint_source(CLEAN_SOURCE)
+        assert report.diagnostics == []
+        assert not report.has_errors
+
+    def test_report_accessors(self):
+        report = lint_source(CLEAN_SOURCE, file="clean.lg")
+        assert report.file == "clean.lg"
+        assert report.analyzed is not None
+        assert json.loads(report.to_json()) == {"diagnostics": []}
+
+
+class TestSyntaxAndSchema:
+    def test_parse_error_becomes_lg101(self):
+        report = lint_source("rules\n p(x X <- q.", file="bad.lg")
+        (diag,) = report.diagnostics
+        assert diag.code == "LG101"
+        assert diag.severity is Severity.ERROR
+        assert diag.file == "bad.lg"
+        assert diag.span is not None and diag.span.line == 2
+
+    def test_unknown_type_name_lg103_all_reported(self):
+        report = lint_source("""
+        associations
+          a = (x: nosuch).
+          b = (y: missing, z: string).
+        """)
+        assert [d.code for d in report.diagnostics] == ["LG103", "LG103"]
+        spans = [d.span.line for d in report.diagnostics]
+        assert spans == sorted(spans) and spans[0] != spans[1]
+
+    def test_invalid_schema_lg102(self):
+        # an association containing an association is structurally illegal
+        report = lint_source("""
+        associations
+          a = (x: string).
+          b = (y: a).
+        """)
+        assert [d.code for d in report.diagnostics] == ["LG102"]
+
+
+class TestCollectAll:
+    SEEDED = """
+    associations
+      parent = (par: string, chil: string).
+      anc = (a: string, d: string).
+    rules
+      anc(a X, d Y) <- parentt(par X, chil Y).
+      anc(a X, d Y) <- parent(pax X, chil Y).
+      anc(a X, d 3) <- parent(par X, chil X).
+    """
+
+    def test_three_seeded_errors_in_one_run(self):
+        report = lint_source(self.SEEDED, file="seeded.lg")
+        error_codes = [d.code for d in report.errors()]
+        assert "LG201" in error_codes  # unknown predicate parentt
+        assert "LG301" in error_codes  # unknown label pax
+        assert "LG303" in error_codes  # constant 3 at type string
+        assert len(report.errors()) >= 3
+        # distinct source locations, each attributed to the file
+        assert all(d.file == "seeded.lg" for d in report.errors())
+        assert len({d.span.line for d in report.errors()}) == 3
+
+    def test_stratification_collected_not_raised(self):
+        report = lint_source("""
+        associations
+          p = (x: string).
+          q = (x: string).
+        rules
+          p(x X) <- q(x X), ~p(x X).
+        """)
+        assert "LG501" in [d.code for d in report.errors()]
+
+    def test_analyze_or_raise_carries_all_errors(self):
+        unit = parse_source(self.SEEDED)
+        with pytest.raises(TypingError) as excinfo:
+            analyze_or_raise(unit.program(), unit.schema())
+        exc = excinfo.value
+        assert exc.diagnostic is not None
+        assert exc.diagnostic.code == exc.diagnostics[0].code
+        assert len(exc.diagnostics) >= 3
+
+
+class TestSingletonVariables:
+    def test_trigger(self):
+        source = """
+        associations
+          parent = (par: string, chil: string).
+          anc = (a: string, d: string).
+        rules
+          anc(a X, d "k") <- parent(par X, chil Y).
+        """
+        diags = lint_source(source).diagnostics
+        assert [d.code for d in diags] == ["LG601"]
+        assert diags[0].severity is Severity.WARNING
+        assert "Y" in diags[0].message
+
+    def test_underscore_prefix_silences(self):
+        assert codes("""
+        associations
+          parent = (par: string, chil: string).
+          anc = (a: string, d: string).
+        rules
+          anc(a X, d "k") <- parent(par X, chil _Y).
+        """) == []
+
+    def test_invented_head_variable_exempt(self):
+        assert codes("""
+        classes
+          person = (name: string).
+        associations
+          named = (n: string).
+        rules
+          person(self P, name N) <- named(n N).
+        """) == []
+
+    def test_silent_on_clean(self):
+        assert codes(CLEAN_SOURCE) == []
+
+
+class TestDuplicateRules:
+    BASE = """
+    associations
+      parent = (par: string, chil: string).
+      anc = (a: string, d: string).
+      flag = (f: string).
+    rules
+      anc(a X, d Y) <- parent(par X, chil Y).
+    """
+
+    def test_exact_duplicate(self):
+        diags = lint_source(
+            self.BASE + "  anc(a X, d Y) <- parent(par X, chil Y).\n"
+        ).diagnostics
+        assert [d.code for d in diags] == ["LG602"]
+        assert diags[0].related  # points at the first occurrence
+
+    def test_duplicate_up_to_body_order(self):
+        source = """
+        associations
+          p = (x: string).
+          q = (x: string).
+          r = (x: string).
+        rules
+          p(x X) <- q(x X), r(x X).
+          p(x X) <- r(x X), q(x X).
+        """
+        assert codes(source) == ["LG602"]
+
+    def test_subsumed_rule(self):
+        diags = lint_source(
+            self.BASE
+            + "  anc(a X, d Y) <- parent(par X, chil Y), flag(f X).\n"
+        ).diagnostics
+        assert [d.code for d in diags] == ["LG603"]
+
+    def test_silent_on_distinct_rules(self):
+        assert codes(CLEAN_SOURCE) == []
+
+
+class TestUnreachableRules:
+    def test_trigger(self):
+        source = """
+        associations
+          parent = (par: string, chil: string).
+          anc = (a: string, d: string).
+          dead = (d: string).
+        rules
+          anc(a X, d Y) <- parent(par X, chil Y).
+          dead(d X) <- parent(par X, chil X).
+        goal
+          ?- anc(a "a", d D).
+        """
+        diags = lint_source(source).diagnostics
+        assert [d.code for d in diags] == ["LG604"]
+        assert "dead" in diags[0].message
+
+    def test_silent_without_goal(self):
+        assert codes("""
+        associations
+          parent = (par: string, chil: string).
+          dead = (d: string).
+        rules
+          dead(d X) <- parent(par X, chil X).
+        """) == []
+
+    def test_class_heads_always_live(self):
+        assert codes("""
+        classes
+          person = (name: string).
+        associations
+          named = (n: string).
+        rules
+          person(self P, name N) <- named(n N).
+        goal
+          ?- named(n N).
+        """) == []
+
+
+class TestInventionInRecursion:
+    def test_trigger(self):
+        source = """
+        classes
+          node = (tag: string).
+        rules
+          node(self N, tag T) <- node(self _M, tag T).
+        """
+        diags = lint_source(source).diagnostics
+        assert [d.code for d in diags] == ["LG605"]
+        assert "terminate" in diags[0].message
+
+    def test_non_recursive_invention_silent(self):
+        assert codes("""
+        classes
+          person = (name: string).
+        associations
+          named = (n: string).
+        rules
+          person(self P, name N) <- named(n N).
+        """) == []
+
+
+class TestDeriveAndDelete:
+    def test_trigger(self):
+        source = """
+        associations
+          p = (x: string).
+          q = (x: string).
+        rules
+          p(x X) <- q(x X).
+          ~p(x X) <- q(x X).
+        """
+        diags = lint_source(source).diagnostics
+        assert [d.code for d in diags] == ["LG606"]
+        assert diags[0].related  # points at the deriving rule
+
+    def test_silent_on_plain_deletion(self):
+        assert codes("""
+        associations
+          p = (x: string).
+          q = (x: string).
+        rules
+          ~p(x X) <- q(x X).
+        """) == []
+
+
+class TestJsonOutput:
+    def test_stable_shape(self):
+        report = lint_source("rules\n p(x X <- q.", file="bad.lg")
+        payload = json.loads(report.to_json())
+        (entry,) = payload["diagnostics"]
+        assert entry["code"] == "LG101"
+        assert entry["severity"] == "error"
+        assert entry["file"] == "bad.lg"
+        assert entry["line"] == 2
+        assert isinstance(entry["column"], int)
+        assert entry["related"] == []

@@ -1,0 +1,117 @@
+"""``repro fmt`` round-trip guarantees.
+
+For every paper-style example program: the canonical rendering reparses
+to a structurally identical unit (spans are ignored by AST equality),
+and rendering is idempotent — formatting already-formatted source is a
+fixed point.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.language.parser import parse_source
+from repro.language.pretty import render_source
+
+TRANSITIVE_CLOSURE = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  parent(par "a", chil "b").
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+goal
+  ?- anc(a "a", d D).
+"""
+
+CLASSES_AND_ISA = """
+domains
+  kind = string.
+classes
+  person = (name: string, age: integer).
+  student = (person, school: string).
+  student isa person.
+associations
+  advises = (prof: person, stud: student).
+rules
+  person(self X, name "a", age 1).
+"""
+
+DATA_FUNCTIONS = """
+domains
+  bdate = string.
+classes
+  person = (name: string, age: integer).
+associations
+  parent = (father: person, child: person, bdate).
+functions
+  children: person -> {(person: person, bdate: bdate)}.
+  member(T, children(X)) <- parent(father X, child Y, bdate Z),
+                            T = (person Y, bdate Z).
+  junior -> {person}.
+  member(X, junior) <- person(self X, age A), A <= 18.
+"""
+
+NEGATION_AND_DELETION = """
+associations
+  p = (x: string).
+  q = (x: string).
+  keep = (x: string).
+rules
+  keep(x X) <- p(x X), ~q(x X).
+  ~p(x X) <- q(x X).
+  <- q(x "forbidden").
+"""
+
+BUILTINS_AND_COLLECTIONS = """
+associations
+  item = (name: string, price: integer).
+  cheap = (name: string).
+rules
+  cheap(name N) <- item(name N, price P), P < 10.
+  item(name "pen", price 2).
+"""
+
+SOURCES = {
+    "transitive-closure": TRANSITIVE_CLOSURE,
+    "classes-and-isa": CLASSES_AND_ISA,
+    "data-functions": DATA_FUNCTIONS,
+    "negation-and-deletion": NEGATION_AND_DELETION,
+    "builtins-and-collections": BUILTINS_AND_COLLECTIONS,
+}
+
+
+def render_of(text: str) -> str:
+    unit = parse_source(text)
+    return render_source(unit.schema(), unit.program())
+
+
+@pytest.mark.parametrize("name", SOURCES)
+class TestRoundTrip:
+    def test_rendered_source_reparses_equivalently(self, name):
+        unit = parse_source(SOURCES[name])
+        rendered = render_of(SOURCES[name])
+        reparsed = parse_source(rendered)
+        # AST equality ignores spans, so structural identity is exact
+        assert tuple(reparsed.rules) == tuple(unit.rules)
+        assert reparsed.goal == unit.goal
+        assert reparsed.schema().equations == unit.schema().equations
+        assert reparsed.schema().isa_declarations == \
+            unit.schema().isa_declarations
+        assert reparsed.schema().functions == unit.schema().functions
+
+    def test_rendering_is_idempotent(self, name):
+        once = render_of(SOURCES[name])
+        twice = render_of(once)
+        assert once == twice
+
+
+class TestFmtCommand:
+    def test_fmt_output_is_its_own_fixed_point(self, tmp_path, capsys):
+        path = tmp_path / "tc.lg"
+        path.write_text(TRANSITIVE_CLOSURE)
+        assert main(["fmt", str(path)]) == 0
+        first = capsys.readouterr().out
+        path.write_text(first)
+        assert main(["fmt", str(path)]) == 0
+        assert capsys.readouterr().out == first

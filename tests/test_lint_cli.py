@@ -1,0 +1,144 @@
+"""Tests for ``repro lint`` and ``repro check --static-only``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+goal
+  ?- anc(a "a", d D).
+"""
+
+SEEDED = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  anc(a X, d Y) <- parentt(par X, chil Y).
+  anc(a X, d Y) <- parent(pax X, chil Y).
+  anc(a X, d 3) <- parent(par X, chil X).
+"""
+
+WARN_ONLY = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  anc(a X, d "k") <- parent(par X, chil Y).
+"""
+
+
+@pytest.fixture
+def write(tmp_path):
+    def _write(name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+    return _write
+
+
+class TestLint:
+    def test_clean_file_exits_zero(self, write, capsys):
+        assert main(["lint", write("clean.lg", CLEAN)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "0 error(s), 0 warning(s)" in captured.err
+
+    def test_all_errors_reported_in_one_run(self, write, capsys):
+        path = write("seeded.lg", SEEDED)
+        assert main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert "error[LG201]" in out
+        assert "error[LG301]" in out
+        assert "error[LG303]" in out
+        # every line carries a file:line:col prefix
+        for line in out.strip().splitlines():
+            assert line.startswith(f"{path}:"), line
+
+    def test_json_format(self, write, capsys):
+        path = write("seeded.lg", SEEDED)
+        assert main(["lint", "--format", "json", path]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert {"LG201", "LG301", "LG303"} <= set(codes)
+        for entry in payload["diagnostics"]:
+            assert entry["file"] == path
+            assert isinstance(entry["line"], int)
+            assert isinstance(entry["column"], int)
+
+    def test_warnings_do_not_fail_by_default(self, write, capsys):
+        assert main(["lint", write("warn.lg", WARN_ONLY)]) == 0
+        assert "warning[LG601]" in capsys.readouterr().out
+
+    def test_error_on_warning(self, write):
+        path = write("warn.lg", WARN_ONLY)
+        assert main(["lint", "--error-on-warning", path]) == 1
+
+    def test_multiple_files(self, write, capsys):
+        clean = write("clean.lg", CLEAN)
+        seeded = write("seeded.lg", SEEDED)
+        assert main(["lint", clean, seeded]) == 1
+        captured = capsys.readouterr()
+        assert seeded in captured.out
+        assert "2 file(s)" in captured.err
+
+    def test_parse_error_is_a_diagnostic(self, write, capsys):
+        path = write("bad.lg", "rules\n p(x X <- q.")
+        assert main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert f"{path}:2:" in out
+        assert "error[LG101]" in out
+
+
+class TestShippedExamples:
+    def test_every_shipped_lg_source_lints_clean(self, capsys):
+        import pathlib
+
+        root = pathlib.Path(__file__).parent.parent
+        files = sorted(str(p) for p in root.glob("examples/**/*.lg"))
+        assert files, "no shipped .lg sources found"
+        assert main(["lint", "--error-on-warning", *files]) == 0
+
+
+class TestCheckStaticOnly:
+    def test_clean(self, write, capsys):
+        assert main(["check", "--static-only", write("c.lg", CLEAN)]) == 0
+        assert "evaluation skipped" in capsys.readouterr().out
+
+    def test_errors_reported(self, write, capsys):
+        assert main(["check", "--static-only",
+                     write("s.lg", SEEDED)]) == 1
+        err = capsys.readouterr().err
+        assert "error[LG201]" in err
+
+    def test_skips_evaluation(self, write, capsys):
+        # unstratified under the requested semantics, and even a denial
+        # violation: neither matters, evaluation never runs
+        source = CLEAN + '\nrules\n  <- anc(a "a", d D).\n'
+        assert main(["check", "--static-only",
+                     write("d.lg", source)]) == 0
+
+
+class TestAnalysisErrorFormatting:
+    def test_run_prints_diagnostics_not_tracebacks(self, write, capsys):
+        path = write("s.lg", SEEDED)
+        assert main(["run", path]) == 2
+        err = capsys.readouterr().err
+        assert "error[LG201]" in err
+        assert f"{path}:" in err
+        assert "Traceback" not in err
+
+    def test_run_reports_every_error(self, write, capsys):
+        assert main(["run", write("s.lg", SEEDED)]) == 2
+        err = capsys.readouterr().err
+        assert "error[LG201]" in err
+        assert "error[LG301]" in err
+        assert "error[LG303]" in err

@@ -1,0 +1,134 @@
+"""Module-application error paths and their ``LG7xx`` diagnostics."""
+
+import pytest
+
+from repro import (
+    DatabaseState,
+    FactSet,
+    Mode,
+    Module,
+    TupleValue,
+    apply_module,
+    parse_schema_source,
+)
+from repro.analysis import Severity, check_module_application
+from repro.errors import ModuleApplicationError
+from repro.language.parser import parse_source
+
+
+@pytest.fixture
+def schema():
+    return parse_schema_source("""
+    associations
+      italian = (n: string).
+      roman = (n: string).
+    """)
+
+
+@pytest.fixture
+def state(schema):
+    edb = FactSet()
+    edb.add_association("italian", TupleValue(n="sara"))
+    return DatabaseState(schema, edb)
+
+
+class TestGoalUnderDataVariantMode:
+    GOAL_MODULE = 'rules\n  roman(n "ugo").\ngoal\n  ?- italian(n N).\n'
+
+    @pytest.mark.parametrize("mode", [Mode.RIDV, Mode.RADV, Mode.RDDV])
+    def test_rejected_with_lg701(self, state, mode):
+        module = Module.from_source(self.GOAL_MODULE, name="m")
+        with pytest.raises(ModuleApplicationError,
+                           match="data-variant") as excinfo:
+            apply_module(state, module, mode)
+        exc = excinfo.value
+        assert exc.diagnostic is not None
+        assert exc.diagnostic.code == "LG701"
+        assert exc.diagnostic.severity is Severity.ERROR
+
+    def test_diagnostic_carries_goal_span(self, state):
+        module = Module.from_source(self.GOAL_MODULE, name="m")
+        diags = check_module_application(state, module, Mode.RIDV)
+        (diag,) = diags
+        assert diag.code == "LG701"
+        assert diag.span is not None and diag.span.line == 4
+
+    def test_state_untouched_on_rejection(self, state):
+        module = Module.from_source(self.GOAL_MODULE, name="m")
+        before_edb = state.edb.copy()
+        before_rules = state.rules
+        with pytest.raises(ModuleApplicationError):
+            apply_module(state, module, Mode.RADV)
+        assert state.edb == before_edb
+        assert state.rules == before_rules
+
+    @pytest.mark.parametrize("mode", [Mode.RIDI, Mode.RADI, Mode.RDDI])
+    def test_data_invariant_modes_unaffected(self, state, mode):
+        module = Module.from_source(self.GOAL_MODULE, name="m")
+        diags = check_module_application(state, module, mode)
+        # RDDI may warn (LG702) but no mode-invariant error is raised
+        assert [d for d in diags if d.severity is Severity.ERROR] == []
+
+
+class TestDeletionOfAbsentRule:
+    def test_lg702_warning(self, state):
+        module = Module.from_source(
+            'rules\n  roman(n X) <- italian(n X).', name="m"
+        )
+        diags = check_module_application(state, module, Mode.RDDI)
+        (diag,) = diags
+        assert diag.code == "LG702"
+        assert diag.severity is Severity.WARNING
+
+    def test_warning_does_not_block_application(self, state):
+        module = Module.from_source(
+            'rules\n  roman(n X) <- italian(n X).', name="m"
+        )
+        result = apply_module(state, module, Mode.RDDI)
+        assert result.state.rules == state.rules  # deletion was a no-op
+
+    def test_silent_when_rule_present(self, schema):
+        rule_text = 'rules\n  roman(n X) <- italian(n X).'
+        rules = tuple(parse_source(rule_text).rules)
+        edb = FactSet()
+        edb.add_association("italian", TupleValue(n="sara"))
+        state = DatabaseState(schema, edb, rules)
+        module = Module.from_source(rule_text, name="m")
+        assert check_module_application(state, module, Mode.RDDI) == []
+
+
+class TestConsistencyRollback:
+    DENIAL = 'rules\n  <- roman(n "ugo").\n'
+
+    def test_resulting_inconsistency_lg703(self, state):
+        module = Module.from_source(
+            self.DENIAL + 'rules\n  roman(n "ugo").\n', name="m"
+        )
+        with pytest.raises(ModuleApplicationError,
+                           match="inconsistent") as excinfo:
+            apply_module(state, module, Mode.RADI)
+        assert excinfo.value.diagnostic.code == "LG703"
+
+    def test_rollback_leaves_state_untouched(self, state):
+        module = Module.from_source(
+            self.DENIAL + 'rules\n  roman(n "ugo").\n', name="m"
+        )
+        before_edb = state.edb.copy()
+        before_rules = state.rules
+        with pytest.raises(ModuleApplicationError):
+            apply_module(state, module, Mode.RADI)
+        assert state.edb == before_edb
+        assert state.rules == before_rules
+
+    def test_initial_inconsistency_lg704(self, schema):
+        denial_rules = tuple(
+            parse_source('rules\n  <- italian(n "sara").').rules
+        )
+        edb = FactSet()
+        edb.add_association("italian", TupleValue(n="sara"))
+        bad_state = DatabaseState(schema, edb, denial_rules)
+        module = Module.from_source('rules\n  roman(n "ugo").', name="m")
+        with pytest.raises(ModuleApplicationError,
+                           match="initial") as excinfo:
+            apply_module(bad_state, module, Mode.RADI)
+        assert excinfo.value.diagnostic.code == "LG704"
