@@ -13,7 +13,14 @@ programming environment" of Section 5:
 * ``fmt FILE``    — reprint the unit in canonical form;
 * ``explain FILE FACT`` — evaluate with tracing and print the
   derivation tree of one association fact, given as
-  ``pred(label=value, ...)``.
+  ``pred(label=value, ...)``;
+* ``profile FILE`` — evaluate under full instrumentation and print a
+  ranked per-rule cost table (``--format text|json``); see
+  ``docs/OBSERVABILITY.md``.
+
+``run`` additionally accepts ``--trace-out events.jsonl`` (structured
+engine event stream) and ``--metrics-out metrics.json`` (metrics +
+phase snapshot).
 
 Failures in parsing or analysis are printed as diagnostics
 (``file:line:col: error[CODE]: message``), never as tracebacks, and exit
@@ -68,12 +75,56 @@ def _print_instance(instance: FactSet) -> None:
             print(f"  {fact!r}")
 
 
+def _run_instrumentation(args):
+    """The instrumentation ``repro run`` needs for its output flags.
+
+    Returns ``(obs, finish)``: ``obs`` is None when neither flag is
+    given (the zero-overhead default), and ``finish()`` flushes the
+    requested output files after the run.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        return None, lambda: None
+    from repro.observability import (
+        Instrumentation,
+        JsonlSink,
+        MetricsRegistry,
+    )
+
+    sink = None
+    if trace_out:
+        sink = JsonlSink(open(trace_out, "w", encoding="utf-8"),
+                         close_stream=True)
+    obs = Instrumentation(
+        metrics=MetricsRegistry() if metrics_out else None,
+        sink=sink,
+        source_file=args.file,
+    )
+
+    def finish() -> None:
+        if metrics_out:
+            import json
+
+            with open(metrics_out, "w", encoding="utf-8") as f:
+                json.dump(obs.snapshot(), f, indent=2, sort_keys=True)
+                f.write("\n")
+        obs.close()
+
+    return obs, finish
+
+
 def cmd_run(args) -> int:
     schema, program, edb = _load_unit(args.file, args.state)
+    obs, finish = _run_instrumentation(args)
     engine = Engine(schema, program,
                     EvalConfig(max_iterations=args.max_iterations,
-                               incremental=not args.reference))
-    instance = engine.run(edb, Semantics(args.semantics))
+                               incremental=not args.reference),
+                    instrumentation=obs)
+    try:
+        instance = engine.run(edb, Semantics(args.semantics))
+    finally:
+        finish()
     if program.goal is not None:
         answers = answer_goal(program.goal, instance, schema)
         print(f"{len(answers)} answer(s):")
@@ -98,6 +149,44 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _print_violations(violations) -> None:
+    """Uniform violation reporting: always ``Violation.render()``."""
+    print(f"{len(violations)} violation(s):")
+    for v in violations:
+        print(f"  {v.render()}")
+
+
+def cmd_profile(args) -> int:
+    import json
+
+    from repro.observability.profile import profile_program
+
+    schema, program, edb = _load_unit(args.file, args.state)
+    sink = None
+    if args.trace_out:
+        from repro.observability import JsonlSink
+
+        sink = JsonlSink(open(args.trace_out, "w", encoding="utf-8"),
+                         close_stream=True)
+    _, profile, obs = profile_program(
+        schema, program, edb,
+        semantics=Semantics(args.semantics),
+        source_file=args.file,
+        sink=sink,
+    )
+    obs.close()
+    if args.format == "json":
+        print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(profile.render_text())
+        phases = obs.timer.render()
+        if phases:
+            print()
+            print("phases:")
+            print(phases)
+    return 0
+
+
 def cmd_check(args) -> int:
     if args.static_only:
         from repro.analysis import lint_source
@@ -116,9 +205,7 @@ def cmd_check(args) -> int:
     denials = tuple(r for r in program.rules if r.is_denial)
     violations = ConsistencyChecker(schema, denials).check(instance)
     if violations:
-        print(f"{len(violations)} violation(s):")
-        for v in violations:
-            print(f"  {v.render()}")
+        _print_violations(violations)
         return 1
     print("ok: schema valid, program safe, instance consistent")
     return 0
@@ -226,7 +313,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the copying reference kernel instead of the"
              " incremental one (for timing comparisons)",
     )
+    p_run.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write the structured engine event stream as JSONL",
+    )
+    p_run.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the metrics + phase snapshot as JSON",
+    )
     p_run.set_defaults(fn=cmd_run)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="evaluate under instrumentation and print per-rule costs",
+    )
+    common(p_profile)
+    p_profile.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output style (default: text)",
+    )
+    p_profile.add_argument(
+        "--trace-out", metavar="FILE",
+        help="also write the event stream as JSONL",
+    )
+    p_profile.set_defaults(fn=cmd_profile)
 
     p_check = sub.add_parser("check", help="analyze and verify consistency")
     common(p_check)

@@ -18,6 +18,7 @@ inconsistent state.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.engine.activedomain import ActiveDomains
@@ -82,8 +83,18 @@ class ConsistencyChecker:
         self._current_facts: FactSet | None = None
 
     # ------------------------------------------------------------------
-    def check(self, facts: FactSet) -> list[Violation]:
-        """All violations in ``facts`` (empty list = consistent)."""
+    def check(self, facts: FactSet,
+              instrumentation=None) -> list[Violation]:
+        """All violations in ``facts`` (empty list = consistent).
+
+        An enabled :class:`repro.observability.Instrumentation` receives
+        the check's wall time (``constraint_check_time``) and one
+        constraint-violation event per finding.
+        """
+        obs = instrumentation
+        if obs is not None and not obs.enabled:
+            obs = None
+        started = time.perf_counter() if obs is not None else 0.0
         self._current_facts = facts
         try:
             out: list[Violation] = []
@@ -94,11 +105,19 @@ class ConsistencyChecker:
             return out
         finally:
             self._current_facts = None
+            if obs is not None:
+                if obs.metrics is not None:
+                    obs.metrics.observe(
+                        "constraint_check_time",
+                        value=time.perf_counter() - started,
+                    )
+                for violation in out:
+                    obs.constraint_violation(violation)
 
     def require_consistent(self, facts: FactSet) -> None:
         violations = self.check(facts)
         if violations:
-            preview = "; ".join(repr(v) for v in violations[:3])
+            preview = "; ".join(v.render() for v in violations[:3])
             more = len(violations) - 3
             suffix = f" (+{more} more)" if more > 0 else ""
             raise ConsistencyError(

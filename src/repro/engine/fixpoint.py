@@ -29,9 +29,14 @@ from __future__ import annotations
 
 import enum
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import EvaluationError, NonTerminationError
+from repro.observability.instrument import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+)
 from repro.engine.activedomain import ActiveDomains
 from repro.engine.step import (
     InventionRegistry,
@@ -114,8 +119,10 @@ class Engine:
         program: Program,
         config: EvalConfig | None = None,
         oidgen: OidGenerator | None = None,
+        instrumentation: Instrumentation | None = None,
     ):
         self.config = config or EvalConfig()
+        self.obs = instrumentation or NULL_INSTRUMENTATION
         # collect-all analysis: an error raises the legacy exception, but
         # with every error of the run attached as ``exc.diagnostics``
         self.analysis: AnalyzedProgram = analyze_or_raise(program, schema)
@@ -144,43 +151,89 @@ class Engine:
         """Compute the instance of ``(E, R, S)`` under the given semantics.
 
         Passing a :class:`repro.engine.trace.Tracer` records derivation
-        provenance; tracing forces the general (non-semi-naive) path so
-        every derivation is observed.
+        provenance (the tracer consumes the engine's event stream).  Any
+        attached instrumentation — a tracer or an
+        :class:`~repro.observability.Instrumentation` — forces the
+        general (non-semi-naive) path so every rule firing is observed.
         """
         self.stats = EvalStats()
+        obs = self.obs
+        if tracer is not None:
+            obs = obs.with_extra_sink(tracer)
+        if obs.enabled:
+            obs.run_started(semantics.value, len(self.runtimes))
         started = time.perf_counter()
+        facts_out = 0
         try:
-            return self._run(edb, semantics, tracer)
+            result = self._run(edb, semantics, obs)
+            facts_out = result.count()
+            return result
         finally:
             self.stats.time_total = time.perf_counter() - started
+            if obs.enabled:
+                obs.run_finished(
+                    self.stats.iterations,
+                    facts_out or self.stats.facts_derived,
+                    self.stats.inventions,
+                    self.stats.time_total,
+                )
 
     def _run(
         self,
         edb: FactSet,
         semantics: Semantics,
-        tracer=None,
+        obs: Instrumentation,
     ) -> FactSet:
         self._reserve(edb)
         inventions = InventionRegistry(self.oidgen)
         rules = [r for r in self.runtimes if r.rule.head is not None]
         if semantics is Semantics.INFLATIONARY:
-            if tracer is None and self.config.seminaive and \
+            if not obs.enabled and self.config.seminaive and \
                     self._seminaive_applicable(rules):
                 self.stats.used_seminaive = True
                 return self._run_seminaive(edb.copy(), rules)
-            return self._run_inflationary(edb.copy(), rules, inventions,
-                                          tracer)
+            facts = edb.copy()
+            if obs.enabled:
+                facts.index_stats = obs.index_stats
+            return self._run_inflationary(facts, rules, inventions, obs)
         if semantics is Semantics.STRATIFIED:
             strata = stratify_runtimes(rules, self.analysis)
             self.stats.strata = len(strata)
             facts = edb.copy()
-            for stratum in strata:
+            if obs.enabled:
+                facts.index_stats = obs.index_stats
+            for level, stratum in enumerate(strata):
+                if obs.enabled:
+                    obs.stratum_started(level, len(stratum))
+                    stratum_began = time.perf_counter()
                 facts = self._run_inflationary(facts, stratum, inventions,
-                                               tracer)
+                                               obs)
+                if obs.enabled:
+                    obs.stratum_finished(
+                        level, time.perf_counter() - stratum_began
+                    )
             return facts
         if semantics is Semantics.NONINFLATIONARY:
-            return self._run_noninflationary(edb, rules, inventions)
+            return self._run_noninflationary(edb, rules, inventions, obs)
         raise EvaluationError(f"unknown semantics {semantics!r}")
+
+    @contextmanager
+    def _iteration(self, obs: Instrumentation):
+        """The single iteration scope: every kernel wraps one iteration
+        in this, so ``stats.time_per_iteration`` has one consistent
+        timing boundary (and the observability layer one emit point)."""
+        number = self.stats.iterations + 1
+        self.stats.iterations = number
+        if obs.enabled:
+            obs.iteration_started(number)
+        started = time.perf_counter()
+        try:
+            yield number
+        finally:
+            elapsed = time.perf_counter() - started
+            self.stats.time_per_iteration.append(elapsed)
+            if obs.enabled:
+                obs.iteration_finished(number, elapsed)
 
     def _reserve(self, edb: FactSet) -> None:
         from repro.values.oids import Oid
@@ -197,14 +250,14 @@ class Engine:
         facts: FactSet,
         rules: list[RuleRuntime],
         inventions: InventionRegistry,
-        tracer=None,
+        obs: Instrumentation = NULL_INSTRUMENTATION,
     ) -> FactSet:
         if self.config.incremental:
             return self._run_inflationary_incremental(
-                facts, rules, inventions, tracer
+                facts, rules, inventions, obs
             )
         return self._run_inflationary_reference(
-            facts, rules, inventions, tracer
+            facts, rules, inventions, obs
         )
 
     def _run_inflationary_incremental(
@@ -212,7 +265,7 @@ class Engine:
         facts: FactSet,
         rules: list[RuleRuntime],
         inventions: InventionRegistry,
-        tracer=None,
+        obs: Instrumentation = NULL_INSTRUMENTATION,
     ) -> FactSet:
         """O(|Δ|) kernel: one working fact set mutated in place.
 
@@ -224,27 +277,24 @@ class Engine:
         fact set.
         """
         cfg = self.config
-        ctx = MatchContext(facts, self.schema, cfg.use_indexes)
+        step_obs = obs if obs.enabled else None
+        metrics = obs.metrics if obs.enabled else None
+        ctx = MatchContext(facts, self.schema, cfg.use_indexes,
+                           metrics=metrics)
         domains = ActiveDomains(facts, self.schema)
         live = facts.count()
         for _ in range(cfg.max_iterations):
-            iteration_started = time.perf_counter()
-            self.stats.iterations += 1
-            if tracer is not None:
-                tracer.begin_iteration(self.stats.iterations)
-            deltas = compute_deltas(rules, ctx, inventions, tracer=tracer,
-                                    domains=domains)
-            self.stats.inventions += deltas.inventions
-            if inventions.count > cfg.max_inventions:
-                raise NonTerminationError(
-                    f"oid invention budget exceeded"
-                    f" ({inventions.count} oids)",
-                    self.stats.iterations,
-                )
-            net = apply_deltas_inplace(facts, deltas)
-            self.stats.time_per_iteration.append(
-                time.perf_counter() - iteration_started
-            )
+            with self._iteration(obs):
+                deltas = compute_deltas(rules, ctx, inventions,
+                                        obs=step_obs, domains=domains)
+                self.stats.inventions += deltas.inventions
+                if inventions.count > cfg.max_inventions:
+                    raise NonTerminationError(
+                        f"oid invention budget exceeded"
+                        f" ({inventions.count} oids)",
+                        self.stats.iterations,
+                    )
+                net = apply_deltas_inplace(facts, deltas)
             if net.is_empty:
                 return facts
             live += net.count_drift
@@ -265,7 +315,7 @@ class Engine:
         facts: FactSet,
         rules: list[RuleRuntime],
         inventions: InventionRegistry,
-        tracer=None,
+        obs: Instrumentation = NULL_INSTRUMENTATION,
     ) -> FactSet:
         """Copying reference implementation (``incremental=False``).
 
@@ -274,25 +324,23 @@ class Engine:
         fact set and compares whole states for fixpoint detection.
         """
         cfg = self.config
+        step_obs = obs if obs.enabled else None
+        metrics = obs.metrics if obs.enabled else None
         for _ in range(cfg.max_iterations):
-            iteration_started = time.perf_counter()
-            self.stats.iterations += 1
-            if tracer is not None:
-                tracer.begin_iteration(self.stats.iterations)
-            ctx = MatchContext(facts, self.schema,
-                               self.config.use_indexes)
-            deltas = compute_deltas(rules, ctx, inventions, tracer=tracer)
-            self.stats.inventions += deltas.inventions
-            if inventions.count > cfg.max_inventions:
-                raise NonTerminationError(
-                    f"oid invention budget exceeded"
-                    f" ({inventions.count} oids)",
-                    self.stats.iterations,
-                )
-            new_facts = apply_deltas(facts, deltas)
-            self.stats.time_per_iteration.append(
-                time.perf_counter() - iteration_started
-            )
+            with self._iteration(obs):
+                ctx = MatchContext(facts, self.schema,
+                                   self.config.use_indexes,
+                                   metrics=metrics)
+                deltas = compute_deltas(rules, ctx, inventions,
+                                        obs=step_obs)
+                self.stats.inventions += deltas.inventions
+                if inventions.count > cfg.max_inventions:
+                    raise NonTerminationError(
+                        f"oid invention budget exceeded"
+                        f" ({inventions.count} oids)",
+                        self.stats.iterations,
+                    )
+                new_facts = apply_deltas(facts, deltas)
             if new_facts == facts:
                 return facts
             facts = new_facts
@@ -336,78 +384,77 @@ class Engine:
         cfg = self.config
         incremental = cfg.incremental
         inventions = InventionRegistry(self.oidgen)  # unused but uniform
+        obs = NULL_INSTRUMENTATION  # semi-naive only runs uninstrumented
         # initial round: fact rules and rules over the EDB
-        round_started = time.perf_counter()
-        ctx = MatchContext(facts, self.schema, cfg.use_indexes)
-        first = compute_deltas(rules, ctx, inventions)
-        if incremental:
-            # one working fact set, mutated in place; the net change is
-            # exactly the facts the EDB did not already contain, so
-            # round 2 never re-joins the whole EDB.
-            net = apply_deltas_inplace(facts, first)
-            delta = FactSet.from_facts(net.added)
-        else:
-            edb = facts
-            facts = apply_deltas(facts, first)
-            # seed with the *net-new* facts only; ``first.plus`` may
-            # repeat EDB facts, which round 2 would pointlessly re-join.
-            delta = first.plus.minus(edb)
+        with self._iteration(obs):
             ctx = MatchContext(facts, self.schema, cfg.use_indexes)
-        live = facts.count()
-        domains = ActiveDomains(facts, self.schema)
-        self.stats.iterations += 1
-        self.stats.facts_derived = live
-        self.stats.time_per_iteration.append(
-            time.perf_counter() - round_started
-        )
-        while delta.count():
-            round_started = time.perf_counter()
-            self.stats.iterations += 1
-            if self.stats.iterations > cfg.max_iterations:
-                raise NonTerminationError(
-                    f"no fixpoint after {cfg.max_iterations} iterations",
-                    self.stats.iterations,
-                )
-            if not incremental:
-                ctx = MatchContext(facts, self.schema, cfg.use_indexes)
-                domains = ActiveDomains(facts, self.schema)
-            round_delta = StepDeltas()
-            for runtime in rules:
-                body = list(runtime.rule.body)
-                positions = [
-                    i for i, l in enumerate(body)
-                    if isinstance(l, Literal) and delta.count(l.pred)
-                ]
-                for pos in positions:
-                    literal = body[pos]
-                    rest = tuple(body[:pos] + body[pos + 1:])
-                    for fact in delta.facts_of(literal.pred):
-                        seed = match_fact(literal.args, fact, {}, ctx)
-                        if seed is None:
-                            continue
-                        for bindings in evaluate_body(
-                            runtime, ctx, domains, seed=seed, body=rest
-                        ):
-                            process_head(
-                                runtime, bindings, ctx, round_delta,
-                                inventions,
-                            )
+            first = compute_deltas(rules, ctx, inventions)
             if incremental:
-                # in-place union: `add` reports exactly the fresh facts
-                fresh = FactSet.from_facts(
-                    f for f in round_delta.plus.facts() if facts.add(f)
-                )
-                live += fresh.count()
-                domains.invalidate(fresh.predicates())
+                # one working fact set, mutated in place; the net change
+                # is exactly the facts the EDB did not already contain,
+                # so round 2 never re-joins the whole EDB.
+                net = apply_deltas_inplace(facts, first)
+                delta = FactSet.from_facts(net.added)
             else:
-                fresh = round_delta.plus.minus(facts)
-                facts = facts.compose(fresh)
-                live = facts.count()
-            delta = fresh
+                edb = facts
+                facts = apply_deltas(facts, first)
+                # seed with the *net-new* facts only; ``first.plus`` may
+                # repeat EDB facts, which round 2 would pointlessly
+                # re-join.
+                delta = first.plus.minus(edb)
+                ctx = MatchContext(facts, self.schema, cfg.use_indexes)
+            live = facts.count()
+            domains = ActiveDomains(facts, self.schema)
             self.stats.facts_derived = live
-            self.stats.time_per_iteration.append(
-                time.perf_counter() - round_started
-            )
+        while delta.count():
+            with self._iteration(obs):
+                if self.stats.iterations > cfg.max_iterations:
+                    raise NonTerminationError(
+                        f"no fixpoint after {cfg.max_iterations}"
+                        f" iterations",
+                        self.stats.iterations,
+                    )
+                if not incremental:
+                    ctx = MatchContext(facts, self.schema,
+                                       cfg.use_indexes)
+                    domains = ActiveDomains(facts, self.schema)
+                round_delta = StepDeltas()
+                for runtime in rules:
+                    body = list(runtime.rule.body)
+                    positions = [
+                        i for i, l in enumerate(body)
+                        if isinstance(l, Literal) and delta.count(l.pred)
+                    ]
+                    for pos in positions:
+                        literal = body[pos]
+                        rest = tuple(body[:pos] + body[pos + 1:])
+                        for fact in delta.facts_of(literal.pred):
+                            seed = match_fact(literal.args, fact, {}, ctx)
+                            if seed is None:
+                                continue
+                            for bindings in evaluate_body(
+                                runtime, ctx, domains, seed=seed,
+                                body=rest
+                            ):
+                                process_head(
+                                    runtime, bindings, ctx, round_delta,
+                                    inventions,
+                                )
+                if incremental:
+                    # in-place union: `add` reports exactly the fresh
+                    # facts
+                    fresh = FactSet.from_facts(
+                        f for f in round_delta.plus.facts()
+                        if facts.add(f)
+                    )
+                    live += fresh.count()
+                    domains.invalidate(fresh.predicates())
+                else:
+                    fresh = round_delta.plus.minus(facts)
+                    facts = facts.compose(fresh)
+                    live = facts.count()
+                delta = fresh
+                self.stats.facts_derived = live
             if live > cfg.max_facts:
                 raise NonTerminationError(
                     f"fact budget exceeded ({live} facts)",
@@ -423,25 +470,30 @@ class Engine:
         edb: FactSet,
         rules: list[RuleRuntime],
         inventions: InventionRegistry,
+        obs: Instrumentation = NULL_INSTRUMENTATION,
     ) -> FactSet:
         if self.analysis.has_invention:
             raise EvaluationError(
                 "non-inflationary semantics does not support oid invention"
             )
         cfg = self.config
+        step_obs = obs if obs.enabled else None
+        metrics = obs.metrics if obs.enabled else None
         facts = edb.copy()
+        if obs.enabled:
+            facts.index_stats = obs.index_stats
         seen: list[FactSet] = [facts.copy()]
         for _ in range(cfg.max_iterations):
-            iteration_started = time.perf_counter()
-            self.stats.iterations += 1
-            ctx = MatchContext(facts, self.schema,
-                               self.config.use_indexes)
-            deltas = compute_deltas(rules, ctx, inventions,
-                                    skip_satisfied=False)
-            new_facts = edb.copy().compose(deltas.plus).minus(deltas.minus)
-            self.stats.time_per_iteration.append(
-                time.perf_counter() - iteration_started
-            )
+            with self._iteration(obs):
+                ctx = MatchContext(facts, self.schema,
+                                   self.config.use_indexes,
+                                   metrics=metrics)
+                deltas = compute_deltas(rules, ctx, inventions,
+                                        skip_satisfied=False,
+                                        obs=step_obs)
+                new_facts = edb.copy().compose(deltas.plus).minus(
+                    deltas.minus
+                )
             if new_facts == facts:
                 return facts
             for previous in seen:

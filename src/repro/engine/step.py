@@ -15,6 +15,7 @@ deterministic, determinate-up-to-renaming semantics.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import EvaluationError, SafetyError
@@ -342,15 +343,18 @@ def process_head(
     deltas: StepDeltas,
     inventions: InventionRegistry,
     skip_satisfied: bool = True,
-    tracer=None,
-) -> None:
+    obs=None,
+) -> list[Fact]:
     """Turn one body valuation into a Δ⁺ or Δ⁻ contribution.
 
     ``skip_satisfied`` applies the valuation-domain condition of Def. 7
     (drop valuations whose head is already satisfiable); the
     non-inflationary semantics disables it, since each step rebuilds the
-    state from scratch.  ``tracer`` (a
-    :class:`repro.engine.trace.Tracer`) records provenance.
+    state from scratch.  ``obs`` (an
+    :class:`repro.observability.Instrumentation`) receives one
+    rule-fired notification per valuation — that event stream is what
+    :class:`repro.engine.trace.Tracer` records provenance from.
+    Returns the facts this valuation contributed (empty for a duplicate).
     """
     head = runtime.rule.head
     assert isinstance(head, Literal)
@@ -360,7 +364,7 @@ def process_head(
         else:
             contributed = _derive_object(
                 runtime, head, bindings, ctx, deltas, inventions,
-                skip_satisfied,
+                skip_satisfied, obs,
             )
     else:
         if head.negated:
@@ -368,10 +372,9 @@ def process_head(
         else:
             contributed = _derive_tuple(head, bindings, ctx, deltas,
                                         skip_satisfied)
-    if tracer is not None:
-        for fact in contributed:
-            tracer.record(fact, runtime.rule, bindings,
-                          deleted=head.negated)
+    if obs is not None:
+        obs.rule_fired(runtime, contributed, bindings, head.negated)
+    return contributed
 
 
 def _head_attributes(
@@ -452,6 +455,7 @@ def _derive_object(
     deltas: StepDeltas,
     inventions: InventionRegistry,
     skip_satisfied: bool = True,
+    obs=None,
 ) -> list[Fact]:
     attrs = _head_attributes(head, bindings, ctx)
     oid: Oid | None = None
@@ -473,6 +477,8 @@ def _derive_object(
         oid, fresh = inventions.oid_for(runtime.index, bindings)
         if fresh:
             deltas.inventions += 1
+            if obs is not None:
+                obs.invention(runtime, oid)
     else:
         if oid.is_nil:
             raise EvaluationError(
@@ -579,24 +585,38 @@ def compute_deltas(
     ctx: MatchContext,
     inventions: InventionRegistry,
     skip_satisfied: bool = True,
-    tracer=None,
+    obs=None,
     domains: ActiveDomains | None = None,
 ) -> StepDeltas:
     """Apply every rule once against the current fact set.
 
     ``domains`` lets the incremental engine pass a persistent
     :class:`ActiveDomains` (invalidated per changed predicate) instead of
-    rebuilding the caches from scratch each step.
+    rebuilding the caches from scratch each step.  ``obs`` (an enabled
+    :class:`repro.observability.Instrumentation`, or None) receives
+    per-rule wall time and the rule-fired stream; the ``obs is None``
+    loop is kept separate so the uninstrumented hot path pays nothing.
     """
     deltas = StepDeltas()
     if domains is None:
         domains = ActiveDomains(ctx.facts, ctx.schema)
+    if obs is None:
+        for runtime in runtimes:
+            if runtime.rule.head is None:
+                continue  # denials: evaluated by the consistency checker
+            for bindings in evaluate_body(runtime, ctx, domains):
+                process_head(runtime, bindings, ctx, deltas, inventions,
+                             skip_satisfied)
+        return deltas
+    clock = time.perf_counter
     for runtime in runtimes:
         if runtime.rule.head is None:
             continue  # denials are evaluated by the consistency checker
+        started = clock()
         for bindings in evaluate_body(runtime, ctx, domains):
             process_head(runtime, bindings, ctx, deltas, inventions,
-                         skip_satisfied, tracer)
+                         skip_satisfied, obs)
+        obs.rule_evaluated(runtime, clock() - started)
     return deltas
 
 

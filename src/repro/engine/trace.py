@@ -71,14 +71,37 @@ class DerivationNode:
 
 
 class Tracer:
-    """Collects derivations during a run and explains result facts."""
+    """Collects derivations during a run and explains result facts.
+
+    The tracer is an *event sink*: attached to a run (via
+    ``Engine.run(..., tracer=...)`` or
+    ``Instrumentation.with_extra_sink``), it consumes the engine's
+    structured event stream — iteration boundaries, rule firings and
+    deletions — and folds it into :class:`Derivation` records.
+    """
 
     def __init__(self) -> None:
         self.derivations: list[Derivation] = []
         self._by_fact: dict[Fact, Derivation] = {}
+        # oid-keyed secondary index so class facts recorded with a
+        # narrower o-value (attributes merged later) resolve in O(1)
+        self._by_oid: dict[tuple[str, object], Derivation] = {}
         self.iteration = 0
 
-    # -- recording (called by the engine) --------------------------------
+    # -- event-sink protocol (fed by the engine's event stream) -----------
+    def emit(self, event) -> None:
+        kind = event.kind
+        if kind == "iteration-start":
+            self.begin_iteration(event.number)
+        elif kind in ("rule-fire", "deletion") and \
+                event.fact_value is not None:
+            self.record(event.fact_value, event.rule_value,
+                        event.bindings_value, deleted=kind == "deletion")
+
+    def close(self) -> None:
+        pass
+
+    # -- recording --------------------------------------------------------
     def begin_iteration(self, number: int) -> None:
         self.iteration = number
 
@@ -92,8 +115,11 @@ class Tracer:
             deleted,
         )
         self.derivations.append(entry)
-        if not deleted and fact not in self._by_fact:
-            self._by_fact[fact] = entry  # first derivation wins
+        if not deleted:
+            if fact not in self._by_fact:
+                self._by_fact[fact] = entry  # first derivation wins
+            if fact.oid is not None:
+                self._by_oid.setdefault((fact.pred, fact.oid), entry)
 
     # -- queries ----------------------------------------------------------
     def derivation_of(self, fact: Fact) -> Derivation | None:
@@ -101,12 +127,9 @@ class Tracer:
         if entry is not None:
             return entry
         # class facts may have been recorded with a narrower o-value
-        # (attributes merged later); fall back to oid matching
+        # (attributes merged later); fall back to the oid index
         if fact.oid is not None:
-            for candidate, derivation in self._by_fact.items():
-                if candidate.pred == fact.pred and \
-                        candidate.oid == fact.oid:
-                    return derivation
+            return self._by_oid.get((fact.pred, fact.oid))
         return None
 
     def deletions(self) -> list[Derivation]:

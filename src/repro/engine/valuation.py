@@ -69,12 +69,15 @@ class MatchContext:
 
     ``use_indexes`` switches the per-literal hash-index lookups on or
     off (off = full predicate scans; exists for the indexing ablation
-    benchmark).
+    benchmark).  ``metrics`` is an optional
+    :class:`repro.observability.MetricsRegistry`; when set, candidate
+    enumeration records per-predicate lookup counts and join fan-out.
     """
 
     facts: FactSet
     schema: Schema
     use_indexes: bool = True
+    metrics: object | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -224,7 +227,10 @@ def _candidate_facts(
     """Facts that could match, using hash indexes where a bound simple
     value is available."""
     args = literal.args
+    m = ctx.metrics
     if not ctx.use_indexes:
+        if m is not None:
+            _record_scan(m, ctx, literal.pred)
         yield from ctx.facts.facts_of(literal.pred)
         return
     # self lookup
@@ -236,6 +242,10 @@ def _candidate_facts(
         oid = as_oid(value) if value is not None else None
         if oid is not None:
             stored = ctx.facts.value_of(literal.pred, oid)
+            if m is not None:
+                m.inc("match_oid_lookups", (("pred", literal.pred),))
+                m.observe("join_fanout", (("pred", literal.pred),),
+                          1 if stored is not None else 0)
             if stored is not None:
                 yield Fact(literal.pred, stored, oid)
             return
@@ -248,9 +258,22 @@ def _candidate_facts(
                 continue
             if isinstance(value, TupleValue) and SELF_LABEL in value:
                 value = value[SELF_LABEL]  # object binding at oid position
-            yield from ctx.facts.lookup(literal.pred, label, value)
+            bucket = ctx.facts.lookup(literal.pred, label, value)
+            if m is not None:
+                m.inc("match_indexed_lookups", (("pred", literal.pred),))
+                m.observe("join_fanout", (("pred", literal.pred),),
+                          len(bucket))
+            yield from bucket
             return
+    if m is not None:
+        _record_scan(m, ctx, literal.pred)
     yield from ctx.facts.facts_of(literal.pred)
+
+
+def _record_scan(m, ctx: MatchContext, pred: str) -> None:
+    """A full-predicate scan: the index found nothing to key on."""
+    m.inc("match_scans", (("pred", pred),))
+    m.observe("join_fanout", (("pred", pred),), ctx.facts.count(pred))
 
 
 def match_fact(

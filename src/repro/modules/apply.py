@@ -24,6 +24,7 @@ Mode semantics (quoting Section 4.1):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.analysis.diagnostics import Diagnostic, Severity
@@ -70,47 +71,69 @@ def apply_module(
     config: EvalConfig | None = None,
     oidgen: OidGenerator | None = None,
     check_initial: bool = True,
+    instrumentation=None,
 ) -> ApplicationResult:
     """Apply ``module`` to ``state`` under ``mode``.
 
     ``semantics`` selects the rule semantics for every fixpoint involved —
     this is the mechanism making "modules and databases parametric with
     respect to the semantics of the rules they support" (Section 1).
+    An enabled :class:`repro.observability.Instrumentation` records the
+    whole application into the ``module_apply_time{mode=...}`` histogram
+    and receives the final consistency check's violations as events.
     """
-    mode_diags = check_module_application(state, module, mode)
-    errors = [d for d in mode_diags if d.severity is Severity.ERROR]
-    if errors:
-        raise ModuleApplicationError(errors[0].message, tuple(mode_diags))
-    if check_initial:
-        checker = ConsistencyChecker(state.schema, state.denials())
-        initial = materialize(state, semantics, config, oidgen)
-        _reject_if_inconsistent(
-            checker.check(initial), state, module, mode, "initial"
-        )
-
+    obs = instrumentation
+    if obs is not None and not obs.enabled:
+        obs = None
+    started = time.perf_counter() if obs is not None else 0.0
     try:
-        if mode is Mode.RIDI:
-            return _apply_ridi(state, module, semantics, config, oidgen)
-        if mode is Mode.RADI:
-            return _apply_radi(state, module, semantics, config, oidgen)
-        if mode is Mode.RDDI:
-            return _apply_rddi(state, module, semantics, config, oidgen)
-        if mode is Mode.RIDV:
-            return _apply_datavariant(
-                state, module, mode, semantics, config, oidgen
+        mode_diags = check_module_application(state, module, mode)
+        errors = [d for d in mode_diags if d.severity is Severity.ERROR]
+        if errors:
+            raise ModuleApplicationError(
+                errors[0].message, tuple(mode_diags)
             )
-        if mode is Mode.RADV:
-            return _apply_datavariant(
-                state, module, mode, semantics, config, oidgen
+        if check_initial:
+            checker = ConsistencyChecker(state.schema, state.denials())
+            initial = materialize(state, semantics, config, oidgen)
+            _reject_if_inconsistent(
+                checker.check(initial), state, module, mode, "initial"
             )
-        return _apply_rddv(state, module, semantics, config, oidgen)
-    except ModuleApplicationError:
-        raise
-    except LogresError as exc:
-        raise ModuleApplicationError(
-            f"applying module {module.name!r} with {mode.value} failed:"
-            f" {exc}"
-        ) from exc
+
+        try:
+            if mode is Mode.RIDI:
+                return _apply_ridi(state, module, semantics, config,
+                                   oidgen, obs)
+            if mode is Mode.RADI:
+                return _apply_radi(state, module, semantics, config,
+                                   oidgen, obs)
+            if mode is Mode.RDDI:
+                return _apply_rddi(state, module, semantics, config,
+                                   oidgen, obs)
+            if mode is Mode.RIDV:
+                return _apply_datavariant(
+                    state, module, mode, semantics, config, oidgen, obs
+                )
+            if mode is Mode.RADV:
+                return _apply_datavariant(
+                    state, module, mode, semantics, config, oidgen, obs
+                )
+            return _apply_rddv(state, module, semantics, config, oidgen,
+                               obs)
+        except ModuleApplicationError:
+            raise
+        except LogresError as exc:
+            raise ModuleApplicationError(
+                f"applying module {module.name!r} with {mode.value} failed:"
+                f" {exc}"
+            ) from exc
+    finally:
+        if obs is not None and obs.metrics is not None:
+            obs.metrics.observe(
+                "module_apply_time",
+                (("mode", mode.value),),
+                time.perf_counter() - started,
+            )
 
 
 def _reject_if_inconsistent(
@@ -121,7 +144,7 @@ def _reject_if_inconsistent(
     which: str,
 ) -> None:
     if violations:
-        preview = "; ".join(repr(v) for v in violations[:3])
+        preview = "; ".join(v.render() for v in violations[:3])
         message = (
             f"module {module.name!r} ({mode.value}): the {which} state is"
             f" inconsistent — {preview}"
@@ -140,6 +163,7 @@ def _finalize(
     semantics: Semantics,
     config: EvalConfig | None,
     oidgen: OidGenerator | None,
+    obs=None,
     goal_rules: tuple[Rule, ...] = (),
 ) -> ApplicationResult:
     """Materialize I1, verify consistency, answer the goal if requested."""
@@ -149,7 +173,7 @@ def _finalize(
         r for r in module.rules if r.is_denial
     )
     checker = ConsistencyChecker(new_state.schema, denials)
-    violations = checker.check(instance)
+    violations = checker.check(instance, instrumentation=obs)
     _reject_if_inconsistent(violations, new_state, module, mode, "resulting")
     answers = None
     if module.goal is not None and mode.allows_goal:
@@ -162,12 +186,12 @@ def _finalize(
     )
 
 
-def _apply_ridi(state, module, semantics, config, oidgen):
+def _apply_ridi(state, module, semantics, config, oidgen, obs=None):
     # evaluation sees R0 ∪ RM, but the persistent state is unchanged
     eval_schema = module.extend_schema(state.schema)
     scratch = DatabaseState(eval_schema, state.edb, state.rules)
     result = _finalize(
-        scratch, module, Mode.RIDI, semantics, config, oidgen,
+        scratch, module, Mode.RIDI, semantics, config, oidgen, obs,
         goal_rules=tuple(r for r in module.rules if not r.is_denial),
     )
     return ApplicationResult(
@@ -178,16 +202,17 @@ def _apply_ridi(state, module, semantics, config, oidgen):
     )
 
 
-def _apply_radi(state, module, semantics, config, oidgen):
+def _apply_radi(state, module, semantics, config, oidgen, obs=None):
     new_state = DatabaseState(
         schema=module.extend_schema(state.schema),
         edb=state.edb.copy(),
         rules=state.rules + tuple(module.rules),
     )
-    return _finalize(new_state, module, Mode.RADI, semantics, config, oidgen)
+    return _finalize(new_state, module, Mode.RADI, semantics, config,
+                     oidgen, obs)
 
 
-def _apply_rddi(state, module, semantics, config, oidgen):
+def _apply_rddi(state, module, semantics, config, oidgen, obs=None):
     removed = list(module.rules)
     kept = tuple(r for r in state.rules if r not in removed)
     new_state = DatabaseState(
@@ -195,7 +220,8 @@ def _apply_rddi(state, module, semantics, config, oidgen):
         edb=state.edb.copy(),
         rules=kept,
     )
-    return _finalize(new_state, module, Mode.RDDI, semantics, config, oidgen)
+    return _finalize(new_state, module, Mode.RDDI, semantics, config,
+                     oidgen, obs)
 
 
 def _update_edb(
@@ -213,17 +239,19 @@ def _update_edb(
     return engine.run(state.edb.copy(), semantics)
 
 
-def _apply_datavariant(state, module, mode, semantics, config, oidgen):
+def _apply_datavariant(state, module, mode, semantics, config, oidgen,
+                       obs=None):
     schema1 = module.extend_schema(state.schema)
     e1 = _update_edb(state, module, schema1, semantics, config, oidgen)
     rules1 = state.rules
     if mode is Mode.RADV:
         rules1 = rules1 + tuple(module.rules)
     new_state = DatabaseState(schema=schema1, edb=e1, rules=rules1)
-    return _finalize(new_state, module, mode, semantics, config, oidgen)
+    return _finalize(new_state, module, mode, semantics, config, oidgen,
+                     obs)
 
 
-def _apply_rddv(state, module, semantics, config, oidgen):
+def _apply_rddv(state, module, semantics, config, oidgen, obs=None):
     # E_M: the instance of (∅, R_M) — what the deleted rules alone derive
     update_rules = tuple(r for r in module.rules if not r.is_denial)
     engine = Engine(state.schema, Program(update_rules), config=config,
@@ -236,4 +264,5 @@ def _apply_rddv(state, module, semantics, config, oidgen):
         edb=e1,
         rules=tuple(r for r in state.rules if r not in removed),
     )
-    return _finalize(new_state, module, Mode.RDDV, semantics, config, oidgen)
+    return _finalize(new_state, module, Mode.RDDV, semantics, config,
+                     oidgen, obs)

@@ -1,0 +1,93 @@
+"""Engine observability: metrics, structured events, timing spans.
+
+The instrumentation subsystem Section 5 promises ("tools supporting the
+design, debugging, and monitoring of LOGRES databases and programs"),
+built dependency-free:
+
+* :mod:`repro.observability.metrics` — counters / gauges / histograms
+  keyed by (rule, stratum, predicate);
+* :mod:`repro.observability.events` — the :class:`EngineEvent` stream
+  (run / stratum / iteration / rule-fire / invention / deletion /
+  constraint-violation), JSONL round-trippable;
+* :mod:`repro.observability.sink` — pluggable sinks (null, collector,
+  JSONL, human text, fan-out);
+* :mod:`repro.observability.timing` — nested monotonic timing spans;
+* :mod:`repro.observability.instrument` — the facade the engine emits
+  through, with a zero-overhead disabled fast path;
+* :mod:`repro.observability.profile` — ranked per-rule profiles (import
+  it directly; it is kept out of this namespace to avoid importing the
+  engine at package-init time).
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy and the metrics
+catalogue.
+"""
+
+from repro.observability.events import (
+    EVENT_TYPES,
+    ConstraintViolated,
+    EngineEvent,
+    FactDeleted,
+    IterationFinished,
+    IterationStarted,
+    OidInvented,
+    RuleFired,
+    RunFinished,
+    RunStarted,
+    StratumFinished,
+    StratumStarted,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.observability.instrument import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+)
+from repro.observability.metrics import (
+    HistogramSummary,
+    IndexStats,
+    MetricsRegistry,
+    labels,
+)
+from repro.observability.sink import (
+    NULL_SINK,
+    CollectorSink,
+    EventSink,
+    JsonlSink,
+    MultiSink,
+    NullSink,
+    TextSink,
+    read_jsonl,
+)
+from repro.observability.timing import PhaseTimer
+
+__all__ = [
+    "EVENT_TYPES",
+    "CollectorSink",
+    "ConstraintViolated",
+    "EngineEvent",
+    "EventSink",
+    "FactDeleted",
+    "HistogramSummary",
+    "IndexStats",
+    "Instrumentation",
+    "IterationFinished",
+    "IterationStarted",
+    "JsonlSink",
+    "MetricsRegistry",
+    "MultiSink",
+    "NULL_INSTRUMENTATION",
+    "NULL_SINK",
+    "NullSink",
+    "OidInvented",
+    "PhaseTimer",
+    "RuleFired",
+    "RunFinished",
+    "RunStarted",
+    "StratumFinished",
+    "StratumStarted",
+    "TextSink",
+    "event_from_dict",
+    "event_to_dict",
+    "labels",
+    "read_jsonl",
+]

@@ -1,0 +1,176 @@
+"""The structured engine event stream.
+
+Every observable engine action is one :class:`EngineEvent` dataclass:
+run / stratum / iteration boundaries, rule firings, deletions, oid
+inventions and constraint violations.  Events carry only JSON-able
+fields (so a JSONL stream round-trips exactly through
+:func:`event_to_dict` / :func:`event_from_dict`) plus optional *rich*
+in-process references — the firing rule, the ground fact, the valuation
+— which sinks like :class:`repro.engine.trace.Tracer` consume directly
+and which are never serialized.
+
+Rule-level events carry the :class:`repro.span.Span` threaded through
+the parser, so a JSONL line points at the ``file:line:column`` of the
+firing rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar
+
+_RICH = {"fact_value", "rule_value", "bindings_value", "violation_value"}
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """Base of all engine events; ``kind`` names the event type."""
+
+    kind: ClassVar[str] = ""
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {"event": self.kind}
+        for f in fields(self):
+            if f.name in _RICH:
+                continue
+            out[f.name] = getattr(self, f.name)
+        return out
+
+    def render(self) -> str:
+        """One human-readable line (the text sink's format)."""
+        detail = ", ".join(
+            f"{k}={v}" for k, v in self.to_dict().items()
+            if k != "event" and v is not None
+        )
+        return f"[{self.kind}] {detail}"
+
+
+@dataclass(frozen=True)
+class RunStarted(EngineEvent):
+    kind: ClassVar[str] = "run-start"
+    semantics: str = ""
+    rules: int = 0
+
+
+@dataclass(frozen=True)
+class RunFinished(EngineEvent):
+    kind: ClassVar[str] = "run-end"
+    iterations: int = 0
+    facts: int = 0
+    inventions: int = 0
+    elapsed: float = 0.0
+
+
+@dataclass(frozen=True)
+class StratumStarted(EngineEvent):
+    kind: ClassVar[str] = "stratum-start"
+    index: int = 0
+    rules: int = 0
+
+
+@dataclass(frozen=True)
+class StratumFinished(EngineEvent):
+    kind: ClassVar[str] = "stratum-end"
+    index: int = 0
+    elapsed: float = 0.0
+
+
+@dataclass(frozen=True)
+class IterationStarted(EngineEvent):
+    kind: ClassVar[str] = "iteration-start"
+    number: int = 0
+
+
+@dataclass(frozen=True)
+class IterationFinished(EngineEvent):
+    kind: ClassVar[str] = "iteration-end"
+    number: int = 0
+    elapsed: float = 0.0
+
+
+@dataclass(frozen=True)
+class RuleFired(EngineEvent):
+    """One fact contributed to Δ⁺ by one rule valuation."""
+
+    kind: ClassVar[str] = "rule-fire"
+    rule_index: int = -1
+    rule: str = ""
+    pred: str = ""
+    fact: str = ""
+    iteration: int = 0
+    file: str | None = None
+    line: int | None = None
+    column: int | None = None
+    fact_value: Any = field(default=None, repr=False, compare=False)
+    rule_value: Any = field(default=None, repr=False, compare=False)
+    bindings_value: Any = field(default=None, repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class FactDeleted(EngineEvent):
+    """One fact contributed to Δ⁻ by a negated-head rule valuation."""
+
+    kind: ClassVar[str] = "deletion"
+    rule_index: int = -1
+    rule: str = ""
+    pred: str = ""
+    fact: str = ""
+    iteration: int = 0
+    file: str | None = None
+    line: int | None = None
+    column: int | None = None
+    fact_value: Any = field(default=None, repr=False, compare=False)
+    rule_value: Any = field(default=None, repr=False, compare=False)
+    bindings_value: Any = field(default=None, repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class OidInvented(EngineEvent):
+    kind: ClassVar[str] = "invention"
+    rule_index: int = -1
+    rule: str = ""
+    oid: str = ""
+    iteration: int = 0
+    file: str | None = None
+    line: int | None = None
+    column: int | None = None
+
+
+@dataclass(frozen=True)
+class ConstraintViolated(EngineEvent):
+    kind: ClassVar[str] = "constraint-violation"
+    violation_kind: str = ""
+    predicate: str = ""
+    message: str = ""
+    fact: str | None = None
+    violation_value: Any = field(default=None, repr=False, compare=False)
+
+
+EVENT_TYPES: dict[str, type[EngineEvent]] = {
+    cls.kind: cls
+    for cls in (
+        RunStarted, RunFinished,
+        StratumStarted, StratumFinished,
+        IterationStarted, IterationFinished,
+        RuleFired, FactDeleted, OidInvented,
+        ConstraintViolated,
+    )
+}
+
+
+def event_to_dict(event: EngineEvent) -> dict:
+    return event.to_dict()
+
+
+def event_from_dict(payload: dict) -> EngineEvent:
+    """Rebuild an event from its JSONL dict (rich references are lost)."""
+    kind = payload.get("event")
+    cls = EVENT_TYPES.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(f"unknown engine event kind {kind!r}")
+    kwargs = {
+        f.name: payload[f.name]
+        for f in fields(cls)
+        if f.name not in _RICH and f.name in payload
+    }
+    return cls(**kwargs)

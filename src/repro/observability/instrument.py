@@ -1,0 +1,254 @@
+"""The instrumentation facade the engine talks to.
+
+One :class:`Instrumentation` bundles a :class:`MetricsRegistry`, an
+event sink and a :class:`PhaseTimer`.  The engine holds exactly one
+(:data:`NULL_INSTRUMENTATION` by default) and guards every emit point
+with the precomputed ``enabled`` flag, so the disabled path costs one
+attribute read per guard and never allocates an event object.
+
+Typed emit helpers keep the call sites one line each: the helper
+updates the per-(rule, stratum, predicate) metrics and, only when a
+real sink is attached, constructs and emits the event objects.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.observability.events import (
+    ConstraintViolated,
+    FactDeleted,
+    IterationFinished,
+    IterationStarted,
+    OidInvented,
+    RuleFired,
+    RunFinished,
+    RunStarted,
+    StratumFinished,
+    StratumStarted,
+)
+from repro.observability.metrics import (
+    IndexStats,
+    Labels,
+    MetricsRegistry,
+)
+from repro.observability.sink import NULL_SINK, EventSink, MultiSink
+from repro.observability.timing import NULL_TIMER, PhaseTimer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.step import RuleRuntime
+    from repro.storage.factset import Fact
+
+clock = time.perf_counter
+
+
+class Instrumentation:
+    """Metrics + event stream + phase timer for one engine run."""
+
+    __slots__ = (
+        "metrics", "sink", "timer", "index_stats", "source_file",
+        "enabled", "emit_events", "iteration", "stratum", "_rule_meta",
+    )
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        sink: EventSink | None = None,
+        source_file: str | None = None,
+    ):
+        self.metrics = metrics
+        self.sink = sink if sink is not None else NULL_SINK
+        self.emit_events = self.sink is not NULL_SINK
+        self.enabled = metrics is not None or self.emit_events
+        self.timer: Any = PhaseTimer() if self.enabled else NULL_TIMER
+        self.index_stats = IndexStats()
+        self.source_file = source_file
+        self.iteration = 0
+        self.stratum: int | None = None
+        # per-rule cached (labels, repr, line, column)
+        self._rule_meta: dict[int, tuple[Labels, str, int | None,
+                                         int | None]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, source_file: str | None = None) -> "Instrumentation":
+        """Metrics-only instrumentation (what ``repro profile`` uses)."""
+        return cls(MetricsRegistry(), source_file=source_file)
+
+    def with_extra_sink(self, sink) -> "Instrumentation":
+        """A copy that also feeds ``sink``, sharing metrics and timer."""
+        out = Instrumentation(self.metrics, source_file=self.source_file)
+        out.sink = (
+            MultiSink([self.sink, sink])
+            if self.sink is not NULL_SINK else sink
+        )
+        out.emit_events = True
+        out.enabled = True
+        out.timer = self.timer if self.timer is not NULL_TIMER \
+            else PhaseTimer()
+        out.index_stats = self.index_stats
+        out._rule_meta = self._rule_meta
+        return out
+
+    def phase(self, name: str):
+        """Nested timing span (no-op context manager when disabled)."""
+        return self.timer.phase(name)
+
+    # ------------------------------------------------------------------
+    # emit helpers (call only when ``enabled``)
+    # ------------------------------------------------------------------
+    def _meta(self, runtime: "RuleRuntime"):
+        meta = self._rule_meta.get(runtime.index)
+        if meta is None:
+            span = runtime.rule.span
+            meta = (
+                (("rule", str(runtime.index)),),
+                repr(runtime.rule),
+                span.line if span else None,
+                span.column if span else None,
+            )
+            self._rule_meta[runtime.index] = meta
+        return meta
+
+    def run_started(self, semantics: str, n_rules: int) -> None:
+        if self.emit_events:
+            self.sink.emit(RunStarted(semantics=semantics, rules=n_rules))
+
+    def run_finished(self, iterations: int, facts: int, inventions: int,
+                     elapsed: float) -> None:
+        m = self.metrics
+        if m is not None:
+            st = self.index_stats
+            m.inc("factset_index_hits", amount=st.hits)
+            m.inc("factset_index_misses", amount=st.misses)
+            m.inc("factset_index_builds", amount=st.builds)
+            st.hits = st.misses = st.builds = 0
+            m.set_gauge("run_iterations", value=iterations)
+            m.set_gauge("run_facts", value=facts)
+            m.set_gauge("run_inventions", value=inventions)
+            m.observe("run_time", value=elapsed)
+        if self.emit_events:
+            self.sink.emit(RunFinished(
+                iterations=iterations, facts=facts,
+                inventions=inventions, elapsed=elapsed,
+            ))
+
+    def stratum_started(self, index: int, n_rules: int) -> None:
+        self.stratum = index
+        if self.metrics is not None:
+            self.metrics.set_gauge(
+                "stratum_rules", (("stratum", str(index)),), n_rules
+            )
+        if self.emit_events:
+            self.sink.emit(StratumStarted(index=index, rules=n_rules))
+
+    def stratum_finished(self, index: int, elapsed: float) -> None:
+        self.stratum = None
+        if self.metrics is not None:
+            self.metrics.observe(
+                "stratum_time", (("stratum", str(index)),), elapsed
+            )
+        if self.emit_events:
+            self.sink.emit(StratumFinished(index=index, elapsed=elapsed))
+
+    def iteration_started(self, number: int) -> None:
+        self.iteration = number
+        if self.emit_events:
+            self.sink.emit(IterationStarted(number=number))
+
+    def iteration_finished(self, number: int, elapsed: float) -> None:
+        if self.metrics is not None:
+            self.metrics.observe("iteration_time", value=elapsed)
+        if self.emit_events:
+            self.sink.emit(IterationFinished(number=number,
+                                             elapsed=elapsed))
+
+    def rule_fired(
+        self,
+        runtime: "RuleRuntime",
+        contributed: list["Fact"],
+        bindings,
+        deleted: bool,
+    ) -> None:
+        """One body valuation reached the head: record its contribution."""
+        rule_labels, rule_repr, line, column = self._meta(runtime)
+        m = self.metrics
+        if m is not None:
+            m.inc("rule_valuations", rule_labels)
+            if contributed:
+                m.inc("rule_valuations_matched", rule_labels)
+                m.inc("rule_fires", rule_labels, len(contributed))
+                name = ("rule_facts_deleted" if deleted
+                        else "rule_facts_derived")
+                m.inc(name, rule_labels, len(contributed))
+                for fact in contributed:
+                    m.inc("pred_facts_contributed",
+                          (("pred", fact.pred),))
+            else:
+                m.inc("rule_duplicates", rule_labels)
+        if self.emit_events and contributed:
+            cls = FactDeleted if deleted else RuleFired
+            for fact in contributed:
+                self.sink.emit(cls(
+                    rule_index=runtime.index,
+                    rule=rule_repr,
+                    pred=fact.pred,
+                    fact=repr(fact),
+                    iteration=self.iteration,
+                    file=self.source_file,
+                    line=line,
+                    column=column,
+                    fact_value=fact,
+                    rule_value=runtime.rule,
+                    bindings_value=bindings,
+                ))
+
+    def rule_evaluated(self, runtime: "RuleRuntime",
+                       elapsed: float) -> None:
+        """Wall time one rule spent in one full body+head evaluation."""
+        if self.metrics is not None:
+            rule_labels = self._meta(runtime)[0]
+            self.metrics.observe("rule_time", rule_labels, elapsed)
+
+    def invention(self, runtime: "RuleRuntime", oid) -> None:
+        rule_labels, rule_repr, line, column = self._meta(runtime)
+        if self.metrics is not None:
+            self.metrics.inc("rule_inventions", rule_labels)
+        if self.emit_events:
+            self.sink.emit(OidInvented(
+                rule_index=runtime.index, rule=rule_repr, oid=repr(oid),
+                iteration=self.iteration, file=self.source_file,
+                line=line, column=column,
+            ))
+
+    def constraint_violation(self, violation) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(
+                "constraint_violations",
+                (("kind", violation.kind),),
+            )
+        if self.emit_events:
+            self.sink.emit(ConstraintViolated(
+                violation_kind=violation.kind,
+                predicate=violation.predicate,
+                message=violation.message,
+                fact=repr(violation.fact)
+                if violation.fact is not None else None,
+                violation_value=violation,
+            ))
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready dump of everything this instrumentation captured."""
+        return {
+            "metrics": self.metrics.snapshot()
+            if self.metrics is not None else {},
+            "phases": self.timer.to_dict(),
+        }
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+NULL_INSTRUMENTATION = Instrumentation()

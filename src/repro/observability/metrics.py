@@ -1,0 +1,157 @@
+"""Zero-dependency metrics: counters, gauges and summary histograms.
+
+A :class:`MetricsRegistry` holds every metric of one instrumented run,
+keyed by metric name plus a tuple of ``(label, value)`` pairs — the same
+dimensional model Prometheus uses, flattened to plain dicts so a
+snapshot serializes with :mod:`json` alone.  The engine labels its
+metrics by rule index, stratum and predicate, which is what the
+``repro profile`` table is built from.
+
+Counters only ever increase, gauges record the last value set, and
+histograms keep a streaming summary (count / sum / min / max) — enough
+for profile tables and regression tracking without storing samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def labels(**kwargs) -> Labels:
+    """Normalize keyword labels to the registry's canonical key form."""
+    return tuple(sorted((k, str(v)) for k, v in kwargs.items()))
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of observed samples (no per-sample storage)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class IndexStats:
+    """Hit/miss accounting for :class:`repro.storage.factset.FactSet`
+    hash-index lookups.
+
+    The fact set holds this object by reference (duck-typed, so the
+    storage layer never imports the observability package); the
+    instrumentation folds the totals into the registry at run end.
+    """
+
+    __slots__ = ("hits", "misses", "builds")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.builds = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+        }
+
+
+class MetricsRegistry:
+    """All counters / gauges / histograms of one instrumented run."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, Labels], float] = {}
+        self._gauges: dict[tuple[str, Labels], float] = {}
+        self._histograms: dict[tuple[str, Labels], HistogramSummary] = {}
+
+    # -- writing -----------------------------------------------------------
+    def inc(self, name: str, label_set: Labels = (), amount: float = 1
+            ) -> None:
+        key = (name, label_set)
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set_gauge(self, name: str, label_set: Labels = (),
+                  value: float = 0) -> None:
+        self._gauges[(name, label_set)] = value
+
+    def observe(self, name: str, label_set: Labels = (),
+                value: float = 0.0) -> None:
+        key = (name, label_set)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = HistogramSummary()
+        hist.observe(value)
+
+    # -- reading -----------------------------------------------------------
+    def counter(self, name: str, label_set: Labels = ()) -> float:
+        return self._counters.get((name, label_set), 0)
+
+    def gauge(self, name: str, label_set: Labels = ()) -> float | None:
+        return self._gauges.get((name, label_set))
+
+    def histogram(self, name: str, label_set: Labels = ()
+                  ) -> HistogramSummary | None:
+        return self._histograms.get((name, label_set))
+
+    def counters_named(self, name: str) -> dict[Labels, float]:
+        """Every labeled series of one counter name."""
+        return {
+            label_set: value
+            for (n, label_set), value in self._counters.items()
+            if n == name
+        }
+
+    def histograms_named(self, name: str) -> dict[Labels, HistogramSummary]:
+        return {
+            label_set: hist
+            for (n, label_set), hist in self._histograms.items()
+            if n == name
+        }
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-ready dump: ``name{k=v,...}`` keys, scalar values."""
+        return {
+            "counters": {
+                _series(name, ls): value
+                for (name, ls), value in sorted(self._counters.items())
+            },
+            "gauges": {
+                _series(name, ls): value
+                for (name, ls), value in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _series(name, ls): hist.to_dict()
+                for (name, ls), hist in sorted(self._histograms.items())
+            },
+        }
+
+
+def _series(name: str, label_set: Labels) -> str:
+    if not label_set:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in label_set)
+    return f"{name}{{{inner}}}"

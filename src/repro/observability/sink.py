@@ -1,0 +1,106 @@
+"""Event sinks: where the structured event stream goes.
+
+A sink is anything with ``emit(event)`` (and optionally ``close()``).
+:data:`NULL_SINK` is the shared disabled sink the engine's fast path
+compares against by identity — when it is the only sink attached, no
+event objects are ever allocated.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.observability.events import EngineEvent, event_to_dict
+
+
+class EventSink:
+    """Base sink; subclasses override :meth:`emit`."""
+
+    def emit(self, event: EngineEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(EventSink):
+    """Swallows everything.  The engine never constructs events for it."""
+
+    def emit(self, event: EngineEvent) -> None:  # pragma: no cover
+        pass
+
+
+NULL_SINK = NullSink()
+
+
+class CollectorSink(EventSink):
+    """Keeps every event in memory (tests, profile post-processing)."""
+
+    def __init__(self) -> None:
+        self.events: list[EngineEvent] = []
+
+    def emit(self, event: EngineEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> list[EngineEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+class JsonlSink(EventSink):
+    """Writes one JSON object per line to a text stream."""
+
+    def __init__(self, stream: IO[str], close_stream: bool = False):
+        self._stream = stream
+        self._close_stream = close_stream
+
+    def emit(self, event: EngineEvent) -> None:
+        self._stream.write(json.dumps(event_to_dict(event),
+                                      sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._close_stream:
+            self._stream.close()
+
+
+class TextSink(EventSink):
+    """Writes the human-readable one-liner of every event."""
+
+    def __init__(self, stream: IO[str], close_stream: bool = False):
+        self._stream = stream
+        self._close_stream = close_stream
+
+    def emit(self, event: EngineEvent) -> None:
+        self._stream.write(event.render() + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._close_stream:
+            self._stream.close()
+
+
+class MultiSink(EventSink):
+    """Fans one stream out to several sinks."""
+
+    def __init__(self, sinks: list[EventSink]):
+        self.sinks = [s for s in sinks if not isinstance(s, NullSink)]
+
+    def emit(self, event: EngineEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def read_jsonl(stream: IO[str]) -> list[EngineEvent]:
+    """Parse a JSONL event stream back into event objects."""
+    from repro.observability.events import event_from_dict
+
+    return [
+        event_from_dict(json.loads(line))
+        for line in stream
+        if line.strip()
+    ]

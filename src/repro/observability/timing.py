@@ -1,0 +1,106 @@
+"""Nested timing spans over the monotonic clock.
+
+:class:`PhaseTimer` records a tree of named phases — parse → analyze →
+fixpoint (per stratum) → goal evaluation → constraint check — via a
+re-entrant context manager.  Entering the same phase name twice under
+one parent accumulates into a single node, so per-iteration phases do
+not explode the tree.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseNode:
+    """One node of the phase tree: accumulated wall time and children."""
+
+    name: str
+    elapsed: float = 0.0
+    count: int = 0
+    children: dict[str, "PhaseNode"] = field(default_factory=dict)
+
+    def child(self, name: str) -> "PhaseNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = PhaseNode(name)
+        return node
+
+    def to_dict(self) -> dict:
+        out: dict = {"elapsed": self.elapsed, "count": self.count}
+        if self.children:
+            out["children"] = {
+                name: node.to_dict()
+                for name, node in self.children.items()
+            }
+        return out
+
+    def render(self, indent: int = 0, total: float | None = None) -> str:
+        base = total if total is not None else (self.elapsed or None)
+        pct = (
+            f"  {100 * self.elapsed / base:5.1f}%"
+            if base else ""
+        )
+        lines = [
+            f"{'  ' * indent}{self.name:<24}"
+            f" {self.elapsed * 1000:9.2f} ms{pct}"
+        ]
+        for child in self.children.values():
+            lines.append(child.render(indent + 1, base))
+        return "\n".join(lines)
+
+
+class PhaseTimer:
+    """Collects nested phases; safe to use when never entered."""
+
+    def __init__(self) -> None:
+        self.root = PhaseNode("total")
+        self._stack: list[PhaseNode] = [self.root]
+
+    @contextmanager
+    def phase(self, name: str):
+        node = self._stack[-1].child(name)
+        self._stack.append(node)
+        started = time.perf_counter()
+        try:
+            yield node
+        finally:
+            elapsed = time.perf_counter() - started
+            node.elapsed += elapsed
+            node.count += 1
+            self._stack.pop()
+            if len(self._stack) == 1:
+                self.root.elapsed += elapsed
+                self.root.count = max(self.root.count, 1)
+
+    def to_dict(self) -> dict:
+        return self.root.to_dict()
+
+    def render(self) -> str:
+        return self.root.render(total=self.root.elapsed or None)
+
+
+@contextmanager
+def _noop_cm():
+    yield None
+
+
+class _NullTimer:
+    """Phase timer of the disabled instrumentation: no-ops throughout."""
+
+    __slots__ = ()
+
+    def phase(self, name: str):
+        return _noop_cm()
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def render(self) -> str:
+        return ""
+
+
+NULL_TIMER = _NullTimer()

@@ -52,13 +52,17 @@ class Fact:
 class FactSet:
     """A mutable set of ground facts over class and association predicates."""
 
-    __slots__ = ("_assoc", "_class", "_indexes", "_max_oid")
+    __slots__ = ("_assoc", "_class", "_indexes", "_max_oid",
+                 "index_stats")
 
     def __init__(self) -> None:
         self._assoc: dict[str, set[TupleValue]] = {}
         self._class: dict[str, dict[Oid, TupleValue]] = {}
         self._indexes: dict[str, dict[str, dict[Value, list[Fact]]]] = {}
         self._max_oid = 0  # monotone upper bound, maintained on add
+        # optional observability hook (duck-typed IndexStats with
+        # ``hits`` / ``misses`` / ``builds``); None = no accounting
+        self.index_stats = None
 
     # ------------------------------------------------------------------
     # construction
@@ -82,6 +86,7 @@ class FactSet:
             for pred, index in self._indexes.items()
         }
         out._max_oid = self._max_oid
+        out.index_stats = self.index_stats
         return out
 
     # ------------------------------------------------------------------
@@ -213,17 +218,23 @@ class FactSet:
         pseudo-label ``self`` to look up class facts by oid.
         """
         pred = pred.lower()
+        stats = self.index_stats
         index = self._indexes.get(pred)
         if index is None:
             index = self._build_index(pred)
         by_label = index.get(label)
         if by_label is None:
+            if stats is not None:
+                stats.misses += 1
+                stats.builds += 1
             by_label = {}
             for fact in self.facts_of(pred):
                 key = fact.oid if label == _SELF else fact.value.get(label)
                 if key is not None:
                     by_label.setdefault(key, []).append(fact)
             index[label] = by_label
+        elif stats is not None:
+            stats.hits += 1
         return by_label.get(value, [])
 
     def _build_index(self, pred: str):
