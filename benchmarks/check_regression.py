@@ -15,6 +15,16 @@ Comparison uses each benchmark's *min* time, which is far less noisy
 than the mean on shared machines.  Transient load can still inflate a
 whole run, so the suite is executed ``--runs`` times (default 2) and
 each benchmark's best time across runs is what gets compared.
+
+``--reports`` runs the *behavioural* gate instead: the reference
+workload (benchmarks/telemetry.py) is evaluated under instrumentation
+and its run report is diffed against the committed
+``benchmarks/report_baseline.json`` with ``repro diff`` strict-count
+rules — count columns (fires, facts derived/deleted, iterations) are
+deterministic and machine-portable, so any count delta on an unchanged
+program fails; time columns only fail past a generous threshold that
+absorbs machine-to-machine variance.  ``--update-reports`` rewrites
+the baseline.
 """
 
 from __future__ import annotations
@@ -27,6 +37,11 @@ import tempfile
 
 HERE = pathlib.Path(__file__).resolve().parent
 BASELINE_PATH = HERE / "baseline.json"
+REPORT_BASELINE_PATH = HERE / "report_baseline.json"
+#: committed report baselines come from other machines: only a massive
+#: slowdown on a count-identical run is worth failing on
+REPORT_TIME_THRESHOLD = 10.0
+REPORT_TIME_FLOOR_MS = 250.0
 GUARDED_GROUPS = ("e01-transitive-closure", "a01-indexing")
 GUARDED_TARGETS = [
     str(HERE / "test_e01_transitive_closure.py"),
@@ -99,6 +114,44 @@ def run_guarded_benchmarks(json_path: pathlib.Path) -> None:
     run_benchmarks(GUARDED_TARGETS, json_path)
 
 
+def check_reports(baseline_path: pathlib.Path, update: bool,
+                  time_threshold: float) -> int:
+    """The behavioural gate: fresh reference report vs committed one."""
+    from benchmarks.telemetry import reference_report
+    from repro.observability.diff import diff_reports
+    from repro.observability.report import load_report
+
+    current = reference_report()
+    if update:
+        current.write(baseline_path)
+        print(f"wrote reference run report baseline to {baseline_path}")
+        return 0
+    if not baseline_path.exists():
+        print(f"error: no report baseline at {baseline_path};"
+              " run with --update-reports first", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_report(baseline_path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_reports(
+        baseline, current,
+        threshold=time_threshold,
+        min_time_ms=REPORT_TIME_FLOOR_MS,
+        strict_counts=True,
+        baseline_name=str(baseline_path),
+        candidate_name="<fresh reference run>",
+    )
+    print(diff.render_text())
+    if diff.regressions():
+        print(f"\n{len(diff.regressions())} report regression(s)",
+              file=sys.stderr)
+        return 1
+    print("\nok: reference run report matches the baseline")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", help="reuse an existing benchmark JSON"
@@ -114,7 +167,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--runs", type=int, default=2,
                         help="benchmark suite executions; each benchmark's"
                              " best time across runs is compared")
+    parser.add_argument("--reports", action="store_true",
+                        help="run the behavioural gate: diff the fresh"
+                             " reference run report against the committed"
+                             " baseline (strict counts)")
+    parser.add_argument("--report-baseline",
+                        default=str(REPORT_BASELINE_PATH),
+                        help="committed run-report baseline path")
+    parser.add_argument("--report-time-threshold", type=float,
+                        default=REPORT_TIME_THRESHOLD,
+                        help="allowed report slowdown factor minus one"
+                             " (default: 10.0 = 11x)")
+    parser.add_argument("--update-reports", action="store_true",
+                        help="rewrite the run-report baseline from a"
+                             " fresh reference run")
     args = parser.parse_args(argv)
+
+    if args.reports or args.update_reports:
+        return check_reports(
+            pathlib.Path(args.report_baseline),
+            update=args.update_reports,
+            time_threshold=args.report_time_threshold,
+        )
 
     if args.json:
         current = extract(pathlib.Path(args.json))

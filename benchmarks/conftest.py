@@ -44,3 +44,28 @@ def run_logres(schema, program, edb, seminaive=True,
         EvalConfig(seminaive=seminaive, max_facts=max_facts),
     )
     return engine.run(edb, semantics)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist session telemetry: BENCH_*.json rows at the repo root
+    plus the reference run report (see benchmarks/telemetry.py).
+
+    Disable with ``--benchmark-disable`` runs (no stats collected) or
+    by setting ``REPRO_NO_TELEMETRY``.
+    """
+    import os
+
+    if os.environ.get("REPRO_NO_TELEMETRY"):
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    from benchmarks import telemetry
+
+    touched = telemetry.append_rows(bench_session.benchmarks)
+    report_path = telemetry.write_reference_report()
+    tr = session.config.pluginmanager.get_plugin("terminalreporter")
+    if tr is not None:
+        for path in touched:
+            tr.write_line(f"telemetry: appended rows to {path}")
+        tr.write_line(f"telemetry: reference run report at {report_path}")

@@ -1,0 +1,122 @@
+"""Benchmark telemetry: ``BENCH_*.json`` rows and the session report.
+
+Two persistent artifacts fall out of every benchmark session
+(hooked in ``benchmarks/conftest.py``):
+
+* **per-experiment timing rows** — one JSON line per benchmark appended
+  to ``BENCH_<exp>.json`` at the repo root (``<exp>`` is the experiment
+  prefix of the benchmark group, e.g. ``e01`` for
+  ``e01-transitive-closure``).  Append-only: history accumulates across
+  sessions, so the file is a time series of the experiment's numbers on
+  this machine, one row per (session, benchmark);
+* **the reference run report** — a
+  :class:`repro.observability.report.RunReport` of the reference
+  workload (transitive closure over the E01 generator), written to
+  ``benchmarks/results/run_report.json``.  ``repro diff`` against the
+  committed ``benchmarks/report_baseline.json`` is the behavioural
+  regression gate (``benchmarks/check_regression.py --reports``):
+  count columns are deterministic and machine-portable, so any count
+  delta on an unchanged program is a real regression.
+
+Row format (one JSON object per line)::
+
+    {"schema_version": 1, "kind": "bench-row", "ts": <epoch seconds>,
+     "session": "<iso date>", "exp": "e01", "group": "e01-transitive-closure",
+     "name": "test_logres_seminaive[200]", "min_ms": 1.9, "mean_ms": 2.2,
+     "stddev_ms": 0.1, "rounds": 5}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+REPORT_PATH = RESULTS / "run_report.json"
+
+#: reference workload: the E01 transitive-closure program over the
+#: deterministic edge generator — small enough to run on every session,
+#: recursive enough to exercise every count column
+REFERENCE_NODES = 100
+REFERENCE_EDGES = 200
+REFERENCE_SEED = 1
+
+
+def experiment_id(group: str | None) -> str:
+    """``e01-transitive-closure`` -> ``e01`` (rows file name key)."""
+    return (group or "ungrouped").split("-", 1)[0]
+
+
+def bench_path(exp: str) -> pathlib.Path:
+    return ROOT / f"BENCH_{exp}.json"
+
+
+def bench_row(meta, session_stamp: str) -> dict:
+    """One appendable row for a pytest-benchmark ``Metadata``."""
+    stats = meta.stats
+    return {
+        "schema_version": 1,
+        "kind": "bench-row",
+        "ts": time.time(),
+        "session": session_stamp,
+        "exp": experiment_id(meta.group),
+        "group": meta.group or "ungrouped",
+        "name": meta.name,
+        "min_ms": stats.min * 1000,
+        "mean_ms": stats.mean * 1000,
+        "stddev_ms": stats.stddev * 1000,
+        "rounds": stats.rounds,
+    }
+
+
+def append_rows(benchmarks) -> list[pathlib.Path]:
+    """Append one row per benchmark to its experiment's ``BENCH_*.json``
+    at the repo root; returns the touched paths."""
+    session_stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+    by_exp: dict[str, list[dict]] = {}
+    for meta in benchmarks:
+        if meta.has_error or meta.stats is None:
+            continue
+        row = bench_row(meta, session_stamp)
+        by_exp.setdefault(row["exp"], []).append(row)
+    touched = []
+    for exp, rows in sorted(by_exp.items()):
+        path = bench_path(exp)
+        with open(path, "a", encoding="utf-8") as f:
+            for row in rows:
+                f.write(json.dumps(row, sort_keys=True) + "\n")
+        touched.append(path)
+    return touched
+
+
+def read_rows(path: pathlib.Path) -> list[dict]:
+    """All rows of one ``BENCH_*.json`` time series."""
+    if not path.exists():
+        return []
+    with open(path, encoding="utf-8") as f:
+        return [json.loads(line) for line in f if line.strip()]
+
+
+def reference_report():
+    """Run the reference workload under full instrumentation."""
+    from benchmarks.conftest import TC_SOURCE, build_unit
+    from repro.observability.report import report_program
+    from repro.workloads import random_edges
+
+    schema, program = build_unit(TC_SOURCE)
+    edb = random_edges(REFERENCE_NODES, REFERENCE_EDGES,
+                       seed=REFERENCE_SEED)
+    return report_program(
+        schema, program, edb,
+        source_file="benchmarks/reference:e01-transitive-closure",
+    )
+
+
+def write_reference_report(path=REPORT_PATH):
+    report = reference_report()
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    report.write(path)
+    return path

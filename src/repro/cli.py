@@ -12,15 +12,20 @@ programming environment" of Section 5:
   JSON (``--format json``);
 * ``fmt FILE``    — reprint the unit in canonical form;
 * ``explain FILE FACT`` — evaluate with tracing and print the
-  derivation tree of one association fact, given as
-  ``pred(label=value, ...)``;
+  derivation tree of one fact, given as ``pred(label=value, ...)``;
+  ``--why-not`` instead explains an *absent* fact: deletion provenance
+  plus the best near-miss valuation of every candidate rule;
 * ``profile FILE`` — evaluate under full instrumentation and print a
-  ranked per-rule cost table (``--format text|json``); see
-  ``docs/OBSERVABILITY.md``.
+  ranked per-rule cost table (``--format text|json``);
+* ``diff A B``    — compare two run reports: per-rule and per-phase
+  deltas, exit 1 on regressions; see ``docs/OBSERVABILITY.md``.
 
 ``run`` additionally accepts ``--trace-out events.jsonl`` (structured
-engine event stream) and ``--metrics-out metrics.json`` (metrics +
-phase snapshot).
+engine event stream), ``--metrics-out metrics.json`` (metrics + phase
+snapshot), ``--report-out report.json`` (the persistent
+:class:`~repro.observability.report.RunReport` that ``repro diff``
+compares) and ``--chrome-out trace.json`` (phase tree in Chrome trace
+format, loadable in Perfetto).
 
 Failures in parsing or analysis are printed as diagnostics
 (``file:line:col: error[CODE]: message``), never as tracebacks, and exit
@@ -75,29 +80,41 @@ def _print_instance(instance: FactSet) -> None:
             print(f"  {fact!r}")
 
 
+def _jsonl_sink(path: str, source_file: str | None):
+    """A JSONL event sink whose first line is the stream header."""
+    from repro.observability import JsonlSink, StreamHeader
+
+    sink = JsonlSink(open(path, "w", encoding="utf-8"),
+                     close_stream=True)
+    sink.emit(StreamHeader(source_file=source_file))
+    return sink
+
+
 def _run_instrumentation(args):
     """The instrumentation ``repro run`` needs for its output flags.
 
-    Returns ``(obs, finish)``: ``obs`` is None when neither flag is
+    Returns ``(obs, finish)``: ``obs`` is None when no output flag is
     given (the zero-overhead default), and ``finish()`` flushes the
-    requested output files after the run.
+    ``--trace-out`` / ``--metrics-out`` files after the run
+    (``--report-out`` / ``--chrome-out`` need the finished engine, so
+    ``cmd_run`` writes those itself).
     """
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if not trace_out and not metrics_out:
-        return None, lambda: None
-    from repro.observability import (
-        Instrumentation,
-        JsonlSink,
-        MetricsRegistry,
+    # reports fold the metrics registry; chrome traces need the timer,
+    # which only an enabled instrumentation carries
+    need_metrics = bool(
+        metrics_out
+        or getattr(args, "report_out", None)
+        or getattr(args, "chrome_out", None)
     )
+    if not trace_out and not need_metrics:
+        return None, lambda: None
+    from repro.observability import Instrumentation, MetricsRegistry
 
-    sink = None
-    if trace_out:
-        sink = JsonlSink(open(trace_out, "w", encoding="utf-8"),
-                         close_stream=True)
+    sink = _jsonl_sink(trace_out, args.file) if trace_out else None
     obs = Instrumentation(
-        metrics=MetricsRegistry() if metrics_out else None,
+        metrics=MetricsRegistry() if need_metrics else None,
         sink=sink,
         source_file=args.file,
     )
@@ -122,9 +139,26 @@ def cmd_run(args) -> int:
                                incremental=not args.reference),
                     instrumentation=obs)
     try:
-        instance = engine.run(edb, Semantics(args.semantics))
+        if obs is not None:
+            with obs.phase("fixpoint"):
+                instance = engine.run(edb, Semantics(args.semantics))
+        else:
+            instance = engine.run(edb, Semantics(args.semantics))
     finally:
         finish()
+    if args.report_out:
+        from repro.observability.report import build_run_report
+
+        build_run_report(
+            engine, obs, semantics=args.semantics,
+            kernel="reference" if args.reference else "incremental",
+            source_file=args.file,
+        ).write(args.report_out)
+    if args.chrome_out:
+        from repro.observability.chrome import write_chrome_trace
+
+        write_chrome_trace(obs.timer.to_dict(), args.chrome_out,
+                           process_name=args.file)
     if program.goal is not None:
         answers = answer_goal(program.goal, instance, schema)
         print(f"{len(answers)} answer(s):")
@@ -162,12 +196,8 @@ def cmd_profile(args) -> int:
     from repro.observability.profile import profile_program
 
     schema, program, edb = _load_unit(args.file, args.state)
-    sink = None
-    if args.trace_out:
-        from repro.observability import JsonlSink
-
-        sink = JsonlSink(open(args.trace_out, "w", encoding="utf-8"),
-                         close_stream=True)
+    sink = (_jsonl_sink(args.trace_out, args.file)
+            if args.trace_out else None)
     _, profile, obs = profile_program(
         schema, program, edb,
         semantics=Semantics(args.semantics),
@@ -175,6 +205,11 @@ def cmd_profile(args) -> int:
         sink=sink,
     )
     obs.close()
+    if args.chrome_out:
+        from repro.observability.chrome import write_chrome_trace
+
+        write_chrome_trace(obs.timer.to_dict(), args.chrome_out,
+                           process_name=args.file)
     if args.format == "json":
         print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
     else:
@@ -251,41 +286,200 @@ def cmd_fmt(args) -> int:
 
 
 def cmd_explain(args) -> int:
+    # the fact argument has its own error channel: a malformed fact must
+    # render as a diagnostic against the pseudo-file ``<fact>``, not get
+    # misattributed to the source file by main()'s handler
+    try:
+        fact = _parse_fact(args.fact)
+    except LogresError as exc:
+        diagnostics = _diagnostics_of(exc)
+        if diagnostics:
+            for diag in diagnostics:
+                print(diag.with_file("<fact>").render(), file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 2
     schema, program, edb = _load_unit(args.file, args.state)
     tracer = Tracer()
     engine = Engine(schema, program)
     instance = engine.run(edb, Semantics(args.semantics), tracer=tracer)
-    fact = _parse_fact(args.fact)
+    if args.why_not:
+        import json
+
+        from repro.observability.whynot import HOLDS, explain_absence
+
+        report = explain_absence(
+            engine, instance, fact, tracer=tracer,
+            semantics=args.semantics, source_file=args.file,
+        )
+        if args.format == "json":
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render_text())
+        return 0 if report.status == HOLDS else 1
     if fact not in instance:
-        print(f"{fact!r} does not hold in the instance")
+        print(
+            f"{fact!r} does not hold in the instance"
+            " (use --why-not for an absence explanation)"
+        )
         return 1
     print(tracer.explain(fact, instance, engine.schema).render())
     return 0
 
 
 def _parse_fact(text: str) -> Fact:
-    """``pred(label=value, ...)`` with int / quoted-string values."""
-    text = text.strip()
-    if "(" not in text or not text.endswith(")"):
-        raise LogresError(
-            f"cannot parse fact {text!r}: expected pred(label=value, ...)"
+    """``pred(label=value, ...)`` parsed with the real lexer.
+
+    Values are full ground terms: numbers (including negatives),
+    escaped strings, ``true`` / ``false`` / ``nil``, ``{...}`` sets,
+    ``[...]`` multisets, ``<...>`` sequences and nested
+    ``(label=value, ...)`` tuples; ``:`` is accepted in place of ``=``
+    (the facts' own repr form).  A ``self=N`` field makes a class fact
+    with oid ``&N``.
+    """
+    from repro.language.lexer import tokenize
+    from repro.values.complex import (
+        MultisetValue,
+        SequenceValue,
+        SetValue,
+    )
+    from repro.values.oids import NIL, Oid
+
+    tokens = tokenize(text)
+    pos = 0
+
+    def fail(tok, expected: str):
+        found = repr(tok.text) if tok.kind != "eof" else "end of input"
+        raise ParseError(
+            f"cannot parse fact: expected {expected}, found {found}",
+            tok.line, tok.column,
         )
-    pred, _, inner = text.partition("(")
-    fields = {}
-    body = inner[:-1].strip()
-    if body:
-        for part in body.split(","):
-            label, _, raw = part.partition("=")
-            raw = raw.strip()
-            if raw.startswith(('"', "'")):
-                value: object = raw.strip("\"'")
-            else:
-                try:
-                    value = int(raw)
-                except ValueError:
-                    value = raw
-            fields[label.strip().lower()] = value
-    return Fact(pred.strip().lower(), TupleValue(fields))
+
+    def take():
+        nonlocal pos
+        tok = tokens[pos]
+        if tok.kind != "eof":
+            pos += 1
+        return tok
+
+    def expect_symbol(sym: str):
+        tok = take()
+        if tok.kind != "symbol" or tok.text != sym:
+            fail(tok, f"'{sym}'")
+        return tok
+
+    def parse_elements(closing: str) -> list:
+        elements: list = []
+        if tokens[pos].text == closing:
+            take()
+            return elements
+        while True:
+            elements.append(parse_value())
+            tok = take()
+            if tok.kind == "symbol" and tok.text == closing:
+                return elements
+            if not (tok.kind == "symbol" and tok.text == ","):
+                fail(tok, f"',' or '{closing}'")
+
+    def parse_fields() -> dict:
+        fields: dict = {}
+        if tokens[pos].text == ")":
+            take()
+            return fields
+        while True:
+            tok = take()
+            if tok.kind not in ("name", "variable", "keyword"):
+                fail(tok, "a field label")
+            label = tok.text.lower()
+            sep = take()
+            if not (sep.kind == "symbol" and sep.text in ("=", ":")):
+                fail(sep, "'=' or ':'")
+            fields[label] = parse_value()
+            tok = take()
+            if tok.kind == "symbol" and tok.text == ")":
+                return fields
+            if not (tok.kind == "symbol" and tok.text == ","):
+                fail(tok, "',' or ')'")
+
+    def parse_value():
+        tok = take()
+        if tok.kind in ("number", "string"):
+            return tok.value
+        if tok.kind == "symbol" and tok.text == "-":
+            num = take()
+            if num.kind != "number":
+                fail(num, "a number after '-'")
+            return -num.value
+        if tok.kind == "keyword":
+            if tok.text == "true":
+                return True
+            if tok.text == "false":
+                return False
+            if tok.text == "nil":
+                return NIL
+            fail(tok, "a value")
+        if tok.kind in ("name", "variable"):
+            return str(tok.value)  # bare word: a string constant
+        if tok.kind == "symbol":
+            if tok.text == "{":
+                return SetValue(parse_elements("}"))
+            if tok.text == "[":
+                return MultisetValue(parse_elements("]"))
+            if tok.text == "<":
+                return SequenceValue(parse_elements(">"))
+            if tok.text == "(":
+                return TupleValue(parse_fields())
+        fail(tok, "a value")
+
+    name = take()
+    if name.kind not in ("name", "variable", "keyword"):
+        fail(name, "a predicate name")
+    expect_symbol("(")
+    fields = parse_fields()
+    trailing = tokens[pos]
+    if trailing.kind != "eof":
+        fail(trailing, "end of input")
+
+    oid = None
+    if "self" in fields:
+        raw = fields.pop("self")
+        if isinstance(raw, Oid):
+            oid = raw
+        elif isinstance(raw, int) and not isinstance(raw, bool):
+            oid = Oid(raw)
+        else:
+            raise ParseError(
+                f"cannot parse fact: self must be an oid number,"
+                f" got {raw!r}", name.line, name.column,
+            )
+    return Fact(name.text.lower(), TupleValue(fields), oid=oid)
+
+
+def cmd_diff(args) -> int:
+    import json
+
+    from repro.observability.diff import diff_reports
+    from repro.observability.report import load_report
+
+    try:
+        baseline = load_report(args.baseline)
+        candidate = load_report(args.candidate)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_reports(
+        baseline, candidate,
+        threshold=args.threshold,
+        min_time_ms=args.min_time_ms,
+        strict_counts=args.strict_counts,
+        baseline_name=args.baseline,
+        candidate_name=args.candidate,
+    )
+    if args.format == "json":
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.render_text())
+    return 1 if diff.regressions() else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -321,6 +515,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="FILE",
         help="write the metrics + phase snapshot as JSON",
     )
+    p_run.add_argument(
+        "--report-out", metavar="FILE",
+        help="write a persistent run report (for 'repro diff')",
+    )
+    p_run.add_argument(
+        "--chrome-out", metavar="FILE",
+        help="write the phase tree as a Chrome trace (Perfetto)",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_profile = sub.add_parser(
@@ -335,6 +537,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument(
         "--trace-out", metavar="FILE",
         help="also write the event stream as JSONL",
+    )
+    p_profile.add_argument(
+        "--chrome-out", metavar="FILE",
+        help="write the phase tree as a Chrome trace (Perfetto)",
     )
     p_profile.set_defaults(fn=cmd_profile)
 
@@ -372,9 +578,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_explain)
     p_explain.add_argument(
-        "fact", help='association fact, e.g. \'anc(a="x", d="y")\''
+        "fact", help='fact, e.g. \'anc(a="x", d="y")\' or'
+                     " 'person(self=3, age=40)'"
+    )
+    p_explain.add_argument(
+        "--why-not", action="store_true",
+        help="explain why the fact is ABSENT: deletion provenance and"
+             " the best near-miss valuation of every candidate rule",
+    )
+    p_explain.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output style for --why-not (default: text)",
     )
     p_explain.set_defaults(fn=cmd_explain)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two run reports (regressions exit 1)"
+    )
+    p_diff.add_argument("baseline", help="baseline run report (JSON)")
+    p_diff.add_argument("candidate", help="candidate run report (JSON)")
+    p_diff.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative slowdown tolerated before a time delta is a"
+             " regression (default: 0.25 = +25%%)",
+    )
+    p_diff.add_argument(
+        "--min-time-ms", type=float, default=1.0,
+        help="absolute jitter floor: time deltas below this never"
+             " regress (default: 1.0)",
+    )
+    p_diff.add_argument(
+        "--strict-counts", action="store_true",
+        help="any count change (fires, facts, iterations) is a"
+             " regression — for CI runs of an unchanged program",
+    )
+    p_diff.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output style (default: text)",
+    )
+    p_diff.set_defaults(fn=cmd_diff)
     return parser
 
 

@@ -334,6 +334,119 @@ def _solve_negative(
 
 
 # ---------------------------------------------------------------------------
+# body probing (why-not analysis)
+# ---------------------------------------------------------------------------
+@dataclass
+class BodyProbe:
+    """The best near-miss found when probing a rule body.
+
+    ``satisfiable`` means a full valuation of the body exists under the
+    seed; otherwise ``failed`` is the first literal of the *deepest*
+    partial valuation reached that admitted no extension, ``matched``
+    counts the literals satisfied on that path, and ``bindings`` is the
+    live valuation at the point of failure.
+    """
+
+    matched: int
+    total: int
+    failed: object | None
+    bindings: Bindings
+    satisfiable: bool
+    exhausted: bool = False  # the search budget ran out first
+
+    @property
+    def failed_repr(self) -> str | None:
+        return repr(self.failed) if self.failed is not None else None
+
+
+def probe_body(
+    runtime: RuleRuntime,
+    ctx: MatchContext,
+    domains: ActiveDomains,
+    seed: Bindings | None = None,
+    budget: int = 10_000,
+) -> BodyProbe:
+    """Replay a rule body and report how far it gets (Def. 7, replayed).
+
+    The same greedy literal scheduling as :func:`evaluate_body`, but
+    instead of enumerating conclusions it tracks the deepest point any
+    branch reached before failing — the *best near-miss valuation* that
+    why-not provenance reports.  The DFS is bounded by ``budget``
+    visited states so pathological joins cannot hang a debugging
+    command.
+    """
+    pending = list(runtime.rule.body)
+    total = len(pending)
+    seed = dict(seed or {})
+    best = {"matched": -1, "failed": None, "bindings": seed}
+    state = {"budget": budget}
+
+    def record(depth: int, literal, bindings: Bindings) -> None:
+        if depth > best["matched"]:
+            best["matched"] = depth
+            best["failed"] = literal
+            best["bindings"] = bindings
+
+    def walk(pending: list, bindings: Bindings, depth: int) -> bool:
+        if not pending:
+            best["bindings"] = bindings
+            return True
+        if state["budget"] <= 0:
+            return False
+        state["budget"] -= 1
+        try:
+            idx = _pick_ready(pending, bindings, runtime, ctx)
+        except EvaluationError:
+            record(depth, pending[0], bindings)
+            return False
+        literal = pending[idx]
+        rest = pending[:idx] + pending[idx + 1:]
+        extended_any = False
+        for extended in _probe_extensions(literal, bindings, runtime,
+                                          ctx, domains):
+            extended_any = True
+            if walk(rest, extended, depth + 1):
+                return True
+            if state["budget"] <= 0:
+                break
+        if not extended_any:
+            record(depth, literal, bindings)
+        return False
+
+    satisfiable = walk(pending, seed, 0)
+    if satisfiable:
+        return BodyProbe(total, total, None, best["bindings"], True)
+    matched = max(best["matched"], 0)
+    return BodyProbe(matched, total, best["failed"], best["bindings"],
+                     False, exhausted=state["budget"] <= 0)
+
+
+def _probe_extensions(
+    literal,
+    bindings: Bindings,
+    runtime: RuleRuntime,
+    ctx: MatchContext,
+    domains: ActiveDomains,
+):
+    """Extensions of one body literal, with every evaluation failure
+    (unbound builtin input, untypeable negation variable) folded into
+    "no extension" so the probe reports it as the failing literal."""
+    from repro.errors import LogresError
+
+    try:
+        if isinstance(literal, Literal):
+            if literal.negated:
+                yield from _solve_negative(literal, bindings, runtime,
+                                           ctx, domains)
+            else:
+                yield from match_literal(literal, bindings, ctx)
+        else:
+            yield from _solve_builtin(literal, bindings, ctx)
+    except (LogresError, Unbound):
+        return
+
+
+# ---------------------------------------------------------------------------
 # head processing
 # ---------------------------------------------------------------------------
 def process_head(

@@ -135,6 +135,28 @@ class Tracer:
     def deletions(self) -> list[Derivation]:
         return [d for d in self.derivations if d.deleted]
 
+    def derivations_of(self, fact: Fact) -> list[Derivation]:
+        """Every recorded *derivation* (Δ⁺ contribution) covering ``fact``.
+
+        Unlike :meth:`derivation_of`, which returns the first derivation
+        of the exact fact, this matches leniently — same predicate, same
+        oid for class facts, and every attribute of the queried fact
+        unified by the recorded one — which is what why-not provenance
+        needs to decide whether an absent fact was ever produced.
+        """
+        return [
+            d for d in self.derivations
+            if not d.deleted and derivation_covers(d, fact)
+        ]
+
+    def deletions_of(self, fact: Fact) -> list[Derivation]:
+        """Every recorded Δ⁻ contribution covering ``fact`` — the
+        deletion-provenance query behind ``repro explain --why-not``."""
+        return [
+            d for d in self.derivations
+            if d.deleted and derivation_covers(d, fact)
+        ]
+
     def explain(
         self,
         fact: Fact,
@@ -176,6 +198,27 @@ class Tracer:
 
     def __repr__(self) -> str:
         return f"Tracer({len(self.derivations)} derivations)"
+
+
+def derivation_covers(entry: Derivation, fact: Fact) -> bool:
+    """Does a recorded derivation speak about ``fact``?
+
+    Class facts match by oid (the recorded o-value may be narrower than
+    the final merged tuple); association facts match when every
+    attribute the query names is present and unifies.
+    """
+    from repro.engine.valuation import values_unify
+
+    recorded = entry.fact
+    if recorded.pred != fact.pred:
+        return False
+    if fact.oid is not None or recorded.oid is not None:
+        return recorded.oid == fact.oid
+    return all(
+        label in recorded.value
+        and values_unify(recorded.value[label], value)
+        for label, value in fact.value.items
+    )
 
 
 def _named_bindings(entry: Derivation):

@@ -209,6 +209,58 @@ def read_function(
 
 
 # ---------------------------------------------------------------------------
+# lenient head-side unification (why-not analysis)
+# ---------------------------------------------------------------------------
+def seed_bindings(
+    args: Args, fact: Fact, ctx: MatchContext
+) -> tuple[Bindings, str | None]:
+    """Bindings a *head* argument list would need to produce ``fact``.
+
+    The forgiving counterpart of :func:`match_fact`, used by why-not
+    provenance (:mod:`repro.observability.whynot`) to replay a rule
+    against a hypothetical conclusion: variables bind to the fact's
+    components, ground terms must unify (a mismatch is *reported*, not
+    raised), and complex terms — arithmetic, function reads, nested
+    constructors — are left unbound rather than rejected, so the body
+    probe can still run with whatever the head does determine.
+
+    Returns ``(bindings, mismatch)`` where ``mismatch`` is a human
+    description of the first component that can never equal the fact's
+    value (None when the head is compatible).
+    """
+    bindings: Bindings = {}
+    if args.self_term is not None and fact.oid is not None:
+        if isinstance(args.self_term, Var):
+            bindings[args.self_term] = fact.oid
+    for label, term in args.labeled:
+        if label not in fact.value:
+            continue  # the queried fact constrains fewer attributes
+        value = fact.value[label]
+        if isinstance(term, Var):
+            existing = bindings.get(term)
+            if existing is not None and not values_unify(existing, value):
+                return bindings, (
+                    f"variable {term!r} would need both"
+                    f" {existing!r} and {value!r}"
+                )
+            bindings[term] = value
+        elif isinstance(term, Constant):
+            if not values_unify(term.value, value):
+                return bindings, (
+                    f"head requires {label} = {term!r},"
+                    f" queried fact has {value!r}"
+                )
+        # complex terms (arithmetic, function reads, patterns) are not
+        # invertible; leave their variables free for the body probe
+    if args.tuple_var is not None:
+        whole: Value = fact.value
+        if fact.oid is not None:
+            whole = fact.value.with_field(SELF_LABEL, fact.oid)
+        bindings[args.tuple_var] = whole
+    return bindings, None
+
+
+# ---------------------------------------------------------------------------
 # literal matching (enumeration direction)
 # ---------------------------------------------------------------------------
 def match_literal(

@@ -14,9 +14,18 @@ built dependency-free:
 * :mod:`repro.observability.timing` — nested monotonic timing spans;
 * :mod:`repro.observability.instrument` — the facade the engine emits
   through, with a zero-overhead disabled fast path;
-* :mod:`repro.observability.profile` — ranked per-rule profiles (import
-  it directly; it is kept out of this namespace to avoid importing the
-  engine at package-init time).
+* :mod:`repro.observability.profile` — ranked per-rule profiles;
+* :mod:`repro.observability.report` — the persistent
+  :class:`RunReport` artifact ``repro run --report-out`` writes;
+* :mod:`repro.observability.diff` — per-rule / per-phase deltas
+  between two run reports (``repro diff``);
+* :mod:`repro.observability.chrome` — Chrome-trace (Perfetto) export
+  of the phase tree;
+* :mod:`repro.observability.whynot` — why-not provenance for absent
+  facts (``repro explain --why-not``).
+
+(profile / report / diff / whynot are imported directly, not re-exported
+here, to avoid importing the engine at package-init time.)
 
 See ``docs/OBSERVABILITY.md`` for the event taxonomy and the metrics
 catalogue.
@@ -24,6 +33,7 @@ catalogue.
 
 from repro.observability.events import (
     EVENT_TYPES,
+    SCHEMA_VERSION,
     ConstraintViolated,
     EngineEvent,
     FactDeleted,
@@ -35,6 +45,7 @@ from repro.observability.events import (
     RunStarted,
     StratumFinished,
     StratumStarted,
+    StreamHeader,
     event_from_dict,
     event_to_dict,
 )
@@ -83,8 +94,10 @@ __all__ = [
     "RuleFired",
     "RunFinished",
     "RunStarted",
+    "SCHEMA_VERSION",
     "StratumFinished",
     "StratumStarted",
+    "StreamHeader",
     "TextSink",
     "event_from_dict",
     "event_to_dict",

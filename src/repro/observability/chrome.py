@@ -1,0 +1,59 @@
+"""Chrome-trace (Perfetto) export of the phase tree.
+
+Turns a :class:`~repro.observability.timing.PhaseTimer` tree (or its
+``to_dict`` form, as stored in a run report) into the Trace Event
+Format that ``chrome://tracing`` and https://ui.perfetto.dev load: one
+``"X"`` (complete) event per phase node, nested by synthesized
+timestamps.
+
+The phase tree stores only accumulated durations, not start times, so
+timestamps are reconstructed: a node starts where its parent started,
+and each sibling starts where the previous one ended.  For re-entrant
+phases (``count > 1``) the rendered span is the *accumulated* time —
+faithful totals, idealized placement.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def chrome_trace(phases: dict, process_name: str = "repro") -> dict:
+    """Trace Event Format document for a phase tree dict."""
+    events: list[dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 1,
+        "args": {"name": process_name},
+    }]
+    if phases:
+        _emit(events, "total", phases, start_us=0.0)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _emit(events: list[dict], name: str, node: dict,
+          start_us: float) -> float:
+    """Append ``name``'s complete event and its children; returns the
+    node's duration in microseconds."""
+    duration_us = node.get("elapsed", 0.0) * 1_000_000
+    events.append({
+        "name": name,
+        "ph": "X",
+        "ts": start_us,
+        "dur": duration_us,
+        "pid": 1,
+        "tid": 1,
+        "args": {"count": node.get("count", 0)},
+    })
+    cursor = start_us
+    for child_name, child in node.get("children", {}).items():
+        cursor += _emit(events, child_name, child, cursor)
+    return duration_us
+
+
+def write_chrome_trace(phases: dict, path,
+                       process_name: str = "repro") -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(chrome_trace(phases, process_name), f, indent=2)
+        f.write("\n")

@@ -1,0 +1,256 @@
+"""``repro diff``: per-rule and per-phase deltas between two run reports.
+
+Compares two :class:`~repro.observability.report.RunReport` artifacts —
+typically a committed baseline and a fresh run of the same program —
+and classifies every changed quantity:
+
+* **count deltas** (fires, facts derived/deleted, duplicates,
+  valuations, inventions, iterations, final fact count) are exact and
+  machine-portable: any change is a behavioural difference, so in
+  strict mode each one is a regression;
+* **time deltas** (per-rule cumulative ms, per-phase ms, total ms) are
+  jittery and machine-dependent: a regression needs BOTH a ratio above
+  ``1 + threshold`` AND an absolute slowdown above ``min_time_ms``, so
+  sub-millisecond noise on a fast run never trips the gate.
+
+The text rendering is what ``repro diff A B`` prints; ``to_dict`` is
+the JSON the CI artifact keeps.  Exit-code convention: the CLI exits 1
+when ``regressions()`` is non-empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observability.events import SCHEMA_VERSION
+from repro.observability.report import RunReport
+
+#: rule-row fields diffed as exact counts
+RULE_COUNT_FIELDS = (
+    "fires", "derived", "deleted", "duplicates", "valuations",
+    "inventions",
+)
+#: top-level stats diffed as exact counts
+STAT_COUNT_FIELDS = ("iterations", "facts", "inventions", "strata")
+
+
+@dataclass
+class Delta:
+    """One changed quantity between baseline (a) and candidate (b)."""
+
+    scope: str        # 'stats' | 'rule' | 'phase'
+    subject: str      # rule text / phase path / stat name
+    metric: str       # which field changed
+    before: float
+    after: float
+    kind: str         # 'count' | 'time'
+    regression: bool = False
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def ratio(self) -> float | None:
+        if self.before == 0:
+            return None
+        return self.after / self.before
+
+    def to_dict(self) -> dict:
+        return {
+            "scope": self.scope,
+            "subject": self.subject,
+            "metric": self.metric,
+            "before": self.before,
+            "after": self.after,
+            "delta": self.delta,
+            "ratio": self.ratio,
+            "kind": self.kind,
+            "regression": self.regression,
+        }
+
+    def render(self) -> str:
+        mark = "!!" if self.regression else "  "
+        if self.kind == "time":
+            ratio = (f" ({self.ratio:.2f}x)"
+                     if self.ratio is not None else "")
+            change = (
+                f"{self.before:.2f} ms -> {self.after:.2f} ms"
+                f" ({self.delta:+.2f} ms){ratio}"
+            )
+        else:
+            change = (f"{int(self.before)} -> {int(self.after)}"
+                      f" ({self.delta:+.0f})")
+        return f"{mark} {self.scope:<5} {self.metric:<12} {change}" \
+               f"  [{self.subject}]"
+
+
+@dataclass
+class ReportDiff:
+    """All deltas between two run reports, plus comparison caveats."""
+
+    baseline: str | None
+    candidate: str | None
+    threshold: float
+    min_time_ms: float
+    strict_counts: bool
+    comparable: bool = True
+    notes: list[str] = field(default_factory=list)
+    deltas: list[Delta] = field(default_factory=list)
+
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.regression]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "report-diff",
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "threshold": self.threshold,
+            "min_time_ms": self.min_time_ms,
+            "strict_counts": self.strict_counts,
+            "comparable": self.comparable,
+            "notes": self.notes,
+            "deltas": [d.to_dict() for d in self.deltas],
+            "regressions": len(self.regressions()),
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"diff: {self.baseline or '<baseline>'}"
+            f" vs {self.candidate or '<candidate>'}"
+        ]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        if not self.deltas:
+            lines.append("no differences")
+            return "\n".join(lines)
+        lines.append("")
+        for delta in self.deltas:
+            lines.append(delta.render())
+        bad = self.regressions()
+        lines.append("")
+        lines.append(
+            f"{len(self.deltas)} delta(s), {len(bad)} regression(s)"
+            f" (time threshold {self.threshold:+.0%},"
+            f" jitter floor {self.min_time_ms:g} ms)"
+        )
+        return "\n".join(lines)
+
+
+def diff_reports(
+    a: RunReport,
+    b: RunReport,
+    threshold: float = 0.25,
+    min_time_ms: float = 1.0,
+    strict_counts: bool = False,
+    baseline_name: str | None = None,
+    candidate_name: str | None = None,
+) -> ReportDiff:
+    """Compare baseline ``a`` against candidate ``b``.
+
+    ``strict_counts`` promotes every count change to a regression —
+    the CI setting when both reports come from the same program on the
+    same commit's workload.  Count changes are otherwise informational
+    (the program may legitimately have changed), and time changes
+    regress only past ``threshold`` *and* ``min_time_ms``.
+    """
+    out = ReportDiff(
+        baseline=baseline_name or a.source_file,
+        candidate=candidate_name or b.source_file,
+        threshold=threshold,
+        min_time_ms=min_time_ms,
+        strict_counts=strict_counts,
+    )
+    if a.program_hash != b.program_hash:
+        out.comparable = False
+        out.notes.append(
+            "program hashes differ"
+            f" ({a.program_hash} vs {b.program_hash});"
+            " count deltas reflect a changed program, not a regression"
+        )
+    if a.schema_hash != b.schema_hash:
+        out.comparable = False
+        out.notes.append(
+            f"schema hashes differ ({a.schema_hash} vs {b.schema_hash})"
+        )
+    if a.semantics != b.semantics:
+        out.comparable = False
+        out.notes.append(
+            f"semantics differ ({a.semantics} vs {b.semantics})"
+        )
+    if a.kernel != b.kernel:
+        out.notes.append(f"kernels differ ({a.kernel} vs {b.kernel})")
+
+    strict = strict_counts and out.comparable
+
+    def count_delta(scope, subject, metric, before, after):
+        if before == after:
+            return
+        out.deltas.append(Delta(
+            scope, subject, metric, float(before), float(after),
+            "count", regression=strict,
+        ))
+
+    def time_delta(scope, subject, metric, before_ms, after_ms):
+        if before_ms == after_ms:
+            return
+        slower = after_ms - before_ms
+        regressed = (
+            slower > min_time_ms
+            and before_ms > 0
+            and after_ms / before_ms > 1 + threshold
+        )
+        if not regressed and abs(slower) <= min_time_ms:
+            return  # sub-jitter wobble: not worth a row
+        out.deltas.append(Delta(
+            scope, subject, metric, before_ms, after_ms, "time",
+            regression=regressed,
+        ))
+
+    # ---- top-level stats ------------------------------------------------
+    for name in STAT_COUNT_FIELDS:
+        count_delta("stats", name, name,
+                    a.stats.get(name, 0) or 0, b.stats.get(name, 0) or 0)
+    time_delta("stats", "total", "total_ms",
+               a.stats.get("time_total_ms", 0.0),
+               b.stats.get("time_total_ms", 0.0))
+
+    # ---- per-rule -------------------------------------------------------
+    rules_a = {row["index"]: row for row in a.rules}
+    rules_b = {row["index"]: row for row in b.rules}
+    for index in sorted(set(rules_a) | set(rules_b)):
+        row_a, row_b = rules_a.get(index), rules_b.get(index)
+        if row_a is None or row_b is None:
+            which = "candidate" if row_a is None else "baseline"
+            present = row_b if row_a is None else row_a
+            out.notes.append(
+                f"rule {index} only in {which}: {present['rule']}"
+            )
+            continue
+        subject = f"rule {index}: {row_a['rule']}"
+        for name in RULE_COUNT_FIELDS:
+            count_delta("rule", subject, name,
+                        row_a.get(name, 0), row_b.get(name, 0))
+        time_delta("rule", subject, "time_ms",
+                   row_a.get("time_ms", 0.0), row_b.get("time_ms", 0.0))
+
+    # ---- per-phase ------------------------------------------------------
+    phases_a = flatten_phases(a.phases)
+    phases_b = flatten_phases(b.phases)
+    for path in sorted(set(phases_a) | set(phases_b)):
+        time_delta("phase", path, "elapsed_ms",
+                   phases_a.get(path, 0.0), phases_b.get(path, 0.0))
+
+    return out
+
+
+def flatten_phases(tree: dict, prefix: str = "total") -> dict[str, float]:
+    """Phase tree -> ``{'total/fixpoint/stratum': elapsed_ms}``."""
+    if not tree:
+        return {}
+    out = {prefix: tree.get("elapsed", 0.0) * 1000}
+    for name, child in tree.get("children", {}).items():
+        out.update(flatten_phases(child, f"{prefix}/{name}"))
+    return out

@@ -21,6 +21,13 @@ from typing import Any, ClassVar
 
 _RICH = {"fact_value", "rule_value", "bindings_value", "violation_value"}
 
+#: version of every serialized observability payload — the JSONL event
+#: stream (via :class:`StreamHeader`), the ``--metrics-out`` snapshot,
+#: the profile JSON and the :class:`repro.observability.report.RunReport`
+#: artifact.  Bump when a field changes meaning or disappears; consumers
+#: (``repro diff``, the CI schema check) refuse payloads from the future.
+SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class EngineEvent:
@@ -43,6 +50,16 @@ class EngineEvent:
             if k != "event" and v is not None
         )
         return f"[{self.kind}] {detail}"
+
+
+@dataclass(frozen=True)
+class StreamHeader(EngineEvent):
+    """First line of a serialized event stream: format version and
+    provenance, so a JSONL file is self-describing."""
+
+    kind: ClassVar[str] = "stream-header"
+    schema_version: int = SCHEMA_VERSION
+    source_file: str | None = None
 
 
 @dataclass(frozen=True)
@@ -149,6 +166,7 @@ class ConstraintViolated(EngineEvent):
 EVENT_TYPES: dict[str, type[EngineEvent]] = {
     cls.kind: cls
     for cls in (
+        StreamHeader,
         RunStarted, RunFinished,
         StratumStarted, StratumFinished,
         IterationStarted, IterationFinished,

@@ -241,7 +241,10 @@ class Instrumentation:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """JSON-ready dump of everything this instrumentation captured."""
+        from repro.observability.events import SCHEMA_VERSION
+
         return {
+            "schema_version": SCHEMA_VERSION,
             "metrics": self.metrics.snapshot()
             if self.metrics is not None else {},
             "phases": self.timer.to_dict(),

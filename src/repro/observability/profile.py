@@ -69,7 +69,10 @@ class Profile:
     metrics: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
+        from repro.observability.events import SCHEMA_VERSION
+
         return {
+            "schema_version": SCHEMA_VERSION,
             "file": self.source_file,
             "total_ms": self.total_time * 1000,
             "iterations": self.iterations,

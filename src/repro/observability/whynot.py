@@ -1,0 +1,306 @@
+"""Why-not provenance: explain why a fact is *absent* from an instance.
+
+The debugging half of Section 5's promised tool support.  Where
+:class:`repro.engine.trace.Tracer` answers "why is this fact here?"
+with a derivation tree, :func:`explain_absence` answers "why is it
+not?" in the justification style of FO(·) systems:
+
+* every rule whose head could produce the fact is replayed against the
+  final instance under the bindings the head forces
+  (:func:`repro.engine.valuation.seed_bindings`), and the *best
+  near-miss valuation* is reported — which body literal failed first
+  (with its source span), and which bindings were live at that point
+  (:func:`repro.engine.step.probe_body`);
+* deletion provenance distinguishes "never derived" from "derived then
+  deleted by a head negation", via the tracer's Δ⁻ records
+  (:meth:`repro.engine.trace.Tracer.deletions_of`).
+
+The report renders as text (``repro explain --why-not``) or JSON
+(``--format json``); both carry the observability schema version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observability.events import SCHEMA_VERSION
+
+#: statuses a why-not report can conclude
+HOLDS = "holds"
+NEVER_DERIVED = "never-derived"
+DERIVED_THEN_DELETED = "derived-then-deleted"
+NO_CANDIDATE_RULE = "no-candidate-rule"
+
+#: per-candidate-rule outcomes
+HEAD_MISMATCH = "head-mismatch"
+BODY_UNSATISFIABLE = "body-unsatisfiable"
+BODY_SATISFIABLE = "body-satisfiable"
+
+
+@dataclass
+class ProvenanceEntry:
+    """One recorded Δ⁺ / Δ⁻ contribution touching the queried fact."""
+
+    action: str  # 'derived' | 'deleted'
+    iteration: int
+    rule_index: int | None
+    rule: str
+    location: str | None
+    fact: str
+
+    def to_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "iteration": self.iteration,
+            "rule_index": self.rule_index,
+            "rule": self.rule,
+            "location": self.location,
+            "fact": self.fact,
+        }
+
+    def render(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        return (
+            f"{self.action} at step {self.iteration}"
+            f" by rule: {self.rule}{where}"
+        )
+
+
+@dataclass
+class RuleNearMiss:
+    """How close one candidate rule came to producing the fact."""
+
+    rule_index: int
+    rule: str
+    location: str | None
+    status: str  # HEAD_MISMATCH | BODY_UNSATISFIABLE | BODY_SATISFIABLE
+    matched: int = 0
+    total: int = 0
+    failed_literal: str | None = None
+    failed_location: str | None = None
+    bindings: dict[str, str] = field(default_factory=dict)
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "rule_index": self.rule_index,
+            "rule": self.rule,
+            "location": self.location,
+            "status": self.status,
+            "matched": self.matched,
+            "total": self.total,
+            "failed_literal": self.failed_literal,
+            "failed_location": self.failed_location,
+            "bindings": self.bindings,
+            "detail": self.detail,
+        }
+
+    def render(self) -> list[str]:
+        where = f" [{self.location}]" if self.location else ""
+        lines = [f"rule {self.rule_index}{where}: {self.rule}"]
+        if self.status == HEAD_MISMATCH:
+            lines.append(f"  head cannot match: {self.detail}")
+            return lines
+        if self.status == BODY_SATISFIABLE:
+            lines.append(
+                f"  all {self.total} body literal(s) satisfiable —"
+                " the rule fires, but its conclusion is not this fact"
+                " (deleted later, or the head produces different"
+                " values)"
+            )
+        else:
+            at = (f" at {self.failed_location}"
+                  if self.failed_location else "")
+            lines.append(
+                f"  matched {self.matched}/{self.total} body"
+                f" literal(s); first failing literal:"
+                f" {self.failed_literal}{at}"
+            )
+            if self.detail:
+                lines.append(f"  note: {self.detail}")
+        if self.bindings:
+            rendered = ", ".join(
+                f"{name} = {value}"
+                for name, value in sorted(self.bindings.items())
+            )
+            lines.append(f"  live bindings: {rendered}")
+        return lines
+
+
+@dataclass
+class WhyNotReport:
+    """The full answer to "why does this fact not hold?"."""
+
+    fact: str
+    semantics: str
+    status: str
+    derivations: list[ProvenanceEntry] = field(default_factory=list)
+    deletions: list[ProvenanceEntry] = field(default_factory=list)
+    candidates: list[RuleNearMiss] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "why-not",
+            "fact": self.fact,
+            "semantics": self.semantics,
+            "status": self.status,
+            "derivations": [e.to_dict() for e in self.derivations],
+            "deletions": [e.to_dict() for e in self.deletions],
+            "candidates": [c.to_dict() for c in self.candidates],
+        }
+
+    def render_text(self) -> str:
+        lines = [f"why-not: {self.fact}"]
+        if self.status == HOLDS:
+            lines.append("the fact holds in the final instance")
+            return "\n".join(lines)
+        lines.append(
+            f"status: {self.status.replace('-', ' ')}"
+            f" ({self.semantics} semantics)"
+        )
+        if self.derivations or self.deletions:
+            lines.append("")
+            lines.append("provenance:")
+            for entry in sorted(
+                self.derivations + self.deletions,
+                key=lambda e: (e.iteration, e.action == "deleted"),
+            ):
+                lines.append(f"  {entry.render()}")
+        if self.candidates:
+            lines.append("")
+            lines.append("candidate rules (best near-miss first):")
+            for miss in self.candidates:
+                for line in miss.render():
+                    lines.append(f"  {line}")
+        elif self.status == NO_CANDIDATE_RULE:
+            lines.append(
+                "no rule has a head that could produce this predicate;"
+                " the fact could only come from the extensional database"
+            )
+        return "\n".join(lines)
+
+
+def explain_absence(
+    engine,
+    instance,
+    fact,
+    tracer=None,
+    semantics: str = "inflationary",
+    source_file: str | None = None,
+    budget: int = 10_000,
+) -> WhyNotReport:
+    """Why is ``fact`` absent from ``instance``?
+
+    ``engine`` is the :class:`repro.engine.Engine` that computed the
+    instance (its analyzed rule runtimes drive the replay); ``tracer``
+    (optional) supplies derivation / deletion provenance recorded during
+    the run.  ``budget`` bounds the per-rule body search.
+    """
+    from repro.engine.activedomain import ActiveDomains
+    from repro.engine.step import probe_body
+    from repro.engine.valuation import MatchContext, seed_bindings
+    from repro.language.ast import Literal
+    from repro.values.complex import value_repr
+
+    rendered_fact = repr(fact)
+    if fact in instance:
+        return WhyNotReport(rendered_fact, semantics, HOLDS)
+
+    derivations: list[ProvenanceEntry] = []
+    deletions: list[ProvenanceEntry] = []
+    if tracer is not None:
+        index_of = _rule_indexes(engine)
+        derivations = [
+            _provenance("derived", d, index_of, source_file)
+            for d in tracer.derivations_of(fact)
+        ]
+        deletions = [
+            _provenance("deleted", d, index_of, source_file)
+            for d in tracer.deletions_of(fact)
+        ]
+
+    ctx = MatchContext(instance, engine.schema)
+    domains = ActiveDomains(instance, engine.schema)
+    candidates: list[RuleNearMiss] = []
+    for runtime in engine.runtimes:
+        head = runtime.rule.head
+        if not isinstance(head, Literal) or head.negated:
+            continue  # denials and deletion rules never produce facts
+        if head.pred != fact.pred:
+            continue
+        location = _location(runtime.rule.span, source_file)
+        seed, mismatch = seed_bindings(head.args, fact, ctx)
+        if mismatch is not None:
+            candidates.append(RuleNearMiss(
+                runtime.index, repr(runtime.rule), location,
+                HEAD_MISMATCH, total=len(runtime.rule.body),
+                detail=mismatch,
+            ))
+            continue
+        probe = probe_body(runtime, ctx, domains, seed=seed,
+                           budget=budget)
+        rendered_bindings = {
+            var.name: value_repr(value)
+            for var, value in probe.bindings.items()
+        }
+        if probe.satisfiable:
+            candidates.append(RuleNearMiss(
+                runtime.index, repr(runtime.rule), location,
+                BODY_SATISFIABLE, matched=probe.total,
+                total=probe.total, bindings=rendered_bindings,
+            ))
+        else:
+            failed_span = getattr(probe.failed, "span", None)
+            candidates.append(RuleNearMiss(
+                runtime.index, repr(runtime.rule), location,
+                BODY_UNSATISFIABLE, matched=probe.matched,
+                total=probe.total,
+                failed_literal=probe.failed_repr,
+                failed_location=_location(failed_span, source_file),
+                bindings=rendered_bindings,
+                detail="search budget exhausted; the reported near-miss"
+                       " is the best found" if probe.exhausted else "",
+            ))
+    candidates.sort(
+        key=lambda c: (
+            c.status == HEAD_MISMATCH,          # informative ones first
+            -(c.matched / c.total if c.total else 0.0),
+            c.rule_index,
+        )
+    )
+
+    if deletions:
+        status = DERIVED_THEN_DELETED
+    elif not candidates:
+        status = NO_CANDIDATE_RULE
+    else:
+        status = NEVER_DERIVED
+    return WhyNotReport(rendered_fact, semantics, status,
+                        derivations, deletions, candidates)
+
+
+def _rule_indexes(engine) -> dict[int, int]:
+    """Map ``id(rule)`` to the engine's rule index, so provenance
+    entries can name the rule number the profile table uses."""
+    return {id(r.rule): r.index for r in engine.runtimes}
+
+
+def _provenance(action, derivation, index_of, source_file
+                ) -> ProvenanceEntry:
+    rule = derivation.rule
+    return ProvenanceEntry(
+        action=action,
+        iteration=derivation.iteration,
+        rule_index=index_of.get(id(rule)),
+        rule=repr(rule),
+        location=_location(getattr(rule, "span", None), source_file),
+        fact=repr(derivation.fact),
+    )
+
+
+def _location(span, source_file: str | None) -> str | None:
+    if span is None:
+        return None
+    prefix = source_file or "<source>"
+    return f"{prefix}:{span.line}:{span.column}"

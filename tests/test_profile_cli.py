@@ -109,9 +109,13 @@ class TestRunObservabilityFlags:
         ]) == 0
         with events_path.open() as f:
             events = read_jsonl(f)
-        assert events[0].kind == "run-start"
+        assert events[0].kind == "stream-header"
+        assert events[0].schema_version == 1
+        assert events[0].source_file == tc_file
+        assert events[1].kind == "run-start"
         assert events[-1].kind == "run-end"
         snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["schema_version"] == 1
         assert "metrics" in snapshot and "phases" in snapshot
         assert snapshot["metrics"]["counters"]  # non-empty
 

@@ -1,0 +1,268 @@
+"""Tests for run reports, ``repro diff`` and the Chrome-trace export."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.language.parser import parse_source
+from repro.observability.chrome import chrome_trace
+from repro.observability.diff import diff_reports, flatten_phases
+from repro.observability.report import (
+    RunReport,
+    load_report,
+    report_program,
+)
+from repro.storage.factset import FactSet
+
+TC_SOURCE = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  parent(par "a", chil "b").
+  parent(par "b", chil "c").
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+"""
+
+
+def build(text):
+    unit = parse_source(text)
+    return unit.schema(), unit.program()
+
+
+def tc_report():
+    schema, program = build(TC_SOURCE)
+    return report_program(schema, program, FactSet(),
+                          source_file="tc.lg")
+
+
+@pytest.fixture
+def tc_file(tmp_path):
+    path = tmp_path / "tc.lg"
+    path.write_text(TC_SOURCE)
+    return str(path)
+
+
+class TestRunReport:
+    def test_report_shape(self):
+        report = tc_report()
+        payload = report.to_dict()
+        assert payload["schema_version"] == 1
+        assert payload["kind"] == "run-report"
+        assert payload["semantics"] == "inflationary"
+        assert payload["stats"]["facts"] == 5
+        assert len(payload["rules"]) == 4
+        assert payload["schema_hash"] and payload["program_hash"]
+        assert payload["phases"]["elapsed"] > 0
+
+    def test_round_trip(self, tmp_path):
+        report = tc_report()
+        path = tmp_path / "report.json"
+        report.write(path)
+        loaded = load_report(path)
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_hashes_stable_across_runs(self):
+        a, b = tc_report(), tc_report()
+        assert a.schema_hash == b.schema_hash
+        assert a.program_hash == b.program_hash
+
+    def test_future_schema_version_rejected(self, tmp_path):
+        report = tc_report()
+        payload = report.to_dict()
+        payload["schema_version"] = 999
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema version"):
+            load_report(path)
+
+    def test_non_report_payload_rejected(self):
+        with pytest.raises(ValueError, match="not a run report"):
+            RunReport.from_dict({"schema_version": 1, "kind": "other"})
+
+
+class TestDiff:
+    def test_identical_reports_have_no_deltas(self):
+        report = tc_report()
+        diff = diff_reports(report, report, strict_counts=True)
+        assert diff.deltas == []
+        assert diff.regressions() == []
+
+    def test_count_change_is_informational_by_default(self):
+        a = tc_report()
+        b = RunReport.from_dict(copy.deepcopy(a.to_dict()))
+        b.rules[0]["fires"] += 3
+        diff = diff_reports(a, b)
+        (delta,) = [d for d in diff.deltas if d.kind == "count"]
+        assert delta.metric == "fires" and delta.delta == 3
+        assert not delta.regression
+
+    def test_count_change_regresses_under_strict(self):
+        a = tc_report()
+        b = RunReport.from_dict(copy.deepcopy(a.to_dict()))
+        b.stats["iterations"] += 1
+        diff = diff_reports(a, b, strict_counts=True)
+        assert len(diff.regressions()) == 1
+
+    def test_injected_2x_slowdown_is_flagged(self):
+        a = tc_report()
+        b = RunReport.from_dict(copy.deepcopy(a.to_dict()))
+        # inflate every time column 2x, keeping counts identical;
+        # lift the baseline above the jitter floor first
+        a.stats["time_total_ms"] = 100.0
+        b.stats["time_total_ms"] = 200.0
+        diff = diff_reports(a, b, threshold=0.25, min_time_ms=1.0)
+        bad = diff.regressions()
+        assert bad and bad[0].metric == "total_ms"
+        assert bad[0].ratio == pytest.approx(2.0)
+
+    def test_sub_jitter_slowdown_not_flagged(self):
+        a = tc_report()
+        b = RunReport.from_dict(copy.deepcopy(a.to_dict()))
+        a.stats["time_total_ms"] = 0.2
+        b.stats["time_total_ms"] = 0.6  # 3x but only +0.4 ms
+        diff = diff_reports(a, b, threshold=0.25, min_time_ms=1.0)
+        assert diff.regressions() == []
+
+    def test_program_change_noted_and_not_strict(self):
+        a = tc_report()
+        b = RunReport.from_dict(copy.deepcopy(a.to_dict()))
+        b.program_hash = "deadbeef"
+        b.stats["facts"] = 99
+        diff = diff_reports(a, b, strict_counts=True)
+        assert not diff.comparable
+        assert any("program hashes differ" in n for n in diff.notes)
+        # count deltas reported but not promoted to regressions
+        assert diff.regressions() == []
+
+    def test_flatten_phases(self):
+        tree = {
+            "elapsed": 0.01, "count": 1,
+            "children": {"fixpoint": {"elapsed": 0.008, "count": 1}},
+        }
+        flat = flatten_phases(tree)
+        assert flat["total"] == pytest.approx(10.0)
+        assert flat["total/fixpoint"] == pytest.approx(8.0)
+
+
+class TestChromeTrace:
+    def test_events_nest_and_sum(self):
+        report = tc_report()
+        doc = chrome_trace(report.phases)
+        assert doc["displayTimeUnit"] == "ms"
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete[0]["name"] == "total"
+        assert complete[0]["ts"] == 0.0
+        for event in complete:
+            assert event["dur"] >= 0
+        # children start within the parent's span
+        total = complete[0]
+        for child in complete[1:]:
+            assert child["ts"] >= total["ts"]
+            assert child["ts"] + child["dur"] <= \
+                total["ts"] + total["dur"] + 1e-6
+
+    def test_empty_tree_is_loadable(self):
+        doc = chrome_trace({})
+        assert doc["traceEvents"][0]["ph"] == "M"  # metadata only
+
+
+class TestCLI:
+    def test_run_report_out(self, tc_file, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["run", tc_file, "--report-out", str(out)]) == 0
+        report = load_report(out)
+        assert report.stats["facts"] == 5
+        assert report.source_file == tc_file
+        assert report.kernel == "incremental"
+
+    def test_run_chrome_out(self, tc_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["run", tc_file, "--chrome-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "total" in names and "fixpoint" in names
+
+    def test_profile_chrome_out(self, tc_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["profile", tc_file, "--chrome-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_diff_identical_exits_zero(self, tc_file, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["run", tc_file, "--report-out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(out), str(out),
+                     "--strict-counts"]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_diff_flags_regression(self, tc_file, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["run", tc_file, "--report-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        payload["stats"]["time_total_ms"] = 100.0
+        doctored = tmp_path / "slow.json"
+        payload2 = copy.deepcopy(payload)
+        payload2["stats"]["time_total_ms"] = 200.0
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(payload))
+        doctored.write_text(json.dumps(payload2))
+        capsys.readouterr()
+        assert main(["diff", str(base), str(doctored)]) == 1
+        assert "!!" in capsys.readouterr().out
+
+    def test_diff_json_format(self, tc_file, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["run", tc_file, "--report-out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(out), str(out), "--format",
+                     "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "report-diff"
+        assert payload["schema_version"] == 1
+        assert payload["deltas"] == []
+
+    def test_diff_bad_file_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["diff", str(missing), str(missing)]) == 2
+
+
+class TestBenchTelemetry:
+    def test_row_format_and_append(self, tmp_path, monkeypatch):
+        import benchmarks.telemetry as telemetry
+
+        class Stats:
+            min = 0.001
+            mean = 0.002
+            stddev = 0.0001
+            rounds = 7
+
+        class Meta:
+            name = "test_x[50]"
+            group = "e01-transitive-closure"
+            has_error = False
+            stats = Stats()
+
+        monkeypatch.setattr(telemetry, "ROOT", tmp_path)
+        for _ in range(2):  # two sessions append, never rewrite
+            touched = telemetry.append_rows([Meta()])
+        assert touched == [tmp_path / "BENCH_e01.json"]
+        rows = telemetry.read_rows(tmp_path / "BENCH_e01.json")
+        assert len(rows) == 2
+        for row in rows:
+            assert row["schema_version"] == 1
+            assert row["kind"] == "bench-row"
+            assert row["exp"] == "e01"
+            assert row["min_ms"] == pytest.approx(1.0)
+
+    def test_reference_report_counts_deterministic(self):
+        import benchmarks.telemetry as telemetry
+
+        a = telemetry.reference_report()
+        b = telemetry.reference_report()
+        diff = diff_reports(a, b, strict_counts=True)
+        assert [d for d in diff.deltas if d.kind == "count"] == []

@@ -1,0 +1,307 @@
+"""Tests for why-not provenance (``repro explain --why-not``).
+
+Pins the tentpole acceptance criteria: for an absent fact, each
+candidate rule reports its first failing body literal with a source
+span, and the report distinguishes "never derived" from "derived then
+deleted" under all three semantics.
+"""
+
+import pytest
+
+from repro import Engine, FactSet, Semantics, TupleValue
+from repro.engine.trace import Tracer
+from repro.language.parser import parse_source
+from repro.observability.whynot import (
+    BODY_SATISFIABLE,
+    BODY_UNSATISFIABLE,
+    DERIVED_THEN_DELETED,
+    HEAD_MISMATCH,
+    HOLDS,
+    NEVER_DERIVED,
+    NO_CANDIDATE_RULE,
+    explain_absence,
+)
+from repro.storage import Fact
+
+TC_SOURCE = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+"""
+
+# derives q then deletes it in the same step: reaches a fixpoint in one
+# iteration under every semantics, so it is usable for all three
+DELETE_SOURCE = """
+associations
+  p = (v: integer).
+  q = (v: integer).
+rules
+  q(v X) <- p(v X).
+  ~q(v X) <- p(v X).
+"""
+
+
+def build(text):
+    unit = parse_source(text)
+    return unit.schema(), unit.program()
+
+
+def tc_run():
+    schema, program = build(TC_SOURCE)
+    edb = FactSet()
+    for p, c in [("a", "b"), ("b", "c")]:
+        edb.add_association("parent", TupleValue(par=p, chil=c))
+    tracer = Tracer()
+    engine = Engine(schema, program)
+    instance = engine.run(edb, tracer=tracer)
+    return engine, instance, tracer
+
+
+class TestNeverDerived:
+    def test_reports_first_failing_literal_per_rule(self):
+        engine, instance, tracer = tc_run()
+        report = explain_absence(
+            engine, instance, Fact("anc", TupleValue(a="c", d="a")),
+            tracer=tracer, source_file="tc.lg",
+        )
+        assert report.status == NEVER_DERIVED
+        assert len(report.candidates) == 2  # both anc rules considered
+        for miss in report.candidates:
+            assert miss.status == BODY_UNSATISFIABLE
+            assert miss.failed_literal is not None
+            assert "parent" in miss.failed_literal
+            assert miss.failed_location.startswith("tc.lg:")
+            # file:line:column
+            assert len(miss.failed_location.split(":")) == 3
+
+    def test_head_bindings_are_live_in_near_miss(self):
+        engine, instance, tracer = tc_run()
+        report = explain_absence(
+            engine, instance, Fact("anc", TupleValue(a="c", d="a")),
+            tracer=tracer,
+        )
+        bindings = report.candidates[0].bindings
+        assert bindings.get("X") == '"c"'
+        assert '"a"' in bindings.values()
+
+    def test_best_near_miss_ranked_first(self):
+        # anc(a "a", d "zz"): the recursive rule matches parent(a, b)
+        # and then fails on anc(b, zz) — a deeper near miss than the
+        # base rule's immediate failure on parent(a, zz)
+        engine, instance, tracer = tc_run()
+        report = explain_absence(
+            engine, instance, Fact("anc", TupleValue(a="a", d="zz")),
+            tracer=tracer,
+        )
+        assert report.status == NEVER_DERIVED
+        best = report.candidates[0]
+        assert best.matched == 1 and best.total == 2
+        assert "anc" in best.failed_literal
+
+    def test_holds_when_fact_present(self):
+        engine, instance, tracer = tc_run()
+        report = explain_absence(
+            engine, instance, Fact("anc", TupleValue(a="a", d="c")),
+            tracer=tracer,
+        )
+        assert report.status == HOLDS
+
+    def test_no_candidate_rule_for_edb_predicate(self):
+        engine, instance, tracer = tc_run()
+        report = explain_absence(
+            engine, instance,
+            Fact("parent", TupleValue(par="z", chil="z")),
+            tracer=tracer,
+        )
+        assert report.status == NO_CANDIDATE_RULE
+        assert report.candidates == []
+
+    def test_head_mismatch_on_constant_head(self):
+        schema, program = build("""
+        associations
+          flag = (name: string).
+        rules
+          flag(name "on") <- flag(name "seed").
+        """)
+        engine = Engine(schema, program)
+        instance = engine.run(FactSet())
+        report = explain_absence(
+            engine, instance, Fact("flag", TupleValue(name="off")),
+        )
+        assert len(report.candidates) == 1
+        assert report.candidates[0].status == HEAD_MISMATCH
+
+    def test_json_payload_is_versioned(self):
+        engine, instance, tracer = tc_run()
+        report = explain_absence(
+            engine, instance, Fact("anc", TupleValue(a="c", d="a")),
+            tracer=tracer,
+        )
+        payload = report.to_dict()
+        assert payload["schema_version"] == 1
+        assert payload["kind"] == "why-not"
+        assert payload["status"] == NEVER_DERIVED
+        assert payload["candidates"][0]["failed_literal"]
+
+
+class TestDerivedThenDeleted:
+    @pytest.mark.parametrize("semantics", list(Semantics))
+    def test_deletion_provenance_all_semantics(self, semantics):
+        schema, program = build(DELETE_SOURCE)
+        edb = FactSet()
+        edb.add_association("p", TupleValue(v=1))
+        tracer = Tracer()
+        engine = Engine(schema, program)
+        instance = engine.run(edb, semantics, tracer=tracer)
+        fact = Fact("q", TupleValue(v=1))
+        assert fact not in instance
+        report = explain_absence(
+            engine, instance, fact, tracer=tracer,
+            semantics=semantics.value,
+        )
+        assert report.status == DERIVED_THEN_DELETED
+        assert len(report.derivations) == 1
+        assert len(report.deletions) == 1
+        assert report.deletions[0].rule.startswith("~q")
+        # the producing rule still matches the final instance
+        (candidate,) = report.candidates
+        assert candidate.status == BODY_SATISFIABLE
+
+    def test_without_tracer_falls_back_to_never_derived(self):
+        schema, program = build(DELETE_SOURCE)
+        edb = FactSet()
+        edb.add_association("p", TupleValue(v=1))
+        engine = Engine(schema, program)
+        instance = engine.run(edb)
+        report = explain_absence(
+            engine, instance, Fact("q", TupleValue(v=1)),
+        )
+        assert report.status == NEVER_DERIVED  # no Δ⁻ records available
+        assert report.deletions == []
+
+    def test_render_text_mentions_both_steps(self):
+        schema, program = build(DELETE_SOURCE)
+        edb = FactSet()
+        edb.add_association("p", TupleValue(v=1))
+        tracer = Tracer()
+        engine = Engine(schema, program)
+        instance = engine.run(edb, tracer=tracer)
+        report = explain_absence(
+            engine, instance, Fact("q", TupleValue(v=1)), tracer=tracer,
+        )
+        text = report.render_text()
+        assert "derived then deleted" in text
+        assert "derived at step" in text
+        assert "deleted at step" in text
+
+
+class TestTracerDeletionQueries:
+    def test_deletions_of_matches_leniently(self):
+        schema, program = build(DELETE_SOURCE)
+        edb = FactSet()
+        edb.add_association("p", TupleValue(v=1))
+        edb.add_association("p", TupleValue(v=2))
+        tracer = Tracer()
+        Engine(schema, program).run(edb, tracer=tracer)
+        assert len(tracer.deletions()) == 2
+        hits = tracer.deletions_of(Fact("q", TupleValue(v=1)))
+        assert len(hits) == 1
+        assert hits[0].fact.value["v"] == 1
+
+    def test_derivations_of_excludes_deletions(self):
+        schema, program = build(DELETE_SOURCE)
+        edb = FactSet()
+        edb.add_association("p", TupleValue(v=1))
+        tracer = Tracer()
+        Engine(schema, program).run(edb, tracer=tracer)
+        fact = Fact("q", TupleValue(v=1))
+        assert all(not d.deleted for d in tracer.derivations_of(fact))
+        assert all(d.deleted for d in tracer.deletions_of(fact))
+
+    def test_class_fact_deletion_matched_by_oid(self):
+        # class facts match deletion records by oid even when the
+        # queried o-value names no attributes
+        from repro.values.oids import Oid
+
+        schema, program = build(DELETE_SOURCE)
+        rule = program.rules[0]
+        tracer = Tracer()
+        tracer.begin_iteration(1)
+        tracer.record(Fact("c", TupleValue(tag="x"), oid=Oid(5)),
+                      rule, {}, deleted=True)
+        assert len(tracer.deletions_of(
+            Fact("c", TupleValue(), oid=Oid(5)))) == 1
+        assert tracer.deletions_of(
+            Fact("c", TupleValue(), oid=Oid(6))) == []
+
+
+class TestExplainWhyNotCLI:
+    @pytest.fixture
+    def tc_file(self, tmp_path):
+        path = tmp_path / "tc.lg"
+        path.write_text("""
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  parent(par "a", chil "b").
+  parent(par "b", chil "c").
+  anc(a X, d Y) <- parent(par X, chil Y).
+  anc(a X, d Z) <- parent(par X, chil Y), anc(a Y, d Z).
+""")
+        return str(path)
+
+    def test_absent_fact_text(self, tc_file, capsys):
+        from repro.cli import main
+
+        code = main(["explain", tc_file, 'anc(a="c", d="a")',
+                     "--why-not"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "never derived" in out
+        assert "first failing literal" in out
+        assert f"{tc_file}:" in out  # source spans resolved to the file
+
+    def test_absent_fact_json(self, tc_file, capsys):
+        import json
+
+        from repro.cli import main
+
+        code = main(["explain", tc_file, 'anc(a="c", d="a")',
+                     "--why-not", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "why-not"
+        assert payload["schema_version"] == 1
+        assert payload["status"] == "never-derived"
+
+    def test_present_fact_exits_zero(self, tc_file, capsys):
+        from repro.cli import main
+
+        assert main(["explain", tc_file, 'anc(a="a", d="c")',
+                     "--why-not"]) == 0
+        assert "holds" in capsys.readouterr().out
+
+    def test_deleted_fact_reported(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "del.lg"
+        path.write_text("""
+associations
+  p = (v: integer).
+  q = (v: integer).
+rules
+  p(v 1).
+  q(v X) <- p(v X).
+  ~q(v X) <- p(v X).
+""")
+        for semantics in ("inflationary", "stratified",
+                          "noninflationary"):
+            code = main(["explain", str(path), "q(v=1)", "--why-not",
+                         "--semantics", semantics])
+            assert code == 1
+            out = capsys.readouterr().out
+            assert "derived then deleted" in out
