@@ -36,15 +36,18 @@ fixpoints), :mod:`repro.constraints` (generated integrity constraints),
 
 from repro.core.coerce import from_value, to_value
 from repro.core.database import Database
-from repro.engine import Engine, EvalConfig, Semantics
+from repro.engine import Engine, EvalConfig, ResourceGuard, Semantics
 from repro.errors import (
     ConsistencyError,
+    EvalBudgetExceeded,
     LogresError,
     ModuleApplicationError,
     NonTerminationError,
     ParseError,
     SafetyError,
     SchemaError,
+    StorageError,
+    TransactionError,
     TypingError,
 )
 from repro.language.parser import (
@@ -80,6 +83,7 @@ __all__ = [
     "Database",
     "DatabaseState",
     "Engine",
+    "EvalBudgetExceeded",
     "EvalConfig",
     "Evolution",
     "Fact",
@@ -93,6 +97,7 @@ __all__ = [
     "Oid",
     "OidGenerator",
     "ParseError",
+    "ResourceGuard",
     "SafetyError",
     "Schema",
     "SchemaBuilder",
@@ -100,6 +105,8 @@ __all__ = [
     "Semantics",
     "SequenceValue",
     "SetValue",
+    "StorageError",
+    "TransactionError",
     "TupleValue",
     "TypingError",
     "apply_module",

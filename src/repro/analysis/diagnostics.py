@@ -89,6 +89,15 @@ CODES: dict[str, str] = {
     "LG702": "deleted rule does not occur in the database rules",
     "LG703": "module application yields an inconsistent state",
     "LG704": "initial state is inconsistent",
+    # runtime budgets (execution guards; docs/ROBUSTNESS.md)
+    "LG801": "wall-clock timeout exceeded",
+    "LG802": "derived-fact budget exceeded",
+    "LG803": "oid invention budget exceeded",
+    "LG804": "derived fact exceeds the size budget",
+    "LG805": "evaluation cancelled",
+    "LG806": "iteration budget exceeded",
+    # storage
+    "LG901": "persisted database state is corrupt or unreadable",
 }
 
 #: which legacy exception class a code maps onto when no collector is

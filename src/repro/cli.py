@@ -29,7 +29,10 @@ format, loadable in Perfetto).
 
 Failures in parsing or analysis are printed as diagnostics
 (``file:line:col: error[CODE]: message``), never as tracebacks, and exit
-with status 2.
+with status 2; interrupted evaluations — an execution-guard breach
+(``--timeout`` / ``--max-facts`` / ``--max-oids``) or the iteration
+budget — render the same way and exit with status 3.  The full exit-code
+convention is documented in ``docs/ROBUSTNESS.md``.
 
 Source units may carry facts as rules (``p(x 1).``); a persisted state
 can be supplied with ``--state state.json`` (see ``Database.save``).
@@ -42,10 +45,17 @@ import sys
 
 from repro.analysis import Diagnostic, Severity, diagnostics_to_json
 from repro.constraints.checker import ConsistencyChecker
-from repro.engine import Engine, EvalConfig, Semantics
+from repro.engine import Engine, EvalConfig, ResourceGuard, Semantics
 from repro.engine.goals import answer_goal
+from repro.engine.guards import BUDGET_CODES
 from repro.engine.trace import Tracer
-from repro.errors import LogresError, ParseError
+from repro.errors import (
+    EvalBudgetExceeded,
+    LogresError,
+    NonTerminationError,
+    ParseError,
+    StorageError,
+)
 from repro.language.parser import parse_source
 from repro.language.pretty import render_source
 from repro.span import Span
@@ -69,6 +79,23 @@ def _load_unit(path: str, state_path: str | None):
     from repro.language.ast import Program
 
     return schema, Program(rules, unit.goal), edb
+
+
+def _eval_config(args) -> EvalConfig:
+    """The :class:`EvalConfig` (and optional guard) the flags request."""
+    guard = None
+    if (args.timeout is not None or args.max_facts is not None
+            or args.max_oids is not None):
+        guard = ResourceGuard(
+            timeout=args.timeout,
+            max_facts=args.max_facts,
+            max_inventions=args.max_oids,
+        )
+    return EvalConfig(
+        max_iterations=getattr(args, "max_iterations", 10_000),
+        incremental=not getattr(args, "reference", False),
+        guard=guard,
+    )
 
 
 def _print_instance(instance: FactSet) -> None:
@@ -134,9 +161,7 @@ def _run_instrumentation(args):
 def cmd_run(args) -> int:
     schema, program, edb = _load_unit(args.file, args.state)
     obs, finish = _run_instrumentation(args)
-    engine = Engine(schema, program,
-                    EvalConfig(max_iterations=args.max_iterations,
-                               incremental=not args.reference),
+    engine = Engine(schema, program, _eval_config(args),
                     instrumentation=obs)
     try:
         if obs is not None:
@@ -201,6 +226,7 @@ def cmd_profile(args) -> int:
     _, profile, obs = profile_program(
         schema, program, edb,
         semantics=Semantics(args.semantics),
+        config=_eval_config(args),
         source_file=args.file,
         sink=sink,
     )
@@ -235,7 +261,8 @@ def cmd_check(args) -> int:
         print("ok: schema valid, program safe (evaluation skipped)")
         return 0
     schema, program, edb = _load_unit(args.file, args.state)
-    engine = Engine(schema, program)  # analysis runs in the constructor
+    # analysis runs in the constructor
+    engine = Engine(schema, program, _eval_config(args))
     instance = engine.run(edb, Semantics(args.semantics))
     denials = tuple(r for r in program.rules if r.is_denial)
     violations = ConsistencyChecker(schema, denials).check(instance)
@@ -301,7 +328,7 @@ def cmd_explain(args) -> int:
         return 2
     schema, program, edb = _load_unit(args.file, args.state)
     tracer = Tracer()
-    engine = Engine(schema, program)
+    engine = Engine(schema, program, _eval_config(args))
     instance = engine.run(edb, Semantics(args.semantics), tracer=tracer)
     if args.why_not:
         import json
@@ -497,6 +524,19 @@ def build_parser() -> argparse.ArgumentParser:
             choices=[s.value for s in Semantics],
             default=Semantics.INFLATIONARY.value,
         )
+        # execution guards (docs/ROBUSTNESS.md); a breach exits 3
+        p.add_argument(
+            "--timeout", type=float, metavar="SECONDS",
+            help="wall-clock budget for evaluation",
+        )
+        p.add_argument(
+            "--max-facts", type=int, metavar="N",
+            help="budget on live derived facts",
+        )
+        p.add_argument(
+            "--max-oids", type=int, metavar="N",
+            help="budget on invented oids",
+        )
 
     p_run = sub.add_parser("run", help="evaluate and print the instance")
     common(p_run)
@@ -622,7 +662,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _diagnostics_of(exc: LogresError) -> tuple[Diagnostic, ...]:
     """The diagnostics an exception carries, synthesizing one for a bare
-    :class:`ParseError` so every failure renders uniformly."""
+    :class:`ParseError` (and for storage corruption) so every failure
+    renders uniformly."""
     if exc.diagnostics:
         return tuple(exc.diagnostics)
     if isinstance(exc, ParseError):
@@ -630,13 +671,42 @@ def _diagnostics_of(exc: LogresError) -> tuple[Diagnostic, ...]:
             "LG101", Severity.ERROR, exc.raw_message,
             Span(exc.line, exc.column) if exc.line else None,
         ),)
+    if isinstance(exc, StorageError):
+        return (Diagnostic("LG901", Severity.ERROR, str(exc)),)
     return ()
+
+
+def _budget_diagnostic(exc: NonTerminationError) -> Diagnostic:
+    """A structured diagnostic for an interrupted evaluation: the tripped
+    budget's stable code plus how far the run got."""
+    budget = ""
+    if isinstance(exc, EvalBudgetExceeded):
+        budget = exc.budget
+    code = BUDGET_CODES.get(budget, BUDGET_CODES["max_iterations"])
+    message = str(exc)
+    stats = exc.stats
+    if stats is not None:
+        message += (
+            f" [stopped after {stats.iterations} iteration(s),"
+            f" {stats.facts_derived} fact(s) derived,"
+            f" {stats.inventions} invented oid(s)]"
+        )
+    return Diagnostic(code, Severity.ERROR, message)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except NonTerminationError as exc:
+        # guard breaches and iteration-budget exhaustion: exit 3, with
+        # a structured diagnostic instead of a traceback
+        diag = _budget_diagnostic(exc)
+        file = getattr(args, "file", None)
+        if file:
+            diag = diag.with_file(file)
+        print(diag.render(), file=sys.stderr)
+        return 3
     except LogresError as exc:
         diagnostics = _diagnostics_of(exc)
         if diagnostics:

@@ -34,7 +34,11 @@ from repro.modules.apply import ApplicationResult, apply_module
 from repro.modules.module import Mode, Module
 from repro.modules.state import DatabaseState, materialize
 from repro.storage.factset import FactSet
-from repro.storage.persist import dumps_state, loads_state
+from repro.storage.persist import (
+    atomic_write_text,
+    dumps_state,
+    loads_state,
+)
 from repro.types.schema import Schema
 from repro.values.complex import TupleValue, Value
 from repro.values.oids import Oid, OidGenerator
@@ -334,8 +338,9 @@ class Database:
         return db
 
     def save(self, path) -> None:
-        with open(path, "w", encoding="utf-8") as f:
-            f.write(self.dumps())
+        """Persist atomically: a crash mid-save leaves any previous
+        on-disk database intact (``docs/ROBUSTNESS.md``)."""
+        atomic_write_text(path, self.dumps())
 
     @classmethod
     def load(cls, path, **kwargs) -> "Database":

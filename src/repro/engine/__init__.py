@@ -9,5 +9,8 @@
 
 from repro.engine.fixpoint import Engine, EvalConfig, Semantics
 from repro.engine.goals import answer_goal
+from repro.engine.guards import ResourceGuard
 
-__all__ = ["Engine", "EvalConfig", "Semantics", "answer_goal"]
+__all__ = [
+    "Engine", "EvalConfig", "ResourceGuard", "Semantics", "answer_goal",
+]

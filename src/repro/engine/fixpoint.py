@@ -32,12 +32,17 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from repro.errors import EvaluationError, NonTerminationError
+from repro.errors import (
+    EvalBudgetExceeded,
+    EvaluationError,
+    NonTerminationError,
+)
 from repro.observability.instrument import (
     NULL_INSTRUMENTATION,
     Instrumentation,
 )
 from repro.engine.activedomain import ActiveDomains
+from repro.engine.guards import ResourceGuard
 from repro.engine.step import (
     InventionRegistry,
     RuleRuntime,
@@ -49,6 +54,7 @@ from repro.engine.step import (
     process_head,
 )
 from repro.engine.valuation import MatchContext, match_fact
+from repro.testing.faults import FAULTS
 from repro.analysis.driver import analyze_or_raise
 from repro.language.analysis import (
     AnalyzedProgram,
@@ -87,6 +93,13 @@ class EvalConfig:
     persist across iterations.  ``incremental=False`` keeps the
     reference copy-per-iteration implementation, which the property
     suite pins the kernel against.
+
+    ``guard`` attaches a :class:`~repro.engine.guards.ResourceGuard`:
+    wall-clock timeout, live-fact / invented-oid / fact-size budgets and
+    cooperative cancellation, checked at every iteration boundary and at
+    invention sites.  A breach raises
+    :class:`~repro.errors.EvalBudgetExceeded` carrying the partial stats
+    and a consistent partial-state snapshot (``docs/ROBUSTNESS.md``).
     """
 
     max_iterations: int = 10_000
@@ -95,6 +108,7 @@ class EvalConfig:
     seminaive: bool = True
     use_indexes: bool = True
     incremental: bool = True
+    guard: ResourceGuard | None = None
 
 
 @dataclass
@@ -162,12 +176,18 @@ class Engine:
             obs = obs.with_extra_sink(tracer)
         if obs.enabled:
             obs.run_started(semantics.value, len(self.runtimes))
+        if self.config.guard is not None:
+            self.config.guard.arm()
         started = time.perf_counter()
         facts_out = 0
         try:
             result = self._run(edb, semantics, obs)
             facts_out = result.count()
             return result
+        except EvalBudgetExceeded as exc:
+            # kernels attach the consistent snapshot; the run boundary
+            # guarantees the partial stats are always present
+            raise exc.attach(stats=self.stats)
         finally:
             self.stats.time_total = time.perf_counter() - started
             if obs.enabled:
@@ -224,6 +244,8 @@ class Engine:
         timing boundary (and the observability layer one emit point)."""
         number = self.stats.iterations + 1
         self.stats.iterations = number
+        if FAULTS.enabled:
+            FAULTS.fire("engine.iteration", guard=self.config.guard)
         if obs.enabled:
             obs.iteration_started(number)
         started = time.perf_counter()
@@ -234,6 +256,23 @@ class Engine:
             self.stats.time_per_iteration.append(elapsed)
             if obs.enabled:
                 obs.iteration_finished(number, elapsed)
+
+    def _guard_boundary(
+        self,
+        guard: ResourceGuard | None,
+        facts: FactSet,
+        live: int,
+        inventions: int,
+    ) -> None:
+        """The per-kernel iteration-boundary guard check.  ``facts`` is
+        the state of the last completed iteration, so the snapshot a
+        breach carries is always consistent."""
+        if guard is None:
+            return
+        try:
+            guard.check_iteration(live, inventions)
+        except EvalBudgetExceeded as exc:
+            raise exc.attach(stats=self.stats, snapshot=facts)
 
     def _reserve(self, edb: FactSet) -> None:
         from repro.values.oids import Oid
@@ -277,6 +316,7 @@ class Engine:
         fact set.
         """
         cfg = self.config
+        guard = cfg.guard
         step_obs = obs if obs.enabled else None
         metrics = obs.metrics if obs.enabled else None
         ctx = MatchContext(facts, self.schema, cfg.use_indexes,
@@ -284,17 +324,25 @@ class Engine:
         domains = ActiveDomains(facts, self.schema)
         live = facts.count()
         for _ in range(cfg.max_iterations):
-            with self._iteration(obs):
-                deltas = compute_deltas(rules, ctx, inventions,
-                                        obs=step_obs, domains=domains)
-                self.stats.inventions += deltas.inventions
-                if inventions.count > cfg.max_inventions:
-                    raise NonTerminationError(
-                        f"oid invention budget exceeded"
-                        f" ({inventions.count} oids)",
-                        self.stats.iterations,
-                    )
-                net = apply_deltas_inplace(facts, deltas)
+            self._guard_boundary(guard, facts, live, inventions.count)
+            try:
+                with self._iteration(obs):
+                    deltas = compute_deltas(rules, ctx, inventions,
+                                            obs=step_obs, domains=domains,
+                                            guard=guard)
+                    self.stats.inventions += deltas.inventions
+                    if inventions.count > cfg.max_inventions:
+                        raise NonTerminationError(
+                            f"oid invention budget exceeded"
+                            f" ({inventions.count} oids)",
+                            self.stats.iterations,
+                            stats=self.stats,
+                        )
+                    net = apply_deltas_inplace(facts, deltas)
+            except EvalBudgetExceeded as exc:
+                # compute_deltas never mutates ``facts``, so the working
+                # set still is the last iteration boundary's state
+                raise exc.attach(stats=self.stats, snapshot=facts)
             if net.is_empty:
                 return facts
             live += net.count_drift
@@ -304,10 +352,12 @@ class Engine:
                 raise NonTerminationError(
                     f"fact budget exceeded ({live} facts)",
                     self.stats.iterations,
+                    stats=self.stats,
                 )
         raise NonTerminationError(
             f"no fixpoint after {cfg.max_iterations} iterations",
             self.stats.iterations,
+            stats=self.stats,
         )
 
     def _run_inflationary_reference(
@@ -324,23 +374,30 @@ class Engine:
         fact set and compares whole states for fixpoint detection.
         """
         cfg = self.config
+        guard = cfg.guard
         step_obs = obs if obs.enabled else None
         metrics = obs.metrics if obs.enabled else None
         for _ in range(cfg.max_iterations):
-            with self._iteration(obs):
-                ctx = MatchContext(facts, self.schema,
-                                   self.config.use_indexes,
-                                   metrics=metrics)
-                deltas = compute_deltas(rules, ctx, inventions,
-                                        obs=step_obs)
-                self.stats.inventions += deltas.inventions
-                if inventions.count > cfg.max_inventions:
-                    raise NonTerminationError(
-                        f"oid invention budget exceeded"
-                        f" ({inventions.count} oids)",
-                        self.stats.iterations,
-                    )
-                new_facts = apply_deltas(facts, deltas)
+            self._guard_boundary(guard, facts, facts.count(),
+                                 inventions.count)
+            try:
+                with self._iteration(obs):
+                    ctx = MatchContext(facts, self.schema,
+                                       self.config.use_indexes,
+                                       metrics=metrics)
+                    deltas = compute_deltas(rules, ctx, inventions,
+                                            obs=step_obs, guard=guard)
+                    self.stats.inventions += deltas.inventions
+                    if inventions.count > cfg.max_inventions:
+                        raise NonTerminationError(
+                            f"oid invention budget exceeded"
+                            f" ({inventions.count} oids)",
+                            self.stats.iterations,
+                            stats=self.stats,
+                        )
+                    new_facts = apply_deltas(facts, deltas)
+            except EvalBudgetExceeded as exc:
+                raise exc.attach(stats=self.stats, snapshot=facts)
             if new_facts == facts:
                 return facts
             facts = new_facts
@@ -349,10 +406,12 @@ class Engine:
                 raise NonTerminationError(
                     f"fact budget exceeded ({facts.count()} facts)",
                     self.stats.iterations,
+                    stats=self.stats,
                 )
         raise NonTerminationError(
             f"no fixpoint after {cfg.max_iterations} iterations",
             self.stats.iterations,
+            stats=self.stats,
         )
 
     # ------------------------------------------------------------------
@@ -382,13 +441,15 @@ class Engine:
         self, facts: FactSet, rules: list[RuleRuntime]
     ) -> FactSet:
         cfg = self.config
+        guard = cfg.guard
         incremental = cfg.incremental
         inventions = InventionRegistry(self.oidgen)  # unused but uniform
         obs = NULL_INSTRUMENTATION  # semi-naive only runs uninstrumented
         # initial round: fact rules and rules over the EDB
+        self._guard_boundary(guard, facts, facts.count(), 0)
         with self._iteration(obs):
             ctx = MatchContext(facts, self.schema, cfg.use_indexes)
-            first = compute_deltas(rules, ctx, inventions)
+            first = compute_deltas(rules, ctx, inventions, guard=guard)
             if incremental:
                 # one working fact set, mutated in place; the net change
                 # is exactly the facts the EDB did not already contain,
@@ -407,12 +468,14 @@ class Engine:
             domains = ActiveDomains(facts, self.schema)
             self.stats.facts_derived = live
         while delta.count():
+            self._guard_boundary(guard, facts, live, 0)
             with self._iteration(obs):
                 if self.stats.iterations > cfg.max_iterations:
                     raise NonTerminationError(
                         f"no fixpoint after {cfg.max_iterations}"
                         f" iterations",
                         self.stats.iterations,
+                        stats=self.stats,
                     )
                 if not incremental:
                     ctx = MatchContext(facts, self.schema,
@@ -438,7 +501,7 @@ class Engine:
                             ):
                                 process_head(
                                     runtime, bindings, ctx, round_delta,
-                                    inventions,
+                                    inventions, guard=guard,
                                 )
                 if incremental:
                     # in-place union: `add` reports exactly the fresh
@@ -459,6 +522,7 @@ class Engine:
                 raise NonTerminationError(
                     f"fact budget exceeded ({live} facts)",
                     self.stats.iterations,
+                    stats=self.stats,
                 )
         return facts
 
@@ -477,6 +541,7 @@ class Engine:
                 "non-inflationary semantics does not support oid invention"
             )
         cfg = self.config
+        guard = cfg.guard
         step_obs = obs if obs.enabled else None
         metrics = obs.metrics if obs.enabled else None
         facts = edb.copy()
@@ -484,16 +549,21 @@ class Engine:
             facts.index_stats = obs.index_stats
         seen: list[FactSet] = [facts.copy()]
         for _ in range(cfg.max_iterations):
-            with self._iteration(obs):
-                ctx = MatchContext(facts, self.schema,
-                                   self.config.use_indexes,
-                                   metrics=metrics)
-                deltas = compute_deltas(rules, ctx, inventions,
-                                        skip_satisfied=False,
-                                        obs=step_obs)
-                new_facts = edb.copy().compose(deltas.plus).minus(
-                    deltas.minus
-                )
+            self._guard_boundary(guard, facts, facts.count(),
+                                 inventions.count)
+            try:
+                with self._iteration(obs):
+                    ctx = MatchContext(facts, self.schema,
+                                       self.config.use_indexes,
+                                       metrics=metrics)
+                    deltas = compute_deltas(rules, ctx, inventions,
+                                            skip_satisfied=False,
+                                            obs=step_obs, guard=guard)
+                    new_facts = edb.copy().compose(deltas.plus).minus(
+                        deltas.minus
+                    )
+            except EvalBudgetExceeded as exc:
+                raise exc.attach(stats=self.stats, snapshot=facts)
             if new_facts == facts:
                 return facts
             for previous in seen:
@@ -502,6 +572,7 @@ class Engine:
                         "non-inflationary evaluation oscillates between"
                         " states without reaching a fixpoint",
                         self.stats.iterations,
+                        stats=self.stats,
                     )
             seen.append(new_facts.copy())
             facts = new_facts
@@ -509,10 +580,12 @@ class Engine:
                 raise NonTerminationError(
                     f"fact budget exceeded ({facts.count()} facts)",
                     self.stats.iterations,
+                    stats=self.stats,
                 )
         raise NonTerminationError(
             f"no fixpoint after {cfg.max_iterations} iterations",
             self.stats.iterations,
+            stats=self.stats,
         )
 
 

@@ -457,6 +457,7 @@ def process_head(
     inventions: InventionRegistry,
     skip_satisfied: bool = True,
     obs=None,
+    guard=None,
 ) -> list[Fact]:
     """Turn one body valuation into a Δ⁺ or Δ⁻ contribution.
 
@@ -477,14 +478,14 @@ def process_head(
         else:
             contributed = _derive_object(
                 runtime, head, bindings, ctx, deltas, inventions,
-                skip_satisfied, obs,
+                skip_satisfied, obs, guard,
             )
     else:
         if head.negated:
             contributed = _delete_tuples(head, bindings, ctx, deltas)
         else:
             contributed = _derive_tuple(head, bindings, ctx, deltas,
-                                        skip_satisfied)
+                                        skip_satisfied, guard)
     if obs is not None:
         obs.rule_fired(runtime, contributed, bindings, head.negated)
     return contributed
@@ -569,8 +570,11 @@ def _derive_object(
     inventions: InventionRegistry,
     skip_satisfied: bool = True,
     obs=None,
+    guard=None,
 ) -> list[Fact]:
     attrs = _head_attributes(head, bindings, ctx)
+    if guard is not None:
+        guard.check_fact_size(head.pred, attrs)
     oid: Oid | None = None
     for term in (head.args.self_term, head.args.tuple_var):
         if term is None:
@@ -590,6 +594,10 @@ def _derive_object(
         oid, fresh = inventions.oid_for(runtime.index, bindings)
         if fresh:
             deltas.inventions += 1
+            if guard is not None:
+                # invention-site budget check: a runaway inventing rule
+                # is stopped mid-iteration, not one iteration late
+                guard.on_invention(inventions.count)
             if obs is not None:
                 obs.invention(runtime, oid)
     else:
@@ -660,8 +668,11 @@ def _derive_tuple(
     ctx: MatchContext,
     deltas: StepDeltas,
     skip_satisfied: bool = True,
+    guard=None,
 ) -> list[Fact]:
     attrs = _head_attributes(head, bindings, ctx)
+    if guard is not None:
+        guard.check_fact_size(head.pred, attrs)
     fact = Fact(head.pred, attrs)
     if skip_satisfied and fact in ctx.facts:
         return []
@@ -700,6 +711,7 @@ def compute_deltas(
     skip_satisfied: bool = True,
     obs=None,
     domains: ActiveDomains | None = None,
+    guard=None,
 ) -> StepDeltas:
     """Apply every rule once against the current fact set.
 
@@ -719,7 +731,7 @@ def compute_deltas(
                 continue  # denials: evaluated by the consistency checker
             for bindings in evaluate_body(runtime, ctx, domains):
                 process_head(runtime, bindings, ctx, deltas, inventions,
-                             skip_satisfied)
+                             skip_satisfied, guard=guard)
         return deltas
     clock = time.perf_counter
     for runtime in runtimes:
@@ -728,7 +740,7 @@ def compute_deltas(
         started = clock()
         for bindings in evaluate_body(runtime, ctx, domains):
             process_head(runtime, bindings, ctx, deltas, inventions,
-                         skip_satisfied, obs)
+                         skip_satisfied, obs, guard=guard)
         obs.rule_evaluated(runtime, clock() - started)
     return deltas
 

@@ -98,11 +98,63 @@ class EvaluationError(LogresError):
 
 class NonTerminationError(EvaluationError):
     """The inflationary sequence exceeded its iteration or oid-invention
-    budget (termination is undecidable; Appendix B)."""
+    budget (termination is undecidable; Appendix B).
 
-    def __init__(self, message: str, iterations: int = 0):
+    ``iterations`` is how far the run got; ``stats`` carries the partial
+    :class:`repro.engine.fixpoint.EvalStats` of the interrupted run (or
+    ``None`` for raisers that have no engine stats, e.g. the ALGRES
+    evaluator).
+    """
+
+    def __init__(self, message: str, iterations: int = 0, stats=None):
         self.iterations = iterations
+        self.stats = stats
         super().__init__(message)
+
+
+class EvalBudgetExceeded(NonTerminationError):
+    """A :class:`repro.engine.guards.ResourceGuard` budget tripped.
+
+    Deterministic runtime interruption: ``budget`` names the budget that
+    tripped (``"timeout"``, ``"max_facts"``, ``"max_inventions"``,
+    ``"max_fact_size"``, ``"cancelled"``), ``limit`` / ``observed`` are
+    the configured bound and the measured value, and ``snapshot`` is a
+    consistent partial fact set captured at the breach (the state of the
+    last completed iteration boundary), attached by the engine kernel
+    that propagated the breach.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget: str = "",
+        limit=None,
+        observed=None,
+        iterations: int = 0,
+        stats=None,
+        snapshot=None,
+    ):
+        super().__init__(message, iterations, stats=stats)
+        self.budget = budget
+        self.limit = limit
+        self.observed = observed
+        self.snapshot = snapshot
+
+    def attach(self, stats=None, snapshot=None) -> "EvalBudgetExceeded":
+        """Fill in run context at the kernel boundary (first writer wins,
+        so the innermost kernel's consistent snapshot is kept)."""
+        if stats is not None and self.stats is None:
+            self.stats = stats
+            self.iterations = stats.iterations
+        if snapshot is not None and self.snapshot is None:
+            self.snapshot = snapshot
+        return self
+
+
+class TransactionError(LogresError):
+    """A savepoint rollback could not restore the pre-apply state
+    exactly (fingerprint mismatch after undo) — the database state must
+    be considered corrupt."""
 
 
 class BuiltinError(EvaluationError):

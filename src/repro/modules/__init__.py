@@ -4,6 +4,7 @@ from repro.modules.state import DatabaseState, materialize
 from repro.modules.module import Mode, Module
 from repro.modules.apply import ApplicationResult, apply_module
 from repro.modules.evolution import Evolution, EvolutionStep
+from repro.modules.txn import Savepoint, state_fingerprints
 
 __all__ = [
     "ApplicationResult",
@@ -12,6 +13,8 @@ __all__ = [
     "EvolutionStep",
     "Mode",
     "Module",
+    "Savepoint",
     "apply_module",
     "materialize",
+    "state_fingerprints",
 ]

@@ -36,7 +36,9 @@ from repro.errors import LogresError, ModuleApplicationError
 from repro.language.ast import Program, Rule
 from repro.modules.module import Mode, Module
 from repro.modules.state import DatabaseState, materialize
+from repro.modules.txn import Savepoint
 from repro.storage.factset import FactSet
+from repro.testing.faults import FAULTS
 from repro.types.schema import Schema
 from repro.values.complex import Value
 from repro.values.oids import OidGenerator
@@ -81,11 +83,20 @@ def apply_module(
     An enabled :class:`repro.observability.Instrumentation` records the
     whole application into the ``module_apply_time{mode=...}`` histogram
     and receives the final consistency check's violations as events.
+
+    The whole application runs inside a :class:`repro.modules.txn.Savepoint`
+    over the *input* state: any failure — a mode check, a constraint
+    violation, a :class:`~repro.errors.EvalBudgetExceeded` guard breach,
+    or an arbitrary mid-apply exception — rolls the input state back to
+    exactly its pre-apply ``(E, R, S)``, verified by fingerprint
+    identity, and re-raises the original failure.  A
+    ``module-rollback`` observability event records each rollback.
     """
     obs = instrumentation
     if obs is not None and not obs.enabled:
         obs = None
     started = time.perf_counter() if obs is not None else 0.0
+    savepoint = Savepoint(state, oidgen)
     try:
         mode_diags = check_module_application(state, module, mode)
         errors = [d for d in mode_diags if d.severity is Severity.ERROR]
@@ -101,25 +112,27 @@ def apply_module(
             )
 
         try:
+            if FAULTS.enabled:
+                FAULTS.fire(
+                    "module.apply",
+                    guard=config.guard if config is not None else None,
+                )
             if mode is Mode.RIDI:
-                return _apply_ridi(state, module, semantics, config,
-                                   oidgen, obs)
-            if mode is Mode.RADI:
-                return _apply_radi(state, module, semantics, config,
-                                   oidgen, obs)
-            if mode is Mode.RDDI:
-                return _apply_rddi(state, module, semantics, config,
-                                   oidgen, obs)
-            if mode is Mode.RIDV:
-                return _apply_datavariant(
+                result = _apply_ridi(state, module, semantics, config,
+                                     oidgen, obs)
+            elif mode is Mode.RADI:
+                result = _apply_radi(state, module, semantics, config,
+                                     oidgen, obs)
+            elif mode is Mode.RDDI:
+                result = _apply_rddi(state, module, semantics, config,
+                                     oidgen, obs)
+            elif mode in (Mode.RIDV, Mode.RADV):
+                result = _apply_datavariant(
                     state, module, mode, semantics, config, oidgen, obs
                 )
-            if mode is Mode.RADV:
-                return _apply_datavariant(
-                    state, module, mode, semantics, config, oidgen, obs
-                )
-            return _apply_rddv(state, module, semantics, config, oidgen,
-                               obs)
+            else:
+                result = _apply_rddv(state, module, semantics, config,
+                                     oidgen, obs)
         except ModuleApplicationError:
             raise
         except LogresError as exc:
@@ -127,12 +140,44 @@ def apply_module(
                 f"applying module {module.name!r} with {mode.value} failed:"
                 f" {exc}"
             ) from exc
+        savepoint.release()
+        return result
+    except BaseException as exc:
+        _rollback(savepoint, module, mode, exc, obs)
+        raise
     finally:
         if obs is not None and obs.metrics is not None:
             obs.metrics.observe(
                 "module_apply_time",
                 (("mode", mode.value),),
                 time.perf_counter() - started,
+            )
+
+
+def _rollback(savepoint: Savepoint, module: Module, mode: Mode,
+              cause: BaseException, obs) -> None:
+    """Restore the pre-apply state and record the rollback.
+
+    A failed restoration (:class:`~repro.errors.TransactionError`)
+    propagates *instead of* the original failure, chained to it —
+    corruption outranks the error that exposed it.
+    """
+    from repro.errors import TransactionError
+
+    restored = False
+    try:
+        savepoint.rollback()
+        restored = True
+    except TransactionError as txn_exc:
+        raise txn_exc from cause
+    finally:
+        if obs is not None:
+            obs.module_rollback(
+                module=module.name,
+                mode=mode.value,
+                reason=type(cause).__name__,
+                error=str(cause),
+                restored=restored,
             )
 
 
@@ -169,6 +214,11 @@ def _finalize(
     """Materialize I1, verify consistency, answer the goal if requested."""
     instance = materialize(new_state, semantics, config, oidgen,
                            extra_rules=goal_rules)
+    if FAULTS.enabled:
+        FAULTS.fire(
+            "module.finalize",
+            guard=config.guard if config is not None else None,
+        )
     denials = new_state.denials() + tuple(
         r for r in module.rules if r.is_denial
     )

@@ -163,6 +163,19 @@ class ConstraintViolated(EngineEvent):
     violation_value: Any = field(default=None, repr=False, compare=False)
 
 
+@dataclass(frozen=True)
+class ModuleRollback(EngineEvent):
+    """A transactional module application failed and was rolled back to
+    the pre-apply savepoint (``docs/ROBUSTNESS.md``)."""
+
+    kind: ClassVar[str] = "module-rollback"
+    module: str = ""
+    mode: str = ""
+    reason: str = ""
+    error: str = ""
+    restored: bool = True
+
+
 EVENT_TYPES: dict[str, type[EngineEvent]] = {
     cls.kind: cls
     for cls in (
@@ -171,7 +184,7 @@ EVENT_TYPES: dict[str, type[EngineEvent]] = {
         StratumStarted, StratumFinished,
         IterationStarted, IterationFinished,
         RuleFired, FactDeleted, OidInvented,
-        ConstraintViolated,
+        ConstraintViolated, ModuleRollback,
     )
 }
 

@@ -21,6 +21,7 @@ from repro.observability.events import (
     FactDeleted,
     IterationFinished,
     IterationStarted,
+    ModuleRollback,
     OidInvented,
     RuleFired,
     RunFinished,
@@ -220,6 +221,18 @@ class Instrumentation:
                 rule_index=runtime.index, rule=rule_repr, oid=repr(oid),
                 iteration=self.iteration, file=self.source_file,
                 line=line, column=column,
+            ))
+
+    def module_rollback(self, module: str, mode: str, reason: str,
+                        error: str, restored: bool = True) -> None:
+        """A transactional module application rolled back to its
+        savepoint (:mod:`repro.modules.txn`)."""
+        if self.metrics is not None:
+            self.metrics.inc("module_rollbacks", (("mode", mode),))
+        if self.emit_events:
+            self.sink.emit(ModuleRollback(
+                module=module, mode=mode, reason=reason,
+                error=error, restored=restored,
             ))
 
     def constraint_violation(self, violation) -> None:

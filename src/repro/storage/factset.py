@@ -53,13 +53,16 @@ class FactSet:
     """A mutable set of ground facts over class and association predicates."""
 
     __slots__ = ("_assoc", "_class", "_indexes", "_max_oid",
-                 "index_stats")
+                 "_journal", "index_stats")
 
     def __init__(self) -> None:
         self._assoc: dict[str, set[TupleValue]] = {}
         self._class: dict[str, dict[Oid, TupleValue]] = {}
         self._indexes: dict[str, dict[str, dict[Value, list[Fact]]]] = {}
         self._max_oid = 0  # monotone upper bound, maintained on add
+        # undo journal: None = off; a list of inverse ops while a
+        # savepoint (repro.modules.txn) is active
+        self._journal: list[tuple] | None = None
         # optional observability hook (duck-typed IndexStats with
         # ``hits`` / ``misses`` / ``builds``); None = no accounting
         self.index_stats = None
@@ -101,12 +104,18 @@ class FactSet:
         """
         pred = fact.pred
         index = self._indexes.get(pred)
+        journal = self._journal
         if fact.oid is not None:
             table = self._class.setdefault(pred, {})
             old = table.get(fact.oid)
             if old == fact.value:
                 return False
             table[fact.oid] = fact.value
+            if journal is not None:
+                if old is None:
+                    journal.append(("del_class", pred, fact.oid))
+                else:
+                    journal.append(("set_class", pred, fact.oid, old))
             if fact.oid.number > self._max_oid:
                 self._max_oid = fact.oid.number
             if index is not None:
@@ -118,6 +127,8 @@ class FactSet:
             if fact.value in table:
                 return False
             table.add(fact.value)
+            if journal is not None:
+                journal.append(("del_assoc", pred, fact.value))
             if index is not None:
                 _index_add(index, fact)
         nested = max_oid_in(fact.value)
@@ -143,11 +154,17 @@ class FactSet:
             if table is None or table.get(fact.oid) != fact.value:
                 return False
             del table[fact.oid]
+            if self._journal is not None:
+                self._journal.append(
+                    ("set_class", pred, fact.oid, fact.value)
+                )
         else:
             table = self._assoc.get(pred)
             if table is None or fact.value not in table:
                 return False
             table.remove(fact.value)
+            if self._journal is not None:
+                self._journal.append(("add_assoc", pred, fact.value))
         index = self._indexes.get(pred)
         if index is not None:
             _index_remove(index, fact)
@@ -160,10 +177,62 @@ class FactSet:
         if table is None or oid not in table:
             return False
         stored = table.pop(oid)
+        if self._journal is not None:
+            self._journal.append(("set_class", pred, oid, stored))
         index = self._indexes.get(pred)
         if index is not None:
             _index_remove(index, Fact(pred, stored, oid))
         return True
+
+    # ------------------------------------------------------------------
+    # undo journal (savepoint support; :mod:`repro.modules.txn`)
+    # ------------------------------------------------------------------
+    def begin_journal(self) -> tuple[int, int]:
+        """Start (or nest into) undo journaling; returns an opaque mark.
+
+        While a journal is active every ``add`` / ``discard`` /
+        ``discard_oid`` that changes the set records its inverse, so
+        :meth:`rollback_to` can restore the state at the mark exactly —
+        including the hash indexes, which are maintained incrementally
+        by the replayed inverse operations."""
+        if self._journal is None:
+            self._journal = []
+        return (len(self._journal), self._max_oid)
+
+    def rollback_to(self, mark: tuple[int, int]) -> int:
+        """Undo every journaled mutation after ``mark``; returns how
+        many operations were reverted.  Journaling stays active for the
+        enclosing savepoint (if the mark is nested)."""
+        journal = self._journal
+        if journal is None:
+            raise StorageError("rollback_to without an active journal")
+        position, max_oid = mark
+        entries = journal[position:]
+        del journal[position:]
+        self._journal = None  # suspend journaling while replaying undo
+        try:
+            for op in reversed(entries):
+                kind = op[0]
+                if kind == "set_class":
+                    self.add(Fact(op[1], op[3], op[2]))
+                elif kind == "del_class":
+                    self.discard_oid(op[1], op[2])
+                elif kind == "add_assoc":
+                    self.add(Fact(op[1], op[2]))
+                else:  # del_assoc
+                    self.discard(Fact(op[1], op[2]))
+        finally:
+            self._journal = journal
+        self._max_oid = max_oid
+        return len(entries)
+
+    def end_journal(self) -> None:
+        """Stop journaling and drop the recorded inverses (commit)."""
+        self._journal = None
+
+    @property
+    def journaling(self) -> bool:
+        return self._journal is not None
 
     # ------------------------------------------------------------------
     # queries
@@ -284,8 +353,10 @@ class FactSet:
             return NotImplemented
         return self._normalized() == other._normalized()
 
-    def __hash__(self):  # pragma: no cover - fact sets are mutable
-        raise TypeError("FactSet is unhashable")
+    # Mutable container: explicitly unhashable (``hash()`` raises
+    # ``TypeError: unhashable type`` instead of reaching a live method,
+    # and ``isinstance(fs, collections.abc.Hashable)`` is now False).
+    __hash__ = None
 
     def _normalized(self):
         return (

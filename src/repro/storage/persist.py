@@ -16,10 +16,14 @@ them for whole-database persistence.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from typing import Any
 
 from repro.errors import StorageError
+from repro.testing.faults import FAULTS
 from repro.language.ast import (
     Args,
     ArithExpr,
@@ -64,7 +68,12 @@ from repro.values.complex import (
 )
 from repro.values.oids import Oid
 
-FORMAT_VERSION = 1
+#: v1 was checksum-less; v2 adds a sha256 checksum over the canonical
+#: body so load detects torn/corrupted payloads (``docs/ROBUSTNESS.md``).
+#: v1 payloads still load (legacy, unverified).
+FORMAT_VERSION = 2
+_LEGACY_VERSIONS = (1,)
+_BODY_KEYS = ("schema", "edb", "program")
 
 
 # ---------------------------------------------------------------------------
@@ -384,27 +393,60 @@ def decode_program(payload: Any) -> Program:
 # ---------------------------------------------------------------------------
 # whole database states (E, R, S)
 # ---------------------------------------------------------------------------
+def state_checksum(body: dict) -> str:
+    """sha256 over the canonical (sorted, unspaced) body encoding."""
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def dumps_state(schema: Schema, edb: FactSet, program: Program) -> str:
-    """Serialize a database state triple to a JSON string."""
-    return json.dumps({
-        "version": FORMAT_VERSION,
+    """Serialize a database state triple to a JSON string (format v2:
+    version field + checksum over the canonical body)."""
+    body = {
         "schema": encode_schema(schema),
         "edb": encode_factset(edb),
         "program": encode_program(program),
-    }, indent=1, sort_keys=True)
+    }
+    payload = {"version": FORMAT_VERSION,
+               "checksum": state_checksum(body), **body}
+    return json.dumps(payload, indent=1, sort_keys=True)
 
 
 def loads_state(text: str) -> tuple[Schema, FactSet, Program]:
-    """Inverse of :func:`dumps_state`."""
+    """Inverse of :func:`dumps_state`.
+
+    Raises :class:`~repro.errors.StorageError` — never a bare decoding
+    traceback — on truncated JSON, missing sections, a checksum
+    mismatch, or a format version this build does not know.
+    """
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise StorageError(f"corrupt state payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise StorageError("corrupt state payload: not a JSON object")
     version = payload.get("version")
-    if version != FORMAT_VERSION:
+    if version != FORMAT_VERSION and version not in _LEGACY_VERSIONS:
         raise StorageError(
             f"unsupported state format version {version!r}"
+            f" (this build reads v{FORMAT_VERSION} and legacy"
+            f" v{', v'.join(map(str, _LEGACY_VERSIONS))})"
         )
+    missing = [k for k in _BODY_KEYS if k not in payload]
+    if missing:
+        raise StorageError(
+            "corrupt state payload: missing"
+            f" {', '.join(missing)} section(s)"
+        )
+    if version >= 2:
+        recorded = payload.get("checksum")
+        computed = state_checksum({k: payload[k] for k in _BODY_KEYS})
+        if recorded != computed:
+            raise StorageError(
+                "corrupt state payload: checksum mismatch"
+                f" (recorded {str(recorded)[:12]!r}…,"
+                f" computed {computed[:12]!r}…)"
+            )
     return (
         decode_schema(payload["schema"]),
         decode_factset(payload["edb"]),
@@ -412,13 +454,56 @@ def loads_state(text: str) -> tuple[Schema, FactSet, Program]:
     )
 
 
+def atomic_write_text(path, text: str) -> None:
+    """Crash-safe replacement write: temp file in the target directory,
+    flush + fsync, then atomic rename over ``path``.
+
+    A crash (or injected fault) at any point leaves either the old file
+    intact or the new file complete — never a torn payload; the orphan
+    temp file is removed on the error path.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    if FAULTS.enabled:
+        FAULTS.fire("storage.write")
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(text)
+            f.flush()
+            if FAULTS.enabled:
+                FAULTS.fire("storage.fsync")
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    # best-effort directory fsync so the rename itself is durable
+    try:
+        dirfd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dirfd)
+    except OSError:
+        pass
+    finally:
+        os.close(dirfd)
+
+
 def dump_state(path, schema: Schema, edb: FactSet, program: Program) -> None:
-    """Write a database state to ``path``."""
-    with open(path, "w", encoding="utf-8") as f:
-        f.write(dumps_state(schema, edb, program))
+    """Write a database state to ``path`` atomically."""
+    atomic_write_text(path, dumps_state(schema, edb, program))
 
 
 def load_state(path) -> tuple[Schema, FactSet, Program]:
     """Read a database state from ``path``."""
+    if FAULTS.enabled:
+        FAULTS.fire("storage.read")
     with open(path, encoding="utf-8") as f:
         return loads_state(f.read())

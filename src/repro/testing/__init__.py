@@ -1,0 +1,16 @@
+"""Robustness-testing support: the fault-injection harness.
+
+See :mod:`repro.testing.faults` and ``docs/ROBUSTNESS.md``.
+"""
+
+from repro.testing.faults import (
+    FAULTS,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    parse_faults,
+)
+
+__all__ = [
+    "FAULTS", "FaultInjector", "FaultSpec", "InjectedFault", "parse_faults",
+]

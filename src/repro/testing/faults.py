@@ -1,0 +1,202 @@
+"""Fault injection: named failure points for robustness testing.
+
+The atomicity and crash-safety guarantees of this codebase
+(``docs/ROBUSTNESS.md``) are only worth anything if they are exercised:
+this module plants *named failure points* on the hot paths —
+
+========================  ==================================================
+point                     fires inside
+========================  ==================================================
+``storage.write``         :func:`repro.storage.persist.atomic_write_text`,
+                          before any byte reaches the temp file
+``storage.fsync``         the same helper, after writing but before the
+                          durable rename (simulates a crash mid-save)
+``storage.read``          :func:`repro.storage.persist.load_state`
+``engine.iteration``      every kernel iteration boundary
+                          (:meth:`repro.engine.fixpoint.Engine._iteration`)
+``module.apply``          :func:`repro.modules.apply.apply_module`, after
+                          mode checks, before the mode dispatch
+``module.finalize``       :func:`repro.modules.apply._finalize`, after the
+                          new state is built, before the consistency check
+========================  ==================================================
+
+Each point can be armed with an *action*:
+
+* ``error``    — raise :class:`InjectedFault` (a plain ``RuntimeError``,
+  deliberately outside the ``LogresError`` hierarchy);
+* ``io-error`` — raise :class:`OSError` (what a failing disk raises);
+* ``cancel``   — cooperatively cancel the run's
+  :class:`~repro.engine.guards.ResourceGuard` (or raise
+  :class:`~repro.errors.EvalBudgetExceeded` directly when the run has
+  no guard);
+* ``breach``   — raise :class:`~repro.errors.EvalBudgetExceeded`
+  immediately (simulated guard breach);
+* ``latency``  — ``time.sleep(delay)`` and continue.
+
+Faults are armed either in-process (the :meth:`FaultInjector.inject`
+context manager tests use) or from the environment::
+
+    REPRO_FAULTS="storage.fsync=io-error" repro run ...
+    REPRO_FAULTS="engine.iteration=cancel@3" repro run ...   # 3rd hit
+    REPRO_FAULTS="engine.iteration=latency@2/0.05" ...       # 50 ms
+
+The grammar is ``point=action[@nth][/delay]``, ``;`` or ``,`` separated;
+``nth`` counts hits of that point (default 1 = first hit).  Production
+call sites guard every hook behind ``if FAULTS.enabled`` so the disabled
+path costs one attribute read.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import EvalBudgetExceeded
+
+ENV_VAR = "REPRO_FAULTS"
+
+ACTIONS = ("error", "io-error", "cancel", "breach", "latency")
+
+
+class InjectedFault(RuntimeError):
+    """An injected non-LOGRES failure (tests mid-apply crash handling)."""
+
+
+@dataclass
+class FaultSpec:
+    """One armed failure point."""
+
+    point: str
+    action: str = "error"
+    nth: int = 1          # fire on the nth hit of the point
+    delay: float = 0.0    # latency action: seconds to sleep
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}"
+                f" (expected one of {', '.join(ACTIONS)})"
+            )
+        if self.nth < 1:
+            raise ValueError("fault nth counts from 1")
+
+
+def parse_faults(text: str) -> list[FaultSpec]:
+    """Parse the ``REPRO_FAULTS`` grammar into specs."""
+    specs = []
+    for token in text.replace(";", ",").split(","):
+        token = token.strip()
+        if not token:
+            continue
+        point, _, rest = token.partition("=")
+        if not rest:
+            raise ValueError(
+                f"bad fault spec {token!r}: expected point=action"
+            )
+        rest, _, delay = rest.partition("/")
+        action, _, nth = rest.partition("@")
+        specs.append(FaultSpec(
+            point=point.strip(),
+            action=action.strip(),
+            nth=int(nth) if nth else 1,
+            delay=float(delay) if delay else 0.0,
+        ))
+    return specs
+
+
+class FaultInjector:
+    """The process-wide registry of armed failure points.
+
+    ``enabled`` is False whenever no fault is armed; every production
+    hook checks it before calling :meth:`fire`, so the cost of the
+    harness in normal operation is a single attribute read.
+    """
+
+    def __init__(self):
+        self._specs: dict[str, FaultSpec] = {}
+        self._hits: dict[str, int] = {}
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def configure(self, specs) -> None:
+        for spec in specs:
+            self._specs[spec.point] = spec
+            self._hits.setdefault(spec.point, 0)
+        self.enabled = bool(self._specs)
+
+    def configure_from_env(self, environ=None) -> None:
+        text = (environ or os.environ).get(ENV_VAR)
+        if text:
+            self.configure(parse_faults(text))
+
+    def clear(self) -> None:
+        self._specs.clear()
+        self._hits.clear()
+        self.enabled = False
+
+    def inject(self, point: str, action: str = "error", nth: int = 1,
+               delay: float = 0.0):
+        """Context manager arming one fault for the enclosed block."""
+        return _Injection(
+            self, FaultSpec(point, action=action, nth=nth, delay=delay)
+        )
+
+    def hits(self, point: str) -> int:
+        return self._hits.get(point, 0)
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def fire(self, point: str, guard=None) -> None:
+        """Trigger ``point``; call sites pass the run's guard (if any)
+        so ``cancel`` faults stay cooperative."""
+        spec = self._specs.get(point)
+        if spec is None:
+            return
+        self._hits[point] = hit = self._hits.get(point, 0) + 1
+        if hit != spec.nth:
+            return
+        if spec.action == "latency":
+            time.sleep(spec.delay)
+            return
+        if spec.action == "cancel":
+            if guard is not None:
+                guard.cancel()
+                return
+            raise EvalBudgetExceeded(
+                f"injected cancellation at {point!r}",
+                budget="cancelled",
+            )
+        if spec.action == "breach":
+            raise EvalBudgetExceeded(
+                f"injected budget breach at {point!r}",
+                budget="cancelled", limit=0, observed=hit,
+            )
+        if spec.action == "io-error":
+            raise OSError(f"injected I/O fault at {point!r}")
+        raise InjectedFault(f"injected fault at {point!r}")
+
+
+class _Injection:
+    def __init__(self, injector: FaultInjector, spec: FaultSpec):
+        self._injector = injector
+        self._spec = spec
+
+    def __enter__(self) -> FaultInjector:
+        self._injector.configure([self._spec])
+        return self._injector
+
+    def __exit__(self, *exc) -> None:
+        self._injector._specs.pop(self._spec.point, None)
+        self._injector._hits.pop(self._spec.point, None)
+        self._injector.enabled = bool(self._injector._specs)
+
+
+#: the process-wide injector every production hook consults.  Armed from
+#: the environment at import time so CLI subprocesses (and the CI
+#: fault-injection job) can inject without code changes.
+FAULTS = FaultInjector()
+FAULTS.configure_from_env()

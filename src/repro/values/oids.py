@@ -56,5 +56,15 @@ class OidGenerator:
     def next_number(self) -> int:
         return self._next
 
+    def restore(self, number: int) -> None:
+        """Rewind to a previously captured :attr:`next_number`.
+
+        Only savepoint rollback (:mod:`repro.modules.txn`) may rewind:
+        the oids handed out since the capture are being discarded with
+        the state that contained them, so reuse cannot collide."""
+        if number < 1:
+            raise ValueError("oid numbering starts at 1 (0 is nil)")
+        self._next = number
+
     def __repr__(self) -> str:
         return f"OidGenerator(next={self._next})"

@@ -1,0 +1,126 @@
+"""The fault-injection harness itself (repro.testing.faults)."""
+
+import time
+
+import pytest
+
+from repro.errors import EvalBudgetExceeded
+from repro.testing import FAULTS, FaultInjector, FaultSpec, InjectedFault
+from repro.testing.faults import ENV_VAR, parse_faults
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+class TestParseFaults:
+    def test_single(self):
+        (spec,) = parse_faults("storage.fsync=io-error")
+        assert spec == FaultSpec("storage.fsync", "io-error", 1, 0.0)
+
+    def test_nth_and_delay(self):
+        (spec,) = parse_faults("engine.iteration=latency@3/0.25")
+        assert spec.point == "engine.iteration"
+        assert spec.action == "latency"
+        assert spec.nth == 3
+        assert spec.delay == 0.25
+
+    def test_multiple_separators(self):
+        specs = parse_faults(
+            "a=error, b=cancel@2; c=io-error"
+        )
+        assert [(s.point, s.action, s.nth) for s in specs] == [
+            ("a", "error", 1), ("b", "cancel", 2), ("c", "io-error", 1),
+        ]
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            parse_faults("a=explode")
+
+    def test_missing_action_rejected(self):
+        with pytest.raises(ValueError, match="expected point=action"):
+            parse_faults("justapoint")
+
+    def test_nth_counts_from_one(self):
+        with pytest.raises(ValueError, match="counts from 1"):
+            FaultSpec("a", "error", nth=0)
+
+    def test_configure_from_env(self):
+        inj = FaultInjector()
+        inj.configure_from_env({ENV_VAR: "x=error"})
+        assert inj.enabled
+        with pytest.raises(InjectedFault):
+            inj.fire("x")
+
+    def test_env_absent_is_noop(self):
+        inj = FaultInjector()
+        inj.configure_from_env({})
+        assert not inj.enabled
+
+
+class TestFiring:
+    def test_unarmed_point_is_silent(self):
+        FAULTS.configure([FaultSpec("a", "error")])
+        FAULTS.fire("other")  # no raise
+
+    def test_error_action(self):
+        FAULTS.configure([FaultSpec("a", "error")])
+        with pytest.raises(InjectedFault, match="'a'"):
+            FAULTS.fire("a")
+
+    def test_io_error_action(self):
+        FAULTS.configure([FaultSpec("a", "io-error")])
+        with pytest.raises(OSError, match="injected I/O fault"):
+            FAULTS.fire("a")
+
+    def test_breach_action(self):
+        FAULTS.configure([FaultSpec("a", "breach")])
+        with pytest.raises(EvalBudgetExceeded):
+            FAULTS.fire("a")
+
+    def test_nth_hit_only(self):
+        FAULTS.configure([FaultSpec("a", "error", nth=3)])
+        FAULTS.fire("a")
+        FAULTS.fire("a")
+        with pytest.raises(InjectedFault):
+            FAULTS.fire("a")
+        # after the nth hit the point stays quiet
+        FAULTS.fire("a")
+        assert FAULTS.hits("a") == 4
+
+    def test_latency_sleeps_then_continues(self):
+        FAULTS.configure([FaultSpec("a", "latency", delay=0.02)])
+        began = time.monotonic()
+        FAULTS.fire("a")
+        assert time.monotonic() - began >= 0.02
+
+    def test_cancel_uses_the_guard(self):
+        from repro.engine import ResourceGuard
+
+        guard = ResourceGuard()
+        FAULTS.configure([FaultSpec("a", "cancel")])
+        FAULTS.fire("a", guard=guard)
+        assert guard.cancelled
+
+    def test_cancel_without_guard_raises(self):
+        FAULTS.configure([FaultSpec("a", "cancel")])
+        with pytest.raises(EvalBudgetExceeded) as exc_info:
+            FAULTS.fire("a")
+        assert exc_info.value.budget == "cancelled"
+
+    def test_inject_context_manager_scopes_the_fault(self):
+        with FAULTS.inject("a", "error"):
+            assert FAULTS.enabled
+            with pytest.raises(InjectedFault):
+                FAULTS.fire("a")
+        assert not FAULTS.enabled
+        FAULTS.fire("a")  # disarmed again
+
+    def test_clear(self):
+        FAULTS.configure([FaultSpec("a", "error")])
+        FAULTS.clear()
+        assert not FAULTS.enabled
+        FAULTS.fire("a")

@@ -1,0 +1,204 @@
+"""Crash-safe persistence: atomic writes, checksums, corruption handling."""
+
+import json
+import os
+
+import pytest
+
+from repro import Database
+from repro.cli import main
+from repro.errors import StorageError
+from repro.storage.persist import (
+    FORMAT_VERSION,
+    atomic_write_text,
+    dumps_state,
+    load_state,
+    loads_state,
+    state_checksum,
+)
+from repro.testing import FAULTS, InjectedFault
+
+SOURCE = """
+classes
+  person = (name: string, age: integer).
+associations
+  likes = (who: person, what: string).
+  adult = (name: string).
+rules
+  adult(name N) <- person(name N, age A), A >= 18.
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+@pytest.fixture
+def db():
+    database = Database.from_source(SOURCE)
+    ada = database.insert("person", name="ada", age=36)
+    database.insert("person", name="kid", age=7)
+    database.insert("likes", who=ada, what="proofs")
+    return database
+
+
+def roundtrip(database):
+    return Database.loads(database.dumps())
+
+
+class TestFormatV2:
+    def test_payload_carries_version_and_checksum(self, db):
+        payload = json.loads(db.dumps())
+        assert payload["version"] == FORMAT_VERSION
+        body = {k: payload[k] for k in ("schema", "edb", "program")}
+        assert payload["checksum"] == state_checksum(body)
+
+    def test_roundtrip_preserves_state(self, db):
+        again = roundtrip(db)
+        assert again.edb.count() == db.edb.count()
+        assert len(again.rules) == len(db.rules)
+        assert again.dumps() == db.dumps()
+
+    def test_fresh_oids_do_not_collide_after_reload(self, db):
+        again = roundtrip(db)
+        taken = {f.oid for f in again.edb.facts_of("person")}
+        new = again.insert("person", name="new", age=20)
+        assert new not in taken
+
+    def test_legacy_v1_payload_loads_without_checksum(self, db):
+        payload = json.loads(db.dumps())
+        del payload["checksum"]
+        payload["version"] = 1
+        schema, edb, program = loads_state(json.dumps(payload))
+        assert edb.count() == db.edb.count()
+
+
+class TestCorruptionDetection:
+    def test_truncated_payload(self, db):
+        text = db.dumps()
+        with pytest.raises(StorageError, match="corrupt state payload"):
+            loads_state(text[: len(text) // 2])
+
+    def test_not_an_object(self):
+        with pytest.raises(StorageError, match="not a JSON object"):
+            loads_state("[1, 2, 3]")
+
+    def test_flipped_checksum(self, db):
+        payload = json.loads(db.dumps())
+        payload["checksum"] = "0" * 64
+        with pytest.raises(StorageError, match="checksum mismatch"):
+            loads_state(json.dumps(payload))
+
+    def test_tampered_body_fails_the_checksum(self, db):
+        payload = json.loads(db.dumps())
+        payload["edb"] = []
+        with pytest.raises(StorageError, match="checksum mismatch"):
+            loads_state(json.dumps(payload))
+
+    def test_unknown_version(self, db):
+        payload = json.loads(db.dumps())
+        payload["version"] = 99
+        with pytest.raises(StorageError, match="version"):
+            loads_state(json.dumps(payload))
+
+    def test_missing_section(self, db):
+        payload = json.loads(db.dumps())
+        del payload["program"]
+        with pytest.raises(StorageError, match="missing program"):
+            loads_state(json.dumps(payload))
+
+
+class TestAtomicWrite:
+    def test_write_then_read(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "payload")
+        assert target.read_text() == "payload"
+
+    def test_failed_write_keeps_previous_file(self, tmp_path):
+        target = tmp_path / "db.json"
+        target.write_text("previous contents")
+        with FAULTS.inject("storage.fsync", "io-error"):
+            with pytest.raises(OSError):
+                atomic_write_text(target, "new contents")
+        assert target.read_text() == "previous contents"
+
+    def test_failed_write_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "db.json"
+        for point in ("storage.write", "storage.fsync"):
+            with FAULTS.inject(point, "io-error"):
+                with pytest.raises(OSError):
+                    atomic_write_text(target, "x")
+        assert os.listdir(tmp_path) == []
+
+    def test_database_save_is_atomic(self, tmp_path, db):
+        target = tmp_path / "db.json"
+        db.save(target)
+        before = target.read_text()
+        db.insert("person", name="eve", age=44)
+        with FAULTS.inject("storage.fsync", "io-error"):
+            with pytest.raises(OSError):
+                db.save(target)
+        # the old on-disk database survives the failed save, loadable
+        assert target.read_text() == before
+        assert Database.load(target).edb.count() == 3
+        db.save(target)
+        assert Database.load(target).edb.count() == 4
+
+    def test_load_state_fires_the_read_fault_point(self, tmp_path, db):
+        target = tmp_path / "db.json"
+        db.save(target)
+        with FAULTS.inject("storage.read", "error"):
+            with pytest.raises(InjectedFault):
+                load_state(target)
+        schema, edb, program = load_state(target)
+        assert edb.count() == 3
+
+
+class TestCliCorruptState:
+    def write_program(self, tmp_path):
+        src = tmp_path / "prog.lg"
+        src.write_text("""
+        associations
+          p = (x: string).
+        rules
+          p(x "a").
+        """)
+        return src
+
+    def write_state(self, tmp_path, db):
+        state = tmp_path / "state.json"
+        db.save(state)
+        return state
+
+    def test_intact_state_loads(self, tmp_path, db, capsys):
+        src = self.write_program(tmp_path)
+        state = self.write_state(tmp_path, db)
+        assert main(["run", str(src), "--state", str(state)]) == 0
+
+    @pytest.mark.parametrize("corruption", ["truncate", "checksum",
+                                            "version"])
+    def test_corrupt_state_exits_2(self, tmp_path, db, capsys, corruption):
+        src = self.write_program(tmp_path)
+        state = self.write_state(tmp_path, db)
+        text = state.read_text()
+        if corruption == "truncate":
+            state.write_text(text[: len(text) // 2])
+        elif corruption == "checksum":
+            payload = json.loads(text)
+            payload["checksum"] = "0" * 64
+            state.write_text(json.dumps(payload))
+        else:
+            payload = json.loads(text)
+            payload["version"] = 99
+            state.write_text(json.dumps(payload))
+        on_disk = state.read_text()
+        status = main(["run", str(src), "--state", str(state)])
+        assert status == 2
+        err = capsys.readouterr().err
+        assert "error[LG901]" in err
+        assert "Traceback" not in err
+        # loading never mutates the on-disk file, corrupt or not
+        assert state.read_text() == on_disk

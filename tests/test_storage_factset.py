@@ -205,6 +205,85 @@ class TestSetAlgebra:
             hash(FactSet())
 
 
+class TestUndoJournal:
+    def test_rollback_undoes_adds(self):
+        fs = FactSet.from_facts([assoc("p", x=1)])
+        mark = fs.begin_journal()
+        fs.add(assoc("p", x=2))
+        fs.add(obj("c", 1, name="a"))
+        assert fs.rollback_to(mark) == 2
+        assert fs == FactSet.from_facts([assoc("p", x=1)])
+        assert fs.journaling  # still active for the enclosing scope
+
+    def test_rollback_undoes_discards(self):
+        fs = FactSet.from_facts([assoc("p", x=1), obj("c", 1, name="a")])
+        mark = fs.begin_journal()
+        fs.discard(assoc("p", x=1))
+        fs.discard_oid("c", Oid(1))
+        fs.rollback_to(mark)
+        assert assoc("p", x=1) in fs
+        assert fs.value_of("c", Oid(1)) == TupleValue(name="a")
+
+    def test_rollback_restores_overwritten_ovalue(self):
+        fs = FactSet.from_facts([obj("c", 1, name="old")])
+        mark = fs.begin_journal()
+        fs.add(obj("c", 1, name="new"))
+        fs.rollback_to(mark)
+        assert fs.value_of("c", Oid(1)) == TupleValue(name="old")
+
+    def test_rollback_restores_max_oid_bound(self):
+        fs = FactSet.from_facts([obj("c", 1)])
+        mark = fs.begin_journal()
+        fs.add(obj("c", 9))
+        fs.rollback_to(mark)
+        assert fs.max_oid_number() == 1
+
+    def test_noop_mutations_journal_nothing(self):
+        fs = FactSet.from_facts([assoc("p", x=1)])
+        mark = fs.begin_journal()
+        fs.add(assoc("p", x=1))  # duplicate
+        fs.discard(assoc("p", x=99))  # absent
+        assert fs.rollback_to(mark) == 0
+
+    def test_nested_marks(self):
+        fs = FactSet()
+        outer = fs.begin_journal()
+        fs.add(assoc("p", x=1))
+        inner = fs.begin_journal()
+        fs.add(assoc("p", x=2))
+        fs.rollback_to(inner)
+        assert fs.count("p") == 1
+        fs.rollback_to(outer)
+        assert fs.count("p") == 0
+
+    def test_rollback_maintains_indexes(self):
+        fs = FactSet.from_facts([assoc("p", x=1)])
+        fs.lookup("p", "x", 1)  # build the label index
+        mark = fs.begin_journal()
+        fs.add(assoc("p", x=2))
+        fs.rollback_to(mark)
+        assert [f.value["x"] for f in fs.lookup("p", "x", 1)] == [1]
+        assert fs.lookup("p", "x", 2) == []
+
+    def test_end_journal_commits(self):
+        fs = FactSet()
+        fs.begin_journal()
+        fs.add(assoc("p", x=1))
+        fs.end_journal()
+        assert not fs.journaling
+        assert fs.count("p") == 1
+
+    def test_rollback_without_journal_raises(self):
+        with pytest.raises(StorageError, match="without an active"):
+            FactSet().rollback_to((0, 0))
+
+    def test_copy_drops_the_journal(self):
+        fs = FactSet()
+        fs.begin_journal()
+        clone = fs.copy()
+        assert not clone.journaling
+
+
 class TestConversion:
     def test_to_instance_merges_hierarchy_values(self):
         fs = FactSet()

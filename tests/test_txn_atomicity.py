@@ -1,0 +1,273 @@
+"""Transactional module application: atomicity under injected faults.
+
+The contract (docs/ROBUSTNESS.md): after any *failed* application the
+input state equals the original — byte-identical fingerprints of the
+whole ``(E, R, S)`` triple — and after any successful one it equals the
+fully-applied result.  Nothing in between is ever observable.  The
+matrix here covers all six modes x all three semantics x every fault
+shape the harness can inject mid-apply.
+"""
+
+import pytest
+
+from repro import (
+    DatabaseState,
+    FactSet,
+    Mode,
+    Module,
+    Semantics,
+    TupleValue,
+    apply_module,
+    parse_program,
+    parse_schema_source,
+)
+from repro.errors import (
+    EvalBudgetExceeded,
+    ModuleApplicationError,
+    TransactionError,
+)
+from repro.storage.factset import Fact
+from repro.modules.txn import Savepoint, state_fingerprints
+from repro.observability import CollectorSink, Instrumentation
+from repro.testing import FAULTS, InjectedFault
+from repro.values.oids import OidGenerator
+
+SCHEMA = """
+associations
+  italian = (n: string).
+  roman = (n: string).
+"""
+
+STATE_RULES = """
+rules
+  italian(X) <- roman(X).
+"""
+
+MODULE_SOURCE = """
+rules
+  roman(n "ugo").
+  italian(n "luca").
+"""
+
+#: RDDI / RDDV delete rules that must exist in the state
+DELETION_MODULE_SOURCE = STATE_RULES
+
+ALL_MODES = list(Mode)
+ALL_SEMANTICS = list(Semantics)
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+def make_state() -> DatabaseState:
+    schema = parse_schema_source(SCHEMA)
+    edb = FactSet()
+    edb.add_association("italian", TupleValue(n="sara"))
+    edb.add_association("roman", TupleValue(n="remo"))
+    return DatabaseState(
+        schema, edb, parse_program(STATE_RULES).rules
+    )
+
+
+def module_for(mode: Mode) -> Module:
+    if mode in (Mode.RDDI, Mode.RDDV):
+        return Module.from_source(DELETION_MODULE_SOURCE, name="m")
+    return Module.from_source(MODULE_SOURCE, name="m")
+
+
+class TestFingerprints:
+    def test_identical_states_have_identical_fingerprints(self):
+        assert state_fingerprints(make_state()) == \
+            state_fingerprints(make_state())
+
+    def test_every_component_is_covered(self):
+        base = state_fingerprints(make_state())
+        assert set(base) == {"schema", "edb", "program"}
+
+        changed = make_state()
+        changed.edb.add_association("roman", TupleValue(n="numa"))
+        diff = state_fingerprints(changed)
+        assert diff["edb"] != base["edb"]
+        assert diff["schema"] == base["schema"]
+        assert diff["program"] == base["program"]
+
+    def test_insensitive_to_mutation_order(self):
+        a = make_state()
+        b = make_state()
+        a.edb.add_association("roman", TupleValue(n="numa"))
+        # b arrives at the same content via an add + remove + re-add
+        b.edb.add_association("roman", TupleValue(n="numa"))
+        b.edb.discard(Fact("roman", TupleValue(n="remo")))
+        b.edb.add_association("roman", TupleValue(n="remo"))
+        assert state_fingerprints(a) == state_fingerprints(b)
+
+
+class TestAtomicityMatrix:
+    """The acceptance matrix: fault x mode x semantics."""
+
+    @pytest.mark.parametrize("semantics", ALL_SEMANTICS)
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    @pytest.mark.parametrize("point", ["module.apply", "module.finalize"])
+    def test_injected_error_restores_state_exactly(
+        self, mode, semantics, point
+    ):
+        state = make_state()
+        before = state_fingerprints(state)
+        with FAULTS.inject(point, "error"):
+            with pytest.raises(InjectedFault):
+                apply_module(state, module_for(mode), mode,
+                             semantics=semantics)
+        assert state_fingerprints(state) == before
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_injected_guard_breach_restores_state(self, mode):
+        state = make_state()
+        before = state_fingerprints(state)
+        # the breach hits the very first engine iteration — the initial
+        # consistency materialize — so it propagates unwrapped
+        with FAULTS.inject("engine.iteration", "breach"):
+            with pytest.raises(EvalBudgetExceeded):
+                apply_module(state, module_for(mode), mode)
+        assert state_fingerprints(state) == before
+
+    @pytest.mark.parametrize("semantics", ALL_SEMANTICS)
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_fault_free_application_succeeds(self, mode, semantics):
+        state = make_state()
+        before = state_fingerprints(state)
+        result = apply_module(state, module_for(mode), mode,
+                              semantics=semantics)
+        # the input state is never mutated, even on success
+        assert state_fingerprints(state) == before
+        assert result.state is not state
+        # and the journal is released: no further bookkeeping
+        assert not state.edb.journaling
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_state_reusable_after_rollback(self, mode):
+        """A failed application leaves a fully working state behind."""
+        state = make_state()
+        with FAULTS.inject("module.finalize", "error"):
+            with pytest.raises(InjectedFault):
+                apply_module(state, module_for(mode), mode)
+        result = apply_module(state, module_for(mode), mode)
+        assert result.mode is mode
+
+
+class TestRollbackDetails:
+    def test_constraint_violation_rolls_back(self):
+        state = make_state()
+        before = state_fingerprints(state)
+        # a denial violated by the module's own insertion
+        module = Module.from_source("""
+        rules
+          roman(n "ugo").
+          <- roman(n "ugo").
+        """, name="bad")
+        with pytest.raises(ModuleApplicationError):
+            apply_module(state, module, Mode.RADV)
+        assert state_fingerprints(state) == before
+
+    def test_oidgen_position_restored(self):
+        schema = parse_schema_source("""
+        classes
+          thing = (tag: string).
+        associations
+          seed = (tag: string).
+        """)
+        edb = FactSet()
+        edb.add_association("seed", TupleValue(tag="a"))
+        state = DatabaseState(schema, edb)
+        oidgen = OidGenerator()
+        module = Module.from_source("""
+        rules
+          thing(tag T) <- seed(tag T).
+        """, name="invent")
+        position = oidgen.next_number
+        with FAULTS.inject("module.finalize", "error"):
+            with pytest.raises(InjectedFault):
+                apply_module(state, module, Mode.RIDV, oidgen=oidgen)
+        assert oidgen.next_number == position
+        # the successful retry invents the same oids
+        result = apply_module(state, module, Mode.RIDV, oidgen=oidgen)
+        assert result.state.edb.count("thing") == 1
+
+    def test_rollback_emits_module_rollback_event(self):
+        from repro.observability import MetricsRegistry
+
+        sink = CollectorSink()
+        obs = Instrumentation(metrics=MetricsRegistry(), sink=sink)
+        state = make_state()
+        with FAULTS.inject("module.finalize", "error"):
+            with pytest.raises(InjectedFault):
+                apply_module(state, module_for(Mode.RADI), Mode.RADI,
+                             instrumentation=obs)
+        events = sink.of_kind("module-rollback")
+        assert len(events) == 1
+        event = events[0]
+        assert event.module == "m"
+        assert event.mode == "RADI"
+        assert event.reason == "InjectedFault"
+        assert event.restored is True
+        assert obs.metrics.counter(
+            "module_rollbacks", (("mode", "RADI"),)
+        ) == 1
+
+    def test_mode_check_failure_also_rolls_back(self):
+        state = make_state()
+        before = state_fingerprints(state)
+        module = Module.from_source(
+            MODULE_SOURCE + 'goal\n  ?- italian(n N).', name="g"
+        )
+        # goals are illegal under data-variant modes (LG701)
+        with pytest.raises(ModuleApplicationError):
+            apply_module(state, module, Mode.RIDV)
+        assert state_fingerprints(state) == before
+
+
+class TestSavepointUnit:
+    def test_rollback_undoes_in_place_mutation(self):
+        state = make_state()
+        before = state_fingerprints(state)
+        sp = Savepoint(state)
+        state.edb.add_association("roman", TupleValue(n="numa"))
+        state.edb.discard(Fact("italian", TupleValue(n="sara")))
+        state.rules = ()
+        sp.rollback()
+        assert state_fingerprints(state) == before
+        assert not state.edb.journaling
+
+    def test_release_keeps_changes(self):
+        state = make_state()
+        sp = Savepoint(state)
+        state.edb.add_association("roman", TupleValue(n="numa"))
+        sp.release()
+        assert state.edb.count("roman") == 2
+        assert not state.edb.journaling
+
+    def test_nested_savepoints(self):
+        state = make_state()
+        outer = Savepoint(state)
+        state.edb.add_association("roman", TupleValue(n="numa"))
+        inner = Savepoint(state)
+        state.edb.add_association("roman", TupleValue(n="anco"))
+        inner.rollback()
+        assert state.edb.count("roman") == 2  # numa survives
+        outer.rollback()
+        assert state.edb.count("roman") == 1
+        assert not state.edb.journaling
+
+    def test_unrestorable_state_raises_transaction_error(self):
+        state = make_state()
+        sp = Savepoint(state)
+        # sabotage: mutate behind the journal's back, so the undo log
+        # cannot reproduce the original content
+        state.edb.end_journal()
+        state.edb.add_association("roman", TupleValue(n="numa"))
+        state.edb.begin_journal()
+        with pytest.raises(TransactionError, match="edb"):
+            sp.rollback()
