@@ -10,6 +10,7 @@ never fail the check.
     python benchmarks/check_regression.py                # run E01+A01, compare
     python benchmarks/check_regression.py --json run.json  # compare a prior run
     python benchmarks/check_regression.py --update       # rewrite the baseline
+    python benchmarks/check_regression.py --plan-gate    # planner speedup gate
 
 Comparison uses each benchmark's *min* time, which is far less noisy
 than the mean on shared machines.  Transient load can still inflate a
@@ -18,13 +19,23 @@ each benchmark's best time across runs is what gets compared.
 
 ``--reports`` runs the *behavioural* gate instead: the reference
 workload (benchmarks/telemetry.py) is evaluated under instrumentation
-and its run report is diffed against the committed
+— once with plan=on and once with plan=off, whose count columns must
+agree — and the plan=on run report is diffed against the committed
 ``benchmarks/report_baseline.json`` with ``repro diff`` strict-count
 rules — count columns (fires, facts derived/deleted, iterations) are
 deterministic and machine-portable, so any count delta on an unchanged
 program fails; time columns only fail past a generous threshold that
 absorbs machine-to-machine variance.  ``--update-reports`` rewrites
 the baseline.
+
+``--plan-gate`` runs the planner acceptance gate: E01 transitive
+closure at 1000 edges, plan=on vs plan=off, identical instances
+required and plan=on at least ``--speedup-target`` (default 5x) faster
+on min time; the planner's JSON for the workload is written to
+``benchmarks/results/plan_reference.json`` (the CI artifact).  The same
+speedup check also fires in the benchmark comparison whenever a run
+contains both ``test_logres_plan_on[1000]`` and
+``test_logres_plan_off[1000]``.
 """
 
 from __future__ import annotations
@@ -48,6 +59,11 @@ GUARDED_TARGETS = [
     str(HERE / "test_a01_indexing_ablation.py"),
 ]
 DEFAULT_THRESHOLD = 0.25
+#: ISSUE 6 acceptance: plan=on must be at least this much faster than
+#: the plan=off semi-naive baseline on E01 at 1000 edges (min times)
+PLAN_SPEEDUP_TARGET = 5.0
+PLAN_ON_NAME = "test_logres_plan_on[1000]"
+PLAN_OFF_NAME = "test_logres_plan_off[1000]"
 
 
 def extract(json_path: pathlib.Path) -> dict[str, dict]:
@@ -97,6 +113,26 @@ def compare(
     return lines, failures
 
 
+def plan_speedup_check(current: dict[str, dict],
+                       target: float) -> tuple[list[str], list[str]]:
+    """When a run measured both the planned and unplanned E01 gate
+    benchmarks, require plan=on to be at least ``target``x faster."""
+    on = current.get(PLAN_ON_NAME)
+    off = current.get(PLAN_OFF_NAME)
+    if on is None or off is None:
+        return [], []
+    speedup = off["min"] / on["min"] if on["min"] else float("inf")
+    line = (f"{'plan-gate':>10}  plan=off {off['min'] * 1000:.2f} ms /"
+            f" plan=on {on['min'] * 1000:.2f} ms = {speedup:.2f}x"
+            f" (target {target:.1f}x)")
+    if speedup < target:
+        return [line], [
+            f"planner speedup {speedup:.2f}x below the"
+            f" {target:.1f}x target"
+        ]
+    return [line], []
+
+
 def best_of(runs: list[dict[str, dict]]) -> dict[str, dict]:
     """Per-benchmark fastest entry across several extracted runs."""
     out: dict[str, dict] = {}
@@ -114,14 +150,57 @@ def run_guarded_benchmarks(json_path: pathlib.Path) -> None:
     run_benchmarks(GUARDED_TARGETS, json_path)
 
 
+def check_plan_gate(target: float, reps: int) -> int:
+    """The planner acceptance gate: E01 at 1000 edges, plan=on vs
+    plan=off, identical instances and >= ``target``x faster; writes the
+    plan JSON artifact for CI upload."""
+    from benchmarks.telemetry import plan_gate_times, write_plan_artifact
+
+    try:
+        on_s, off_s = plan_gate_times(reps=reps)
+    except AssertionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    speedup = off_s / on_s if on_s else float("inf")
+    artifact = write_plan_artifact()
+    print(f"plan=off min {off_s * 1000:.1f} ms |"
+          f" plan=on min {on_s * 1000:.1f} ms |"
+          f" speedup {speedup:.2f}x (target {target:.1f}x)")
+    print(f"plan artifact written to {artifact}")
+    if speedup < target:
+        print(f"\nplanner speedup {speedup:.2f}x below the"
+              f" {target:.1f}x target", file=sys.stderr)
+        return 1
+    print("\nok: planner speedup meets the target")
+    return 0
+
+
 def check_reports(baseline_path: pathlib.Path, update: bool,
                   time_threshold: float) -> int:
-    """The behavioural gate: fresh reference report vs committed one."""
+    """The behavioural gate: fresh reference report vs committed one,
+    plus a plan=on / plan=off count-agreement check."""
     from benchmarks.telemetry import reference_report
+    from repro.engine import EvalConfig
     from repro.observability.diff import diff_reports
     from repro.observability.report import load_report
 
     current = reference_report()
+    unplanned = reference_report(config=EvalConfig(plan=False))
+    plan_diff = diff_reports(
+        unplanned, current,
+        threshold=time_threshold,
+        min_time_ms=REPORT_TIME_FLOOR_MS,
+        strict_counts=True,
+        baseline_name="<reference run, plan=off>",
+        candidate_name="<reference run, plan=on>",
+    )
+    if plan_diff.regressions():
+        print(plan_diff.render_text())
+        print(f"\nplan=on and plan=off disagree on"
+              f" {len(plan_diff.regressions())} count column(s)",
+              file=sys.stderr)
+        return 1
+    print("ok: plan=on and plan=off report identical counts")
     if update:
         current.write(baseline_path)
         print(f"wrote reference run report baseline to {baseline_path}")
@@ -181,7 +260,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--update-reports", action="store_true",
                         help="rewrite the run-report baseline from a"
                              " fresh reference run")
+    parser.add_argument("--plan-gate", action="store_true",
+                        help="run the planner acceptance gate: E01 at"
+                             " 1000 edges, plan=on vs plan=off")
+    parser.add_argument("--speedup-target", type=float,
+                        default=PLAN_SPEEDUP_TARGET,
+                        help="required plan=on speedup factor for the"
+                             " plan gate (default: 5.0)")
+    parser.add_argument("--gate-reps", type=int, default=3,
+                        help="interleaved repetitions for the plan gate"
+                             " (min time wins)")
     args = parser.parse_args(argv)
+
+    if args.plan_gate:
+        return check_plan_gate(args.speedup_target, args.gate_reps)
 
     if args.reports or args.update_reports:
         return check_reports(
@@ -216,6 +308,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     baseline = json.loads(baseline_path.read_text())
     lines, failures = compare(baseline, current, args.threshold)
+    gate_lines, gate_failures = plan_speedup_check(
+        current, args.speedup_target
+    )
+    lines += gate_lines
+    failures += gate_failures
     print("\n".join(lines))
     if failures:
         print(f"\n{len(failures)} regression(s) over"

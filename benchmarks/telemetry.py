@@ -23,7 +23,16 @@ Row format (one JSON object per line)::
     {"schema_version": 1, "kind": "bench-row", "ts": <epoch seconds>,
      "session": "<iso date>", "exp": "e01", "group": "e01-transitive-closure",
      "name": "test_logres_seminaive[200]", "min_ms": 1.9, "mean_ms": 2.2,
-     "stddev_ms": 0.1, "rounds": 5}
+     "stddev_ms": 0.1, "rounds": 5,
+     "config": {"kernel": "incremental", "plan": true, ...}}
+
+``config`` is the benchmark's ``extra_info["config"]`` (the active
+:class:`~repro.engine.fixpoint.EvalConfig` switches), null for
+benchmarks that measure no engine configuration.  Appending is
+deduplicating: when the trailing session in the file measured exactly
+the same (group, name, config) row set, the new session *replaces* it
+instead of stacking an identical back-to-back block — re-running the
+suite twice in a row keeps one row per benchmark, not two.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ import time
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS = pathlib.Path(__file__).resolve().parent / "results"
 REPORT_PATH = RESULTS / "run_report.json"
+PLAN_ARTIFACT_PATH = RESULTS / "plan_reference.json"
 
 #: reference workload: the E01 transitive-closure program over the
 #: deterministic edge generator — small enough to run on every session,
@@ -42,6 +52,11 @@ REPORT_PATH = RESULTS / "run_report.json"
 REFERENCE_NODES = 100
 REFERENCE_EDGES = 200
 REFERENCE_SEED = 1
+
+#: the planner gate workload: E01 at 1000 edges (the ISSUE 6 acceptance
+#: size), same generator and seed as ``test_logres_plan_on/off[1000]``
+PLAN_GATE_EDGES = 1000
+PLAN_GATE_SEED = 1
 
 
 def experiment_id(group: str | None) -> str:
@@ -56,6 +71,7 @@ def bench_path(exp: str) -> pathlib.Path:
 def bench_row(meta, session_stamp: str) -> dict:
     """One appendable row for a pytest-benchmark ``Metadata``."""
     stats = meta.stats
+    extra = getattr(meta, "extra_info", None) or {}
     return {
         "schema_version": 1,
         "kind": "bench-row",
@@ -68,12 +84,27 @@ def bench_row(meta, session_stamp: str) -> dict:
         "mean_ms": stats.mean * 1000,
         "stddev_ms": stats.stddev * 1000,
         "rounds": stats.rounds,
+        "config": extra.get("config"),
     }
+
+
+def _row_key(row: dict) -> tuple:
+    """What makes two rows 'the same benchmark': group, name and the
+    engine configuration measured."""
+    return (
+        row.get("group"),
+        row.get("name"),
+        json.dumps(row.get("config"), sort_keys=True),
+    )
 
 
 def append_rows(benchmarks) -> list[pathlib.Path]:
     """Append one row per benchmark to its experiment's ``BENCH_*.json``
-    at the repo root; returns the touched paths."""
+    at the repo root; returns the touched paths.
+
+    When the trailing session block measured exactly the same benchmark
+    set, the new session replaces it — identical back-to-back sessions
+    never stack."""
     session_stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
     by_exp: dict[str, list[dict]] = {}
     for meta in benchmarks:
@@ -84,6 +115,21 @@ def append_rows(benchmarks) -> list[pathlib.Path]:
     touched = []
     for exp, rows in sorted(by_exp.items()):
         path = bench_path(exp)
+        existing = read_rows(path)
+        if existing:
+            last_session = existing[-1].get("session")
+            trailing = [
+                r for r in existing if r.get("session") == last_session
+            ]
+            if {_row_key(r) for r in trailing} == \
+                    {_row_key(r) for r in rows}:
+                existing = [
+                    r for r in existing
+                    if r.get("session") != last_session
+                ]
+                with open(path, "w", encoding="utf-8") as f:
+                    for row in existing:
+                        f.write(json.dumps(row, sort_keys=True) + "\n")
         with open(path, "a", encoding="utf-8") as f:
             for row in rows:
                 f.write(json.dumps(row, sort_keys=True) + "\n")
@@ -99,7 +145,7 @@ def read_rows(path: pathlib.Path) -> list[dict]:
         return [json.loads(line) for line in f if line.strip()]
 
 
-def reference_report():
+def reference_report(config=None):
     """Run the reference workload under full instrumentation."""
     from benchmarks.conftest import TC_SOURCE, build_unit
     from repro.observability.report import report_program
@@ -109,9 +155,65 @@ def reference_report():
     edb = random_edges(REFERENCE_NODES, REFERENCE_EDGES,
                        seed=REFERENCE_SEED)
     return report_program(
-        schema, program, edb,
+        schema, program, edb, config=config,
         source_file="benchmarks/reference:e01-transitive-closure",
     )
+
+
+def _plan_gate_workload():
+    from benchmarks.conftest import TC_SOURCE, build_unit
+    from repro.workloads import random_edges
+
+    schema, program = build_unit(TC_SOURCE)
+    edb = random_edges(PLAN_GATE_EDGES // 2, PLAN_GATE_EDGES,
+                       seed=PLAN_GATE_SEED)
+    return schema, program, edb
+
+
+def plan_gate_times(reps: int = 3) -> tuple[float, float]:
+    """``(plan_on_min_s, plan_off_min_s)`` over ``reps`` interleaved
+    runs of the gate workload, asserting identical instances — the
+    measurement behind the >= 5x acceptance gate."""
+    import time as _time
+
+    from benchmarks.conftest import run_logres
+
+    schema, program, edb = _plan_gate_workload()
+    on_times, off_times = [], []
+    for _ in range(max(1, reps)):
+        t0 = _time.perf_counter()
+        off = run_logres(schema, program, edb, True, plan=False)
+        off_times.append(_time.perf_counter() - t0)
+        t0 = _time.perf_counter()
+        on = run_logres(schema, program, edb, True, plan=True)
+        on_times.append(_time.perf_counter() - t0)
+        if on != off:
+            raise AssertionError(
+                "plan=on and plan=off disagree on the gate workload"
+            )
+    return min(on_times), min(off_times)
+
+
+def write_plan_artifact(path=PLAN_ARTIFACT_PATH) -> pathlib.Path:
+    """The planner's chosen orders for the gate workload, as the JSON
+    ``repro plan`` would print (uploaded as a CI artifact)."""
+    from repro import Engine, EvalConfig
+
+    schema, program, edb = _plan_gate_workload()
+    engine = Engine(schema, program, EvalConfig())
+    plans = engine.explain_plan(edb)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": 1,
+        "kind": "plan-artifact",
+        "workload": f"e01-transitive-closure[{PLAN_GATE_EDGES}]",
+        "plans": [p.to_dict() for p in plans],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
 
 
 def write_reference_report(path=REPORT_PATH):

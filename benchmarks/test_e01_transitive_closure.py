@@ -17,12 +17,15 @@ small constant factor over the native engine.
 
 import pytest
 
-from benchmarks.conftest import run_logres
+from benchmarks.conftest import eval_config_info, run_logres
 from repro.compiler import compile_program
 from repro.datalog import Atom, DVar, DatalogEngine, DatalogRule
 from repro.workloads import random_edges
 
 SIZES = [50, 100, 200]
+#: the planner gate size: the ISSUE 6 acceptance point — plan=on must
+#: be >= 5x faster than the plan=off semi-naive baseline here
+PLAN_SIZE = 1000
 
 
 def edge_pairs(facts):
@@ -36,6 +39,7 @@ def edge_pairs(facts):
 def test_logres_seminaive(benchmark, tc_unit, edges):
     schema, program = tc_unit
     edb = random_edges(edges // 2, edges, seed=1)
+    benchmark.extra_info["config"] = eval_config_info()
     out = benchmark(run_logres, schema, program, edb, True)
     assert out.count("anc") >= out.count("parent")
 
@@ -45,7 +49,30 @@ def test_logres_seminaive(benchmark, tc_unit, edges):
 def test_logres_naive(benchmark, tc_unit, edges):
     schema, program = tc_unit
     edb = random_edges(edges // 2, edges, seed=1)
+    benchmark.extra_info["config"] = eval_config_info(seminaive=False)
     out = benchmark(run_logres, schema, program, edb, False)
+    assert out.count("anc") >= out.count("parent")
+
+
+@pytest.mark.parametrize("edges", [PLAN_SIZE])
+@pytest.mark.benchmark(group="e01-transitive-closure")
+def test_logres_plan_on(benchmark, tc_unit, edges):
+    """The planned + compiled semi-naive path at the gate size."""
+    schema, program = tc_unit
+    edb = random_edges(edges // 2, edges, seed=1)
+    benchmark.extra_info["config"] = eval_config_info(plan=True)
+    out = benchmark(run_logres, schema, program, edb, True)
+    assert out.count("anc") >= out.count("parent")
+
+
+@pytest.mark.parametrize("edges", [PLAN_SIZE])
+@pytest.mark.benchmark(group="e01-transitive-closure")
+def test_logres_plan_off(benchmark, tc_unit, edges):
+    """The dynamic-scheduler semi-naive baseline at the gate size."""
+    schema, program = tc_unit
+    edb = random_edges(edges // 2, edges, seed=1)
+    benchmark.extra_info["config"] = eval_config_info(plan=False)
+    out = benchmark(run_logres, schema, program, edb, True, plan=False)
     assert out.count("anc") >= out.count("parent")
 
 
@@ -83,5 +110,7 @@ def test_all_routes_agree(tc_unit):
     edb = random_edges(40, 80, seed=3)
     native = run_logres(schema, program, edb, True)
     naive = run_logres(schema, program, edb, False)
+    unplanned = run_logres(schema, program, edb, True, plan=False)
+    forced = run_logres(schema, program, edb, True, compile_threshold=0)
     compiled = compile_program(program, schema).run(edb)
-    assert native == naive == compiled
+    assert native == naive == unplanned == forced == compiled

@@ -16,6 +16,12 @@ literal).  :func:`optimize` applies the classical equivalences:
 
 Optimization is purely algebraic: ``evaluate(optimize(e)) ==
 evaluate(e)`` on every catalog (property-tested).
+
+This module is one half of the unified planner: the cost-based join
+and literal ordering lives in :mod:`repro.engine.planner` (which
+re-exports these identities as the single optimizer surface), and the
+LOGRES→ALGRES compiler asks the planner for its join order before the
+identities here clean the resulting plan up.
 """
 
 from __future__ import annotations

@@ -17,6 +17,10 @@ programming environment" of Section 5:
   plus the best near-miss valuation of every candidate rule;
 * ``profile FILE`` — evaluate under full instrumentation and print a
   ranked per-rule cost table (``--format text|json``);
+* ``plan FILE``   — print the cost-based planner's chosen literal order
+  and per-step estimates for every rule without evaluating
+  (``--format text|json``); every evaluating command takes
+  ``--plan on|off`` to toggle the planner + compiled bodies;
 * ``diff A B``    — compare two run reports: per-rule and per-phase
   deltas, exit 1 on regressions; see ``docs/OBSERVABILITY.md``.
 
@@ -94,6 +98,7 @@ def _eval_config(args) -> EvalConfig:
     return EvalConfig(
         max_iterations=getattr(args, "max_iterations", 10_000),
         incremental=not getattr(args, "reference", False),
+        plan=getattr(args, "plan", "on") != "off",
         guard=guard,
     )
 
@@ -245,6 +250,21 @@ def cmd_profile(args) -> int:
             print()
             print("phases:")
             print(phases)
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """Print the planner's chosen literal orders without evaluating."""
+    import json
+
+    schema, program, edb = _load_unit(args.file, args.state)
+    engine = Engine(schema, program, _eval_config(args))
+    plans = engine.explain_plan(edb, Semantics(args.semantics))
+    if args.format == "json":
+        print(json.dumps([p.to_dict() for p in plans], indent=2,
+                         sort_keys=True))
+    else:
+        print("\n\n".join(p.render_text() for p in plans))
     return 0
 
 
@@ -537,6 +557,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--max-oids", type=int, metavar="N",
             help="budget on invented oids",
         )
+        p.add_argument(
+            "--plan", choices=["on", "off"], default="on",
+            help="cost-based rule planning + compiled rule bodies"
+                 " (default: on; 'off' restores the dynamic scheduler)",
+        )
 
     p_run = sub.add_parser("run", help="evaluate and print the instance")
     common(p_run)
@@ -583,6 +608,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the phase tree as a Chrome trace (Perfetto)",
     )
     p_profile.set_defaults(fn=cmd_profile)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="show the cost-based plan (literal orders + estimates)"
+             " without evaluating",
+    )
+    common(p_plan)
+    p_plan.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output style (default: text)",
+    )
+    p_plan.set_defaults(fn=cmd_plan)
 
     p_check = sub.add_parser("check", help="analyze and verify consistency")
     common(p_check)

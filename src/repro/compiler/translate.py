@@ -205,7 +205,8 @@ def _literal_plan(
 
 
 def _compile_rule(
-    rule: Rule, schema: Schema, recursive_preds: set[str]
+    rule: Rule, schema: Schema, recursive_preds: set[str],
+    optimize_plans: bool = False,
 ) -> _CompiledRule:
     head = rule.head
     if not isinstance(head, Literal) or head.negated:
@@ -231,6 +232,14 @@ def _compile_rule(
         )
     ordinary = [l for l in rule.body
                 if isinstance(l, Literal) and not l.negated]
+    if optimize_plans and len(ordinary) > 1:
+        # join order from the unified planner: bound-variable
+        # propagation picks the left-deep Join sequence, so the
+        # algebraic rewriter below only has to push selections, not
+        # re-derive a join order of its own
+        from repro.engine.planner import static_literal_order
+
+        ordinary = [ordinary[i] for i in static_literal_order(ordinary)]
     negated = [l for l in rule.body
                if isinstance(l, Literal) and l.negated]
     builtins = [l for l in rule.body if isinstance(l, BuiltinLiteral)]
@@ -447,7 +456,8 @@ def compile_program(
 
     by_pred: dict[str, list[_CompiledRule]] = {}
     for rule in rules:
-        compiled = _compile_rule(rule, analysis.schema, recursive_preds)
+        compiled = _compile_rule(rule, analysis.schema, recursive_preds,
+                                 optimize_plans=optimize_plans)
         by_pred.setdefault(compiled.head_pred, []).append(compiled)
 
     # evaluation order: dependencies before dependents

@@ -100,6 +100,15 @@ class EvalConfig:
     invention sites.  A breach raises
     :class:`~repro.errors.EvalBudgetExceeded` carrying the partial stats
     and a consistent partial-state snapshot (``docs/ROBUSTNESS.md``).
+
+    ``plan`` runs the cost-based planner
+    (:mod:`repro.engine.planner`) before each fixpoint scope: rule
+    bodies are reordered from live index statistics and, for rules in
+    the compilable fragment, specialized into closures
+    (:mod:`repro.engine.compile`) that take over once the rule's
+    observed work reaches ``compile_threshold`` body valuations
+    (``0`` = immediately).  ``plan=False`` restores the dynamic greedy
+    scheduler everywhere.
     """
 
     max_iterations: int = 10_000
@@ -108,6 +117,8 @@ class EvalConfig:
     seminaive: bool = True
     use_indexes: bool = True
     incremental: bool = True
+    plan: bool = True
+    compile_threshold: int = 64
     guard: ResourceGuard | None = None
 
 
@@ -152,6 +163,8 @@ class Engine:
             for i, rule in enumerate(self.analysis.rules)
         ]
         self.stats = EvalStats()
+        #: the plans chosen by the last run (one per fixpoint scope)
+        self.plans: list = []
 
     # ------------------------------------------------------------------
     # public API
@@ -171,6 +184,7 @@ class Engine:
         general (non-semi-naive) path so every rule firing is observed.
         """
         self.stats = EvalStats()
+        self.plans = []
         obs = self.obs
         if tracer is not None:
             obs = obs.with_extra_sink(tracer)
@@ -208,13 +222,14 @@ class Engine:
         inventions = InventionRegistry(self.oidgen)
         rules = [r for r in self.runtimes if r.rule.head is not None]
         if semantics is Semantics.INFLATIONARY:
-            if not obs.enabled and self.config.seminaive and \
-                    self._seminaive_applicable(rules):
-                self.stats.used_seminaive = True
-                return self._run_seminaive(edb.copy(), rules)
             facts = edb.copy()
             if obs.enabled:
                 facts.index_stats = obs.index_stats
+            self._attach_plans(rules, facts, obs, semantics)
+            if not obs.enabled and self.config.seminaive and \
+                    self._seminaive_applicable(rules):
+                self.stats.used_seminaive = True
+                return self._run_seminaive(facts, rules)
             return self._run_inflationary(facts, rules, inventions, obs)
         if semantics is Semantics.STRATIFIED:
             strata = stratify_runtimes(rules, self.analysis)
@@ -223,6 +238,10 @@ class Engine:
             if obs.enabled:
                 facts.index_stats = obs.index_stats
             for level, stratum in enumerate(strata):
+                # per-stratum planning: lower strata have materialized,
+                # so the statistics are live at each boundary
+                self._attach_plans(facts=facts, rules=stratum, obs=obs,
+                                   semantics=semantics, stratum=level)
                 if obs.enabled:
                     obs.stratum_started(level, len(stratum))
                     stratum_began = time.perf_counter()
@@ -236,6 +255,71 @@ class Engine:
         if semantics is Semantics.NONINFLATIONARY:
             return self._run_noninflationary(edb, rules, inventions, obs)
         raise EvaluationError(f"unknown semantics {semantics!r}")
+
+    def _attach_plans(
+        self,
+        rules: list[RuleRuntime],
+        facts: FactSet,
+        obs: Instrumentation,
+        semantics: Semantics,
+        stratum: int | None = None,
+    ) -> None:
+        """Plan one fixpoint scope and arm the runtimes.
+
+        Compiled bodies are only built when they can legally run:
+        uninstrumented (events must observe every valuation) and with
+        indexes on (the closures bind index lookups directly).
+        """
+        cfg = self.config
+        if not cfg.plan or not rules:
+            return
+        from repro.engine.compile import compile_rule
+        from repro.engine.planner import build_plan
+
+        metrics = obs.metrics if obs.enabled else None
+        plan = build_plan(rules, facts, self.schema, metrics=metrics,
+                          semantics=semantics.value, stratum=stratum)
+        self.plans.append(plan)
+        compiling = cfg.use_indexes and not obs.enabled
+        for runtime, rule_plan in zip(rules, plan.rules):
+            runtime.plan = rule_plan
+            runtime.work = 0
+            runtime.hot = False
+            runtime.threshold = cfg.compile_threshold
+            runtime.compiled = None
+            if compiling and rule_plan.order is not None:
+                runtime.compiled = compile_rule(runtime, rule_plan,
+                                                self.schema)
+                if runtime.compiled is not None and (
+                    cfg.compile_threshold <= 0
+                    # cost-based pre-arming: the plan already predicts
+                    # the body's valuation count, so a rule expected to
+                    # cross the threshold starts hot instead of paying
+                    # generic rounds first
+                    or rule_plan.cost >= cfg.compile_threshold
+                ):
+                    runtime.hot = True
+        if obs.enabled:
+            obs.plan_chosen(plan)
+
+    def explain_plan(
+        self, edb: FactSet, semantics: Semantics = Semantics.INFLATIONARY
+    ) -> list:
+        """The plans ``repro plan`` prints: every scope planned against
+        the extensional database (at run time, stratified scopes re-plan
+        on the live statistics of their boundary)."""
+        from repro.engine.planner import build_plan
+
+        rules = [r for r in self.runtimes if r.rule.head is not None]
+        if semantics is Semantics.STRATIFIED:
+            strata = stratify_runtimes(rules, self.analysis)
+            return [
+                build_plan(stratum, edb, self.schema,
+                           semantics=semantics.value, stratum=level)
+                for level, stratum in enumerate(strata)
+            ]
+        return [build_plan(rules, edb, self.schema,
+                           semantics=semantics.value)]
 
     @contextmanager
     def _iteration(self, obs: Instrumentation):
@@ -445,6 +529,14 @@ class Engine:
         incremental = cfg.incremental
         inventions = InventionRegistry(self.oidgen)  # unused but uniform
         obs = NULL_INSTRUMENTATION  # semi-naive only runs uninstrumented
+        if (
+            cfg.plan and cfg.use_indexes and rules
+            and all(r.compiled is not None and r.hot for r in rules)
+        ):
+            # every rule pre-armed hot: the whole fixpoint, initial
+            # round included, runs on the compiled driver
+            return self._run_seminaive_compiled(facts, rules, None,
+                                                facts.count())
         # initial round: fact rules and rules over the EDB
         self._guard_boundary(guard, facts, facts.count(), 0)
         with self._iteration(obs):
@@ -467,7 +559,16 @@ class Engine:
             live = facts.count()
             domains = ActiveDomains(facts, self.schema)
             self.stats.facts_derived = live
+        compilable = bool(
+            cfg.plan and cfg.use_indexes and rules
+            and all(r.compiled is not None for r in rules)
+        )
         while delta.count():
+            if compilable and all(r.hot for r in rules):
+                # every rule crossed the work threshold: hand the rest
+                # of the fixpoint to the compiled driver
+                return self._run_seminaive_compiled(facts, rules, delta,
+                                                    live)
             self._guard_boundary(guard, facts, live, 0)
             with self._iteration(obs):
                 if self.stats.iterations > cfg.max_iterations:
@@ -484,25 +585,39 @@ class Engine:
                 round_delta = StepDeltas()
                 for runtime in rules:
                     body = list(runtime.rule.body)
+                    rule_plan = runtime.plan
                     positions = [
                         i for i, l in enumerate(body)
                         if isinstance(l, Literal) and delta.count(l.pred)
                     ]
+                    valuations = 0
                     for pos in positions:
                         literal = body[pos]
-                        rest = tuple(body[:pos] + body[pos + 1:])
+                        rest_order = (
+                            rule_plan.delta_orders.get(pos)
+                            if rule_plan is not None else None
+                        )
+                        if rest_order is not None:
+                            rest = tuple(body[i] for i in rest_order)
+                            ordered = True
+                        else:
+                            rest = tuple(body[:pos] + body[pos + 1:])
+                            ordered = False
                         for fact in delta.facts_of(literal.pred):
                             seed = match_fact(literal.args, fact, {}, ctx)
                             if seed is None:
                                 continue
                             for bindings in evaluate_body(
                                 runtime, ctx, domains, seed=seed,
-                                body=rest
+                                body=rest, ordered=ordered
                             ):
+                                valuations += 1
                                 process_head(
                                     runtime, bindings, ctx, round_delta,
                                     inventions, guard=guard,
                                 )
+                    if runtime.compiled is not None:
+                        runtime.note_work(valuations)
                 if incremental:
                     # in-place union: `add` reports exactly the fresh
                     # facts
@@ -518,6 +633,94 @@ class Engine:
                     live = facts.count()
                 delta = fresh
                 self.stats.facts_derived = live
+            if live > cfg.max_facts:
+                raise NonTerminationError(
+                    f"fact budget exceeded ({live} facts)",
+                    self.stats.iterations,
+                    stats=self.stats,
+                )
+        return facts
+
+    def _run_seminaive_compiled(
+        self,
+        facts: FactSet,
+        rules: list[RuleRuntime],
+        delta: FactSet | None,
+        live: int,
+    ) -> FactSet:
+        """Semi-naive rounds driven entirely by compiled rule bodies.
+
+        Plain per-round lists replace the per-round ``StepDeltas`` /
+        ``FactSet`` churn of the generic loop: each delta fact is pushed
+        through every seed chain registered for its predicate, emitted
+        facts are deduplicated against the live state and the current
+        round, and the survivors become the next round's delta.  Same
+        fixpoint, same iteration count, same budget checks.
+
+        ``delta=None`` means the initial round has not run yet: the
+        full body chains evaluate once over the EDB and their net-new
+        facts seed the delta rounds.
+        """
+        cfg = self.config
+        guard = cfg.guard
+        obs = NULL_INSTRUMENTATION
+        ctx = MatchContext(facts, self.schema, True)
+        if delta is None:
+            self._guard_boundary(guard, facts, live, 0)
+            with self._iteration(obs):
+                fresh: list = []
+                seen: dict[str, set] = {}
+                for runtime in rules:
+                    compiled = runtime.compiled
+                    compiled.run_full(ctx, compiled.make_round_emit(
+                        facts, fresh, seen, guard
+                    ))
+                for fact in fresh:
+                    facts.add(fact)
+                live += len(fresh)
+                self.stats.facts_derived = live
+                pending = fresh
+            if live > cfg.max_facts:
+                raise NonTerminationError(
+                    f"fact budget exceeded ({live} facts)",
+                    self.stats.iterations,
+                    stats=self.stats,
+                )
+        else:
+            pending = list(delta.facts())
+        while pending:
+            self._guard_boundary(guard, facts, live, 0)
+            with self._iteration(obs):
+                if self.stats.iterations > cfg.max_iterations:
+                    raise NonTerminationError(
+                        f"no fixpoint after {cfg.max_iterations}"
+                        f" iterations",
+                        self.stats.iterations,
+                        stats=self.stats,
+                    )
+                fresh: list = []
+                seen: dict[str, set] = {}
+                dispatch: dict[str, list] = {}
+                for runtime in rules:
+                    compiled = runtime.compiled
+                    emit = compiled.make_round_emit(facts, fresh, seen,
+                                                    guard)
+                    for pos, pred in compiled.seed_specs:
+                        dispatch.setdefault(pred, []).append(
+                            (compiled.seed_chains[pos], compiled.regs,
+                             emit)
+                        )
+                for fact in pending:
+                    handlers = dispatch.get(fact.pred)
+                    if handlers is None:
+                        continue
+                    for seed_chain, regs, emit in handlers:
+                        seed_chain(fact, regs, ctx, emit)
+                for fact in fresh:
+                    facts.add(fact)
+                live += len(fresh)
+                self.stats.facts_derived = live
+                pending = fresh
             if live > cfg.max_facts:
                 raise NonTerminationError(
                     f"fact budget exceeded ({live} facts)",
@@ -547,6 +750,7 @@ class Engine:
         facts = edb.copy()
         if obs.enabled:
             facts.index_stats = obs.index_stats
+        self._attach_plans(rules, facts, obs, Semantics.NONINFLATIONARY)
         seen: list[FactSet] = [facts.copy()]
         for _ in range(cfg.max_iterations):
             self._guard_boundary(guard, facts, facts.count(),

@@ -48,12 +48,33 @@ from repro.values.oids import Oid, OidGenerator
 
 @dataclass
 class RuleRuntime:
-    """A rule with its precomputed static analysis results."""
+    """A rule with its precomputed static analysis results.
+
+    The planner attaches per-run evaluation state: ``plan`` (a
+    :class:`~repro.engine.planner.RulePlan` whose literal order the body
+    evaluator follows), ``compiled`` (a
+    :class:`~repro.engine.compile.CompiledRule`, when the rule is in
+    the compilable fragment) and the work accounting that decides when
+    the compiled body takes over (``EvalConfig.compile_threshold``).
+    """
 
     index: int
     rule: Rule
     safety: SafetyReport
     varinfo: dict[Var, VarInfo]
+    plan: object | None = None
+    compiled: object | None = None
+    hot: bool = False
+    threshold: int = 0
+    work: int = 0
+
+    def note_work(self, valuations: int) -> None:
+        """Fire-count feedback: once a rule has produced enough body
+        valuations, its compiled form (if any) becomes active."""
+        self.work += valuations
+        if not self.hot and self.compiled is not None and \
+                self.work >= self.threshold:
+            self.hot = True
 
 
 class InventionRegistry:
@@ -133,16 +154,63 @@ def evaluate_body(
     domains: ActiveDomains,
     seed: Bindings | None = None,
     body: tuple | None = None,
+    ordered: bool = False,
 ):
     """Enumerate valuations satisfying the rule body.
 
-    Literals are scheduled greedily: at each point the first *ready*
-    pending literal runs — positive ordinary literals are always ready,
+    When the runtime carries a plan (or ``ordered`` says the caller
+    pre-ordered ``body``), literals run in the planned order.  Otherwise
+    they are scheduled greedily: at each point the first *ready* pending
+    literal runs — positive ordinary literals are always ready,
     built-ins once their inputs are resolvable, negated literals once all
     their variables are bound or enumerable from the active domain.
     """
-    pending = list(body if body is not None else runtime.rule.body)
+    if body is None:
+        plan = runtime.plan
+        if plan is not None and plan.order is not None:
+            rule_body = runtime.rule.body
+            pending = [rule_body[i] for i in plan.order]
+            return _eval_ordered(pending, 0, dict(seed or {}), runtime,
+                                 ctx, domains)
+        pending = list(runtime.rule.body)
+    else:
+        pending = list(body)
+        if ordered:
+            return _eval_ordered(pending, 0, dict(seed or {}), runtime,
+                                 ctx, domains)
     return _eval_pending(pending, dict(seed or {}), runtime, ctx, domains)
+
+
+def _eval_ordered(
+    pending: list,
+    idx: int,
+    bindings: Bindings,
+    runtime: RuleRuntime,
+    ctx: MatchContext,
+    domains: ActiveDomains,
+):
+    """Planned-order evaluation: no per-step readiness scan — the
+    planner already proved each literal schedulable at its position."""
+    if idx == len(pending):
+        yield bindings
+        return
+    literal = pending[idx]
+    idx += 1
+    if isinstance(literal, Literal):
+        if literal.negated:
+            for extended in _solve_negative(
+                literal, bindings, runtime, ctx, domains
+            ):
+                yield from _eval_ordered(pending, idx, extended, runtime,
+                                         ctx, domains)
+        else:
+            for extended in match_literal(literal, bindings, ctx):
+                yield from _eval_ordered(pending, idx, extended, runtime,
+                                         ctx, domains)
+    else:
+        for extended in _solve_builtin(literal, bindings, ctx):
+            yield from _eval_ordered(pending, idx, extended, runtime,
+                                     ctx, domains)
 
 
 def _eval_pending(
@@ -729,9 +797,21 @@ def compute_deltas(
         for runtime in runtimes:
             if runtime.rule.head is None:
                 continue  # denials: evaluated by the consistency checker
+            if runtime.hot and ctx.use_indexes:
+                # compiled fast path: the closure chain derives the same
+                # ground facts as evaluate_body + process_head
+                emit = runtime.compiled.make_delta_emit(
+                    ctx, deltas, guard, skip_satisfied
+                )
+                runtime.compiled.run_full(ctx, emit)
+                continue
+            valuations = 0
             for bindings in evaluate_body(runtime, ctx, domains):
+                valuations += 1
                 process_head(runtime, bindings, ctx, deltas, inventions,
                              skip_satisfied, guard=guard)
+            if runtime.compiled is not None:
+                runtime.note_work(valuations)
         return deltas
     clock = time.perf_counter
     for runtime in runtimes:

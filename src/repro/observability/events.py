@@ -164,6 +164,26 @@ class ConstraintViolated(EngineEvent):
 
 
 @dataclass(frozen=True)
+class PlanChosen(EngineEvent):
+    """The cost-based planner fixed literal orders for a rule set.
+
+    ``plan`` is the full :meth:`repro.engine.planner.Plan.to_dict`
+    payload: per-rule literal order, access paths and cost estimates,
+    so the JSONL stream records *why* the engine evaluated bodies in
+    the order it did."""
+
+    kind: ClassVar[str] = "plan"
+    semantics: str = ""
+    stratum: int | None = None
+    rules: int = 0
+    plan: dict = field(default_factory=dict)
+
+    def render(self) -> str:  # the full plan dict is too big for one line
+        where = f" stratum={self.stratum}" if self.stratum is not None else ""
+        return f"[plan] semantics={self.semantics}{where} rules={self.rules}"
+
+
+@dataclass(frozen=True)
 class ModuleRollback(EngineEvent):
     """A transactional module application failed and was rolled back to
     the pre-apply savepoint (``docs/ROBUSTNESS.md``)."""
@@ -184,7 +204,7 @@ EVENT_TYPES: dict[str, type[EngineEvent]] = {
         StratumStarted, StratumFinished,
         IterationStarted, IterationFinished,
         RuleFired, FactDeleted, OidInvented,
-        ConstraintViolated, ModuleRollback,
+        ConstraintViolated, ModuleRollback, PlanChosen,
     )
 }
 

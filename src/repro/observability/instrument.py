@@ -23,6 +23,7 @@ from repro.observability.events import (
     IterationStarted,
     ModuleRollback,
     OidInvented,
+    PlanChosen,
     RuleFired,
     RunFinished,
     RunStarted,
@@ -221,6 +222,29 @@ class Instrumentation:
                 rule_index=runtime.index, rule=rule_repr, oid=repr(oid),
                 iteration=self.iteration, file=self.source_file,
                 line=line, column=column,
+            ))
+
+    def plan_chosen(self, plan) -> None:
+        """The planner fixed literal orders (:mod:`repro.engine.planner`)."""
+        if self.metrics is not None:
+            labels = (("semantics", plan.semantics),) if plan.stratum is None \
+                else (("semantics", plan.semantics),
+                      ("stratum", str(plan.stratum)))
+            self.metrics.inc("plans_built", labels)
+            self.metrics.inc(
+                "plan_rules_reordered", labels,
+                sum(1 for r in plan.rules if r.reordered),
+            )
+            self.metrics.inc(
+                "plan_rules_fallback", labels,
+                sum(1 for r in plan.rules if r.fallback is not None),
+            )
+        if self.emit_events:
+            self.sink.emit(PlanChosen(
+                semantics=plan.semantics,
+                stratum=plan.stratum,
+                rules=len(plan.rules),
+                plan=plan.to_dict(),
             ))
 
     def module_rollback(self, module: str, mode: str, reason: str,

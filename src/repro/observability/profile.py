@@ -67,6 +67,9 @@ class Profile:
     iteration_times: list[float] = field(default_factory=list)
     phases: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
+    #: the planner's chosen literal orders, one dict per fixpoint scope
+    #: (:meth:`repro.engine.planner.Plan.to_dict`); empty when plan=off
+    plans: list[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         from repro.observability.events import SCHEMA_VERSION
@@ -84,6 +87,7 @@ class Profile:
             ],
             "phases": self.phases,
             "metrics": self.metrics,
+            "plans": self.plans,
         }
 
     # ------------------------------------------------------------------
@@ -126,6 +130,21 @@ class Profile:
             lines.append("per-iteration:")
             for i, elapsed in enumerate(self.iteration_times, start=1):
                 lines.append(f"  iteration {i}: {elapsed * 1000:.2f} ms")
+        if self.plans:
+            lines.append("")
+            lines.append("plans:")
+            for plan in self.plans:
+                scope = plan.get("semantics", "?")
+                if plan.get("stratum") is not None:
+                    scope += f", stratum {plan['stratum']}"
+                for rp in plan.get("rules", []):
+                    order = rp.get("order")
+                    shape = "dynamic fallback" if order is None else \
+                        "order " + "→".join(str(i) for i in order)
+                    lines.append(
+                        f"  ({scope}) rule {rp.get('rule')}: {shape},"
+                        f" est {rp.get('cost')}"
+                    )
         return "\n".join(lines)
 
 
@@ -192,6 +211,7 @@ def build_profile(engine, obs: Instrumentation) -> Profile:
         iteration_times=list(stats.time_per_iteration),
         phases=obs.timer.to_dict(),
         metrics=registry.snapshot(),
+        plans=[plan.to_dict() for plan in getattr(engine, "plans", [])],
     )
 
 

@@ -42,6 +42,10 @@ class RunReport:
     rules: list[dict] = field(default_factory=list)
     phases: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
+    #: the active EvalConfig switches (kernel/plan/threshold/seminaive)
+    config: dict = field(default_factory=dict)
+    #: planner output, one dict per fixpoint scope (empty when plan=off)
+    plans: list[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -57,6 +61,8 @@ class RunReport:
             "rules": self.rules,
             "phases": self.phases,
             "metrics": self.metrics,
+            "config": self.config,
+            "plans": self.plans,
         }
 
     def dumps(self) -> str:
@@ -90,6 +96,8 @@ class RunReport:
             rules=payload.get("rules", []),
             phases=payload.get("phases", {}),
             metrics=payload.get("metrics", {}),
+            config=payload.get("config", {}),
+            plans=payload.get("plans", []),
         )
 
 
@@ -146,6 +154,14 @@ def build_run_report(
         rules=[row.to_dict() for row in profile.rules],
         phases=obs.timer.to_dict(),
         metrics=profile.metrics,
+        config={
+            "kernel": kernel,
+            "plan": engine.config.plan,
+            "compile_threshold": engine.config.compile_threshold,
+            "seminaive": engine.config.seminaive,
+            "use_indexes": engine.config.use_indexes,
+        },
+        plans=profile.plans,
     )
 
 

@@ -26,6 +26,7 @@ from repro.values.instance import Instance
 from repro.values.oids import Oid
 
 _SELF = "self"  # reserved pseudo-label used by indexes for class oids
+_NO_VALUE = object()  # hashable key guaranteed to match no stored value
 
 
 @dataclass(frozen=True, slots=True)
@@ -310,6 +311,20 @@ class FactSet:
         index: dict[str, dict[Value, list[Fact]]] = {}
         self._indexes[pred] = index
         return index
+
+    def distinct_count(self, pred: str, label: str) -> int:
+        """Distinct values stored at an indexed position — the planner's
+        selectivity statistic.  Forces the same lazy per-label index
+        evaluation uses, so the count is free once a join probed it."""
+        pred = pred.lower()
+        index = self._indexes.get(pred)
+        by_label = index.get(label) if index is not None else None
+        if by_label is None:
+            # build (and cache) the index through the normal path; the
+            # sentinel value never matches, so this is only the build
+            self.lookup(pred, label, _NO_VALUE)
+            by_label = self._indexes[pred][label]
+        return len(by_label)
 
     # ------------------------------------------------------------------
     # Appendix B set algebra

@@ -28,9 +28,12 @@ class TupleValue:
     """
 
     items: tuple[tuple[str, Value], ...]
-    # lazily computed cache of the largest nested oid number (-1 =
-    # unscanned); excluded from equality, hashing, and repr
+    # lazily computed caches (excluded from equality and repr): the
+    # largest nested oid number (-1 = unscanned) and the hash (None =
+    # unscanned; fact-set membership tests hash the same immutable
+    # tuple many times per fixpoint round)
     _max_oid: int = field(default=-1, compare=False, repr=False)
+    _hash: int | None = field(default=None, compare=False, repr=False)
 
     # positional-only parameters so that "self" remains usable as a
     # keyword label (class tuple bindings carry a reserved self field)
@@ -42,6 +45,28 @@ class TupleValue:
             __tv, "items", tuple(sorted(pairs.items()))
         )
         object.__setattr__(__tv, "_max_oid", -1)
+        object.__setattr__(__tv, "_hash", None)
+
+    @classmethod
+    def from_sorted_items(cls, items: tuple) -> "TupleValue":
+        """Construct directly from an already label-sorted items tuple.
+
+        The hot compiled-rule path builds thousands of head tuples per
+        round; the sort order is decided once at compile time, so the
+        general constructor's dict + sort per tuple is skipped here.
+        """
+        tv = object.__new__(cls)
+        object.__setattr__(tv, "items", items)
+        object.__setattr__(tv, "_max_oid", -1)
+        object.__setattr__(tv, "_hash", None)
+        return tv
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(self.items)
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def max_oid_number(self) -> int:
         """The largest oid number nested anywhere in this tuple, 0 when

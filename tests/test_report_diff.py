@@ -248,16 +248,45 @@ class TestBenchTelemetry:
             stats = Stats()
 
         monkeypatch.setattr(telemetry, "ROOT", tmp_path)
-        for _ in range(2):  # two sessions append, never rewrite
+        # identical back-to-back sessions replace the trailing block
+        # instead of stacking a duplicate
+        for _ in range(2):
             touched = telemetry.append_rows([Meta()])
         assert touched == [tmp_path / "BENCH_e01.json"]
         rows = telemetry.read_rows(tmp_path / "BENCH_e01.json")
-        assert len(rows) == 2
+        assert len(rows) == 1
         for row in rows:
             assert row["schema_version"] == 1
             assert row["kind"] == "bench-row"
             assert row["exp"] == "e01"
             assert row["min_ms"] == pytest.approx(1.0)
+            assert row["config"] is None
+
+    def test_append_stacks_when_config_differs(self, tmp_path,
+                                               monkeypatch):
+        import benchmarks.telemetry as telemetry
+
+        class Stats:
+            min = 0.001
+            mean = 0.002
+            stddev = 0.0001
+            rounds = 7
+
+        def meta(plan):
+            class Meta:
+                name = "test_x[50]"
+                group = "e01-transitive-closure"
+                has_error = False
+                stats = Stats()
+                extra_info = {"config": {"plan": plan}}
+            return Meta()
+
+        monkeypatch.setattr(telemetry, "ROOT", tmp_path)
+        telemetry.append_rows([meta(True)])
+        telemetry.append_rows([meta(False)])  # different row set: stacks
+        rows = telemetry.read_rows(tmp_path / "BENCH_e01.json")
+        assert len(rows) == 2
+        assert [r["config"]["plan"] for r in rows] == [True, False]
 
     def test_reference_report_counts_deterministic(self):
         import benchmarks.telemetry as telemetry
