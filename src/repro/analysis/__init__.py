@@ -32,20 +32,51 @@ __all__ = [
     "Related",
     "Severity",
     "diagnostics_to_json",
-    # lazily loaded from repro.analysis.driver / .modules:
+    # lazily loaded from repro.analysis.driver / .modules / .effects /
+    # .interference:
     "AnalysisReport",
+    "ProgramAnalysis",
     "analyze_or_raise",
+    "analyze_source",
     "lint_source",
     "lint_unit",
     "check_module_application",
+    "RuleEffects",
+    "program_effects",
+    "rule_effects",
+    "Interference",
+    "InterferenceAnalysis",
+    "StratumInterference",
+    "analyze_interference",
+    "check_interference",
+    "independent_groups",
+    "interference_edges",
+    "stratum_indexes",
+    "DEFAULT_MAX_PAIRS",
+    "HAZARD_CODES",
 ]
 
 _LAZY = {
     "AnalysisReport": "repro.analysis.driver",
+    "ProgramAnalysis": "repro.analysis.driver",
     "analyze_or_raise": "repro.analysis.driver",
+    "analyze_source": "repro.analysis.driver",
     "lint_source": "repro.analysis.driver",
     "lint_unit": "repro.analysis.driver",
     "check_module_application": "repro.analysis.modules",
+    "RuleEffects": "repro.analysis.effects",
+    "program_effects": "repro.analysis.effects",
+    "rule_effects": "repro.analysis.effects",
+    "Interference": "repro.analysis.interference",
+    "InterferenceAnalysis": "repro.analysis.interference",
+    "StratumInterference": "repro.analysis.interference",
+    "analyze_interference": "repro.analysis.interference",
+    "check_interference": "repro.analysis.interference",
+    "independent_groups": "repro.analysis.interference",
+    "interference_edges": "repro.analysis.interference",
+    "stratum_indexes": "repro.analysis.interference",
+    "DEFAULT_MAX_PAIRS": "repro.analysis.interference",
+    "HAZARD_CODES": "repro.analysis.interference",
 }
 
 

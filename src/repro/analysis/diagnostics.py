@@ -98,6 +98,11 @@ CODES: dict[str, str] = {
     "LG806": "iteration budget exceeded",
     # storage
     "LG901": "persisted database state is corrupt or unreadable",
+    # interference / confluence analysis (docs/ANALYSIS.md)
+    "LG1001": "order-dependent derive/delete or write-write rule pair",
+    "LG1002": "deletion races a reader in the same stratum",
+    "LG1003": "oid invention races a concurrent rule",
+    "LG1004": "interference analysis pair budget exceeded",
 }
 
 #: which legacy exception class a code maps onto when no collector is
@@ -186,9 +191,20 @@ class Diagnostic:
 
 
 def diagnostics_to_json(diagnostics: list[Diagnostic]) -> str:
-    """Machine-readable output of ``repro lint --format json``."""
+    """Machine-readable output of ``repro lint --format json``.
+
+    Versioned like every other JSON surface (reports, events, profiles):
+    the payload leads with the shared ``SCHEMA_VERSION`` stream header.
+    """
+    from repro.observability.events import SCHEMA_VERSION
+
     return json.dumps(
-        {"diagnostics": [d.to_dict() for d in diagnostics]}, indent=2
+        {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "diagnostics",
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        },
+        indent=2,
     )
 
 

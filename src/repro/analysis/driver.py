@@ -21,6 +21,12 @@ from repro.analysis.diagnostics import (
     diagnostics_to_json,
     raise_for,
 )
+from repro.analysis.interference import (
+    DEFAULT_MAX_PAIRS,
+    InterferenceAnalysis,
+    analyze_interference,
+    check_interference,
+)
 from repro.analysis.passes import run_warning_passes
 from repro.errors import LogresError, ParseError, SchemaError
 from repro.language.analysis import (
@@ -43,6 +49,7 @@ class AnalysisReport:
     file: str | None = None
     unit: ParsedUnit | None = None       # None if parsing failed
     analyzed: AnalyzedProgram | None = None  # None before rule analysis
+    interference: InterferenceAnalysis | None = None
 
     def errors(self) -> list[Diagnostic]:
         return [d for d in self.diagnostics
@@ -63,7 +70,12 @@ class AnalysisReport:
         return diagnostics_to_json(self.diagnostics)
 
 
-def lint_source(text: str, file: str | None = None) -> AnalysisReport:
+def lint_source(
+    text: str,
+    file: str | None = None,
+    *,
+    max_pairs: int | None = None,
+) -> AnalysisReport:
     """Parse and fully analyze LOGRES source, collecting all diagnostics."""
     try:
         unit = parse_source(text)
@@ -73,13 +85,19 @@ def lint_source(text: str, file: str | None = None) -> AnalysisReport:
             Span(exc.line, exc.column) if exc.line else None, file,
         )
         return AnalysisReport([diag], file)
-    return lint_unit(unit, file)
+    return lint_unit(unit, file, max_pairs=max_pairs)
 
 
-def lint_unit(unit: ParsedUnit, file: str | None = None) -> AnalysisReport:
+def lint_unit(
+    unit: ParsedUnit,
+    file: str | None = None,
+    *,
+    max_pairs: int | None = None,
+) -> AnalysisReport:
     """Analyze an already-parsed unit, collecting all diagnostics."""
     collector = Collector()
     analyzed = None
+    interference = None
     schema = _check_schema(unit, collector)
     if schema is not None:
         program = unit.program()
@@ -90,10 +108,12 @@ def lint_unit(unit: ParsedUnit, file: str | None = None) -> AnalysisReport:
             collector,
         )
         run_warning_passes(analyzed, collector)
+        interference = analyze_interference(analyzed, max_pairs=max_pairs)
+        check_interference(analyzed, collector, interference)
     diagnostics = [
         d.with_file(file) if file else d for d in collector
     ]
-    return AnalysisReport(diagnostics, file, unit, analyzed)
+    return AnalysisReport(diagnostics, file, unit, analyzed, interference)
 
 
 def _check_schema(unit: ParsedUnit, sink: Collector) -> Schema | None:
@@ -124,6 +144,121 @@ def _check_schema(unit: ParsedUnit, sink: Collector) -> Schema | None:
     except SchemaError as exc:
         sink.error("LG102", str(exc))
         return None
+
+
+#: LG10xx codes that mean "the program has an order hazard" (exit 1
+#: from ``repro analyze``); LG1004 is the budget code (exit 3).
+HAZARD_DIAGNOSTIC_CODES = frozenset({"LG1001", "LG1002", "LG1003"})
+
+
+@dataclass
+class ProgramAnalysis:
+    """The result of ``repro analyze``: a lint report plus the
+    whole-program interference analysis and certificates."""
+
+    report: AnalysisReport
+
+    @property
+    def interference(self) -> InterferenceAnalysis | None:
+        return self.report.interference
+
+    @property
+    def has_hazards(self) -> bool:
+        return any(
+            d.code in HAZARD_DIAGNOSTIC_CODES
+            for d in self.report.diagnostics
+        )
+
+    @property
+    def budget_exceeded(self) -> bool:
+        inter = self.interference
+        return inter is not None and inter.pair_budget_exceeded
+
+    def to_dict(self) -> dict:
+        from repro.observability.events import SCHEMA_VERSION
+
+        inter = self.interference
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "analysis",
+            "file": self.report.file,
+            "rules": [
+                inter.effects[i].to_dict()
+                for i in sorted(inter.effects)
+            ] if inter is not None else [],
+            "strata": [s.to_dict() for s in inter.strata]
+            if inter is not None else [],
+            "inventors": inter.inventors if inter is not None else 0,
+            "pair_budget_exceeded": self.budget_exceeded,
+            "diagnostics": [
+                d.to_dict() for d in self.report.diagnostics
+            ],
+            "summary": {
+                "errors": len(self.report.errors()),
+                "warnings": len(self.report.warnings()),
+                "hazards": sum(
+                    1 for d in self.report.diagnostics
+                    if d.code in HAZARD_DIAGNOSTIC_CODES
+                ),
+                "independent_groups": sum(
+                    len(s.groups) for s in inter.strata
+                ) if inter is not None else 0,
+            },
+        }
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=2)
+
+    def render_text(self) -> str:
+        lines: list[str] = []
+        file = self.report.file or "<input>"
+        lines.append(f"analysis: {file}")
+        inter = self.interference
+        if inter is None:
+            lines.append("  (static errors prevented analysis)")
+        else:
+            lines.append(f"  inventing rules: {inter.inventors}")
+            if inter.pair_budget_exceeded:
+                lines.append(
+                    "  pair budget exceeded:"
+                    " certificates degraded to singletons"
+                )
+            for stratum in inter.strata:
+                lines.append(
+                    f"  stratum {stratum.index}:"
+                    f" rules {stratum.rules}"
+                )
+                for edge in stratum.edges:
+                    lines.append(
+                        f"    interferes[{edge.kind}]"
+                        f" r{edge.a} ~ r{edge.b}: {edge.reason}"
+                    )
+                groups = " ".join(
+                    "{" + ", ".join(f"r{i}" for i in g) + "}"
+                    for g in stratum.groups
+                )
+                lines.append(f"    independent groups: {groups or '-'}")
+        if self.report.diagnostics:
+            lines.append("  diagnostics:")
+            for diag in self.report.diagnostics:
+                lines.append("    " + diag.render().replace("\n", "\n    "))
+        else:
+            lines.append("  diagnostics: none")
+        return "\n".join(lines)
+
+
+def analyze_source(
+    text: str,
+    file: str | None = None,
+    *,
+    max_pairs: int | None = DEFAULT_MAX_PAIRS,
+) -> ProgramAnalysis:
+    """The ``repro analyze`` entry point: full lint (including the
+    LG10xx confluence pass) plus effects, interference graphs and
+    independence certificates, bounded by ``max_pairs``."""
+    return ProgramAnalysis(lint_source(text, file, max_pairs=max_pairs))
 
 
 def analyze_or_raise(program: Program, schema: Schema) -> AnalyzedProgram:

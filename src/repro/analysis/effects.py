@@ -1,0 +1,162 @@
+"""Per-rule static effect sets: what each rule reads, writes and invents.
+
+The module-as-update model (Section 4) makes a rule's *effects* — the
+predicates it reads, derives or deletes, and whether it invents oids —
+the unit of reasoning about evaluation order.  :func:`rule_effects`
+computes one :class:`RuleEffects` per analyzed rule from the resolved
+AST:
+
+* **reads** — predicates of positive body literals;
+* **negative_reads** — predicates of negated body literals;
+* **function_reads** — hidden ``__fn_*`` backing associations read
+  through data-function applications and ``member``;
+* **derives** / **deletes** — the head predicate, split by head sign
+  (a negated head is a deletion);
+* **invents_oid** — the safety analysis' invention flag, with the head
+  span as the invention site;
+* **builtins** / **arithmetic** — builtin names and arithmetic use, the
+  value-level dependencies that make a body non-relational.
+
+:mod:`repro.analysis.interference` combines these into the intra-stratum
+interference graph behind independence certificates and the ``LG10xx``
+confluence diagnostics (``docs/ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.language.analysis import SafetyReport, _function_reads
+from repro.language.ast import (
+    ArithExpr,
+    BuiltinLiteral,
+    CollectionTerm,
+    FunctionApp,
+    Literal,
+    Pattern,
+    Rule,
+    Term,
+)
+from repro.span import Span
+
+
+@dataclass(frozen=True)
+class RuleEffects:
+    """The read/write effect set of one rule."""
+
+    index: int
+    reads: frozenset[str]
+    negative_reads: frozenset[str]
+    function_reads: frozenset[str]
+    derives: str | None
+    deletes: str | None
+    head_is_class: bool
+    hierarchy_root: str | None
+    invents_oid: bool
+    builtins: frozenset[str]
+    arithmetic: bool
+    span: Span | None
+    invention_span: Span | None
+
+    @property
+    def writes(self) -> str | None:
+        """The head predicate, whatever the sign (None for denials)."""
+        return self.derives if self.derives is not None else self.deletes
+
+    @property
+    def all_reads(self) -> frozenset[str]:
+        return self.reads | self.negative_reads | self.function_reads
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.index,
+            "reads": sorted(self.reads),
+            "negative_reads": sorted(self.negative_reads),
+            "function_reads": sorted(self.function_reads),
+            "derives": self.derives,
+            "deletes": self.deletes,
+            "class_head": self.head_is_class,
+            "hierarchy_root": self.hierarchy_root,
+            "invents_oid": self.invents_oid,
+            "builtins": sorted(self.builtins),
+            "arithmetic": self.arithmetic,
+            "line": self.span.line if self.span else None,
+            "column": self.span.column if self.span else None,
+        }
+
+
+def _has_arith(term: Term) -> bool:
+    if isinstance(term, ArithExpr):
+        return True
+    if isinstance(term, FunctionApp):
+        return any(_has_arith(a) for a in term.args)
+    if isinstance(term, CollectionTerm):
+        return any(_has_arith(e) for e in term.elements)
+    if isinstance(term, Pattern):
+        return any(_has_arith(t) for _, t in term.args.labeled)
+    return False
+
+
+def _literal_has_arith(lit) -> bool:
+    if isinstance(lit, BuiltinLiteral):
+        return any(_has_arith(t) for t in lit.args)
+    if isinstance(lit, Literal):
+        return any(_has_arith(t) for _, t in lit.args.labeled)
+    return False
+
+
+def rule_effects(
+    index: int, rule: Rule, safety: SafetyReport, schema
+) -> RuleEffects:
+    """The effect set of one *resolved* rule (see ``analyze_program``)."""
+    reads: set[str] = set()
+    negative: set[str] = set()
+    builtins: set[str] = set()
+    arithmetic = False
+    for lit in rule.body:
+        if isinstance(lit, Literal):
+            (negative if lit.negated else reads).add(lit.pred)
+        else:
+            builtins.add(lit.name)
+        arithmetic = arithmetic or _literal_has_arith(lit)
+    elementwise, wholeset = _function_reads(rule)
+    function_reads = frozenset(elementwise | wholeset)
+
+    derives = deletes = None
+    head_is_class = False
+    root = None
+    head = rule.head
+    if isinstance(head, Literal):
+        if head.negated:
+            deletes = head.pred
+        else:
+            derives = head.pred
+        if schema.has(head.pred) and schema.is_class(head.pred):
+            head_is_class = True
+            root = schema.hierarchy_root(head.pred)
+        arithmetic = arithmetic or _literal_has_arith(head)
+    head_span = getattr(head, "span", None) if head is not None else None
+    return RuleEffects(
+        index=index,
+        reads=frozenset(reads),
+        negative_reads=frozenset(negative),
+        function_reads=function_reads,
+        derives=derives,
+        deletes=deletes,
+        head_is_class=head_is_class,
+        hierarchy_root=root,
+        invents_oid=safety.invents_oid,
+        builtins=frozenset(builtins),
+        arithmetic=arithmetic,
+        span=getattr(rule, "span", None),
+        invention_span=(head_span or getattr(rule, "span", None))
+        if safety.invents_oid else None,
+    )
+
+
+def program_effects(analyzed) -> dict[int, RuleEffects]:
+    """Effects of every clean rule of an analyzed program, by index."""
+    return {
+        idx: rule_effects(idx, rule, report, analyzed.schema)
+        for idx, rule, report in analyzed.clean_rules()
+    }

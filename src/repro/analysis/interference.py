@@ -1,0 +1,355 @@
+"""Intra-stratum rule interference and independence certificates.
+
+Within one stratum every rule of an iteration evaluates against the same
+snapshot, but the *composition* of their deltas is not always order-free:
+
+* a derive and a delete of the same predicate race (``LG1001``) — the
+  paper's nondeterministic semantics would pick an order, the
+  deterministic ones make the outcome depend on rule order;
+* two non-inventing rules assigning attributes of the same class
+  predicate race on the surviving o-value (also ``LG1001``: class facts
+  overwrite per ``(pred, oid)``);
+* a deletion racing a same-stratum reader (``LG1002``) can diverge
+  between the deterministic semantics and any nondeterministic
+  application order;
+* oid invention racing a reader of the invented class, or another
+  inventing rule (``LG1003``), makes oid numbering and downstream
+  derivations order-sensitive.
+
+:func:`interference_edges` materializes these as edges of an
+interference graph over the stratum's rules; the complement yields
+**independence certificates** (:func:`independent_groups`): a greedy,
+deterministic partition into groups of rules that pairwise do not
+interfere — provably order-insensitive, safe to permute or evaluate in
+parallel.  One program-level guard applies: when **two or more rules of
+the program invent oids**, any reordering can reshuffle strata numbering
+and interleave fresh-oid draws, so every certificate degrades to a
+singleton (see ``docs/ANALYSIS.md`` for the soundness argument).
+
+The same computation backs ``repro analyze``, the ``independent_groups``
+field of every :class:`repro.engine.planner.Plan` (the engine reorders
+rules only inside a certified group), and the ``analysis`` section of
+``repro profile``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Collector, Related
+from repro.analysis.effects import RuleEffects, program_effects
+from repro.language.analysis import AnalyzedProgram, stratify
+from repro.language.ast import Program
+
+#: diagnostic codes emitted by the confluence pass, by edge kind.
+HAZARD_CODES = {
+    "derive-delete": "LG1001",
+    "class-overwrite": "LG1001",
+    "delete-read": "LG1002",
+    "invention-invention": "LG1003",
+    "invention-read": "LG1003",
+}
+
+#: default ceiling on interference pairs examined per run; ``repro
+#: analyze --max-pairs`` overrides it (exceeding the budget degrades
+#: certificates to singletons and exits 3).
+DEFAULT_MAX_PAIRS = 250_000
+
+
+@dataclass(frozen=True)
+class Interference:
+    """One interference edge between two rules of a stratum.
+
+    ``a < b`` by rule index; ``pred`` is the contested predicate when
+    the conflict is predicate-level (None for inventor/inventor races).
+    """
+
+    a: int
+    b: int
+    kind: str
+    pred: str | None
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "a": self.a,
+            "b": self.b,
+            "kind": self.kind,
+            "pred": self.pred,
+            "reason": self.reason,
+        }
+
+
+def _roots_overlap(pred_a: str, pred_b: str, schema) -> bool:
+    if pred_a == pred_b:
+        return True
+    if (
+        schema.has(pred_a) and schema.is_class(pred_a)
+        and schema.has(pred_b) and schema.is_class(pred_b)
+    ):
+        return schema.hierarchy_root(pred_a) == schema.hierarchy_root(pred_b)
+    return False
+
+
+def _reads_pred(effects: RuleEffects, pred: str, schema) -> bool:
+    """Does the rule read ``pred`` — directly, or (for a class) any
+    class of the same generalization hierarchy?"""
+    if pred in effects.all_reads:
+        return True
+    if schema.has(pred) and schema.is_class(pred):
+        root = schema.hierarchy_root(pred)
+        for read in effects.reads | effects.negative_reads:
+            if schema.has(read) and schema.is_class(read) and \
+                    schema.hierarchy_root(read) == root:
+                return True
+    return False
+
+
+def _pair_edges(a: RuleEffects, b: RuleEffects, schema) -> list[Interference]:
+    """Every interference edge between two rules of one stratum."""
+    edges: list[Interference] = []
+
+    def add(kind: str, pred: str | None, reason: str) -> None:
+        edges.append(Interference(a.index, b.index, kind, pred, reason))
+
+    for lo, hi in ((a, b), (b, a)):
+        if lo.derives and hi.deletes and \
+                _roots_overlap(lo.derives, hi.deletes, schema):
+            add(
+                "derive-delete", hi.deletes,
+                f"rule {lo.index} derives {lo.derives!r} while rule"
+                f" {hi.index} deletes {hi.deletes!r}",
+            )
+            break
+    if (
+        a.derives is not None and a.derives == b.derives
+        and a.head_is_class and b.head_is_class
+        and not a.invents_oid and not b.invents_oid
+    ):
+        add(
+            "class-overwrite", a.derives,
+            f"rules {a.index} and {b.index} both assign attributes of"
+            f" class {a.derives!r}; the surviving o-value depends on"
+            " rule order",
+        )
+    for deleter, reader in ((a, b), (b, a)):
+        if deleter.deletes and reader.index != deleter.index and \
+                _reads_pred(reader, deleter.deletes, schema):
+            add(
+                "delete-read", deleter.deletes,
+                f"rule {deleter.index} deletes {deleter.deletes!r} while"
+                f" rule {reader.index} reads it",
+            )
+    if a.invents_oid and b.invents_oid:
+        add(
+            "invention-invention", None,
+            f"rules {a.index} and {b.index} both invent oids; numbering"
+            " depends on evaluation order",
+        )
+    else:
+        for inventor, reader in ((a, b), (b, a)):
+            if inventor.invents_oid and inventor.derives and \
+                    _reads_pred(reader, inventor.derives, schema):
+                add(
+                    "invention-read", inventor.derives,
+                    f"rule {inventor.index} invents {inventor.derives!r}"
+                    f" objects that rule {reader.index} reads",
+                )
+    return edges
+
+
+def interference_edges(
+    effects: list[RuleEffects], schema
+) -> list[Interference]:
+    """The interference graph of one scope (stratum), deduplicated,
+    ordered by (a, b, kind)."""
+    seen: set[tuple] = set()
+    out: list[Interference] = []
+    ordered = sorted(effects, key=lambda e: e.index)
+    for i in range(len(ordered)):
+        for j in range(i + 1, len(ordered)):
+            for edge in _pair_edges(ordered[i], ordered[j], schema):
+                key = (edge.a, edge.b, edge.kind, edge.pred)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(edge)
+    return out
+
+
+def independent_groups(
+    indexes, edges: list[Interference], *, multi_inventor: bool = False
+) -> list[list[int]]:
+    """Partition ``indexes`` into certified-independent groups.
+
+    Greedy and deterministic: rules are placed in ascending index order
+    into the first group containing no interfering member.  With two or
+    more inventing rules anywhere in the program (``multi_inventor``)
+    every group is a singleton — reordering could reshuffle strata and
+    interleave fresh-oid numbering across inventors.
+    """
+    ordered = sorted(indexes)
+    if multi_inventor:
+        return [[i] for i in ordered]
+    adjacent: dict[int, set[int]] = {i: set() for i in ordered}
+    for edge in edges:
+        if edge.a in adjacent and edge.b in adjacent:
+            adjacent[edge.a].add(edge.b)
+            adjacent[edge.b].add(edge.a)
+    groups: list[list[int]] = []
+    for i in ordered:
+        for group in groups:
+            if not adjacent[i].intersection(group):
+                group.append(i)
+                break
+        else:
+            groups.append([i])
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# whole-program analysis
+# ---------------------------------------------------------------------------
+@dataclass
+class StratumInterference:
+    """Interference graph and certificates of one stratum."""
+
+    index: int
+    rules: list[int]
+    edges: list[Interference] = field(default_factory=list)
+    groups: list[list[int]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "rules": list(self.rules),
+            "interference": [e.to_dict() for e in self.edges],
+            "independent_groups": [list(g) for g in self.groups],
+        }
+
+
+@dataclass
+class InterferenceAnalysis:
+    """The whole-program interference analysis behind ``repro analyze``."""
+
+    effects: dict[int, RuleEffects]
+    strata: list[StratumInterference]
+    inventors: int
+    pair_budget_exceeded: bool = False
+
+    def all_edges(self) -> list[Interference]:
+        return [e for s in self.strata for e in s.edges]
+
+
+def stratum_indexes(analyzed: AnalyzedProgram) -> list[list[int]]:
+    """Clean, headed rule indexes per stratum — the same grouping as
+    :func:`repro.engine.fixpoint.stratify_runtimes` uses at run time,
+    so ``repro plan`` and ``repro analyze`` agree on scope contents."""
+    local = Collector()
+    strata = stratify(
+        Program(analyzed.rules, analyzed.goal), analyzed.schema, local,
+    )
+    headed = [
+        (idx, rule) for idx, rule, _ in analyzed.clean_rules()
+        if rule.head is not None
+    ]
+    by_rule: dict[int, int] = {}
+    for level, stratum in enumerate(strata):
+        for rule in stratum:
+            for idx, candidate in headed:
+                if candidate == rule and idx not in by_rule:
+                    by_rule[idx] = level
+                    break
+    grouped: dict[int, list[int]] = {}
+    for idx, _ in headed:
+        grouped.setdefault(by_rule.get(idx, 0), []).append(idx)
+    return [sorted(grouped[k]) for k in sorted(grouped)]
+
+
+def analyze_interference(
+    analyzed: AnalyzedProgram, *, max_pairs: int | None = None,
+) -> InterferenceAnalysis:
+    """Effects, interference graphs and certificates for every stratum.
+
+    ``max_pairs`` bounds the total number of rule pairs examined; past
+    the budget the remaining strata get no edges and singleton groups
+    (flagged by ``pair_budget_exceeded`` — ``repro analyze`` exits 3).
+    """
+    effects = program_effects(analyzed)
+    inventors = sum(
+        1 for e in effects.values()
+        if e.invents_oid and e.writes is not None
+    )
+    multi = inventors >= 2
+    strata: list[StratumInterference] = []
+    examined = 0
+    exceeded = False
+    for level, indexes in enumerate(stratum_indexes(analyzed)):
+        scope = [effects[i] for i in indexes if i in effects]
+        pairs = len(scope) * (len(scope) - 1) // 2
+        if exceeded or (
+            max_pairs is not None and examined + pairs > max_pairs
+        ):
+            exceeded = True
+            strata.append(StratumInterference(
+                index=level,
+                rules=list(indexes),
+                edges=[],
+                groups=[[i] for i in indexes],
+            ))
+            continue
+        examined += pairs
+        edges = interference_edges(scope, analyzed.schema)
+        strata.append(StratumInterference(
+            index=level,
+            rules=list(indexes),
+            edges=edges,
+            groups=independent_groups(indexes, edges, multi_inventor=multi),
+        ))
+    return InterferenceAnalysis(
+        effects=effects,
+        strata=strata,
+        inventors=inventors,
+        pair_budget_exceeded=exceeded,
+    )
+
+
+# ---------------------------------------------------------------------------
+# confluence pass (LG10xx)
+# ---------------------------------------------------------------------------
+def check_interference(
+    analyzed: AnalyzedProgram,
+    sink: Collector,
+    analysis: InterferenceAnalysis | None = None,
+) -> None:
+    """Emit one ``LG10xx`` warning per interference edge.
+
+    ``LG1001`` — order-dependent derive/delete or write-write pair;
+    ``LG1002`` — deletion racing a same-stratum reader (result
+    divergence hazard under the nondeterministic semantics);
+    ``LG1003`` — oid invention racing a reader or another inventor.
+    """
+    if analysis is None:
+        analysis = analyze_interference(analyzed)
+    if analysis.pair_budget_exceeded:
+        sink.warning(
+            "LG1004",
+            "interference analysis pair budget exceeded; certificates"
+            " degraded to singletons and hazards may be missed"
+            " (raise --max-pairs)",
+        )
+    for stratum in analysis.strata:
+        for edge in stratum.edges:
+            code = HAZARD_CODES[edge.kind]
+            first = analysis.effects.get(edge.a)
+            second = analysis.effects.get(edge.b)
+            span = second.span if second is not None else None
+            related = ()
+            if first is not None:
+                related = (Related("conflicting rule here", first.span),)
+            sink.warning(
+                code,
+                f"{edge.reason} in stratum {stratum.index}; the outcome"
+                " depends on rule application order",
+                span,
+                related=related,
+            )

@@ -14,7 +14,20 @@ from __future__ import annotations
 from repro._util import strongly_connected_components
 from repro.analysis.diagnostics import Collector, Related
 from repro.language.analysis import AnalyzedProgram, stratify
-from repro.language.ast import Goal, Literal, Program, Rule, Var
+from repro.language.ast import (
+    Args,
+    ArithExpr,
+    BuiltinLiteral,
+    CollectionTerm,
+    Constant,
+    FunctionApp,
+    Goal,
+    Literal,
+    Pattern,
+    Program,
+    Rule,
+    Var,
+)
 from repro.span import Span
 
 
@@ -76,22 +89,216 @@ def check_singleton_variables(clean, analyzed, sink: Collector) -> None:
 
 
 # ---------------------------------------------------------------------------
-# LG602 / LG603 — duplicate and subsumed rules
+# LG602 / LG603 — duplicate and subsumed rules (alpha-equivalence)
 # ---------------------------------------------------------------------------
+#: backtracking-search size caps for alpha-subsumption; larger bodies
+#: fall back to exact (rename-sensitive) subset matching.
+_SUBSUME_BODY_A_CAP = 6
+_SUBSUME_BODY_B_CAP = 8
+
+
+def _rename_term(term, mapping: dict[Var, Var]):
+    """``term`` with every variable canonically renamed by first
+    occurrence (``__v0``, ``__v1``, ...)."""
+    if isinstance(term, Var):
+        fresh = mapping.get(term)
+        if fresh is None:
+            fresh = Var(f"__v{len(mapping)}")
+            mapping[term] = fresh
+        return fresh
+    if isinstance(term, FunctionApp):
+        return FunctionApp(
+            term.name,
+            tuple(_rename_term(a, mapping) for a in term.args),
+        )
+    if isinstance(term, ArithExpr):
+        return ArithExpr(
+            term.op,
+            _rename_term(term.left, mapping),
+            _rename_term(term.right, mapping),
+        )
+    if isinstance(term, CollectionTerm):
+        return CollectionTerm(
+            term.kind,
+            tuple(_rename_term(e, mapping) for e in term.elements),
+        )
+    if isinstance(term, Pattern):
+        return Pattern(_rename_args(term.args, mapping))
+    return term
+
+
+def _rename_args(args: Args, mapping: dict[Var, Var]) -> Args:
+    return Args(
+        labeled=tuple(
+            (label, _rename_term(t, mapping)) for label, t in args.labeled
+        ),
+        self_term=_rename_term(args.self_term, mapping)
+        if args.self_term is not None else None,
+        tuple_var=_rename_term(args.tuple_var, mapping)
+        if args.tuple_var is not None else None,
+        positional=tuple(
+            _rename_term(t, mapping) for t in args.positional
+        ),
+    )
+
+
+def _rename_literal(lit, mapping: dict[Var, Var]):
+    if isinstance(lit, Literal):
+        return Literal(lit.pred, _rename_args(lit.args, mapping),
+                       lit.negated)
+    return BuiltinLiteral(
+        lit.name,
+        tuple(_rename_term(t, mapping) for t in lit.args),
+        lit.negated,
+    )
+
+
+class _BlindMapping(dict):
+    """Maps every variable to ``_`` — erases names without recording."""
+
+    def get(self, key, default=None):
+        return Var("_")
+
+
+def _shape(lit) -> str:
+    """A variable-blind rendering used to order body literals before
+    canonical renaming, so permuted bodies canonicalize alike."""
+    return repr(_rename_literal(lit, _BlindMapping()))
+
+
+def _canonical_rule(rule: Rule) -> tuple:
+    """An alpha-invariant key: variables renamed by first occurrence
+    over the head, then the body in shape-sorted order."""
+    mapping: dict[Var, Var] = {}
+    head = (
+        _rename_literal(rule.head, mapping)
+        if isinstance(rule.head, Literal) else rule.head
+    )
+    ordered = sorted(rule.body, key=lambda lit: (_shape(lit), repr(lit)))
+    body = frozenset(_rename_literal(lit, mapping) for lit in ordered)
+    return (head, body, len(rule.body))
+
+
+def _match_term(a, b, sigma: dict, inverse: dict) -> bool:
+    """Extend the injective variable renaming ``sigma`` so that
+    ``sigma(a) == b``; False when impossible."""
+    if isinstance(a, Var):
+        if not isinstance(b, Var):
+            return False
+        bound = sigma.get(a)
+        if bound is not None:
+            return bound == b
+        if b in inverse:
+            return False
+        sigma[a] = b
+        inverse[b] = a
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Constant):
+        return a == b
+    if isinstance(a, FunctionApp):
+        return (
+            a.name == b.name and len(a.args) == len(b.args)
+            and all(_match_term(x, y, sigma, inverse)
+                    for x, y in zip(a.args, b.args))
+        )
+    if isinstance(a, ArithExpr):
+        return (
+            a.op == b.op
+            and _match_term(a.left, b.left, sigma, inverse)
+            and _match_term(a.right, b.right, sigma, inverse)
+        )
+    if isinstance(a, CollectionTerm):
+        return (
+            a.kind == b.kind and len(a.elements) == len(b.elements)
+            and all(_match_term(x, y, sigma, inverse)
+                    for x, y in zip(a.elements, b.elements))
+        )
+    if isinstance(a, Pattern):
+        return _match_args(a.args, b.args, sigma, inverse)
+    return a == b
+
+
+def _match_args(a: Args, b: Args, sigma: dict, inverse: dict) -> bool:
+    pairs_a = sorted(a.labeled, key=lambda p: p[0])
+    pairs_b = sorted(b.labeled, key=lambda p: p[0])
+    if [p[0] for p in pairs_a] != [p[0] for p in pairs_b]:
+        return False
+    for (_, ta), (_, tb) in zip(pairs_a, pairs_b):
+        if not _match_term(ta, tb, sigma, inverse):
+            return False
+    for ta, tb in ((a.self_term, b.self_term), (a.tuple_var, b.tuple_var)):
+        if (ta is None) != (tb is None):
+            return False
+        if ta is not None and not _match_term(ta, tb, sigma, inverse):
+            return False
+    if len(a.positional) != len(b.positional):
+        return False
+    return all(
+        _match_term(x, y, sigma, inverse)
+        for x, y in zip(a.positional, b.positional)
+    )
+
+
+def _match_literal(a, b, sigma: dict, inverse: dict) -> bool:
+    if isinstance(a, Literal):
+        return (
+            isinstance(b, Literal)
+            and a.pred == b.pred and a.negated == b.negated
+            and _match_args(a.args, b.args, sigma, inverse)
+        )
+    return (
+        isinstance(b, BuiltinLiteral)
+        and a.name == b.name and a.negated == b.negated
+        and len(a.args) == len(b.args)
+        and all(_match_term(x, y, sigma, inverse)
+                for x, y in zip(a.args, b.args))
+    )
+
+
+def _alpha_embeds(rule_a: Rule, rule_b: Rule) -> bool:
+    """Is there an injective variable renaming sigma with
+    ``sigma(head_a) == head_b`` and ``sigma(body_a)`` a subset of
+    ``body_b``?  Backtracks over candidate body literals (small bodies
+    only — the caller caps sizes)."""
+    sigma: dict = {}
+    inverse: dict = {}
+    if not _match_literal(rule_a.head, rule_b.head, sigma, inverse):
+        return False
+    body_b = list(rule_b.body)
+
+    def place(k: int, sigma: dict, inverse: dict) -> bool:
+        if k == len(rule_a.body):
+            return True
+        lit = rule_a.body[k]
+        for cand in body_b:
+            trial_s = dict(sigma)
+            trial_i = dict(inverse)
+            if _match_literal(lit, cand, trial_s, trial_i) and \
+                    place(k + 1, trial_s, trial_i):
+                return True
+        return False
+
+    return place(0, sigma, inverse)
+
+
 def check_duplicate_and_subsumed(clean, sink: Collector) -> None:
-    """Flag rules equal up to body order (LG602) and rules whose body is
-    a proper superset of another rule with the same head (LG603): the
-    smaller body already derives everything the larger one does, so the
-    larger rule is redundant.  Oid-inventing rules are exempt from
+    """Flag alpha-equivalent rules (LG602: equal up to variable renaming
+    and body order) and alpha-subsumed rules (LG603: an injective
+    renaming maps one rule's head onto another's and its body into a
+    strictly larger body — the smaller rule already derives everything
+    the larger one does).  Oid-inventing rules are exempt from
     subsumption — each derivation creates a distinct object."""
     seen: dict[tuple, tuple[int, Rule]] = {}
     for idx, rule, report in clean:
-        key = (rule.head, frozenset(rule.body), len(rule.body))
+        key = _canonical_rule(rule)
         prior = seen.get(key)
         if prior is not None:
             sink.warning(
                 "LG602",
-                f"rule {rule!r} duplicates an earlier rule",
+                f"rule {rule!r} duplicates an earlier rule (up to"
+                " variable renaming)",
                 _span_of(rule),
                 related=(Related("first occurrence here",
                                  _span_of(prior[1])),),
@@ -102,14 +309,22 @@ def check_duplicate_and_subsumed(clean, sink: Collector) -> None:
     for i, rule_a, rep_a in clean:
         if rule_a.head is None or rep_a.invents_oid:
             continue
-        body_a = set(rule_a.body)
         for j, rule_b, rep_b in clean:
             if i == j or rule_b.head is None or rep_b.invents_oid:
                 continue
-            if rule_a.head != rule_b.head:
+            if len(rule_a.body) >= len(rule_b.body):
                 continue
-            body_b = set(rule_b.body)
-            if body_a < body_b:
+            if (
+                len(rule_a.body) <= _SUBSUME_BODY_A_CAP
+                and len(rule_b.body) <= _SUBSUME_BODY_B_CAP
+            ):
+                subsumed = _alpha_embeds(rule_a, rule_b)
+            else:
+                subsumed = (
+                    rule_a.head == rule_b.head
+                    and set(rule_a.body) < set(rule_b.body)
+                )
+            if subsumed:
                 sink.warning(
                     "LG603",
                     f"rule {rule_b!r} is subsumed by a rule with the same"

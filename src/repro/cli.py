@@ -48,6 +48,7 @@ import argparse
 import sys
 
 from repro.analysis import Diagnostic, Severity, diagnostics_to_json
+from repro.analysis.interference import DEFAULT_MAX_PAIRS
 from repro.constraints.checker import ConsistencyChecker
 from repro.engine import Engine, EvalConfig, ResourceGuard, Semantics
 from repro.engine.goals import answer_goal
@@ -323,6 +324,31 @@ def cmd_lint(args) -> int:
         for d in diagnostics
     )
     return 1 if failing else 0
+
+
+def cmd_analyze(args) -> int:
+    """Static effect & interference analysis (``repro analyze``).
+
+    Exit codes follow the repo convention (docs/ROBUSTNESS.md): 0 no
+    hazards, 1 order hazards found (LG1001–LG1003), 2 static errors
+    prevented analysis, 3 the pair budget was exceeded (LG1004 —
+    certificates degraded to singletons).
+    """
+    from repro.analysis import analyze_source
+
+    with open(args.file, encoding="utf-8") as f:
+        analysis = analyze_source(
+            f.read(), file=args.file, max_pairs=args.max_pairs
+        )
+    if args.format == "json":
+        print(analysis.to_json())
+    else:
+        print(analysis.render_text())
+    if analysis.report.has_errors:
+        return 2
+    if analysis.budget_exceeded:
+        return 3
+    return 1 if analysis.has_hazards else 0
 
 
 def cmd_fmt(args) -> int:
@@ -630,6 +656,25 @@ def build_parser() -> argparse.ArgumentParser:
              " or check instance consistency",
     )
     p_check.set_defaults(fn=cmd_check)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="static effect & interference analysis: per-rule effect"
+             " sets, the intra-stratum interference graph, and"
+             " independence certificates (order hazards exit 1)",
+    )
+    p_analyze.add_argument("file", help="LOGRES source file")
+    p_analyze.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output style (default: text)",
+    )
+    p_analyze.add_argument(
+        "--max-pairs", type=int, default=DEFAULT_MAX_PAIRS,
+        help="rule-pair budget for the interference graph; past it"
+             " certificates degrade to singletons and the command"
+             f" exits 3 (default: {DEFAULT_MAX_PAIRS})",
+    )
+    p_analyze.set_defaults(fn=cmd_analyze)
 
     p_lint = sub.add_parser(
         "lint", help="report every error and warning of the given files"

@@ -165,6 +165,13 @@ class Engine:
         self.stats = EvalStats()
         #: the plans chosen by the last run (one per fixpoint scope)
         self.plans: list = []
+        #: oid-inventing rules in the whole program — the independence
+        #: certificates degrade to singletons when there are two or
+        #: more (fresh-oid numbering becomes order-sensitive)
+        self._inventors = sum(
+            1 for r in self.runtimes
+            if r.rule.head is not None and r.safety.invents_oid
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -278,7 +285,8 @@ class Engine:
 
         metrics = obs.metrics if obs.enabled else None
         plan = build_plan(rules, facts, self.schema, metrics=metrics,
-                          semantics=semantics.value, stratum=stratum)
+                          semantics=semantics.value, stratum=stratum,
+                          program_inventors=self._inventors)
         self.plans.append(plan)
         compiling = cfg.use_indexes and not obs.enabled
         for runtime, rule_plan in zip(rules, plan.rules):
@@ -301,6 +309,37 @@ class Engine:
                     runtime.hot = True
         if obs.enabled:
             obs.plan_chosen(plan)
+        else:
+            # certificate-backed reordering: within each independent
+            # group, cheapest-plan-first so low-cost rules saturate
+            # their deltas early.  The groups are provably
+            # order-insensitive, so results stay bit-identical (pinned
+            # by the planned≡reference property suite).  Instrumented
+            # runs keep source order — event streams promise it.
+            self._reorder_by_certificates(rules, plan)
+
+    @staticmethod
+    def _reorder_by_certificates(rules: list[RuleRuntime], plan) -> None:
+        """Reorder ``rules`` in place, cheapest plan first *within* each
+        independence certificate; the slot positions of every group are
+        preserved, so inter-group relative order never changes."""
+        by_index = {r.index: pos for pos, r in enumerate(rules)}
+        arranged = list(rules)
+        for group in plan.independent_groups:
+            members = [i for i in group if i in by_index]
+            if len(members) < 2:
+                continue
+            slots = sorted(by_index[i] for i in members)
+            ordered = sorted(
+                (rules[by_index[i]] for i in members),
+                key=lambda r: (
+                    r.plan.cost if r.plan is not None else 0.0,
+                    r.index,
+                ),
+            )
+            for slot, runtime in zip(slots, ordered):
+                arranged[slot] = runtime
+        rules[:] = arranged
 
     def explain_plan(
         self, edb: FactSet, semantics: Semantics = Semantics.INFLATIONARY
@@ -315,11 +354,13 @@ class Engine:
             strata = stratify_runtimes(rules, self.analysis)
             return [
                 build_plan(stratum, edb, self.schema,
-                           semantics=semantics.value, stratum=level)
+                           semantics=semantics.value, stratum=level,
+                           program_inventors=self._inventors)
                 for level, stratum in enumerate(strata)
             ]
         return [build_plan(rules, edb, self.schema,
-                           semantics=semantics.value)]
+                           semantics=semantics.value,
+                           program_inventors=self._inventors)]
 
     @contextmanager
     def _iteration(self, obs: Instrumentation):

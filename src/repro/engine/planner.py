@@ -209,17 +209,28 @@ class RulePlan:
 
 @dataclass
 class Plan:
-    """Every rule's plan for one (semantics, stratum) scope."""
+    """Every rule's plan for one (semantics, stratum) scope.
+
+    ``independent_groups`` are the scope's independence certificates
+    (:mod:`repro.analysis.interference`): groups of rule indexes
+    provably order-insensitive.  The engine reorders rules only within
+    a group; ``repro plan`` and ``repro analyze`` emit the same
+    partition.
+    """
 
     semantics: str
     rules: list[RulePlan] = field(default_factory=list)
     stratum: int | None = None
+    independent_groups: list[list[int]] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
             "semantics": self.semantics,
             "stratum": self.stratum,
             "rules": [rp.to_dict() for rp in self.rules],
+            "independent_groups": [
+                list(g) for g in self.independent_groups
+            ],
         }
 
     def render_text(self) -> str:
@@ -227,6 +238,12 @@ class Plan:
         if self.stratum is not None:
             scope += f", stratum {self.stratum}"
         lines = [f"plan ({scope})"]
+        if self.independent_groups:
+            groups = " ".join(
+                "{" + ", ".join(f"r{i}" for i in g) + "}"
+                for g in self.independent_groups
+            )
+            lines.append(f"  independent groups: {groups}")
         for rp in self.rules:
             lines.append(f"  rule {rp.index}: {rp.label}")
             if rp.order is None:
@@ -419,6 +436,7 @@ def build_plan(
     metrics=None,
     semantics: str = "inflationary",
     stratum: int | None = None,
+    program_inventors: int | None = None,
 ) -> Plan:
     """Plan every rule of one scope against the live ``facts``.
 
@@ -426,7 +444,18 @@ def build_plan(
     (the safety report supplies each rule's active-domain variables);
     derivable predicates are the heads of the given rules, which is
     what the cardinality floor of :class:`Stats` keys on.
+
+    ``program_inventors`` is the count of oid-inventing rules in the
+    *whole program* (not just this scope); with two or more, every
+    independence certificate degrades to a singleton (reordering could
+    interleave fresh-oid numbering across strata).  ``None`` falls back
+    to counting inventors in this scope.
     """
+    from repro.analysis.effects import rule_effects
+    from repro.analysis.interference import (
+        independent_groups,
+        interference_edges,
+    )
     from repro.language.pretty import render_rule
 
     idb = {
@@ -468,6 +497,19 @@ def build_plan(
                         restmap[i] for i in sub_order
                     )
         plan.rules.append(rp)
+
+    effects = [
+        rule_effects(r.index, r.rule, r.safety, schema)
+        for r in runtimes
+        if r.rule.head is not None
+    ]
+    if program_inventors is None:
+        program_inventors = sum(1 for e in effects if e.invents_oid)
+    plan.independent_groups = independent_groups(
+        [e.index for e in effects],
+        interference_edges(effects, schema),
+        multi_inventor=program_inventors >= 2,
+    )
     return plan
 
 

@@ -70,6 +70,10 @@ class Profile:
     #: the planner's chosen literal orders, one dict per fixpoint scope
     #: (:meth:`repro.engine.planner.Plan.to_dict`); empty when plan=off
     plans: list[dict] = field(default_factory=list)
+    #: static interference summary (:mod:`repro.analysis.interference`):
+    #: inventor count, interference-edge count, and the independence
+    #: certificates per stratum
+    analysis: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         from repro.observability.events import SCHEMA_VERSION
@@ -88,6 +92,7 @@ class Profile:
             "phases": self.phases,
             "metrics": self.metrics,
             "plans": self.plans,
+            "analysis": self.analysis,
         }
 
     # ------------------------------------------------------------------
@@ -130,6 +135,22 @@ class Profile:
             lines.append("per-iteration:")
             for i, elapsed in enumerate(self.iteration_times, start=1):
                 lines.append(f"  iteration {i}: {elapsed * 1000:.2f} ms")
+        if self.analysis:
+            lines.append("")
+            lines.append("analysis:")
+            lines.append(
+                f"  inventing rules: {self.analysis.get('inventors', 0)},"
+                f" interference edges: {self.analysis.get('hazards', 0)}"
+            )
+            for entry in self.analysis.get("strata", []):
+                groups = " ".join(
+                    "{" + ", ".join(f"r{i}" for i in g) + "}"
+                    for g in entry.get("independent_groups", [])
+                )
+                lines.append(
+                    f"  stratum {entry.get('index')}:"
+                    f" independent groups {groups or '-'}"
+                )
         if self.plans:
             lines.append("")
             lines.append("plans:")
@@ -212,7 +233,30 @@ def build_profile(engine, obs: Instrumentation) -> Profile:
         phases=obs.timer.to_dict(),
         metrics=registry.snapshot(),
         plans=[plan.to_dict() for plan in getattr(engine, "plans", [])],
+        analysis=_analysis_summary(engine),
     )
+
+
+def _analysis_summary(engine) -> dict:
+    """The static interference picture of the profiled program."""
+    from repro.analysis.interference import analyze_interference
+
+    analyzed = getattr(engine, "analysis", None)
+    if analyzed is None:
+        return {}
+    inter = analyze_interference(analyzed)
+    return {
+        "inventors": inter.inventors,
+        "hazards": len(inter.all_edges()),
+        "strata": [
+            {
+                "index": s.index,
+                "rules": list(s.rules),
+                "independent_groups": [list(g) for g in s.groups],
+            }
+            for s in inter.strata
+        ],
+    }
 
 
 def profile_program(

@@ -92,7 +92,11 @@ class TestLintClean:
         report = lint_source(CLEAN_SOURCE, file="clean.lg")
         assert report.file == "clean.lg"
         assert report.analyzed is not None
-        assert json.loads(report.to_json()) == {"diagnostics": []}
+        assert json.loads(report.to_json()) == {
+            "schema_version": 1,
+            "kind": "diagnostics",
+            "diagnostics": [],
+        }
 
 
 class TestSyntaxAndSchema:
@@ -316,7 +320,7 @@ class TestDeriveAndDelete:
           ~p(x X) <- q(x X).
         """
         diags = lint_source(source).diagnostics
-        assert [d.code for d in diags] == ["LG606"]
+        assert [d.code for d in diags] == ["LG606", "LG1001"]
         assert diags[0].related  # points at the deriving rule
 
     def test_silent_on_plain_deletion(self):
