@@ -36,6 +36,17 @@ on min time; the planner's JSON for the workload is written to
 speedup check also fires in the benchmark comparison whenever a run
 contains both ``test_logres_plan_on[1000]`` and
 ``test_logres_plan_off[1000]``.
+
+``--telemetry-gate`` runs the live-telemetry acceptance gate on the
+same E01 1000-edge workload: routing events through an
+:class:`~repro.observability.bus.EventBus` (attached sink plus one
+live subscriber, the ``repro tail`` shape) must cost at most
+``--bus-overhead-target`` (default 5%) over emitting the same events
+into a bare sink, and the *uninstrumented* run — the PR 3
+zero-overhead-disabled fast path — must stay within
+``--disabled-threshold`` of the committed
+``test_logres_plan_on[1000]`` baseline (generous, since the committed
+number may come from another machine).
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import statistics
 import sys
 import tempfile
 
@@ -64,6 +76,12 @@ DEFAULT_THRESHOLD = 0.25
 PLAN_SPEEDUP_TARGET = 5.0
 PLAN_ON_NAME = "test_logres_plan_on[1000]"
 PLAN_OFF_NAME = "test_logres_plan_off[1000]"
+#: telemetry gate: bus fan-out may cost at most this much over a bare
+#: event sink on the instrumented E01 1000-edge run
+BUS_OVERHEAD_TARGET = 0.05
+#: telemetry gate: the uninstrumented run vs the committed baseline —
+#: generous, the committed min may come from a different machine
+DISABLED_OVERHEAD_THRESHOLD = 1.0
 
 
 def extract(json_path: pathlib.Path) -> dict[str, dict]:
@@ -175,6 +193,68 @@ def check_plan_gate(target: float, reps: int) -> int:
     return 0
 
 
+def check_telemetry_gate(baseline_path: pathlib.Path, reps: int,
+                         bus_target: float,
+                         disabled_threshold: float) -> int:
+    """The live-telemetry acceptance gate: bus fan-out overhead vs a
+    bare sink bounded by ``bus_target``, and the uninstrumented fast
+    path still ≈ the committed baseline."""
+    from benchmarks.telemetry import bus_throughput, telemetry_gate_times
+
+    try:
+        plain_ts, sink_ts, bus_ts = telemetry_gate_times(reps=reps)
+    except AssertionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    plain_s = min(plain_ts)
+    # pair each rep's back-to-back sink/bus runs; each rep times the
+    # pair in both orders, so load drift lands symmetrically around
+    # the true fan-out cost and the median ratio is a robust estimate
+    ratios = sorted(b / s for s, b in zip(sink_ts, bus_ts) if s)
+    overhead = (statistics.median(ratios) - 1
+                if ratios else float("inf"))
+    rate = bus_throughput()
+    print(f"plain min {plain_s * 1000:.1f} ms |"
+          f" sink min {min(sink_ts) * 1000:.1f} ms |"
+          f" bus min {min(bus_ts) * 1000:.1f} ms")
+    print("paired bus/sink ratios: "
+          + " ".join(f"{r:.3f}" for r in ratios))
+    print(f"bus fan-out overhead {overhead:+.2%} (median pair,"
+          f" target <= {bus_target:.0%}) |"
+          f" bus throughput {rate:,.0f} events/s")
+    failures = []
+    if overhead > bus_target:
+        failures.append(
+            f"bus overhead {overhead:+.2%} above the"
+            f" {bus_target:.0%} target"
+        )
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        entry = baseline.get(PLAN_ON_NAME)
+        if entry:
+            ratio = plain_s / entry["min"] if entry["min"] else \
+                float("inf")
+            print(f"disabled path {plain_s * 1000:.1f} ms vs baseline"
+                  f" {entry['min'] * 1000:.1f} ms ({ratio:.2f}x,"
+                  f" allowed {1 + disabled_threshold:.2f}x)")
+            if ratio > 1 + disabled_threshold:
+                failures.append(
+                    f"uninstrumented run {ratio:.2f}x the committed"
+                    f" baseline (allowed"
+                    f" {1 + disabled_threshold:.2f}x) — the disabled"
+                    " fast path regressed"
+                )
+    else:
+        print(f"note: no baseline at {baseline_path};"
+              " disabled-path check skipped")
+    if failures:
+        for failure in failures:
+            print(f"\n{failure}", file=sys.stderr)
+        return 1
+    print("\nok: telemetry overhead within the gate")
+    return 0
+
+
 def check_reports(baseline_path: pathlib.Path, update: bool,
                   time_threshold: float) -> int:
     """The behavioural gate: fresh reference report vs committed one,
@@ -270,10 +350,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--gate-reps", type=int, default=3,
                         help="interleaved repetitions for the plan gate"
                              " (min time wins)")
+    parser.add_argument("--telemetry-gate", action="store_true",
+                        help="run the live-telemetry acceptance gate:"
+                             " bus fan-out overhead and the disabled"
+                             " fast path on E01 at 1000 edges")
+    parser.add_argument("--bus-overhead-target", type=float,
+                        default=BUS_OVERHEAD_TARGET,
+                        help="allowed bus-vs-bare-sink overhead"
+                             " fraction (default: 0.05 = 5%%)")
+    parser.add_argument("--disabled-threshold", type=float,
+                        default=DISABLED_OVERHEAD_THRESHOLD,
+                        help="allowed uninstrumented slowdown fraction"
+                             " vs the committed baseline (default: 1.0"
+                             " = 2x, generous for cross-machine"
+                             " baselines)")
     args = parser.parse_args(argv)
 
     if args.plan_gate:
         return check_plan_gate(args.speedup_target, args.gate_reps)
+
+    if args.telemetry_gate:
+        # resolving a 5% bound needs more samples than the 5x plan
+        # bound: min-of-3 on the instrumented run still wobbles ~5%
+        return check_telemetry_gate(
+            pathlib.Path(args.baseline), max(args.gate_reps, 5),
+            args.bus_overhead_target, args.disabled_threshold,
+        )
 
     if args.reports or args.update_reports:
         return check_reports(

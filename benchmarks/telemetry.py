@@ -194,6 +194,132 @@ def plan_gate_times(reps: int = 3) -> tuple[float, float]:
     return min(on_times), min(off_times)
 
 
+class _CountingSink:
+    """The cheapest possible event sink: counts emits, keeps nothing.
+
+    Both telemetry-gate variants write their events *somewhere*; using
+    the same trivial sink on both sides makes the measured delta pure
+    bus fan-out (lock, ring, subscriber queues), not serialization.
+    """
+
+    def __init__(self):
+        self.events = 0
+
+    def emit(self, event) -> None:
+        self.events += 1
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def _instrumented_run(schema, program, edb, sink):
+    from repro import Engine, EvalConfig, Semantics
+    from repro.observability.instrument import Instrumentation
+
+    obs = Instrumentation(sink=sink)
+    engine = Engine(schema, program, EvalConfig(),
+                    instrumentation=obs)
+    instance = engine.run(edb, Semantics.INFLATIONARY)
+    obs.close()
+    return instance
+
+
+def telemetry_gate_times(
+    reps: int = 3,
+) -> tuple[list[float], list[float], list[float]]:
+    """``(plain_times, sink_times, bus_times)`` for the gate workload.
+
+    Three interleaved variants of E01 at 1000 edges, ``reps`` runs
+    each:
+
+    * **plain** — NULL instrumentation, the production fast path
+      (identical configuration to ``test_logres_plan_on[1000]``);
+    * **sink** — full event emission into a do-nothing counting sink;
+    * **bus** — the same events through an :class:`EventBus` carrying
+      the counting sink as an attached sink *plus* one live subscriber
+      (the shape a ``repro tail`` attachment produces).
+
+    The gate compares sink and bus *within* each rep (back-to-back
+    runs).  Each rep times the pair in **both orders** (sink-bus, then
+    bus-sink): machine-load drift inflates one ordering and deflates
+    its mirror, so across the 2 x ``reps`` pairs the drift lands
+    symmetrically and the median ratio is a robust estimate of the
+    true fan-out cost — a real bus regression still inflates every
+    pair.  All three variants must compute the same instance.
+    """
+    import time as _time
+
+    from benchmarks.conftest import run_logres
+    from repro.observability.bus import EventBus
+
+    def timed_sink():
+        t0 = _time.perf_counter()
+        out = _instrumented_run(schema, program, edb, _CountingSink())
+        sink_times.append(_time.perf_counter() - t0)
+        return out
+
+    def timed_bus():
+        bus = EventBus()
+        bus.attach_sink(_CountingSink())
+        sub = bus.subscribe(name="gate-tail")
+        t0 = _time.perf_counter()
+        out = _instrumented_run(schema, program, edb, bus)
+        bus_times.append(_time.perf_counter() - t0)
+        sub.close()
+        return out
+
+    schema, program, edb = _plan_gate_workload()
+    # one untimed warmup: the first evaluation pays import, allocator
+    # and index-build warmup that would otherwise land on the first
+    # timed variant and skew the cheap uninstrumented measurement
+    run_logres(schema, program, edb, True, plan=True)
+    plain_times, sink_times, bus_times = [], [], []
+    for _ in range(max(1, reps)):
+        t0 = _time.perf_counter()
+        plain = run_logres(schema, program, edb, True, plan=True)
+        plain_times.append(_time.perf_counter() - t0)
+
+        sink_out = timed_sink()
+        bus_out = timed_bus()
+        bus_out2 = timed_bus()
+        sink_out2 = timed_sink()
+
+        if not (plain == sink_out == bus_out
+                == bus_out2 == sink_out2):
+            raise AssertionError(
+                "telemetry gate variants disagree on the workload"
+            )
+    return plain_times, sink_times, bus_times
+
+
+def bus_throughput(events: int = 50_000) -> float:
+    """Events per second through a bus with one attached sink and one
+    live subscriber — the BENCH row for raw bus fan-out."""
+    import time as _time
+
+    from repro.observability.bus import EventBus
+    from repro.observability.events import Heartbeat
+
+    bus = EventBus()
+    bus.attach_sink(_CountingSink())
+    sub = bus.subscribe(name="throughput")
+    payload = [
+        Heartbeat(iteration=i, stratum=None, facts=i, inventions=0,
+                  elapsed=0.0)
+        for i in range(events)
+    ]
+    t0 = _time.perf_counter()
+    for event in payload:
+        bus.emit(event)
+    elapsed = _time.perf_counter() - t0
+    sub.close()
+    bus.close()
+    return events / elapsed if elapsed else float("inf")
+
+
 def write_plan_artifact(path=PLAN_ARTIFACT_PATH) -> pathlib.Path:
     """The planner's chosen orders for the gate workload, as the JSON
     ``repro plan`` would print (uploaded as a CI artifact)."""

@@ -196,16 +196,11 @@ def diagnostics_to_json(diagnostics: list[Diagnostic]) -> str:
     Versioned like every other JSON surface (reports, events, profiles):
     the payload leads with the shared ``SCHEMA_VERSION`` stream header.
     """
-    from repro.observability.events import SCHEMA_VERSION
+    from repro.observability.events import payload_header
 
-    return json.dumps(
-        {
-            "schema_version": SCHEMA_VERSION,
-            "kind": "diagnostics",
-            "diagnostics": [d.to_dict() for d in diagnostics],
-        },
-        indent=2,
-    )
+    payload = payload_header("diagnostics")
+    payload["diagnostics"] = [d.to_dict() for d in diagnostics]
+    return json.dumps(payload, indent=2)
 
 
 def exception_for(diag: Diagnostic):

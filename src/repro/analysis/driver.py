@@ -175,12 +175,11 @@ class ProgramAnalysis:
         return inter is not None and inter.pair_budget_exceeded
 
     def to_dict(self) -> dict:
-        from repro.observability.events import SCHEMA_VERSION
+        from repro.observability.events import payload_header
 
         inter = self.interference
         return {
-            "schema_version": SCHEMA_VERSION,
-            "kind": "analysis",
+            **payload_header("analysis"),
             "file": self.report.file,
             "rules": [
                 inter.effects[i].to_dict()

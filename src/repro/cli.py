@@ -22,14 +22,20 @@ programming environment" of Section 5:
   (``--format text|json``); every evaluating command takes
   ``--plan on|off`` to toggle the planner + compiled bodies;
 * ``diff A B``    — compare two run reports: per-rule and per-phase
-  deltas, exit 1 on regressions; see ``docs/OBSERVABILITY.md``.
+  deltas, exit 1 on regressions; see ``docs/OBSERVABILITY.md``;
+* ``tail PATH``   — attach to the live telemetry of a running ``repro
+  run --telemetry-listen PATH`` (or replay a recorded JSONL stream) and
+  render a per-stratum / per-rule view; see ``docs/OBSERVABILITY.md``.
 
 ``run`` additionally accepts ``--trace-out events.jsonl`` (structured
 engine event stream), ``--metrics-out metrics.json`` (metrics + phase
 snapshot), ``--report-out report.json`` (the persistent
 :class:`~repro.observability.report.RunReport` that ``repro diff``
-compares) and ``--chrome-out trace.json`` (phase tree in Chrome trace
-format, loadable in Perfetto).
+compares), ``--chrome-out trace.json`` (phase tree in Chrome trace
+format, loadable in Perfetto), ``--telemetry-listen PATH`` (live NDJSON
+telemetry for ``repro tail``), ``--prom-out metrics.prom`` (Prometheus
+text exposition) and ``--heartbeat SECONDS`` (periodic liveness events
+at iteration boundaries).
 
 Failures in parsing or analysis are printed as diagnostics
 (``file:line:col: error[CODE]: message``), never as tracebacks, and exit
@@ -113,13 +119,18 @@ def _print_instance(instance: FactSet) -> None:
             print(f"  {fact!r}")
 
 
-def _jsonl_sink(path: str, source_file: str | None):
-    """A JSONL event sink whose first line is the stream header."""
+def _jsonl_sink(path: str, source_file: str | None, header: bool = True):
+    """A JSONL event sink whose first line is the stream header.
+
+    With ``header=False`` the caller owns the header — the bus path
+    publishes one :class:`StreamHeader` through the bus instead, so the
+    retention ring replays it to every late ``repro tail`` attach."""
     from repro.observability import JsonlSink, StreamHeader
 
     sink = JsonlSink(open(path, "w", encoding="utf-8"),
                      close_stream=True)
-    sink.emit(StreamHeader(source_file=source_file))
+    if header:
+        sink.emit(StreamHeader(source_file=source_file))
     return sink
 
 
@@ -128,28 +139,74 @@ def _run_instrumentation(args):
 
     Returns ``(obs, finish)``: ``obs`` is None when no output flag is
     given (the zero-overhead default), and ``finish()`` flushes the
-    ``--trace-out`` / ``--metrics-out`` files after the run
-    (``--report-out`` / ``--chrome-out`` need the finished engine, so
-    ``cmd_run`` writes those itself).
+    ``--trace-out`` / ``--metrics-out`` / ``--prom-out`` files and shuts
+    down the telemetry server after the run (``--report-out`` /
+    ``--chrome-out`` need the finished engine, so ``cmd_run`` writes
+    those itself).
+
+    When live telemetry is requested (``--telemetry-listen`` or
+    ``--heartbeat``) the engine's sink becomes an
+    :class:`~repro.observability.bus.EventBus`: the ``--trace-out``
+    JSONL sink rides the bus as an attached (synchronous, no-drop)
+    subscriber, and the telemetry server's clients are bounded queued
+    subscriptions that can individually drop without affecting anyone.
     """
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
+    telemetry = getattr(args, "telemetry_listen", None)
+    prom_out = getattr(args, "prom_out", None)
+    heartbeat = getattr(args, "heartbeat", None)
     # reports fold the metrics registry; chrome traces need the timer,
     # which only an enabled instrumentation carries
     need_metrics = bool(
         metrics_out
         or getattr(args, "report_out", None)
         or getattr(args, "chrome_out", None)
+        or prom_out
     )
-    if not trace_out and not need_metrics:
+    need_bus = bool(telemetry or heartbeat is not None)
+    if not trace_out and not need_metrics and not need_bus:
         return None, lambda: None
-    from repro.observability import Instrumentation, MetricsRegistry
+    from repro.observability import (
+        EventBus,
+        Instrumentation,
+        MetricsRegistry,
+        StreamHeader,
+        StreamingMetrics,
+        render_prometheus,
+    )
 
-    sink = _jsonl_sink(trace_out, args.file) if trace_out else None
+    trace_sink = (_jsonl_sink(trace_out, args.file, header=not need_bus)
+                  if trace_out else None)
+    bus = None
+    server = None
+    sink = trace_sink
+    if need_bus:
+        bus = EventBus()
+        if trace_sink is not None:
+            bus.attach_sink(trace_sink)
+        sink = bus
+        # through the bus, not into the sinks directly: the retention
+        # ring replays the header to every late tail attach
+        bus.emit(StreamHeader(source_file=args.file))
+        if telemetry:
+            from repro.observability.telemetry_server import (
+                serve_telemetry,
+            )
+
+            server = serve_telemetry(bus, telemetry)
+    if heartbeat is None and telemetry:
+        heartbeat = 0.5  # a live attach wants liveness by default
+    metrics = None
+    if need_metrics:
+        # --prom-out upgrades to the streaming registry: windowed rates
+        # and real histogram buckets in the exposition
+        metrics = StreamingMetrics() if prom_out else MetricsRegistry()
     obs = Instrumentation(
-        metrics=MetricsRegistry() if need_metrics else None,
+        metrics=metrics,
         sink=sink,
         source_file=args.file,
+        heartbeat_interval=heartbeat,
     )
 
     def finish() -> None:
@@ -159,7 +216,15 @@ def _run_instrumentation(args):
             with open(metrics_out, "w", encoding="utf-8") as f:
                 json.dump(obs.snapshot(), f, indent=2, sort_keys=True)
                 f.write("\n")
+        if prom_out:
+            with open(prom_out, "w", encoding="utf-8") as f:
+                f.write(render_prometheus(obs.metrics))
+        # closing the bus ends the stream: attached sinks close, queued
+        # subscribers drain and observe end-of-stream; the server then
+        # joins its client writers so every tail gets the final events
         obs.close()
+        if server is not None:
+            server.close()
 
     return obs, finish
 
@@ -229,14 +294,20 @@ def cmd_profile(args) -> int:
     schema, program, edb = _load_unit(args.file, args.state)
     sink = (_jsonl_sink(args.trace_out, args.file)
             if args.trace_out else None)
-    _, profile, obs = profile_program(
-        schema, program, edb,
-        semantics=Semantics(args.semantics),
-        config=_eval_config(args),
-        source_file=args.file,
-        sink=sink,
-    )
-    obs.close()
+    try:
+        _, profile, obs = profile_program(
+            schema, program, edb,
+            semantics=Semantics(args.semantics),
+            config=_eval_config(args),
+            source_file=args.file,
+            sink=sink,
+        )
+        obs.close()
+    finally:
+        # an aborted evaluation (budget breach, fault injection) must
+        # still flush-close the trace so it ends on a complete line
+        if sink is not None:
+            sink.close()
     if args.chrome_out:
         from repro.observability.chrome import write_chrome_trace
 
@@ -528,6 +599,19 @@ def _parse_fact(text: str) -> Fact:
     return Fact(name.text.lower(), TupleValue(fields), oid=oid)
 
 
+def cmd_tail(args) -> int:
+    """Attach to a live (or recorded) telemetry stream and render it."""
+    from repro.observability.tail import tail_stream
+
+    return tail_stream(
+        args.path,
+        format=args.format,
+        kinds=args.kinds,
+        follow=args.follow,
+        connect_timeout=args.connect_timeout,
+    )
+
+
 def cmd_diff(args) -> int:
     import json
 
@@ -614,7 +698,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--chrome-out", metavar="FILE",
         help="write the phase tree as a Chrome trace (Perfetto)",
     )
+    p_run.add_argument(
+        "--telemetry-listen", metavar="PATH",
+        help="serve the live event stream as NDJSON on a Unix socket at"
+             " PATH for 'repro tail' (a *.jsonl PATH, or a platform"
+             " without AF_UNIX, writes a followable JSONL file instead)",
+    )
+    p_run.add_argument(
+        "--prom-out", metavar="FILE",
+        help="write run metrics in Prometheus text exposition format"
+             " (windowed rates and histogram buckets included)",
+    )
+    p_run.add_argument(
+        "--heartbeat", type=float, metavar="SECONDS",
+        help="emit heartbeat events at iteration boundaries at this"
+             " cadence (default: 0.5 when --telemetry-listen is set)",
+    )
     p_run.set_defaults(fn=cmd_run)
+
+    p_tail = sub.add_parser(
+        "tail",
+        help="attach to a telemetry stream (socket or JSONL file) and"
+             " render a live per-stratum / per-rule view",
+    )
+    p_tail.add_argument(
+        "path",
+        help="the --telemetry-listen socket of a live run, or a JSONL"
+             " event file (recorded, or growing with --follow)",
+    )
+    p_tail.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="text renders the live view; json re-emits the raw events"
+             " (default: text)",
+    )
+    p_tail.add_argument(
+        "--follow", action="store_true",
+        help="for file paths: poll for growth until run-end"
+             " (sockets always stream live)",
+    )
+    p_tail.add_argument(
+        "--kind", action="append", dest="kinds", metavar="KIND",
+        help="only show events of this kind (repeatable), e.g."
+             " --kind heartbeat --kind stratum-end",
+    )
+    p_tail.add_argument(
+        "--connect-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="how long to retry connecting to a socket that is not up"
+             " yet (default: 10)",
+    )
+    p_tail.set_defaults(fn=cmd_tail)
 
     p_profile = sub.add_parser(
         "profile",

@@ -198,7 +198,11 @@ class Engine:
         if obs.enabled:
             obs.run_started(semantics.value, len(self.runtimes))
         if self.config.guard is not None:
-            self.config.guard.arm()
+            # flush-on-breach: an EvalBudgetExceeded abort still leaves
+            # every attached trace ending on a complete JSON line
+            self.config.guard.arm(
+                on_breach=obs.flush if obs.enabled else None
+            )
         started = time.perf_counter()
         facts_out = 0
         try:
@@ -388,10 +392,15 @@ class Engine:
         facts: FactSet,
         live: int,
         inventions: int,
+        obs: Instrumentation = NULL_INSTRUMENTATION,
     ) -> None:
         """The per-kernel iteration-boundary guard check.  ``facts`` is
         the state of the last completed iteration, so the snapshot a
-        breach carries is always consistent."""
+        breach carries is always consistent.  The same boundary is the
+        heartbeat cadence point: live fact counts are in hand here, so
+        the beacon is free when the interval has not elapsed."""
+        if obs.enabled:
+            obs.maybe_heartbeat(live, inventions)
         if guard is None:
             return
         try:
@@ -449,7 +458,8 @@ class Engine:
         domains = ActiveDomains(facts, self.schema)
         live = facts.count()
         for _ in range(cfg.max_iterations):
-            self._guard_boundary(guard, facts, live, inventions.count)
+            self._guard_boundary(guard, facts, live, inventions.count,
+                                 obs)
             try:
                 with self._iteration(obs):
                     deltas = compute_deltas(rules, ctx, inventions,
@@ -504,7 +514,7 @@ class Engine:
         metrics = obs.metrics if obs.enabled else None
         for _ in range(cfg.max_iterations):
             self._guard_boundary(guard, facts, facts.count(),
-                                 inventions.count)
+                                 inventions.count, obs)
             try:
                 with self._iteration(obs):
                     ctx = MatchContext(facts, self.schema,
@@ -795,7 +805,7 @@ class Engine:
         seen: list[FactSet] = [facts.copy()]
         for _ in range(cfg.max_iterations):
             self._guard_boundary(guard, facts, facts.count(),
-                                 inventions.count)
+                                 inventions.count, obs)
             try:
                 with self._iteration(obs):
                     ctx = MatchContext(facts, self.schema,

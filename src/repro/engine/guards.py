@@ -76,12 +76,19 @@ class ResourceGuard:
     max_fact_size: int | None = None    # scalar leaves per derived fact
     _deadline: float | None = field(default=None, repr=False, compare=False)
     _cancelled: bool = field(default=False, repr=False, compare=False)
+    _on_breach: object = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
-    def arm(self) -> "ResourceGuard":
-        """Fix the timeout deadline for one run."""
+    def arm(self, on_breach=None) -> "ResourceGuard":
+        """Fix the timeout deadline for one run.
+
+        ``on_breach`` is a zero-argument callable invoked (best-effort)
+        right before the breach exception is raised — the engine passes
+        the instrumentation's ``flush``, so an aborted run's trace file
+        still ends on a complete JSON line."""
         if self.timeout is not None:
             self._deadline = time.monotonic() + self.timeout
+        self._on_breach = on_breach
         return self
 
     def cancel(self) -> None:
@@ -159,6 +166,11 @@ class ResourceGuard:
                            f" limit {self.timeout:g}s)")
 
     def _trip(self, budget: str, limit, observed, message: str) -> None:
+        if self._on_breach is not None:
+            try:
+                self._on_breach()
+            except Exception:
+                pass  # flushing telemetry must never mask the breach
         raise EvalBudgetExceeded(
             message, budget=budget, limit=limit, observed=observed
         )

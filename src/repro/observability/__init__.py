@@ -22,21 +22,38 @@ built dependency-free:
 * :mod:`repro.observability.chrome` — Chrome-trace (Perfetto) export
   of the phase tree;
 * :mod:`repro.observability.whynot` — why-not provenance for absent
-  facts (``repro explain --why-not``).
+  facts (``repro explain --why-not``);
+* :mod:`repro.observability.bus` — the bounded in-process pub/sub
+  :class:`EventBus` every sink and live consumer rides, with
+  per-subscriber filters, retention replay and drop accounting;
+* :mod:`repro.observability.timeseries` — windowed counters, streaming
+  p50/p95/p99 histograms and the Prometheus text exposition;
+* :mod:`repro.observability.telemetry_server` — the Unix-socket NDJSON
+  attach surface of ``repro run --telemetry-listen``;
+* :mod:`repro.observability.tail` — the ``repro tail`` reader and live
+  per-stratum / per-rule renderer.
 
-(profile / report / diff / whynot are imported directly, not re-exported
-here, to avoid importing the engine at package-init time.)
+(profile / report / diff / whynot / telemetry_server / tail are imported
+directly, not re-exported here, to avoid importing the engine or socket
+machinery at package-init time.)
 
 See ``docs/OBSERVABILITY.md`` for the event taxonomy and the metrics
 catalogue.
 """
 
+from repro.observability.bus import (
+    BusSubscription,
+    EventBus,
+    EventFilter,
+    build_filter,
+)
 from repro.observability.events import (
     EVENT_TYPES,
     SCHEMA_VERSION,
     ConstraintViolated,
     EngineEvent,
     FactDeleted,
+    Heartbeat,
     IterationFinished,
     IterationStarted,
     OidInvented,
@@ -46,8 +63,11 @@ from repro.observability.events import (
     StratumFinished,
     StratumStarted,
     StreamHeader,
+    TraceContext,
     event_from_dict,
     event_to_dict,
+    new_run_id,
+    payload_header,
 )
 from repro.observability.instrument import (
     NULL_INSTRUMENTATION,
@@ -69,15 +89,25 @@ from repro.observability.sink import (
     TextSink,
     read_jsonl,
 )
+from repro.observability.timeseries import (
+    StreamingHistogram,
+    StreamingMetrics,
+    WindowedCounter,
+    render_prometheus,
+)
 from repro.observability.timing import PhaseTimer
 
 __all__ = [
     "EVENT_TYPES",
+    "BusSubscription",
     "CollectorSink",
     "ConstraintViolated",
     "EngineEvent",
+    "EventBus",
+    "EventFilter",
     "EventSink",
     "FactDeleted",
+    "Heartbeat",
     "HistogramSummary",
     "IndexStats",
     "Instrumentation",
@@ -98,9 +128,17 @@ __all__ = [
     "StratumFinished",
     "StratumStarted",
     "StreamHeader",
+    "StreamingHistogram",
+    "StreamingMetrics",
     "TextSink",
+    "TraceContext",
+    "WindowedCounter",
+    "build_filter",
     "event_from_dict",
     "event_to_dict",
     "labels",
+    "new_run_id",
+    "payload_header",
     "read_jsonl",
+    "render_prometheus",
 ]

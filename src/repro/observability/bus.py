@@ -1,0 +1,335 @@
+"""The in-process telemetry bus: bounded pub/sub over engine events.
+
+One :class:`EventBus` sits between the instrumentation and everything
+that wants the event stream.  It is itself an
+:class:`~repro.observability.sink.EventSink`, so the engine publishes
+through the exact same ``sink.emit(event)`` seam it always had; fan-out
+happens on the bus:
+
+* **attached sinks** — the classic sinks (JSONL file, text, tracer,
+  collector) subscribe with an optional :class:`EventFilter` and are
+  delivered to synchronously at publish time.  They are in-process
+  writers with no queue, so they can never drop.
+* **subscriptions** — bounded ring-buffer queues
+  (:class:`BusSubscription`) consumed by *other threads*: the telemetry
+  server's client writers, tests, future parallel-kernel collectors.  A
+  slow consumer loses the **oldest** queued events, one by one, and
+  every loss is counted — ``dropped`` per subscription, surfaced as the
+  ``bus_dropped_events{subscriber=...}`` counter when the bus folds its
+  stats into a metrics registry.
+* **retention ring** — the bus keeps the last ``retain`` events, and a
+  new subscription may ``replay`` them, so ``repro tail`` attaching
+  mid-run still sees the run-start/plan/stratum context it missed.
+
+Publishing takes one lock acquisition (snapshot of the subscriber
+lists + ring append + per-subscription offers); synchronous sink writes
+happen outside the lock, so a blocking file write never stalls a
+concurrent subscriber's poll.  The engine side stays allocation-free
+when disabled — the bus only exists once telemetry is requested.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.observability.events import EngineEvent
+from repro.observability.sink import EventSink
+
+#: default retention-ring size: enough for run/plan/stratum context plus
+#: a few iterations of rule events, small enough to never matter
+DEFAULT_RETAIN = 256
+#: default per-subscription queue bound
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class EventFilter:
+    """Per-subscriber selection: by event kind, rule index and stratum.
+
+    ``None`` means "no constraint".  Rule filtering matches events that
+    carry a ``rule_index``; stratum filtering matches stratum boundary
+    events and any event carrying a ``stratum`` field (heartbeats,
+    plans) — events without the dimension pass a ``rules``/``strata``
+    filter only when they are structural (run/stream/stratum/iteration
+    boundaries), so a rule-filtered tail still sees the run skeleton.
+    """
+
+    kinds: frozenset[str] | None = None
+    rules: frozenset[int] | None = None
+    strata: frozenset[int] | None = None
+
+    _STRUCTURAL = frozenset({
+        "stream-header", "run-start", "run-end", "stratum-start",
+        "stratum-end", "iteration-start", "iteration-end", "heartbeat",
+        "plan",
+    })
+
+    def accepts(self, event: EngineEvent) -> bool:
+        if self.kinds is not None and event.kind not in self.kinds:
+            return False
+        if self.rules is not None:
+            rule_index = getattr(event, "rule_index", None)
+            if rule_index is None:
+                if event.kind not in self._STRUCTURAL:
+                    return False
+            elif rule_index not in self.rules:
+                return False
+        if self.strata is not None:
+            stratum = getattr(event, "stratum", None)
+            if stratum is None and event.kind.startswith("stratum"):
+                stratum = getattr(event, "index", None)
+            if stratum is None:
+                if event.kind not in self._STRUCTURAL:
+                    return False
+            elif stratum not in self.strata:
+                return False
+        return True
+
+
+def build_filter(kinds=None, rules=None, strata=None) -> EventFilter | None:
+    """An :class:`EventFilter`, or ``None`` when nothing is constrained."""
+    if not kinds and rules is None and strata is None:
+        return None
+    return EventFilter(
+        kinds=frozenset(kinds) if kinds else None,
+        rules=frozenset(rules) if rules is not None else None,
+        strata=frozenset(strata) if strata is not None else None,
+    )
+
+
+class BusSubscription:
+    """One bounded consumer queue on the bus.
+
+    ``poll`` drains up to ``max_events`` without blocking; ``wait``
+    blocks until at least one event is queued, the bus closes, or the
+    timeout passes.  When the queue is full the *oldest* event is
+    evicted (ring-buffer semantics: an attaching viewer wants the
+    present, not the past) and ``dropped`` increments.
+    """
+
+    def __init__(self, bus: "EventBus", name: str,
+                 capacity: int = DEFAULT_CAPACITY,
+                 filter: EventFilter | None = None):
+        self.bus = bus
+        self.name = name
+        self.capacity = max(1, capacity)
+        self.filter = filter
+        self.dropped = 0
+        self.delivered = 0
+        self.closed = False
+        self._queue: deque[EngineEvent] = deque()
+        # plain Lock, not the default RLock: this condition is on the
+        # publish hot path and never re-entered
+        self._ready = threading.Condition(threading.Lock())
+
+    # -- producer side -------------------------------------------------
+    def _offer(self, event: EngineEvent) -> None:
+        if self.closed:
+            return
+        if self.filter is not None and not self.filter.accepts(event):
+            return
+        with self._ready:
+            queue = self._queue
+            if len(queue) >= self.capacity:
+                queue.popleft()
+                self.dropped += 1
+            was_empty = not queue
+            queue.append(event)
+            self.delivered += 1
+            # consumers only sleep on an empty queue (wait() re-checks
+            # before blocking), so the empty->non-empty transition is
+            # the only wake-up that matters — skipping the rest keeps
+            # a drained-slowly subscriber off the publish hot path
+            if was_empty:
+                self._ready.notify_all()
+
+    def _wake(self) -> None:
+        with self._ready:
+            self._ready.notify_all()
+
+    # -- consumer side -------------------------------------------------
+    def poll(self, max_events: int | None = None) -> list[EngineEvent]:
+        """Drain queued events without blocking."""
+        with self._ready:
+            if max_events is None:
+                out = list(self._queue)
+                self._queue.clear()
+            else:
+                out = []
+                while self._queue and len(out) < max_events:
+                    out.append(self._queue.popleft())
+            return out
+
+    def wait(self, timeout: float | None = None) -> list[EngineEvent]:
+        """Block until events arrive, the bus closes, or ``timeout``."""
+        with self._ready:
+            if not self._queue and not self.closed and not self.bus.closed:
+                self._ready.wait(timeout)
+            out = list(self._queue)
+            self._queue.clear()
+            return out
+
+    @property
+    def ended(self) -> bool:
+        """True once no further events can arrive and the queue is dry."""
+        with self._ready:
+            return (self.closed or self.bus.closed) and not self._queue
+
+    def close(self) -> None:
+        self.closed = True
+        self.bus._forget(self)
+        self._wake()
+
+
+class EventBus(EventSink):
+    """Bounded in-process pub/sub for the engine event stream."""
+
+    def __init__(self, retain: int = DEFAULT_RETAIN):
+        self._lock = threading.Lock()
+        self._ring: deque[EngineEvent] = deque(maxlen=max(0, retain))
+        self._sinks: list[tuple[EventSink, EventFilter | None]] = []
+        self._subs: list[BusSubscription] = []
+        # immutable fan-out snapshots, rebuilt only when membership
+        # changes: publish reads them without allocating per event
+        self._sink_snapshot: tuple = ()
+        self._sub_snapshot: tuple = ()
+        self._sub_serial = 0
+        self.published = 0
+        self.closed = False
+
+    def _resnapshot(self) -> None:
+        """Rebuild the fan-out snapshots (call under ``self._lock``)."""
+        self._sink_snapshot = tuple(self._sinks)
+        self._sub_snapshot = tuple(self._subs)
+
+    # ------------------------------------------------------------------
+    # producer side: the bus is an EventSink
+    # ------------------------------------------------------------------
+    def emit(self, event: EngineEvent) -> None:
+        self.publish(event)
+
+    def publish(self, event: EngineEvent) -> None:
+        with self._lock:
+            self.published += 1
+            self._ring.append(event)
+            sinks = self._sink_snapshot
+            subs = self._sub_snapshot
+        for sub in subs:
+            sub._offer(event)
+        for sink, filter in sinks:
+            if filter is None or filter.accepts(event):
+                sink.emit(event)
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def attach_sink(self, sink: EventSink,
+                    filter: EventFilter | None = None) -> None:
+        """Deliver to ``sink`` synchronously on every publish (no queue,
+        no drops) — how the classic JSONL/text/tracer sinks ride the bus."""
+        with self._lock:
+            self._sinks.append((sink, filter))
+            self._resnapshot()
+
+    def subscribe(self, name: str | None = None,
+                  capacity: int = DEFAULT_CAPACITY,
+                  filter: EventFilter | None = None,
+                  replay: bool = False) -> BusSubscription:
+        """A new bounded queue fed from now on; ``replay`` pre-loads the
+        retention ring so a late attacher sees recent context first."""
+        with self._lock:
+            self._sub_serial += 1
+            sub = BusSubscription(
+                self,
+                name or f"subscriber-{self._sub_serial}",
+                capacity=capacity,
+                filter=filter,
+            )
+            backlog = tuple(self._ring) if replay else ()
+            self._subs.append(sub)
+            self._resnapshot()
+        for event in backlog:
+            sub._offer(event)
+        return sub
+
+    def _forget(self, sub: BusSubscription) -> None:
+        with self._lock:
+            if sub in self._subs:
+                self._subs.remove(sub)
+                self._resnapshot()
+
+    def recent(self) -> list[EngineEvent]:
+        """The retention ring, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Publish/deliver/drop accounting, JSON-ready."""
+        with self._lock:
+            subs = tuple(self._subs)
+            published = self.published
+            n_sinks = len(self._sinks)
+        return {
+            "published": published,
+            "sinks": n_sinks,
+            "subscribers": [
+                {
+                    "name": s.name,
+                    "delivered": s.delivered,
+                    "dropped": s.dropped,
+                    "capacity": s.capacity,
+                }
+                for s in subs
+            ],
+        }
+
+    def fold_metrics(self, metrics) -> None:
+        """Surface the drop accounting as metrics: the explicit promise
+        that lost telemetry is *visible* telemetry.  Called by the
+        instrumentation at run end (duck-typed — any sink with a
+        ``fold_metrics`` attribute gets folded)."""
+        if metrics is None:
+            return
+        stats = self.stats()
+        metrics.set_gauge("bus_published_events", value=stats["published"])
+        metrics.set_gauge("bus_subscribers",
+                          value=len(stats["subscribers"]))
+        for entry in stats["subscribers"]:
+            label = (("subscriber", entry["name"]),)
+            metrics.set_gauge("bus_delivered_events", label,
+                              entry["delivered"])
+            metrics.set_gauge("bus_dropped_events", label,
+                              entry["dropped"])
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        with self._lock:
+            sinks = tuple(self._sinks)
+            subs = tuple(self._subs)
+        for sink, _ in sinks:
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
+        for sub in subs:
+            sub._wake()
+
+    def close(self) -> None:
+        """End of stream: close attached sinks, wake every subscriber.
+
+        Subscriptions keep their queued events (a tail reader drains the
+        remainder and then observes ``ended``)."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            sinks = tuple(self._sinks)
+            subs = tuple(self._subs)
+        for sink, _ in sinks:
+            sink.close()
+        for sub in subs:
+            sub._wake()

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.observability.events import SCHEMA_VERSION
+from repro.observability.events import payload_header
 from repro.observability.report import RunReport
 
 #: rule-row fields diffed as exact counts
@@ -103,8 +103,7 @@ class ReportDiff:
 
     def to_dict(self) -> dict:
         return {
-            "schema_version": SCHEMA_VERSION,
-            "kind": "report-diff",
+            **payload_header("report-diff"),
             "baseline": self.baseline,
             "candidate": self.candidate,
             "threshold": self.threshold,

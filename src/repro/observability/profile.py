@@ -76,10 +76,10 @@ class Profile:
     analysis: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        from repro.observability.events import SCHEMA_VERSION
+        from repro.observability.events import payload_header
 
         return {
-            "schema_version": SCHEMA_VERSION,
+            **payload_header("profile"),
             "file": self.source_file,
             "total_ms": self.total_time * 1000,
             "iterations": self.iterations,

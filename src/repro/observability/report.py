@@ -23,7 +23,7 @@ import json
 import time
 from dataclasses import dataclass, field
 
-from repro.observability.events import SCHEMA_VERSION
+from repro.observability.events import SCHEMA_VERSION, payload_header
 
 REPORT_KIND = "run-report"
 
@@ -46,11 +46,15 @@ class RunReport:
     config: dict = field(default_factory=dict)
     #: planner output, one dict per fixpoint scope (empty when plan=off)
     plans: list[dict] = field(default_factory=list)
+    #: the trace-context run id every event of this run was stamped with
+    run_id: str | None = None
+    #: telemetry-bus accounting (published / per-subscriber drops), only
+    #: present when the run served live telemetry
+    telemetry: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "kind": REPORT_KIND,
+        out = payload_header(REPORT_KIND)
+        out.update({
             "created": self.created,
             "source_file": self.source_file,
             "schema_hash": self.schema_hash,
@@ -63,7 +67,12 @@ class RunReport:
             "metrics": self.metrics,
             "config": self.config,
             "plans": self.plans,
-        }
+        })
+        if self.run_id is not None:
+            out["run_id"] = self.run_id
+        if self.telemetry:
+            out["telemetry"] = self.telemetry
+        return out
 
     def dumps(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
@@ -85,6 +94,9 @@ class RunReport:
             raise ValueError(
                 f"not a run report: kind={payload.get('kind')!r}"
             )
+        # tolerant load: every field beyond the header is optional, so a
+        # report written before (or after, same major version) a field
+        # was introduced — run_id, telemetry — still diffs cleanly
         return cls(
             source_file=payload.get("source_file"),
             schema_hash=payload.get("schema_hash", ""),
@@ -98,6 +110,8 @@ class RunReport:
             metrics=payload.get("metrics", {}),
             config=payload.get("config", {}),
             plans=payload.get("plans", []),
+            run_id=payload.get("run_id"),
+            telemetry=payload.get("telemetry", {}),
         )
 
 
@@ -132,7 +146,10 @@ def build_run_report(
     profile = build_profile(engine, obs)
     stats = engine.stats
     analysis = engine.analysis
+    bus_stats = getattr(obs.sink, "stats", None)
     return RunReport(
+        run_id=obs.trace.run_id if obs.trace is not None else None,
+        telemetry=bus_stats() if bus_stats is not None else {},
         source_file=source_file or obs.source_file,
         schema_hash=fingerprint(render_schema(engine.schema)),
         program_hash=fingerprint(render_program(

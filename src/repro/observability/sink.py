@@ -20,6 +20,13 @@ class EventSink:
     def emit(self, event: EngineEvent) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    def flush(self) -> None:
+        """Push buffered output to its destination (no-op by default).
+
+        Called on heartbeats and — crucially — from the resource-guard
+        breach path, so a run killed by ``EvalBudgetExceeded`` still
+        leaves a trace file ending on a complete JSON line."""
+
     def close(self) -> None:
         pass
 
@@ -58,10 +65,15 @@ class JsonlSink(EventSink):
         self._stream.write(json.dumps(event_to_dict(event),
                                       sort_keys=True) + "\n")
 
+    def flush(self) -> None:
+        if not self._stream.closed:
+            self._stream.flush()
+
     def close(self) -> None:
-        self._stream.flush()
-        if self._close_stream:
-            self._stream.close()
+        if not self._stream.closed:
+            self._stream.flush()
+            if self._close_stream:
+                self._stream.close()
 
 
 class TextSink(EventSink):
@@ -74,10 +86,15 @@ class TextSink(EventSink):
     def emit(self, event: EngineEvent) -> None:
         self._stream.write(event.render() + "\n")
 
+    def flush(self) -> None:
+        if not self._stream.closed:
+            self._stream.flush()
+
     def close(self) -> None:
-        self._stream.flush()
-        if self._close_stream:
-            self._stream.close()
+        if not self._stream.closed:
+            self._stream.flush()
+            if self._close_stream:
+                self._stream.close()
 
 
 class MultiSink(EventSink):
@@ -89,6 +106,10 @@ class MultiSink(EventSink):
     def emit(self, event: EngineEvent) -> None:
         for sink in self.sinks:
             sink.emit(event)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
 
     def close(self) -> None:
         for sink in self.sinks:

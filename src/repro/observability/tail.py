@@ -1,0 +1,245 @@
+"""``repro tail``: attach to a telemetry stream and render it live.
+
+Three transports, auto-detected from PATH:
+
+* a **Unix socket** (what ``repro run --telemetry-listen PATH`` serves)
+  — connect, stream NDJSON until the server closes at end of run;
+* a **growing JSONL file** with ``--follow`` — poll like ``tail -f``
+  (the :class:`~repro.observability.telemetry_server.FollowFileSink`
+  fallback transport, or any ``--trace-out`` file of a live run);
+* a **recorded JSONL file** without ``--follow`` — replay to EOF, which
+  turns ``repro tail events.jsonl`` into a post-hoc stream summarizer.
+
+Two renderings:
+
+* ``--format json`` re-emits the (kind-filtered) events verbatim, one
+  JSON object per line — machine consumers (the CI smoke job) pipe this
+  through a schema check;
+* ``--format text`` (default) renders a live per-stratum / per-rule
+  view: one line per structural event, heartbeat progress lines while a
+  fixpoint grinds, per-rule fire counts on stratum/run end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import stat
+import sys
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _RuleStats:
+    fires: int = 0
+    deletions: int = 0
+    inventions: int = 0
+    rule: str = ""
+
+
+@dataclass
+class TailView:
+    """Streaming per-stratum / per-rule aggregation of one event feed.
+
+    Feed events (as dicts) through :meth:`line`; each call returns the
+    text to print for that event, or ``None`` for events that only
+    update the aggregate (individual rule fires).
+    """
+
+    rules: dict[int, _RuleStats] = field(default_factory=dict)
+    strata: dict[int, dict[int, _RuleStats]] = field(default_factory=dict)
+    stratum: int | None = None
+    run_id: str | None = None
+    events: int = 0
+
+    def _bump(self, payload: dict, attr: str) -> None:
+        index = payload.get("rule_index", -1)
+        for table in (self.rules, self.strata.setdefault(
+                self.stratum if self.stratum is not None else -1, {})):
+            entry = table.setdefault(index, _RuleStats())
+            setattr(entry, attr, getattr(entry, attr) + 1)
+            if not entry.rule:
+                entry.rule = payload.get("rule", "")
+
+    def _rule_summary(self, table: dict[int, _RuleStats]) -> str:
+        parts = []
+        for index in sorted(table):
+            entry = table[index]
+            detail = f"r{index}={entry.fires}"
+            if entry.deletions:
+                detail += f"/-{entry.deletions}"
+            if entry.inventions:
+                detail += f"/&{entry.inventions}"
+            parts.append(detail)
+        return " ".join(parts) if parts else "-"
+
+    # ------------------------------------------------------------------
+    def line(self, payload: dict) -> str | None:
+        kind = payload.get("event")
+        self.events += 1
+        if kind == "stream-header":
+            source = payload.get("source_file") or "<unknown>"
+            return f"● stream from {source}"
+        if kind == "run-start":
+            self.run_id = payload.get("run_id")
+            run = f" {self.run_id}" if self.run_id else ""
+            return (f"▶ run{run}: semantics={payload.get('semantics')}"
+                    f" rules={payload.get('rules')}")
+        if kind == "plan":
+            where = payload.get("stratum")
+            scope = f" stratum {where}" if where is not None else ""
+            return f"  plan chosen{scope}: {payload.get('rules')} rule(s)"
+        if kind == "stratum-start":
+            self.stratum = payload.get("index")
+            return (f"▷ stratum {self.stratum}:"
+                    f" {payload.get('rules')} rule(s)")
+        if kind == "stratum-end":
+            index = payload.get("index")
+            table = self.strata.get(index if index is not None else -1, {})
+            self.stratum = None
+            return (f"◁ stratum {index} done in"
+                    f" {1000 * payload.get('elapsed', 0.0):.1f} ms —"
+                    f" {self._rule_summary(table)}")
+        if kind == "heartbeat":
+            where = (f" stratum {payload.get('stratum')}"
+                     if payload.get("stratum") is not None else "")
+            return (f"  ♥{where} iter {payload.get('iteration')}"
+                    f" · facts {payload.get('facts')}"
+                    f" · oids {payload.get('inventions')}"
+                    f" · {payload.get('elapsed', 0.0):.1f}s")
+        if kind == "rule-fire":
+            self._bump(payload, "fires")
+            return None
+        if kind == "deletion":
+            self._bump(payload, "deletions")
+            return None
+        if kind == "invention":
+            self._bump(payload, "inventions")
+            return None
+        if kind == "constraint-violation":
+            return (f"✗ violation [{payload.get('violation_kind')}]"
+                    f" {payload.get('predicate')}:"
+                    f" {payload.get('message')}")
+        if kind == "module-rollback":
+            return (f"↩ module {payload.get('module')} rolled back"
+                    f" ({payload.get('reason')})")
+        if kind == "run-end":
+            return (f"■ run done: {payload.get('iterations')} iteration(s),"
+                    f" {payload.get('facts')} fact(s),"
+                    f" {payload.get('inventions')} invented oid(s),"
+                    f" {1000 * payload.get('elapsed', 0.0):.1f} ms —"
+                    f" {self._rule_summary(self.rules)}")
+        if kind in ("iteration-start", "iteration-end"):
+            return None  # heartbeats carry the useful cadence
+        return None
+
+
+# ----------------------------------------------------------------------
+# transports
+# ----------------------------------------------------------------------
+def _is_socket(path: str) -> bool:
+    try:
+        return stat.S_ISSOCK(os.stat(path).st_mode)
+    except OSError:
+        return False
+
+
+def _iter_socket(path: str, connect_timeout: float):
+    """Lines from a telemetry socket; retries the connect until the
+    server is up (a tail launched alongside the run wins the race)."""
+    deadline = time.monotonic() + connect_timeout
+    sock = None
+    while True:
+        try:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(path)
+            break
+        except OSError:
+            if sock is not None:
+                sock.close()
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+    with sock, sock.makefile("r", encoding="utf-8") as stream:
+        yield from stream
+
+
+def _iter_file(path: str, follow: bool, poll: float = 0.1):
+    """Lines from a JSONL file; with ``follow``, poll for growth until a
+    ``run-end`` line arrives (the writer's end-of-stream marker)."""
+    with open(path, encoding="utf-8") as stream:
+        buffered = ""
+        while True:
+            chunk = stream.readline()
+            if chunk:
+                buffered += chunk
+                if not buffered.endswith("\n"):
+                    continue  # partial line: writer mid-flush
+                line = buffered
+                buffered = ""
+                yield line
+                if follow and '"event": "run-end"' in line:
+                    return
+                continue
+            if not follow:
+                return
+            time.sleep(poll)
+
+
+def iter_stream(path: str, follow: bool = False,
+                connect_timeout: float = 10.0):
+    """NDJSON lines from whatever transport ``path`` turns out to be.
+
+    A path that does not exist yet is waited for (up to
+    ``connect_timeout``): a tail launched just before its run must win
+    the race against the server creating the socket."""
+    deadline = time.monotonic() + connect_timeout
+    while not os.path.exists(path) and time.monotonic() < deadline:
+        time.sleep(0.05)
+    if _is_socket(path):
+        return _iter_socket(path, connect_timeout)
+    return _iter_file(path, follow)
+
+
+def tail_stream(path: str, out=None, format: str = "text",
+                kinds: list[str] | None = None, follow: bool = False,
+                connect_timeout: float = 10.0) -> int:
+    """The ``repro tail`` driver; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    wanted = frozenset(kinds) if kinds else None
+    view = TailView()
+    try:
+        stream = iter_stream(path, follow=follow,
+                             connect_timeout=connect_timeout)
+        for raw in stream:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError:
+                print(f"tail: skipping malformed line: {raw[:80]}",
+                      file=sys.stderr)
+                continue
+            if wanted is not None and payload.get("event") not in wanted:
+                continue
+            if format == "json":
+                print(json.dumps(payload, sort_keys=True), file=out,
+                      flush=True)
+            else:
+                line = view.line(payload)
+                if line is not None:
+                    print(line, file=out, flush=True)
+    except FileNotFoundError:
+        print(f"error: no telemetry stream at {path}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        return 0  # downstream consumer (e.g. `| head`) closed stdout
+    except OSError as exc:
+        print(f"error: cannot attach to {path}: {exc}", file=sys.stderr)
+        return 2
+    if format == "text" and view.events == 0:
+        print("tail: stream ended with no events", file=sys.stderr)
+    return 0

@@ -1,0 +1,175 @@
+"""The live attach surface: NDJSON telemetry over a Unix socket.
+
+``repro run --telemetry-listen PATH`` starts a :class:`TelemetryServer`
+on a Unix domain socket: every accepted connection gets its own bounded
+:class:`~repro.observability.bus.BusSubscription` (replaying the
+retention ring, so a mid-run attacher sees the run-start/plan/stratum
+context it missed) and a writer thread that streams one JSON object per
+line.  A slow reader only ever drops *its own* events — the engine, the
+bus and every other consumer are unaffected, and the drops are counted
+on the subscription.
+
+Platforms without ``AF_UNIX`` (and callers that pass a ``*.jsonl``
+path) fall back to :class:`FollowFileSink`: a line-buffered JSONL file
+flushed on every event, which ``repro tail --follow`` polls like
+``tail -f``.  :func:`serve_telemetry` picks the right one.
+
+The server owns no policy: it forwards whatever the bus publishes and
+closes client streams when the bus closes (end of run), which is how an
+attached ``repro tail`` knows the stream ended.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+
+from repro.observability.bus import EventBus, EventFilter
+from repro.observability.events import event_to_dict
+from repro.observability.sink import EventSink
+
+#: how long a client writer blocks waiting for fresh events before
+#: re-checking for shutdown
+_POLL_SECONDS = 0.2
+#: per-client queue bound: a viewer a few thousand events behind should
+#: skip ahead, not stall the stream
+CLIENT_CAPACITY = 8192
+
+
+def unix_sockets_supported() -> bool:
+    return hasattr(socket, "AF_UNIX")
+
+
+class FollowFileSink(EventSink):
+    """JSONL fallback transport: every event written *and flushed*, so a
+    follower polling the file (``repro tail --follow``) observes progress
+    mid-run, not at buffer boundaries."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._stream = open(path, "w", encoding="utf-8")
+
+    def emit(self, event) -> None:
+        self._stream.write(
+            json.dumps(event_to_dict(event), sort_keys=True) + "\n"
+        )
+        self._stream.flush()
+
+    def flush(self) -> None:
+        if not self._stream.closed:
+            self._stream.flush()
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self._stream.flush()
+            self._stream.close()
+
+
+class TelemetryServer:
+    """Streams bus events to every connected Unix-socket client."""
+
+    def __init__(self, bus: EventBus, path: str,
+                 filter: EventFilter | None = None,
+                 capacity: int = CLIENT_CAPACITY):
+        self.bus = bus
+        self.path = path
+        self.filter = filter
+        self.capacity = capacity
+        self._closing = threading.Event()
+        self._clients: list[threading.Thread] = []
+        self._client_serial = 0
+        if os.path.exists(path):
+            # a stale socket from a crashed run; connect() would have
+            # failed anyway, so replacing it is strictly better
+            os.unlink(path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(path)
+        self._sock.listen(8)
+        self._sock.settimeout(_POLL_SECONDS)
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="telemetry-accept", daemon=True
+        )
+        self._acceptor.start()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self._client_serial += 1
+            name = f"tail-{self._client_serial}"
+            sub = self.bus.subscribe(
+                name=name, capacity=self.capacity,
+                filter=self.filter, replay=True,
+            )
+            writer = threading.Thread(
+                target=self._client_loop, args=(conn, sub),
+                name=f"telemetry-{name}", daemon=True,
+            )
+            writer.start()
+            self._clients.append(writer)
+
+    def _client_loop(self, conn: socket.socket, sub) -> None:
+        try:
+            stream = conn.makefile("w", encoding="utf-8", newline="\n")
+            while True:
+                events = sub.wait(timeout=_POLL_SECONDS)
+                for event in events:
+                    stream.write(
+                        json.dumps(event_to_dict(event), sort_keys=True)
+                        + "\n"
+                    )
+                if events:
+                    stream.flush()
+                if sub.ended:
+                    stream.flush()
+                    break
+                if self._closing.is_set() and not events:
+                    break
+        except (BrokenPipeError, ConnectionResetError, OSError,
+                ValueError):
+            pass  # reader went away; nothing to salvage
+        finally:
+            sub.close()
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def close(self, linger: float = 2.0) -> None:
+        """Stop accepting, give client writers ``linger`` seconds to
+        drain their queues, remove the socket path."""
+        self._closing.set()
+        for writer in self._clients:
+            writer.join(timeout=linger)
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._acceptor.join(timeout=_POLL_SECONDS * 4)
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+def serve_telemetry(bus: EventBus, path: str,
+                    filter: EventFilter | None = None):
+    """The live attach surface for ``--telemetry-listen PATH``.
+
+    A Unix-socket :class:`TelemetryServer` where the platform has
+    ``AF_UNIX`` — unless ``path`` ends in ``.jsonl``, which explicitly
+    requests the file transport.  Returns an object with ``close()``.
+    """
+    if path.endswith(".jsonl") or not unix_sockets_supported():
+        sink = FollowFileSink(path)
+        bus.attach_sink(sink, filter)
+        return sink
+    return TelemetryServer(bus, path, filter=filter)

@@ -1,0 +1,335 @@
+"""Windowed time-series metrics and the Prometheus text exposition.
+
+:class:`~repro.observability.metrics.MetricsRegistry` keeps whole-run
+scalars — enough for profiles and regression gates, useless for a live
+attach: "how fast is it firing *now*" needs per-window counts, and tail
+latency needs quantiles, not means.  This module layers both on the
+registry without touching its storage model:
+
+* :class:`StreamingHistogram` — fixed cumulative buckets (Prometheus
+  ``le`` semantics) with p50/p95/p99 estimated by linear interpolation
+  inside the owning bucket.  No per-sample storage; observation is two
+  array writes.
+* :class:`WindowedCounter` — counts bucketed into fixed wall-clock
+  windows (ring of the last N windows), giving a live events/second
+  rate that decays when the producer stalls.
+* :class:`StreamingMetrics` — a :class:`MetricsRegistry` subclass whose
+  ``inc``/``observe`` additionally feed windowed counters and streaming
+  histograms.  Everything that already takes a registry (the engine, the
+  profile builder, run reports) accepts it unchanged.
+* :func:`render_prometheus` — the text exposition (version 0.0.4) of a
+  registry snapshot: counters as ``_total``, gauges verbatim, summaries
+  as ``_count``/``_sum``, streaming histograms as cumulative
+  ``_bucket{le=...}`` series.
+
+``repro run --prom-out FILE`` writes :func:`render_prometheus` output;
+the CI live-tail smoke job scrapes and validates it.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from bisect import bisect_left
+
+from repro.observability.metrics import Labels, MetricsRegistry
+
+#: default bucket upper bounds for timing observations (seconds):
+#: exponential 100µs → ~13s, the span of one iteration to one long run
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = tuple(
+    0.0001 * (2 ** i) for i in range(18)
+)
+
+#: the quantiles every streaming histogram reports
+QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+class StreamingHistogram:
+    """Fixed-bucket cumulative histogram with interpolated quantiles.
+
+    ``buckets`` are the finite upper bounds (ascending); one implicit
+    ``+Inf`` bucket catches the overflow.  A sample lands in the first
+    bucket whose bound is >= the value (Prometheus ``le`` convention).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("bucket bounds must be non-empty ascending")
+        self.bounds = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: the +Inf bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 < q <= 1) of the observed samples.
+
+        Linear interpolation across the owning bucket, clamped to the
+        observed ``min``/``max`` so a histogram whose samples all share
+        one bucket never reports a value outside what it saw.  Empty
+        histograms report 0.0.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = (self.bounds[i] if i < len(self.bounds)
+                      else self.max)
+                lo = max(lo, self.min if seen == 0 else lo)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return lo
+                fraction = (rank - seen) / n
+                return lo + (hi - lo) * fraction
+            seen += n
+        return self.max
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le_bound, cumulative_count)`` rows, ``+Inf`` last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": [
+                {"le": ("+Inf" if bound == float("inf") else bound),
+                 "count": cum}
+                for bound, cum in self.cumulative()
+            ],
+        }
+
+
+class WindowedCounter:
+    """Increments bucketed into fixed wall-clock windows.
+
+    Keeps the last ``keep`` windows in a ring; :meth:`rate` reports
+    events/second over the completed portion of the ring, so a stalled
+    producer's rate decays to zero instead of freezing at its last
+    burst.  ``clock`` is injectable for deterministic tests.
+    """
+
+    __slots__ = ("window", "keep", "clock", "_windows", "total")
+
+    def __init__(self, window: float = 1.0, keep: int = 60, clock=None):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.keep = max(1, keep)
+        self.clock = clock or time.monotonic
+        self._windows: list[tuple[int, float]] = []  # (window_no, count)
+        self.total = 0.0
+
+    def _window_no(self) -> int:
+        return int(self.clock() / self.window)
+
+    def inc(self, amount: float = 1) -> None:
+        now = self._window_no()
+        self.total += amount
+        if self._windows and self._windows[-1][0] == now:
+            no, count = self._windows[-1]
+            self._windows[-1] = (no, count + amount)
+        else:
+            self._windows.append((now, amount))
+            if len(self._windows) > self.keep:
+                del self._windows[: len(self._windows) - self.keep]
+
+    def rate(self) -> float:
+        """Events/second over the retained windows up to now."""
+        if not self._windows:
+            return 0.0
+        now = self._window_no()
+        horizon = now - self.keep
+        live = [(no, c) for no, c in self._windows if no > horizon]
+        if not live:
+            return 0.0
+        spanned = max(now - live[0][0], 1)
+        return sum(c for _, c in live) / (spanned * self.window)
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "rate_per_s": self.rate(),
+            "window_s": self.window,
+        }
+
+
+class StreamingMetrics(MetricsRegistry):
+    """A registry whose writes also feed live time-series state.
+
+    Drop-in for :class:`MetricsRegistry` (the engine, profile builder
+    and run reports only use the base interface); additionally every
+    ``inc`` updates a per-series :class:`WindowedCounter` and every
+    ``observe`` a per-series :class:`StreamingHistogram`, which is what
+    the Prometheus exposition and the telemetry snapshot read.
+    """
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+                 window: float = 1.0, clock=None):
+        super().__init__()
+        self._buckets = buckets
+        self._window = window
+        self._clock = clock
+        self.windows: dict[tuple[str, Labels], WindowedCounter] = {}
+        self.streams: dict[tuple[str, Labels], StreamingHistogram] = {}
+
+    def inc(self, name: str, label_set: Labels = (), amount: float = 1
+            ) -> None:
+        super().inc(name, label_set, amount)
+        key = (name, label_set)
+        counter = self.windows.get(key)
+        if counter is None:
+            counter = self.windows[key] = WindowedCounter(
+                window=self._window, clock=self._clock
+            )
+        counter.inc(amount)
+
+    def observe(self, name: str, label_set: Labels = (),
+                value: float = 0.0) -> None:
+        super().observe(name, label_set, value)
+        key = (name, label_set)
+        stream = self.streams.get(key)
+        if stream is None:
+            stream = self.streams[key] = StreamingHistogram(self._buckets)
+        stream.observe(value)
+
+    def timeseries_snapshot(self) -> dict:
+        """JSON-ready dump of the live state: per-series rates and
+        quantile summaries (keys match :meth:`snapshot` series keys)."""
+        from repro.observability.metrics import _series
+
+        return {
+            "rates": {
+                _series(name, ls): counter.to_dict()
+                for (name, ls), counter in sorted(self.windows.items())
+            },
+            "histograms": {
+                _series(name, ls): stream.to_dict()
+                for (name, ls), stream in sorted(self.streams.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    return f"{namespace}_{_NAME_OK.sub('_', name)}"
+
+
+def _prom_labels(label_set: Labels) -> str:
+    if not label_set:
+        return ""
+    inner = ",".join(
+        f'{_NAME_OK.sub("_", k)}="{_escape(v)}"' for k, v in label_set
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry,
+                      namespace: str = "repro") -> str:
+    """The registry as Prometheus text exposition format 0.0.4.
+
+    Counters gain the conventional ``_total`` suffix; plain
+    :class:`~repro.observability.metrics.HistogramSummary` series render
+    as summaries (``_count``/``_sum``); a :class:`StreamingMetrics`
+    registry additionally renders real ``_bucket{le=...}`` histograms
+    from its streaming state.
+    """
+    lines: list[str] = []
+
+    def series_of(mapping):
+        by_name: dict[str, list] = {}
+        for (name, label_set), value in sorted(mapping.items()):
+            by_name.setdefault(name, []).append((label_set, value))
+        return by_name
+
+    for name, entries in series_of(registry._counters).items():
+        prom = _prom_name(name, namespace) + "_total"
+        lines.append(f"# HELP {prom} repro counter {name}")
+        lines.append(f"# TYPE {prom} counter")
+        for label_set, value in entries:
+            lines.append(f"{prom}{_prom_labels(label_set)} {_fmt(value)}")
+    for name, entries in series_of(registry._gauges).items():
+        prom = _prom_name(name, namespace)
+        lines.append(f"# HELP {prom} repro gauge {name}")
+        lines.append(f"# TYPE {prom} gauge")
+        for label_set, value in entries:
+            lines.append(f"{prom}{_prom_labels(label_set)} {_fmt(value)}")
+
+    streams = getattr(registry, "streams", None) or {}
+    streamed_names = {name for name, _ in streams}
+    for name, entries in series_of(registry._histograms).items():
+        prom = _prom_name(name, namespace)
+        if name in streamed_names:
+            # rendered as a real histogram from the streaming state below
+            continue
+        lines.append(f"# HELP {prom} repro summary {name}")
+        lines.append(f"# TYPE {prom} summary")
+        for label_set, hist in entries:
+            suffix = _prom_labels(label_set)
+            lines.append(f"{prom}_count{suffix} {hist.count}")
+            lines.append(f"{prom}_sum{suffix} {_fmt(hist.total)}")
+    for name, entries in series_of(streams).items():
+        prom = _prom_name(name, namespace)
+        lines.append(f"# HELP {prom} repro histogram {name}")
+        lines.append(f"# TYPE {prom} histogram")
+        for label_set, stream in entries:
+            for bound, cum in stream.cumulative():
+                le = ('le="+Inf"' if bound == float("inf")
+                      else f'le="{_fmt(bound)}"')
+                inner = _prom_labels(label_set)
+                merged = (inner[:-1] + "," + le + "}" if inner
+                          else "{" + le + "}")
+                lines.append(f"{prom}_bucket{merged} {cum}")
+            suffix = _prom_labels(label_set)
+            lines.append(f"{prom}_count{suffix} {stream.count}")
+            lines.append(f"{prom}_sum{suffix} {_fmt(stream.total)}")
+    return "\n".join(lines) + "\n"

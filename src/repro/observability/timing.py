@@ -22,6 +22,12 @@ class PhaseNode:
     elapsed: float = 0.0
     count: int = 0
     children: dict[str, "PhaseNode"] = field(default_factory=dict)
+    #: trace-context envelope, stamped on first entry when the timer
+    #: carries a :class:`~repro.observability.events.TraceContext` — the
+    #: same ``run_id``/``span_id`` model the event stream uses, so a
+    #: phase in a report correlates with the events emitted inside it
+    span_id: str | None = None
+    parent_span_id: str | None = None
 
     def child(self, name: str) -> "PhaseNode":
         node = self.children.get(name)
@@ -31,6 +37,10 @@ class PhaseNode:
 
     def to_dict(self) -> dict:
         out: dict = {"elapsed": self.elapsed, "count": self.count}
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.parent_span_id is not None:
+            out["parent_span_id"] = self.parent_span_id
         if self.children:
             out["children"] = {
                 name: node.to_dict()
@@ -54,15 +64,28 @@ class PhaseNode:
 
 
 class PhaseTimer:
-    """Collects nested phases; safe to use when never entered."""
+    """Collects nested phases; safe to use when never entered.
 
-    def __init__(self) -> None:
+    ``trace`` (optional) is the producer's
+    :class:`~repro.observability.events.TraceContext`: when set, every
+    phase opens a real span in it, so phase nodes carry span ids and
+    events emitted inside a phase are parented under it.
+    """
+
+    def __init__(self, trace=None) -> None:
         self.root = PhaseNode("total")
         self._stack: list[PhaseNode] = [self.root]
+        self.trace = trace
 
     @contextmanager
     def phase(self, name: str):
         node = self._stack[-1].child(name)
+        trace = self.trace
+        if trace is not None:
+            span_id, parent = trace.start_span()
+            if node.span_id is None:
+                node.span_id = span_id
+                node.parent_span_id = parent
         self._stack.append(node)
         started = time.perf_counter()
         try:
@@ -72,6 +95,8 @@ class PhaseTimer:
             node.elapsed += elapsed
             node.count += 1
             self._stack.pop()
+            if trace is not None:
+                trace.end_span()
             if len(self._stack) == 1:
                 self.root.elapsed += elapsed
                 self.root.count = max(self.root.count, 1)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.observability.events import SCHEMA_VERSION
+from repro.observability.events import payload_header
 
 #: statuses a why-not report can conclude
 HOLDS = "holds"
@@ -140,8 +140,7 @@ class WhyNotReport:
 
     def to_dict(self) -> dict:
         return {
-            "schema_version": SCHEMA_VERSION,
-            "kind": "why-not",
+            **payload_header("why-not"),
             "fact": self.fact,
             "semantics": self.semantics,
             "status": self.status,

@@ -1,5 +1,6 @@
 """The fault-injection harness itself (repro.testing.faults)."""
 
+import json
 import time
 
 import pytest
@@ -124,3 +125,58 @@ class TestFiring:
         FAULTS.clear()
         assert not FAULTS.enabled
         FAULTS.fire("a")
+
+
+class TestAbortedTraceIsCleanJson:
+    """A fault-injected abort must leave only complete trace lines.
+
+    ``repro run`` closes its sinks in a ``finally``, so when an injected
+    ``EvalBudgetExceeded`` tears down the fixpoint mid-run the partial
+    JSONL trace still flushes: every line parses, the file ends with a
+    newline, and the run boundary's own ``finally`` stamps a ``run-end``
+    marker with the partial stats — a follower sees the stream terminate
+    instead of hanging on a truncated tail.
+    """
+
+    SOURCE = (
+        "associations\n"
+        "  n = (v: integer).\n"
+        "rules\n"
+        "  n(v 1).\n"
+        "  n(v V1) <- n(v V), V1 = V + 1.\n"
+    )
+
+    def _run(self, tmp_path, faults):
+        from repro.cli import main
+
+        src = tmp_path / "count.lg"
+        src.write_text(self.SOURCE)
+        trace = tmp_path / "events.jsonl"
+        FAULTS.configure_from_env({ENV_VAR: faults})
+        status = main([
+            "run", str(src), "--trace-out", str(trace),
+            "--max-iterations", "50",
+        ])
+        return status, trace
+
+    def test_breach_exits_3_with_complete_lines(self, tmp_path, capsys):
+        status, trace = self._run(
+            tmp_path, "engine.iteration=breach@3")
+        assert status == 3
+        text = trace.read_text()
+        assert text.endswith("\n")  # no truncated tail
+        payloads = [json.loads(line) for line in text.splitlines()]
+        kinds = [p["event"] for p in payloads]
+        assert "run-start" in kinds
+        # the run boundary emits run-end with partial stats even on
+        # abort, so followers get their end-of-stream marker
+        assert kinds[-1] == "run-end"
+        assert payloads[-1]["iterations"] == 3
+        assert capsys.readouterr().err.count("Traceback") == 0
+
+    def test_cancel_also_flushes(self, tmp_path, capsys):
+        status, trace = self._run(
+            tmp_path, "engine.iteration=cancel@2")
+        assert status == 3
+        for line in trace.read_text().splitlines():
+            json.loads(line)

@@ -1,0 +1,102 @@
+"""Every versioned JSON surface leads with the shared schema header.
+
+The observability and analysis tools each emit a machine-readable
+payload; :func:`repro.observability.events.payload_header` is the one
+place that stamps ``schema_version`` and ``kind`` on all of them.  This
+module pins the stamp on every surface, so adding a new JSON payload
+without the header (or with a drifting kind string) fails a test
+instead of silently forking the convention.
+"""
+
+import json
+
+from repro.engine import Engine, Semantics
+from repro.language.ast import Program
+from repro.language.parser import parse_source
+from repro.observability import Instrumentation, MetricsRegistry
+from repro.observability.events import SCHEMA_VERSION, payload_header
+from repro.storage.factset import FactSet
+
+TC_SOURCE = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  parent(par "a", chil "b").
+  anc(a X, d Y) <- parent(par X, chil Y).
+"""
+
+
+def _instrumented_run():
+    unit = parse_source(TC_SOURCE)
+    schema = unit.schema()
+    program = Program(tuple(unit.rules), unit.goal)
+    obs = Instrumentation(metrics=MetricsRegistry())
+    engine = Engine(schema, program, instrumentation=obs)
+    engine.run(FactSet(), Semantics.INFLATIONARY)
+    return engine, obs
+
+
+def _assert_header(payload: dict, kind: str):
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["kind"] == kind
+
+
+class TestPayloadHeader:
+    def test_header_shape(self):
+        assert payload_header("x") == {
+            "schema_version": SCHEMA_VERSION, "kind": "x",
+        }
+
+    def test_header_is_a_fresh_dict(self):
+        a = payload_header("x")
+        a["extra"] = 1
+        assert "extra" not in payload_header("x")
+
+
+class TestSurfaces:
+    def test_lint_diagnostics(self):
+        from repro.analysis.diagnostics import diagnostics_to_json
+
+        _assert_header(json.loads(diagnostics_to_json([])),
+                       "diagnostics")
+
+    def test_analyze(self):
+        from repro.analysis import analyze_source
+
+        analysis = analyze_source(TC_SOURCE, file="<test>")
+        _assert_header(analysis.to_dict(), "analysis")
+
+    def test_profile(self):
+        from repro.observability.profile import build_profile
+
+        engine, obs = _instrumented_run()
+        _assert_header(build_profile(engine, obs).to_dict(), "profile")
+
+    def test_run_report(self):
+        from repro.observability.report import build_run_report
+
+        engine, obs = _instrumented_run()
+        report = build_run_report(engine, obs,
+                                  semantics="inflationary")
+        _assert_header(report.to_dict(), "run-report")
+
+    def test_report_diff(self):
+        from repro.observability.diff import diff_reports
+        from repro.observability.report import build_run_report
+
+        engine, obs = _instrumented_run()
+        report = build_run_report(engine, obs,
+                                  semantics="inflationary")
+        _assert_header(diff_reports(report, report).to_dict(),
+                       "report-diff")
+
+    def test_why_not(self):
+        from repro.observability.whynot import WhyNotReport
+
+        report = WhyNotReport("f", "inflationary", "never-derived")
+        _assert_header(report.to_dict(), "why-not")
+
+    def test_metrics_snapshot(self):
+        _, obs = _instrumented_run()
+        _assert_header(obs.snapshot(), "metrics-snapshot")
