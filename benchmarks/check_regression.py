@@ -11,6 +11,8 @@ never fail the check.
     python benchmarks/check_regression.py --json run.json  # compare a prior run
     python benchmarks/check_regression.py --update       # rewrite the baseline
     python benchmarks/check_regression.py --plan-gate    # planner speedup gate
+    python benchmarks/check_regression.py --bench-gate   # BENCH_* trend gate
+    python benchmarks/check_regression.py --all          # every gate in one go
 
 Comparison uses each benchmark's *min* time, which is far less noisy
 than the mean on shared machines.  Transient load can still inflate a
@@ -47,6 +49,15 @@ zero-overhead-disabled fast path — must stay within
 ``--disabled-threshold`` of the committed
 ``test_logres_plan_on[1000]`` baseline (generous, since the committed
 number may come from another machine).
+
+``--bench-gate`` runs the perf-trend gate over the committed
+``BENCH_*.json`` history (the ``repro bench`` matrix rows plus the
+pytest experiment rows): each (experiment, benchmark, config) series
+regresses when its latest min-time exceeds the rolling median of the
+preceding window by the trend threshold *and* the absolute floor —
+see :mod:`repro.observability.trend`.  ``--all`` chains every gate
+(timing baseline, plan, telemetry, reports, bench trend) and fails if
+any of them fails — the single entry point CI invokes.
 """
 
 from __future__ import annotations
@@ -311,6 +322,79 @@ def check_reports(baseline_path: pathlib.Path, update: bool,
     return 0
 
 
+def check_bench_gate(root: pathlib.Path, threshold: float,
+                     min_time_ms: float, window: int,
+                     min_points: int) -> int:
+    """The trend gate: every ``BENCH_*.json`` series' latest point vs
+    its own rolling-median history (the ``repro bench report`` rule)."""
+    from repro.observability.trend import (
+        TrendStore,
+        render_trend_text,
+        trend_report,
+    )
+
+    store = TrendStore.load(root)
+    report = trend_report(store, threshold=threshold,
+                          min_time_ms=min_time_ms, window=window,
+                          min_points=min_points)
+    print(render_trend_text(report), end="")
+    if not store.series:
+        print(f"note: no BENCH_*.json history under {root};"
+              " trend gate vacuously passes")
+        return 0
+    if report["regressions"]:
+        print(f"\n{len(report['regressions'])} trend regression(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def check_benchmarks(args) -> int:
+    """The timing gate: run (or load) the guarded benchmarks and
+    compare min times against the committed baseline."""
+    if args.json:
+        current = extract(pathlib.Path(args.json))
+    else:
+        runs = []
+        for _ in range(max(1, args.runs)):
+            json_path = pathlib.Path(tempfile.mkstemp(suffix=".json")[1])
+            run_guarded_benchmarks(json_path)
+            runs.append(extract(json_path))
+        current = best_of(runs)
+    if not current:
+        print("error: no guarded benchmarks in the run", file=sys.stderr)
+        return 2
+
+    baseline_path = pathlib.Path(args.baseline)
+    if args.update:
+        baseline_path.write_text(json.dumps(current, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"wrote {len(current)} baseline entries to {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"error: no baseline at {baseline_path};"
+              " run with --update first", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    lines, failures = compare(baseline, current, args.threshold)
+    gate_lines, gate_failures = plan_speedup_check(
+        current, args.speedup_target
+    )
+    lines += gate_lines
+    failures += gate_failures
+    print("\n".join(lines))
+    if failures:
+        print(f"\n{len(failures)} regression(s) over"
+              f" {args.threshold:.0%} threshold:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nok: no benchmark slower than baseline by more than"
+          f" {args.threshold:.0%}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", help="reuse an existing benchmark JSON"
@@ -364,7 +448,71 @@ def main(argv: list[str] | None = None) -> int:
                              " vs the committed baseline (default: 1.0"
                              " = 2x, generous for cross-machine"
                              " baselines)")
+    parser.add_argument("--bench-gate", action="store_true",
+                        help="run the trend gate: each BENCH_*.json"
+                             " series' latest point vs its rolling-"
+                             "median history")
+    parser.add_argument("--bench-root", default=str(HERE.parent),
+                        help="directory holding the BENCH_*.json"
+                             " history (default: the repo root)")
+    parser.add_argument("--bench-threshold", type=float, default=None,
+                        help="trend-gate relative slowdown (default:"
+                             " 0.5 = +50%% over the rolling median)")
+    parser.add_argument("--bench-min-time-ms", type=float, default=None,
+                        help="trend-gate absolute jitter floor in ms"
+                             " (default: 5.0)")
+    parser.add_argument("--bench-window", type=int, default=None,
+                        help="trend-gate rolling-median window"
+                             " (default: 5)")
+    parser.add_argument("--bench-min-points", type=int, default=None,
+                        help="minimum series length before the trend"
+                             " gate flags (default: 3)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every gate in sequence — timing"
+                             " baseline, plan, telemetry, reports and"
+                             " bench trend — and fail if any fails")
     args = parser.parse_args(argv)
+
+    def bench_gate() -> int:
+        from repro.observability import trend
+
+        return check_bench_gate(
+            pathlib.Path(args.bench_root),
+            args.bench_threshold if args.bench_threshold is not None
+            else trend.DEFAULT_THRESHOLD,
+            args.bench_min_time_ms
+            if args.bench_min_time_ms is not None
+            else trend.DEFAULT_MIN_TIME_MS,
+            args.bench_window if args.bench_window is not None
+            else trend.DEFAULT_WINDOW,
+            args.bench_min_points if args.bench_min_points is not None
+            else trend.DEFAULT_MIN_POINTS,
+        )
+
+    if args.all:
+        gates = (
+            ("benchmarks", lambda: check_benchmarks(args)),
+            ("plan-gate", lambda: check_plan_gate(
+                args.speedup_target, args.gate_reps)),
+            ("telemetry-gate", lambda: check_telemetry_gate(
+                pathlib.Path(args.baseline), max(args.gate_reps, 5),
+                args.bus_overhead_target, args.disabled_threshold)),
+            ("reports", lambda: check_reports(
+                pathlib.Path(args.report_baseline),
+                update=args.update_reports,
+                time_threshold=args.report_time_threshold)),
+            ("bench-gate", bench_gate),
+        )
+        outcomes: list[tuple[str, int]] = []
+        for name, gate in gates:
+            print(f"==== {name} ====")
+            outcomes.append((name, gate()))
+            print()
+        print("gate summary: " + "  ".join(
+            f"{name}={'ok' if code == 0 else f'FAIL({code})'}"
+            for name, code in outcomes
+        ))
+        return max((code for _, code in outcomes), default=0)
 
     if args.plan_gate:
         return check_plan_gate(args.speedup_target, args.gate_reps)
@@ -384,47 +532,10 @@ def main(argv: list[str] | None = None) -> int:
             time_threshold=args.report_time_threshold,
         )
 
-    if args.json:
-        current = extract(pathlib.Path(args.json))
-    else:
-        runs = []
-        for _ in range(max(1, args.runs)):
-            json_path = pathlib.Path(tempfile.mkstemp(suffix=".json")[1])
-            run_guarded_benchmarks(json_path)
-            runs.append(extract(json_path))
-        current = best_of(runs)
-    if not current:
-        print("error: no guarded benchmarks in the run", file=sys.stderr)
-        return 2
+    if args.bench_gate:
+        return bench_gate()
 
-    baseline_path = pathlib.Path(args.baseline)
-    if args.update:
-        baseline_path.write_text(json.dumps(current, indent=2,
-                                            sort_keys=True) + "\n")
-        print(f"wrote {len(current)} baseline entries to {baseline_path}")
-        return 0
-
-    if not baseline_path.exists():
-        print(f"error: no baseline at {baseline_path};"
-              " run with --update first", file=sys.stderr)
-        return 2
-    baseline = json.loads(baseline_path.read_text())
-    lines, failures = compare(baseline, current, args.threshold)
-    gate_lines, gate_failures = plan_speedup_check(
-        current, args.speedup_target
-    )
-    lines += gate_lines
-    failures += gate_failures
-    print("\n".join(lines))
-    if failures:
-        print(f"\n{len(failures)} regression(s) over"
-              f" {args.threshold:.0%} threshold:", file=sys.stderr)
-        for failure in failures:
-            print(f"  {failure}", file=sys.stderr)
-        return 1
-    print(f"\nok: no benchmark slower than baseline by more than"
-          f" {args.threshold:.0%}")
-    return 0
+    return check_benchmarks(args)
 
 
 if __name__ == "__main__":

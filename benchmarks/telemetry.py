@@ -28,18 +28,25 @@ Row format (one JSON object per line)::
 
 ``config`` is the benchmark's ``extra_info["config"]`` (the active
 :class:`~repro.engine.fixpoint.EvalConfig` switches), null for
-benchmarks that measure no engine configuration.  Appending is
-deduplicating: when the trailing session in the file measured exactly
-the same (group, name, config) row set, the new session *replaces* it
-instead of stacking an identical back-to-back block — re-running the
-suite twice in a row keeps one row per benchmark, not two.
+benchmarks that measure no engine configuration.  Reading and appending
+both go through :mod:`repro.observability.trend` — the perf-telemetry
+store shared with ``repro bench`` — so ingestion is tolerant (malformed
+or future-schema rows are skipped with a warning, never a traceback)
+and appending de-duplicates: rows this session already appended for
+the same (group, name, config) are superseded instead of stacked, for
+*every* experiment — while rows from earlier sessions are history and
+accumulate, which is what ``repro bench report`` trends over.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import sys
 import time
+
+from repro.observability.events import payload_header
+from repro.observability.trend import append_bench_rows, read_bench_rows
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS = pathlib.Path(__file__).resolve().parent / "results"
@@ -72,9 +79,8 @@ def bench_row(meta, session_stamp: str) -> dict:
     """One appendable row for a pytest-benchmark ``Metadata``."""
     stats = meta.stats
     extra = getattr(meta, "extra_info", None) or {}
-    return {
-        "schema_version": 1,
-        "kind": "bench-row",
+    row = payload_header("bench-row")
+    row.update({
         "ts": time.time(),
         "session": session_stamp,
         "exp": experiment_id(meta.group),
@@ -85,27 +91,24 @@ def bench_row(meta, session_stamp: str) -> dict:
         "stddev_ms": stats.stddev * 1000,
         "rounds": stats.rounds,
         "config": extra.get("config"),
-    }
+    })
+    return row
 
 
-def _row_key(row: dict) -> tuple:
-    """What makes two rows 'the same benchmark': group, name and the
-    engine configuration measured."""
-    return (
-        row.get("group"),
-        row.get("name"),
-        json.dumps(row.get("config"), sort_keys=True),
-    )
+#: one session stamp per process: repeated suite runs within one pytest
+#: session re-append under the same stamp, which the deduplicating
+#: append supersedes instead of stacking
+SESSION_STAMP = time.strftime("%Y-%m-%dT%H:%M:%S")
 
 
 def append_rows(benchmarks) -> list[pathlib.Path]:
     """Append one row per benchmark to its experiment's ``BENCH_*.json``
     at the repo root; returns the touched paths.
 
-    When the trailing session block measured exactly the same benchmark
-    set, the new session replaces it — identical back-to-back sessions
-    never stack."""
-    session_stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+    The deduplicating append of :mod:`repro.observability.trend`:
+    same-session re-measurements supersede, other sessions' rows
+    accumulate as trend history."""
+    session_stamp = SESSION_STAMP
     by_exp: dict[str, list[dict]] = {}
     for meta in benchmarks:
         if meta.has_error or meta.stats is None:
@@ -114,35 +117,17 @@ def append_rows(benchmarks) -> list[pathlib.Path]:
         by_exp.setdefault(row["exp"], []).append(row)
     touched = []
     for exp, rows in sorted(by_exp.items()):
-        path = bench_path(exp)
-        existing = read_rows(path)
-        if existing:
-            last_session = existing[-1].get("session")
-            trailing = [
-                r for r in existing if r.get("session") == last_session
-            ]
-            if {_row_key(r) for r in trailing} == \
-                    {_row_key(r) for r in rows}:
-                existing = [
-                    r for r in existing
-                    if r.get("session") != last_session
-                ]
-                with open(path, "w", encoding="utf-8") as f:
-                    for row in existing:
-                        f.write(json.dumps(row, sort_keys=True) + "\n")
-        with open(path, "a", encoding="utf-8") as f:
-            for row in rows:
-                f.write(json.dumps(row, sort_keys=True) + "\n")
-        touched.append(path)
+        touched.append(append_bench_rows(bench_path(exp), rows))
     return touched
 
 
 def read_rows(path: pathlib.Path) -> list[dict]:
-    """All rows of one ``BENCH_*.json`` time series."""
-    if not path.exists():
-        return []
-    with open(path, encoding="utf-8") as f:
-        return [json.loads(line) for line in f if line.strip()]
+    """All ingestible rows of one ``BENCH_*.json`` time series; skipped
+    lines are warned about on stderr instead of raising."""
+    rows, warnings = read_bench_rows(path)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return rows
 
 
 def reference_report(config=None):

@@ -639,6 +639,76 @@ def cmd_diff(args) -> int:
     return 1 if diff.regressions() else 0
 
 
+def cmd_bench(args) -> int:
+    """Run the benchmark matrix and append BENCH_* rows."""
+    from repro.workloads.bench import KERNELS, run_matrix
+    from repro.workloads.families import FAMILIES
+
+    families = args.families or list(FAMILIES)
+    kernels = args.kernels or (
+        list(KERNELS) if args.matrix else ["compiled"])
+    scales = args.scales or (
+        ["100", "300", "1e3"] if args.matrix else ["100"])
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr))
+    try:
+        rows, touched = run_matrix(
+            families=families,
+            scales=scales,
+            kernels=kernels,
+            semantics=args.semantics,
+            seed=args.seed,
+            reps=args.reps,
+            root=args.root,
+            verify=not args.no_verify,
+            progress=progress,
+        )
+    except (ValueError, AssertionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"bench: {len(rows)} cell(s) across {len(families)} family(ies)"
+        f" x {len(scales)} scale(s) x {len(kernels)} kernel(s) -> "
+        + ", ".join(p.name for p in touched)
+    )
+    return 0
+
+
+def cmd_bench_report(args) -> int:
+    """Render the perf-trend view over the BENCH_*.json history."""
+    import json
+
+    from repro.observability.trend import (
+        TrendStore,
+        find_regressions,
+        render_trend_text,
+        trend_prometheus,
+        trend_report,
+    )
+
+    store = TrendStore.load(args.root)
+    report = trend_report(
+        store,
+        threshold=args.threshold,
+        min_time_ms=args.min_time_ms,
+        window=args.window,
+        min_points=args.min_points,
+    )
+    if args.prometheus:
+        for warning in store.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        print(trend_prometheus(store, window=args.window), end="")
+    elif args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_trend_text(report), end="")
+    regressions = find_regressions(
+        store, threshold=args.threshold, min_time_ms=args.min_time_ms,
+        window=args.window, min_points=args.min_points,
+    )
+    return 1 if regressions else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -871,6 +941,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="output style (default: text)",
     )
     p_diff.set_defaults(fn=cmd_diff)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the workload x scale x kernel benchmark matrix and"
+             " append BENCH_<family>.json rows (see 'bench report')",
+    )
+    p_bench.add_argument(
+        "--matrix", action="store_true",
+        help="sweep the full matrix: every kernel over three scale"
+             " grades (default without it: the compiled kernel at one"
+             " smoke scale)",
+    )
+    p_bench.add_argument(
+        "--families", nargs="+", metavar="FAMILY",
+        help="workload families to run (default: all registered)",
+    )
+    p_bench.add_argument(
+        "--scales", nargs="+", metavar="SCALE",
+        help="scale grades (1e3..1e6) or raw fact counts",
+    )
+    p_bench.add_argument(
+        "--kernels", nargs="+", metavar="KERNEL",
+        help="kernel configurations"
+             " (reference/incremental/planned/compiled)",
+    )
+    p_bench.add_argument(
+        "--semantics", nargs="+", metavar="SEM",
+        default=["inflationary"],
+        choices=[s.value for s in Semantics],
+        help="rule semantics to sweep (default: inflationary)",
+    )
+    p_bench.add_argument("--seed", type=int, default=0,
+                         help="generator seed (default: 0)")
+    p_bench.add_argument(
+        "--reps", type=int, default=3,
+        help="timed repetitions per cell; min is recorded (default: 3)",
+    )
+    p_bench.add_argument(
+        "--root", default=".",
+        help="directory holding the BENCH_*.json history (default: .)",
+    )
+    p_bench.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the cross-kernel agreement check",
+    )
+    p_bench.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress on stderr")
+    p_bench.set_defaults(fn=cmd_bench)
+
+    bench_sub = p_bench.add_subparsers(dest="bench_command")
+    p_brep = bench_sub.add_parser(
+        "report",
+        help="render perf trends over the BENCH_*.json history"
+             " (trend regressions exit 1)",
+    )
+    p_brep.add_argument(
+        "--root", default=".",
+        help="directory holding the BENCH_*.json history (default: .)",
+    )
+    p_brep.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output style (default: text)",
+    )
+    p_brep.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the Prometheus text exposition instead",
+    )
+    p_brep.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="relative slowdown of the latest point vs the rolling"
+             " median tolerated before a series regresses"
+             " (default: 0.5 = +50%%)",
+    )
+    p_brep.add_argument(
+        "--min-time-ms", type=float, default=5.0,
+        help="absolute jitter floor: series whose latest point is"
+             " within this of the median never regress (default: 5.0)",
+    )
+    p_brep.add_argument(
+        "--window", type=int, default=5,
+        help="prior points feeding the rolling median (default: 5)",
+    )
+    p_brep.add_argument(
+        "--min-points", type=int, default=3,
+        help="series shorter than this never flag (default: 3)",
+    )
+    p_brep.set_defaults(fn=cmd_bench_report)
     return parser
 
 

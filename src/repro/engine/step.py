@@ -620,6 +620,31 @@ def _head_satisfied(
             label in stored and values_unify(stored[label], value)
             for label, value in attrs.items
         )
+    if ctx.use_indexes:
+        # fast path: a non-oid attribute value only unifies with an
+        # equal stored value, so the (pred, label, value) hash index
+        # yields exactly the candidate objects — without it, every
+        # invention probe scans the whole class (quadratic in the
+        # invented population).  Probe every scalar position and keep
+        # the smallest bucket: selectivity varies wildly across labels.
+        candidates = None
+        for label, value in attrs.items:
+            if isinstance(value, (Oid, TupleValue)):
+                continue
+            bucket = ctx.facts.lookup(head.pred, label, value)
+            if candidates is None or len(bucket) < len(candidates):
+                candidates = bucket
+                if not candidates:
+                    return False
+        if candidates is not None:
+            return any(
+                all(
+                    lbl in fact.value
+                    and values_unify(fact.value[lbl], val)
+                    for lbl, val in attrs.items
+                )
+                for fact in candidates
+            )
     for fact in ctx.facts.facts_of(head.pred):
         if all(
             label in fact.value and values_unify(fact.value[label], value)

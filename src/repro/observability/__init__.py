@@ -31,7 +31,9 @@ built dependency-free:
 * :mod:`repro.observability.telemetry_server` — the Unix-socket NDJSON
   attach surface of ``repro run --telemetry-listen``;
 * :mod:`repro.observability.tail` — the ``repro tail`` reader and live
-  per-stratum / per-rule renderer.
+  per-stratum / per-rule renderer;
+* :mod:`repro.observability.trend` — the perf-telemetry store over the
+  ``BENCH_*.json`` history and the ``repro bench report`` trend gate.
 
 (profile / report / diff / whynot / telemetry_server / tail are imported
 directly, not re-exported here, to avoid importing the engine or socket
@@ -96,6 +98,16 @@ from repro.observability.timeseries import (
     render_prometheus,
 )
 from repro.observability.timing import PhaseTimer
+from repro.observability.trend import (
+    TrendSeries,
+    TrendStore,
+    append_bench_rows,
+    find_regressions,
+    read_bench_rows,
+    render_trend_text,
+    trend_prometheus,
+    trend_report,
+)
 
 __all__ = [
     "EVENT_TYPES",
@@ -132,8 +144,16 @@ __all__ = [
     "StreamingMetrics",
     "TextSink",
     "TraceContext",
+    "TrendSeries",
+    "TrendStore",
     "WindowedCounter",
+    "append_bench_rows",
     "build_filter",
+    "find_regressions",
+    "read_bench_rows",
+    "render_trend_text",
+    "trend_prometheus",
+    "trend_report",
     "event_from_dict",
     "event_to_dict",
     "labels",

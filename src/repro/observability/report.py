@@ -189,10 +189,16 @@ def report_program(
     semantics=None,
     config=None,
     source_file: str | None = None,
+    kernel: str | None = None,
 ) -> RunReport:
     """Evaluate ``(schema, program)`` over ``edb`` under full
     instrumentation and return the finished :class:`RunReport` — the
-    one-call harness benchmarks and the regression gate share."""
+    one-call harness benchmarks and the regression gate share.
+
+    ``kernel`` names the configuration in the report; when omitted it is
+    derived from ``config.incremental`` (the bench matrix passes its
+    cell's kernel name — ``planned``, ``compiled`` — explicitly).
+    """
     from repro.engine import Engine, Semantics
     from repro.observability.instrument import Instrumentation
 
@@ -201,7 +207,8 @@ def report_program(
     engine = Engine(schema, program, config=config, instrumentation=obs)
     with obs.phase("fixpoint"):
         engine.run(edb, sem)
-    kernel = ("incremental" if config is None or config.incremental
-              else "reference")
+    if kernel is None:
+        kernel = ("incremental" if config is None or config.incremental
+                  else "reference")
     return build_run_report(engine, obs, semantics=sem.value,
                             kernel=kernel, source_file=source_file)

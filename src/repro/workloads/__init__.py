@@ -1,5 +1,18 @@
 """Synthetic workload generators for examples, tests, and benchmarks."""
 
+from repro.workloads.bench import (
+    KERNELS,
+    kernel_config,
+    run_cell,
+    run_matrix,
+)
+from repro.workloads.families import (
+    FAMILIES,
+    SCALE_GRADES,
+    WorkloadFamily,
+    factset_fingerprint,
+    resolve_scale,
+)
 from repro.workloads.generators import (
     FOOTBALL_SCHEMA,
     GENEALOGY_SCHEMA,
@@ -16,7 +29,16 @@ from repro.workloads.generators import (
 )
 
 __all__ = [
+    "FAMILIES",
     "FOOTBALL_SCHEMA",
+    "KERNELS",
+    "SCALE_GRADES",
+    "WorkloadFamily",
+    "factset_fingerprint",
+    "kernel_config",
+    "resolve_scale",
+    "run_cell",
+    "run_matrix",
     "GENEALOGY_SCHEMA",
     "UNIVERSITY_SCHEMA",
     "chain_edges",

@@ -1,0 +1,341 @@
+"""Scale-graded workload families for the ``repro bench`` matrix.
+
+Each :class:`WorkloadFamily` packages one realistic rule program — a
+LOGRES source unit — together with a deterministic, seeded extensional
+generator parameterized by a *fact budget*, so the same family can be
+graded from 10³ to 10⁶ facts (:data:`SCALE_GRADES`).  Three shapes come
+from the literature the ROADMAP names:
+
+* ``knowledge_graph`` — a stakeholder knowledge graph modeled on the
+  LOGOS schema sketched in SNIPPETS.md: entity classes under an ``isa``
+  hierarchy (stakeholders and documents are entities), provenance
+  ``mentions`` edges from documents, an influence network closed
+  transitively, and derived *risk cases* created by **oid invention**
+  whenever an influencer reaches a stakeholder with an open concern;
+* ``rbac`` — role-based access control in the shape Liu et al.
+  (*Integrating Logic Rules with Everything Else, Seamlessly*) publish
+  scaling results for: a random role hierarchy closed transitively and
+  user→permission derivation through inherited roles;
+* ``reachability`` — graph reachability over a union of bounded-length
+  chains, the canonical recursive workload with a derived set that
+  scales linearly in the edge count (chains keep the closure from going
+  quadratic at the 10⁶ grade);
+* ``genealogy`` — ancestor closure over the paper's own genealogy
+  domain (a random forest, depth ≈ log n).
+
+Every generator is bit-deterministic per ``(scale, seed)`` — pinned by
+:func:`factset_fingerprint` in the test suite — and every family's
+program runs under all four kernels of the bench matrix
+(:mod:`repro.workloads.bench`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.storage.factset import FactSet
+from repro.values.complex import TupleValue
+from repro.values.oids import Oid
+from repro.workloads.generators import _rng, genealogy_facts
+
+#: the named scale grades of the bench matrix: fact-budget targets from
+#: 10³ (a laptop smoke) to 10⁶ (the production-scale yardstick)
+SCALE_GRADES: dict[str, int] = {
+    "1e3": 1_000,
+    "1e4": 10_000,
+    "1e5": 100_000,
+    "1e6": 1_000_000,
+}
+
+
+def factset_fingerprint(facts: FactSet) -> str:
+    """Short content hash of a fact set's canonical encoding.
+
+    Two generator calls with the same parameters must produce the same
+    fingerprint — the determinism contract the workload tests pin.
+    """
+    from repro.observability.report import fingerprint
+    from repro.storage.persist import encode_factset
+
+    return fingerprint(
+        json.dumps(encode_factset(facts), sort_keys=True,
+                   separators=(",", ":"))
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """One benchmarkable (program, seeded generator) pair."""
+
+    name: str
+    description: str
+    #: LOGRES source: schema + rules (no facts — the generator owns them)
+    source: str
+    #: ``generate(facts, seed)`` -> extensional :class:`FactSet` with
+    #: roughly ``facts`` facts, bit-deterministic per seed
+    generate: Callable[[int, int], FactSet] = field(repr=False)
+    #: predicates whose derived counts the matrix records
+    derived_preds: tuple[str, ...] = ()
+    #: add the schema's isa-propagation rules to the program (families
+    #: whose classes form a generalization hierarchy)
+    propagate_isa: bool = False
+
+    def build(self, scale: int, seed: int = 0):
+        """``(schema, program, edb)`` ready for ``report_program``."""
+        from repro.constraints.generate import isa_propagation_rules
+        from repro.language.ast import Program
+        from repro.language.parser import parse_source
+
+        unit = parse_source(self.source)
+        schema = unit.schema()
+        rules = tuple(unit.rules)
+        if self.propagate_isa:
+            rules = rules + tuple(isa_propagation_rules(schema))
+        return schema, Program(rules, unit.goal), \
+            self.generate(scale, seed)
+
+
+# ---------------------------------------------------------------------------
+# knowledge graph / stakeholder domain (LOGOS shape)
+# ---------------------------------------------------------------------------
+KNOWLEDGE_GRAPH_SOURCE = """
+classes
+  entity = (ename: string).
+  stakeholder = (entity, kind: string).
+  document = (entity, origin: string).
+  riskcase = (subject: string, issue: string).
+  stakeholder isa entity.
+  document isa entity.
+associations
+  relates = (src: string, dst: string).
+  mentions = (doc: string, subject: string).
+  concerns = (subject: string, issue: string).
+  influence = (src: string, dst: string).
+  sourced = (subject: string, issue: string, doc: string).
+rules
+  influence(src X, dst Y) <- relates(src X, dst Y).
+  influence(src X, dst Z) <- relates(src X, dst Y),
+                             influence(src Y, dst Z).
+  riskcase(subject S, issue I) <- influence(src S, dst T),
+                                  concerns(subject T, issue I).
+  sourced(subject S, issue I, doc D) <- concerns(subject S, issue I),
+                                        mentions(doc D, subject S).
+"""
+
+
+#: influence-community size: each cluster of stakeholders forms its own
+#: random recursive tree, so closure size and recursion depth are both
+#: bounded per cluster and the family scales linearly to the 10⁶ grade
+_KG_CLUSTER = 32
+
+
+def knowledge_graph_facts(facts: int, seed: int = 0) -> FactSet:
+    """Stakeholders + documents under ``isa``, a forest-shaped influence
+    network, provenance ``mentions`` edges and open concerns.
+
+    The ``relates`` network is a forest of per-community random
+    recursive trees (:data:`_KG_CLUSTER` stakeholders each), so the
+    influence closure grows linearly in the edge count and the fixpoint
+    depth stays bounded by the cluster size at every grade.
+    """
+    rng = _rng(seed)
+    out = FactSet()
+    stakeholders = max(4, (facts * 3) // 10)
+    documents = max(2, (facts * 2) // 10)
+    concerns = max(2, facts // 10)
+    relates = stakeholders - (
+        (stakeholders + _KG_CLUSTER - 1) // _KG_CLUSTER)
+    mentions = max(2, facts - stakeholders - documents - concerns
+                   - relates)
+    kinds = ("regulator", "community", "supplier", "investor")
+    issues = ("noise", "water", "heritage", "traffic", "emissions",
+              "employment", "governance")
+    oid = 0
+    for s in range(stakeholders):
+        oid += 1
+        out.add_object("stakeholder", Oid(oid), TupleValue(
+            ename=f"s{s}", kind=kinds[rng.randrange(len(kinds))]))
+        community = s - (s % _KG_CLUSTER)
+        if s > community:  # attach under an earlier member: acyclic tree
+            out.add_association("relates", TupleValue(
+                src=f"s{rng.randrange(community, s)}", dst=f"s{s}"))
+    for d in range(documents):
+        oid += 1
+        out.add_object("document", Oid(oid), TupleValue(
+            ename=f"d{d}", origin=f"src{d % 13}"))
+    for _ in range(mentions):
+        out.add_association("mentions", TupleValue(
+            doc=f"d{rng.randrange(documents)}",
+            subject=f"s{rng.randrange(stakeholders)}"))
+    for c in range(concerns):
+        out.add_association("concerns", TupleValue(
+            subject=f"s{rng.randrange(stakeholders)}",
+            issue=issues[c % len(issues)]))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# role-based access control (Liu et al. shape)
+# ---------------------------------------------------------------------------
+RBAC_SOURCE = """
+associations
+  user_role = (user: string, role: string).
+  role_parent = (sub: string, sup: string).
+  role_perm = (role: string, perm: string).
+  inherits = (sub: string, sup: string).
+  can = (user: string, perm: string).
+rules
+  inherits(sub R, sup S) <- role_parent(sub R, sup S).
+  inherits(sub R, sup T) <- role_parent(sub R, sup S),
+                            inherits(sub S, sup T).
+  can(user U, perm P) <- user_role(user U, role R),
+                         role_perm(role R, perm P).
+  can(user U, perm P) <- user_role(user U, role R),
+                         inherits(sub R, sup S),
+                         role_perm(role S, perm P).
+"""
+
+
+def rbac_facts(facts: int, seed: int = 0) -> FactSet:
+    """Users over a random role hierarchy with per-role permissions.
+
+    Role count scales with the budget (≈ 1/20th), the hierarchy is a
+    random recursive tree (depth ≈ log n), each role grants two
+    permissions, and the remaining budget is user→role assignments.
+    """
+    rng = _rng(seed)
+    out = FactSet()
+    roles = max(4, facts // 20)
+    for r in range(1, roles):
+        out.add_association("role_parent", TupleValue(
+            sub=f"r{r}", sup=f"r{rng.randrange(0, r)}"))
+    for r in range(roles):
+        out.add_association("role_perm", TupleValue(
+            role=f"r{r}", perm=f"p{(2 * r) % (roles + 7)}"))
+        out.add_association("role_perm", TupleValue(
+            role=f"r{r}", perm=f"p{(2 * r + 1) % (roles + 7)}"))
+    users = max(2, facts - (roles - 1) - 2 * roles)
+    for u in range(users):
+        out.add_association("user_role", TupleValue(
+            user=f"u{u}", role=f"r{rng.randrange(roles)}"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# graph reachability
+# ---------------------------------------------------------------------------
+REACHABILITY_SOURCE = """
+associations
+  edge = (src: string, dst: string).
+  reach = (src: string, dst: string).
+rules
+  reach(src X, dst Y) <- edge(src X, dst Y).
+  reach(src X, dst Z) <- edge(src X, dst Y), reach(src Y, dst Z).
+"""
+
+#: chain length bounds: long enough to exercise recursion depth, short
+#: enough that the closure stays ~16x the edge count at every grade
+_CHAIN_MIN, _CHAIN_MAX = 16, 48
+
+
+def reachability_facts(facts: int, seed: int = 0) -> FactSet:
+    """A union of disjoint chains with jittered lengths.
+
+    Per chain of length L the closure holds L(L+1)/2 pairs, so the
+    derived set grows linearly in the edge budget (≈ 16x) instead of
+    quadratically — the shape that lets the 10⁶ grade terminate.
+    """
+    rng = _rng(seed)
+    out = FactSet()
+    produced = 0
+    node = 0
+    while produced < facts:
+        length = min(rng.randrange(_CHAIN_MIN, _CHAIN_MAX + 1),
+                     facts - produced)
+        for _ in range(length):
+            out.add_association("edge", TupleValue(
+                src=f"n{node}", dst=f"n{node + 1}"))
+            node += 1
+        node += 1  # gap: next chain starts at a fresh node
+        produced += length
+    return out
+
+
+# ---------------------------------------------------------------------------
+# genealogy (the paper's own domain at scale)
+# ---------------------------------------------------------------------------
+GENEALOGY_BENCH_SOURCE = """
+associations
+  parent = (par: string, chil: string).
+  ancestor = (anc: string, des: string).
+rules
+  ancestor(anc X, des Y) <- parent(par X, chil Y).
+  ancestor(anc X, des Z) <- parent(par X, chil Y),
+                            ancestor(anc Y, des Z).
+"""
+
+
+def genealogy_bench_facts(facts: int, seed: int = 0) -> FactSet:
+    # ~90% of persons get a parent fact (generators.genealogy_facts)
+    return genealogy_facts(max(2, (facts * 10) // 9 + 1), seed=seed)
+
+
+FAMILIES: dict[str, WorkloadFamily] = {
+    f.name: f for f in (
+        WorkloadFamily(
+            name="kg",
+            description="stakeholder knowledge graph: isa entities,"
+                        " provenance edges, influence closure, invented"
+                        " risk cases (LOGOS shape)",
+            source=KNOWLEDGE_GRAPH_SOURCE,
+            generate=knowledge_graph_facts,
+            derived_preds=("influence", "riskcase", "sourced"),
+            propagate_isa=True,
+        ),
+        WorkloadFamily(
+            name="rbac",
+            description="role-based access control: role-hierarchy"
+                        " closure and inherited user permissions"
+                        " (Liu et al. shape)",
+            source=RBAC_SOURCE,
+            generate=rbac_facts,
+            derived_preds=("inherits", "can"),
+        ),
+        WorkloadFamily(
+            name="reach",
+            description="graph reachability over bounded chains"
+                        " (linear-closure recursive workload)",
+            source=REACHABILITY_SOURCE,
+            generate=reachability_facts,
+            derived_preds=("reach",),
+        ),
+        WorkloadFamily(
+            name="genealogy",
+            description="ancestor closure over the paper's genealogy"
+                        " forest",
+            source=GENEALOGY_BENCH_SOURCE,
+            generate=genealogy_bench_facts,
+            derived_preds=("ancestor",),
+        ),
+    )
+}
+
+
+def resolve_scale(token: str | int) -> int:
+    """A scale argument: a grade name (``1e4``) or a raw fact count."""
+    if isinstance(token, int):
+        return token
+    if token in SCALE_GRADES:
+        return SCALE_GRADES[token]
+    try:
+        value = int(float(token))
+    except ValueError:
+        raise ValueError(
+            f"unknown scale {token!r}: expected a fact count or one of "
+            + ", ".join(sorted(SCALE_GRADES))
+        ) from None
+    if value <= 0:
+        raise ValueError(f"scale must be positive, got {token!r}")
+    return value

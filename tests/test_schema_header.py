@@ -100,3 +100,41 @@ class TestSurfaces:
     def test_metrics_snapshot(self):
         _, obs = _instrumented_run()
         _assert_header(obs.snapshot(), "metrics-snapshot")
+
+    def test_bench_row(self):
+        from repro.workloads.bench import run_cell
+        from repro.workloads.families import FAMILIES
+
+        row, _ = run_cell(FAMILIES["reach"], 20, "compiled", reps=1)
+        _assert_header(row, "bench-row")
+        # the trace-context envelope: the cell's RunReport run id
+        assert isinstance(row["run_id"], str) and row["run_id"]
+
+    def test_pytest_bench_row(self):
+        import sys
+
+        sys.path.insert(0, ".")
+        try:
+            from benchmarks.telemetry import bench_row
+        finally:
+            sys.path.pop(0)
+
+        class _Stats:
+            min = mean = stddev = 0.001
+            rounds = 1
+
+        class _Meta:
+            stats = _Stats()
+            group = "e99-test"
+            name = "test_x[1]"
+            extra_info = {}
+
+        _assert_header(bench_row(_Meta(), "2026-01-01T00:00:00"),
+                       "bench-row")
+
+    def test_bench_trend_report(self, tmp_path):
+        from repro.observability.trend import TrendStore, trend_report
+
+        payload = trend_report(TrendStore.load(tmp_path))
+        _assert_header(payload, "bench-trend")
+        assert isinstance(payload["run_id"], str) and payload["run_id"]

@@ -1,0 +1,237 @@
+"""The perf-telemetry store: tolerant ingestion, dedupe, trend gate."""
+
+import json
+
+import pytest
+
+from repro.observability.events import SCHEMA_VERSION
+from repro.observability.trend import (
+    TrendStore,
+    append_bench_rows,
+    find_regressions,
+    read_bench_rows,
+    render_trend_text,
+    series_key,
+    trend_prometheus,
+    trend_report,
+)
+
+
+def _row(name="tc[100]", min_ms=10.0, session="s1", exp="e01",
+         config=None, **extra):
+    row = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "bench-row",
+        "ts": 1_000.0,
+        "session": session,
+        "exp": exp,
+        "group": f"bench-{exp}",
+        "name": name,
+        "min_ms": min_ms,
+        "mean_ms": min_ms * 1.1,
+        "stddev_ms": 0.2,
+        "rounds": 3,
+        "config": config,
+    }
+    row.update(extra)
+    return row
+
+
+def _write(path, rows):
+    with open(path, "w", encoding="utf-8") as f:
+        for row in rows:
+            f.write((row if isinstance(row, str) else
+                     json.dumps(row)) + "\n")
+
+
+class TestTolerantIngestion:
+    def test_malformed_lines_warn_instead_of_raising(self, tmp_path):
+        path = tmp_path / "BENCH_e01.json"
+        _write(path, [_row(), "{not json", '["a", "list"]', _row("x")])
+        rows, warnings = read_bench_rows(path)
+        assert [r["name"] for r in rows] == ["tc[100]", "x"]
+        assert len(warnings) == 2
+        assert "unparseable" in warnings[0]
+        assert "BENCH_e01.json:2" in warnings[0]
+
+    def test_future_schema_version_skipped(self, tmp_path):
+        path = tmp_path / "BENCH_e01.json"
+        _write(path, [_row(),
+                      _row("y", schema_version=SCHEMA_VERSION + 1)])
+        rows, warnings = read_bench_rows(path)
+        assert [r["name"] for r in rows] == ["tc[100]"]
+        assert "schema_version" in warnings[0]
+
+    def test_wrong_kind_and_missing_min_skipped(self, tmp_path):
+        path = tmp_path / "BENCH_e01.json"
+        bad = _row("z")
+        del bad["min_ms"]
+        _write(path, [_row(), _row("w", kind="run-report"), bad])
+        rows, warnings = read_bench_rows(path)
+        assert [r["name"] for r in rows] == ["tc[100]"]
+        assert len(warnings) == 2
+
+    def test_legacy_headerless_rows_ingest(self, tmp_path):
+        # pre-PR-9 rows carry no schema_version/kind: still history
+        path = tmp_path / "BENCH_e01.json"
+        legacy = _row()
+        del legacy["schema_version"], legacy["kind"]
+        _write(path, [legacy])
+        rows, warnings = read_bench_rows(path)
+        assert len(rows) == 1 and not warnings
+
+    def test_missing_file_is_empty(self, tmp_path):
+        rows, warnings = read_bench_rows(tmp_path / "BENCH_none.json")
+        assert rows == [] and warnings == []
+
+    def test_store_surfaces_warnings(self, tmp_path):
+        _write(tmp_path / "BENCH_e01.json", [_row(), "oops"])
+        store = TrendStore.load(tmp_path)
+        assert len(store.series) == 1
+        assert len(store.warnings) == 1
+
+
+class TestDedupingAppend:
+    def test_same_session_rerun_supersedes(self, tmp_path):
+        # re-appending under one session stamp is idempotent: the
+        # earlier same-session rows are replaced, not stacked
+        path = tmp_path / "BENCH_e01.json"
+        append_bench_rows(path, [_row(session="s1", min_ms=10.0),
+                                 _row("b", session="s1")])
+        append_bench_rows(path, [_row(session="s1", min_ms=11.0)])
+        rows, _ = read_bench_rows(path)
+        assert len(rows) == 2
+        assert [r["min_ms"] for r in rows if r["name"] == "tc[100]"] \
+            == [11.0]
+
+    def test_other_sessions_accumulate_as_history(self, tmp_path):
+        # cross-session measurements are the time series the trend
+        # store analyses — they must stack, never be superseded
+        path = tmp_path / "BENCH_e01.json"
+        append_bench_rows(path, [_row(session="s1", min_ms=9.0)])
+        append_bench_rows(path, [_row(session="s2", min_ms=10.0)])
+        append_bench_rows(path, [_row(session="s3", min_ms=11.0)])
+        rows, _ = read_bench_rows(path)
+        assert [r["session"] for r in rows] == ["s1", "s2", "s3"]
+
+    def test_disjoint_names_stack(self, tmp_path):
+        path = tmp_path / "BENCH_e01.json"
+        append_bench_rows(path, [_row(session="s1")])
+        append_bench_rows(path, [_row("other", session="s1")])
+        rows, _ = read_bench_rows(path)
+        assert len(rows) == 2
+
+    def test_unparseable_lines_survive_rewrite(self, tmp_path):
+        path = tmp_path / "BENCH_e01.json"
+        _write(path, ["{garbage", _row(session="s1")])
+        append_bench_rows(path, [_row(session="s2")])
+        text = path.read_text()
+        assert "{garbage" in text
+        rows, warnings = read_bench_rows(path)
+        assert len(rows) == 2 and len(warnings) == 1
+
+    def test_duplicate_keys_within_session_collapse(self, tmp_path):
+        path = tmp_path / "BENCH_e01.json"
+        append_bench_rows(path, [_row(min_ms=5.0), _row(min_ms=6.0)])
+        rows, _ = read_bench_rows(path)
+        assert len(rows) == 1 and rows[0]["min_ms"] == 6.0
+
+    def test_config_distinguishes_rows(self, tmp_path):
+        path = tmp_path / "BENCH_e01.json"
+        append_bench_rows(path, [
+            _row(config={"kernel": "planned"}),
+            _row(config={"kernel": "compiled"}),
+        ])
+        rows, _ = read_bench_rows(path)
+        assert len(rows) == 2
+
+
+class TestTrendGate:
+    def _store(self, mins, name="tc[100]"):
+        store = TrendStore()
+        for i, ms in enumerate(mins):
+            store.add_row(_row(name, min_ms=ms, session=f"s{i}",
+                               ts=float(i)))
+        return store
+
+    def test_steady_series_passes(self):
+        assert find_regressions(
+            self._store([10.0, 10.5, 9.8, 10.2])) == []
+
+    def test_slowdown_flags(self):
+        flags = find_regressions(self._store([10.0, 10.0, 10.0, 40.0]))
+        assert len(flags) == 1
+        assert flags[0].latest_ms == 40.0
+        assert flags[0].baseline_ms == 10.0
+        assert flags[0].ratio == pytest.approx(4.0)
+
+    def test_min_time_floor_absorbs_tiny_series(self):
+        # 4x ratio but only 0.3 ms absolute: microbenchmark jitter
+        assert find_regressions(
+            self._store([0.1, 0.1, 0.1, 0.4])) == []
+
+    def test_short_series_never_flags(self):
+        assert find_regressions(self._store([10.0, 40.0])) == []
+
+    def test_window_bounds_the_baseline(self):
+        # ancient fast history outside the window must not drag the
+        # median down: recent points are all ~30 ms, latest 32 is fine
+        mins = [5.0] * 10 + [30.0, 31.0, 29.0, 30.0, 31.0, 32.0]
+        assert find_regressions(self._store(mins), window=5) == []
+
+    def test_speedup_never_flags(self):
+        assert find_regressions(
+            self._store([40.0, 40.0, 40.0, 10.0])) == []
+
+    def test_distinct_configs_are_distinct_series(self):
+        store = TrendStore()
+        for i in range(3):
+            store.add_row(_row(min_ms=10.0, session=f"s{i}",
+                               config={"kernel": "planned"}))
+        # a slow point under a *different* config: fresh series, n=1
+        store.add_row(_row(min_ms=100.0, session="s9",
+                           config={"kernel": "compiled"}))
+        assert find_regressions(store) == []
+        assert len(store.series) == 2
+
+
+class TestReportRendering:
+    def _store(self):
+        store = TrendStore()
+        for i, ms in enumerate([10.0, 10.0, 10.0, 40.0]):
+            store.add_row(_row(min_ms=ms, session=f"s{i}",
+                               config={"kernel": "compiled",
+                                       "semantics": "inflationary"}))
+        return store
+
+    def test_report_payload(self):
+        payload = trend_report(self._store())
+        assert payload["kind"] == "bench-trend"
+        assert len(payload["regressions"]) == 1
+        assert payload["series"][0]["points"] == 4
+        assert payload["thresholds"]["window"] == 5
+
+    def test_text_rendering(self):
+        text = render_trend_text(trend_report(self._store()))
+        assert "TREND REGRESSIONS" in text
+        assert "4.00x" in text
+        clean = render_trend_text(trend_report(
+            TrendStore()))
+        assert "no trend regressions" in clean
+
+    def test_warnings_rendered(self, tmp_path):
+        _write(tmp_path / "BENCH_e01.json", [_row(), "bad line"])
+        text = render_trend_text(trend_report(TrendStore.load(tmp_path)))
+        assert "warning:" in text
+
+    def test_prometheus_exposition(self):
+        text = trend_prometheus(self._store())
+        assert 'repro_bench_latest_ms{exp="e01"' in text
+        assert "repro_bench_min_time_seconds_bucket" in text
+        assert 'kernel="compiled"' in text
+
+    def test_series_key_includes_config(self):
+        a = _row(config={"kernel": "planned"})
+        b = _row(config={"kernel": "compiled"})
+        assert series_key(a) != series_key(b)
+        assert series_key(a) == series_key(dict(a))

@@ -1,0 +1,128 @@
+"""The bench workload families: determinism, shape, kernel agreement.
+
+The matrix contract (docs/PERFORMANCE.md):
+
+* **bit-determinism** — the same ``(scale, seed)`` produces the same
+  canonical FactSet fingerprint on every generation, for every family
+  at every scale grade (large grades are capped here; set
+  ``REPRO_FULL_SCALES=1`` to sweep the committed grades in full);
+* **budget fidelity** — a generator lands within a tolerance band of
+  its fact budget, so scale labels on BENCH rows mean what they say;
+* **kernel agreement** — every family's program computes the same
+  instance under all four matrix kernels, modulo a renaming of
+  invented oids (invention *order* legitimately differs per kernel);
+* a Hypothesis fuzz pass runs random small (family, scale, seed)
+  cells against the reference kernel and re-checks determinism.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Engine, Semantics
+from repro.workloads.bench import KERNELS, kernel_config
+from repro.workloads.families import (
+    FAMILIES,
+    SCALE_GRADES,
+    factset_fingerprint,
+    resolve_scale,
+)
+
+#: grades swept by default; the full committed grades only with
+#: REPRO_FULL_SCALES=1 (10⁵/10⁶ generation is minutes, not seconds)
+_CAP = 10_000 if not os.environ.get("REPRO_FULL_SCALES") else None
+GRADES = [
+    (name, scale) for name, scale in SCALE_GRADES.items()
+    if _CAP is None or scale <= _CAP
+]
+
+
+def _agree(a, b) -> bool:
+    return a == b or a.to_instance().isomorphic_to(b.to_instance())
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("grade,scale", GRADES)
+    def test_same_seed_same_fingerprint(self, family, grade, scale):
+        fam = FAMILIES[family]
+        first = fam.generate(scale, 7)
+        second = fam.generate(scale, 7)
+        assert factset_fingerprint(first) == factset_fingerprint(second)
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_different_seeds_differ(self, family):
+        fam = FAMILIES[family]
+        assert factset_fingerprint(fam.generate(500, 1)) != \
+            factset_fingerprint(fam.generate(500, 2))
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("grade,scale", GRADES)
+    def test_budget_fidelity(self, family, grade, scale):
+        count = FAMILIES[family].generate(scale, 0).count()
+        assert 0.8 * scale <= count <= 1.2 * scale
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_builds_and_derives(self, family):
+        fam = FAMILIES[family]
+        schema, program, edb = fam.build(150, seed=0)
+        out = Engine(schema, program).run(edb, Semantics.INFLATIONARY)
+        assert out.count() > edb.count()
+        for pred in fam.derived_preds:
+            assert out.count(pred) > 0, pred
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_kernel_agreement(self, family):
+        schema, program, edb = FAMILIES[family].build(150, seed=5)
+        outcomes = {
+            kernel: Engine(schema, program, kernel_config(kernel)).run(
+                edb, Semantics.INFLATIONARY)
+            for kernel in KERNELS
+        }
+        reference = outcomes["reference"]
+        for kernel, instance in outcomes.items():
+            assert _agree(reference, instance), kernel
+
+    def test_kg_exercises_invention_and_isa(self):
+        fam = FAMILIES["kg"]
+        schema, program, edb = fam.build(300, seed=0)
+        out = Engine(schema, program).run(edb, Semantics.INFLATIONARY)
+        assert out.count("riskcase") > 0          # invented objects
+        assert schema.is_class("riskcase")
+        # isa propagation: every stakeholder is also an entity
+        assert out.oids_of("stakeholder") <= out.oids_of("entity")
+
+
+class TestScales:
+    def test_grade_names_resolve(self):
+        assert resolve_scale("1e3") == 1_000
+        assert resolve_scale("1e6") == 1_000_000
+        assert resolve_scale(250) == 250
+        assert resolve_scale("250") == 250
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+        with pytest.raises(ValueError):
+            resolve_scale("-5")
+
+
+class TestFuzz:
+    @given(
+        family=st.sampled_from(sorted(FAMILIES)),
+        scale=st.integers(min_value=20, max_value=90),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generated_programs_run_on_reference_kernel(
+            self, family, scale, seed):
+        fam = FAMILIES[family]
+        schema, program, edb = fam.build(scale, seed=seed)
+        assert factset_fingerprint(edb) == \
+            factset_fingerprint(fam.generate(scale, seed))
+        out = Engine(schema, program, kernel_config("reference")).run(
+            edb, Semantics.INFLATIONARY)
+        assert out.count() >= edb.count()
