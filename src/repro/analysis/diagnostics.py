@@ -96,6 +96,9 @@ CODES: dict[str, str] = {
     "LG804": "derived fact exceeds the size budget",
     "LG805": "evaluation cancelled",
     "LG806": "iteration budget exceeded",
+    # server admission & lifecycle (docs/SERVE.md)
+    "LG807": "server overloaded, request shed",
+    "LG808": "server draining, not accepting work",
     # storage
     "LG901": "persisted database state is corrupt or unreadable",
     # interference / confluence analysis (docs/ANALYSIS.md)

@@ -709,6 +709,55 @@ def cmd_bench_report(args) -> int:
     return 1 if regressions else 0
 
 
+def cmd_serve(args) -> int:
+    """Run the fault-tolerant multi-tenant HTTP server (docs/SERVE.md)."""
+    from repro.server import ReproServer, ServerConfig, TenantLimits
+
+    tenant_limits = {}
+    for spec in args.tenant_limit or ():
+        # NAME:timeout:max_facts:max_inventions — empty field = default
+        fields = (spec.split(":") + ["", "", ""])[:4]
+        name = fields[0]
+        if not name:
+            print(f"error: bad --tenant-limit {spec!r}", file=sys.stderr)
+            return 2
+        tenant_limits[name] = TenantLimits(
+            timeout=float(fields[1]) if fields[1] else None,
+            max_facts=int(fields[2]) if fields[2] else None,
+            max_inventions=int(fields[3]) if fields[3] else None,
+        )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        default_timeout=args.timeout,
+        default_max_facts=args.max_facts,
+        default_max_inventions=args.max_oids,
+        tenant_limits=tenant_limits,
+        max_concurrent=args.max_concurrent,
+        queue_depth=args.queue_depth,
+        queue_timeout=args.queue_timeout,
+        retry_after=args.retry_after,
+        max_body_bytes=args.max_body_bytes,
+        snapshot_interval=args.snapshot_interval,
+        drain_deadline=args.drain_deadline,
+    )
+    server = ReproServer(config)
+    host, port = server.start()
+    server.install_signal_handlers()
+    if args.ready_file:
+        # smoke tests wait on this to learn the bound port (port 0)
+        with open(args.ready_file, "w", encoding="utf-8") as f:
+            f.write(f"{host} {port}\n")
+    if not args.quiet:
+        print(f"repro serve: listening on http://{host}:{port}"
+              f" (data dir {config.data_dir})", file=sys.stderr)
+    server.serve_forever()
+    if not args.quiet:
+        print("repro serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1028,6 +1077,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="series shorter than this never flag (default: 3)",
     )
     p_brep.set_defaults(fn=cmd_bench_report)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve named persistent databases over HTTP with admission"
+             " control, request budgets and WAL crash recovery"
+             " (docs/SERVE.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="TCP port (0 picks a free one; default: 8765)")
+    p_serve.add_argument("--data-dir", default=".",
+                         help="directory of <name>.state.json databases"
+                              " (default: .)")
+    p_serve.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="default per-request wall-clock budget (default: 10)",
+    )
+    p_serve.add_argument(
+        "--max-facts", type=int, default=500_000, metavar="N",
+        help="default per-request derived-fact budget (default: 500000)",
+    )
+    p_serve.add_argument(
+        "--max-oids", type=int, default=50_000, metavar="N",
+        help="default per-request oid-invention budget (default: 50000)",
+    )
+    p_serve.add_argument(
+        "--tenant-limit", action="append", metavar="NAME:T:F:O",
+        help="per-tenant budget caps as NAME:timeout:max_facts:max_oids"
+             " (empty field = server default; repeatable; matched"
+             " against the X-Repro-Tenant header)",
+    )
+    p_serve.add_argument("--max-concurrent", type=int, default=8,
+                         help="requests executing at once (default: 8)")
+    p_serve.add_argument("--queue-depth", type=int, default=16,
+                         help="admission queue bound; beyond it requests"
+                              " are shed with 429 (default: 16)")
+    p_serve.add_argument("--queue-timeout", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="max wait for an execution slot before"
+                              " shedding (default: 2)")
+    p_serve.add_argument("--retry-after", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="Retry-After hint on 429/503 (default: 1)")
+    p_serve.add_argument("--max-body-bytes", type=int, default=1_000_000,
+                         help="request body size limit (default: 1000000)")
+    p_serve.add_argument(
+        "--snapshot-interval", type=int, default=16, metavar="N",
+        help="committed writes between snapshot rewrites; the WAL tail"
+             " past the last snapshot replays on startup (default: 16)",
+    )
+    p_serve.add_argument(
+        "--drain-deadline", type=float, default=10.0, metavar="SECONDS",
+        help="how long SIGTERM waits for in-flight requests (default: 10)",
+    )
+    p_serve.add_argument("--ready-file", metavar="FILE",
+                         help="write 'host port' here once listening")
+    p_serve.add_argument("--quiet", action="store_true")
+    p_serve.set_defaults(fn=cmd_serve)
     return parser
 
 

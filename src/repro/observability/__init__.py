@@ -62,6 +62,7 @@ from repro.observability.events import (
     RuleFired,
     RunFinished,
     RunStarted,
+    ServerRequest,
     StratumFinished,
     StratumStarted,
     StreamHeader,
@@ -137,6 +138,7 @@ __all__ = [
     "RunFinished",
     "RunStarted",
     "SCHEMA_VERSION",
+    "ServerRequest",
     "StratumFinished",
     "StratumStarted",
     "StreamHeader",

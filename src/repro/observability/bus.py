@@ -197,6 +197,10 @@ class EventBus(EventSink):
         self._sub_snapshot: tuple = ()
         self._sub_serial = 0
         self.published = 0
+        #: attached sinks evicted after an emit/flush failure (a tail
+        #: client disconnecting mid-write must never unwind into the
+        #: publisher's run — docs/OBSERVABILITY.md)
+        self.dropped_sinks = 0
         self.closed = False
 
     def _resnapshot(self) -> None:
@@ -220,7 +224,14 @@ class EventBus(EventSink):
             sub._offer(event)
         for sink, filter in sinks:
             if filter is None or filter.accepts(event):
-                sink.emit(event)
+                try:
+                    sink.emit(event)
+                except (OSError, ValueError):
+                    # BrokenPipeError (a disconnected tail client) or a
+                    # closed stream: the sink is dead — evict it so one
+                    # bad consumer cannot poison the producer's flush
+                    # path, and count the eviction (visible telemetry)
+                    self._evict_sink(sink)
 
     # ------------------------------------------------------------------
     # consumer side
@@ -254,6 +265,19 @@ class EventBus(EventSink):
             sub._offer(event)
         return sub
 
+    def _evict_sink(self, sink: EventSink) -> None:
+        with self._lock:
+            remaining = [(s, f) for s, f in self._sinks if s is not sink]
+            if len(remaining) == len(self._sinks):
+                return  # already evicted by a concurrent publisher
+            self._sinks = remaining
+            self.dropped_sinks += 1
+            self._resnapshot()
+        try:
+            sink.close()
+        except Exception:
+            pass  # a dead sink's close must not raise either
+
     def _forget(self, sub: BusSubscription) -> None:
         with self._lock:
             if sub in self._subs:
@@ -277,6 +301,7 @@ class EventBus(EventSink):
         return {
             "published": published,
             "sinks": n_sinks,
+            "dropped_sinks": self.dropped_sinks,
             "subscribers": [
                 {
                     "name": s.name,
@@ -299,6 +324,8 @@ class EventBus(EventSink):
         metrics.set_gauge("bus_published_events", value=stats["published"])
         metrics.set_gauge("bus_subscribers",
                           value=len(stats["subscribers"]))
+        metrics.set_gauge("bus_dropped_sinks",
+                          value=stats["dropped_sinks"])
         for entry in stats["subscribers"]:
             label = (("subscriber", entry["name"]),)
             metrics.set_gauge("bus_delivered_events", label,
@@ -314,7 +341,10 @@ class EventBus(EventSink):
         for sink, _ in sinks:
             flush = getattr(sink, "flush", None)
             if flush is not None:
-                flush()
+                try:
+                    flush()
+                except (OSError, ValueError):
+                    self._evict_sink(sink)
         for sub in subs:
             sub._wake()
 
@@ -330,6 +360,9 @@ class EventBus(EventSink):
             sinks = tuple(self._sinks)
             subs = tuple(self._subs)
         for sink, _ in sinks:
-            sink.close()
+            try:
+                sink.close()
+            except (OSError, ValueError):
+                self.dropped_sinks += 1
         for sub in subs:
             sub._wake()

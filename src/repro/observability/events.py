@@ -302,6 +302,24 @@ class PlanChosen(EngineEvent):
 
 
 @dataclass(frozen=True)
+class ServerRequest(EngineEvent):
+    """One HTTP request served by ``repro serve`` (``docs/SERVE.md``).
+
+    ``run_id`` in the envelope is the per-request trace id the server
+    mints at admission, so a request's bus events correlate with the
+    response's ``X-Repro-Run-Id`` header."""
+
+    kind: ClassVar[str] = "server-request"
+    method: str = ""
+    path: str = ""
+    op: str = ""
+    db: str | None = None
+    tenant: str | None = None
+    status: int = 0
+    elapsed: float = 0.0
+
+
+@dataclass(frozen=True)
 class ModuleRollback(EngineEvent):
     """A transactional module application failed and was rolled back to
     the pre-apply savepoint (``docs/ROBUSTNESS.md``)."""
@@ -323,7 +341,7 @@ EVENT_TYPES: dict[str, type[EngineEvent]] = {
         IterationStarted, IterationFinished,
         RuleFired, FactDeleted, OidInvented,
         ConstraintViolated, ModuleRollback, PlanChosen,
-        Heartbeat,
+        Heartbeat, ServerRequest,
     )
 }
 

@@ -1,0 +1,47 @@
+"""``repro serve``: a fault-tolerant multi-tenant database server.
+
+The move from "CLI over files" to a long-lived system serving traffic
+(ROADMAP item 1): named persistent databases behind an HTTP surface
+exposing run/check/explain/apply/plan, wired end-to-end for fault
+tolerance —
+
+* **per-request isolation** — every write runs inside the
+  Savepoint-scoped transaction of :func:`repro.modules.apply.apply_module`
+  with fingerprint-verified rollback; concurrent readers evaluate
+  against cheap :meth:`~repro.storage.factset.FactSet.copy` snapshots;
+  a per-database reader/writer lock serializes writers without ever
+  blocking reads (:mod:`repro.server.registry`);
+* **budgets and admission control** — every request carries a
+  :class:`~repro.engine.guards.ResourceGuard` clamped per tenant, and
+  a bounded admission queue sheds load with 429 + ``Retry-After``
+  (:mod:`repro.server.admission`);
+* **durability** — writes append to a per-database checksummed JSONL
+  write-ahead log *before* being acknowledged, snapshots reuse the
+  crash-safe format-v2 persistence, and startup replays the WAL tail,
+  so a ``kill -9`` mid-apply loses nothing committed
+  (:mod:`repro.server.wal`);
+* **graceful lifecycle** — SIGTERM drains in-flight requests under a
+  deadline, rejects new work with 503, snapshots and fsyncs every
+  database, and flushes telemetry (:mod:`repro.server.http`).
+
+See ``docs/SERVE.md`` for the endpoint reference and recovery
+semantics, and ``docs/ROBUSTNESS.md`` for the exit-code → HTTP status
+mapping.
+"""
+
+from repro.server.admission import AdmissionController, Overloaded
+from repro.server.config import ServerConfig, TenantLimits
+from repro.server.http import ReproServer
+from repro.server.registry import DatabaseRegistry, ManagedDatabase
+from repro.server.wal import WriteAheadLog
+
+__all__ = [
+    "AdmissionController",
+    "DatabaseRegistry",
+    "ManagedDatabase",
+    "Overloaded",
+    "ReproServer",
+    "ServerConfig",
+    "TenantLimits",
+    "WriteAheadLog",
+]

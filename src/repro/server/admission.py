@@ -1,0 +1,110 @@
+"""Admission control: bounded concurrency with load shedding.
+
+The server executes at most ``max_concurrent`` requests at once; up to
+``queue_depth`` more may wait (bounded, so memory stays bounded too).
+A request that cannot even join the queue — or that waits longer than
+``queue_timeout`` without a slot freeing up — is **shed**: the HTTP
+layer answers ``429 Too Many Requests`` with a ``Retry-After`` header
+and an LG807 JSON body, and the client's budget is never touched.
+
+Shedding at the door instead of accepting everything is what keeps the
+in-flight requests inside their latency budgets under overload
+(``docs/SERVE.md``): the work the server *does* admit, it finishes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import LogresError
+
+
+class Overloaded(LogresError):
+    """The admission queue is full or the wait timed out (→ 429)."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """Counting semaphore with a bounded, timing-out wait queue."""
+
+    def __init__(self, max_concurrent: int = 8, queue_depth: int = 16,
+                 queue_timeout: float = 2.0, retry_after: float = 1.0):
+        self.max_concurrent = max(1, max_concurrent)
+        self.queue_depth = max(0, queue_depth)
+        self.queue_timeout = queue_timeout
+        self.retry_after = retry_after
+        self._cond = threading.Condition(threading.Lock())
+        self._active = 0
+        self._waiting = 0
+        # accounting (exposed on /metrics as server_admission_*)
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_timeout = 0
+
+    # ------------------------------------------------------------------
+    def admit(self) -> "_Admission":
+        """``with controller.admit():`` — blocks for a slot, raises
+        :class:`Overloaded` when the request should be shed."""
+        return _Admission(self)
+
+    def _acquire(self) -> None:
+        with self._cond:
+            if self._active < self.max_concurrent:
+                self._active += 1
+                self.admitted += 1
+                return
+            if self._waiting >= self.queue_depth:
+                self.shed_queue_full += 1
+                raise Overloaded(
+                    f"admission queue full"
+                    f" ({self._active} active, {self._waiting} queued)",
+                    retry_after=self.retry_after,
+                )
+            self._waiting += 1
+            deadline = time.monotonic() + self.queue_timeout
+            try:
+                while self._active >= self.max_concurrent:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.shed_timeout += 1
+                        raise Overloaded(
+                            f"no execution slot freed within"
+                            f" {self.queue_timeout:g}s",
+                            retry_after=self.retry_after,
+                        )
+                    self._cond.wait(timeout=remaining)
+                self._active += 1
+                self.admitted += 1
+            finally:
+                self._waiting -= 1
+
+    def _release(self) -> None:
+        with self._cond:
+            self._active -= 1
+            self._cond.notify()
+
+    def stats(self) -> dict[str, int]:
+        with self._cond:
+            return {
+                "active": self._active,
+                "waiting": self._waiting,
+                "admitted": self.admitted,
+                "shed_queue_full": self.shed_queue_full,
+                "shed_timeout": self.shed_timeout,
+            }
+
+
+class _Admission:
+    def __init__(self, controller: AdmissionController):
+        self._controller = controller
+
+    def __enter__(self):
+        self._controller._acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self._controller._release()

@@ -1,0 +1,98 @@
+"""Server configuration: budgets, admission, tenancy, durability knobs.
+
+Every request served by :mod:`repro.server.http` runs under a
+:class:`~repro.engine.guards.ResourceGuard` — there is no unguarded
+path, which is what lets the server promise that no request ever holds
+a connection forever (``docs/SERVE.md``).  The guard a request gets is
+resolved here: server-wide defaults, clamped by the per-tenant caps,
+further lowered (never raised) by what the request body asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.guards import ResourceGuard
+
+
+@dataclass(frozen=True)
+class TenantLimits:
+    """Per-tenant budget caps: a tenant's requests may ask for *less*
+    than these, never more.  ``None`` falls back to the server default."""
+
+    timeout: float | None = None
+    max_facts: int | None = None
+    max_inventions: int | None = None
+
+
+def _clamp(requested, cap):
+    """The effective budget: the requested value clamped to ``cap``.
+
+    ``None`` requested means "give me the cap"; a cap of ``None`` means
+    the dimension is unbounded (only possible when the server config
+    explicitly disables the default)."""
+    if cap is None:
+        return requested
+    if requested is None:
+        return cap
+    return min(requested, cap)
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``repro serve`` can be told (``docs/SERVE.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    data_dir: str = "."
+
+    # -- request budgets (ResourceGuard defaults; docs/ROBUSTNESS.md) --
+    default_timeout: float | None = 10.0
+    default_max_facts: int | None = 500_000
+    default_max_inventions: int | None = 50_000
+    #: per-tenant caps keyed by the ``X-Repro-Tenant`` header value
+    tenant_limits: dict[str, TenantLimits] = field(default_factory=dict)
+
+    # -- admission control ---------------------------------------------
+    max_concurrent: int = 8
+    queue_depth: int = 16
+    queue_timeout: float = 2.0
+    retry_after: float = 1.0
+    max_body_bytes: int = 1_000_000
+
+    # -- durability -----------------------------------------------------
+    #: committed writes between snapshot rewrites; the WAL tail past the
+    #: last snapshot is replayed on startup
+    snapshot_interval: int = 16
+
+    # -- lifecycle ------------------------------------------------------
+    drain_deadline: float = 10.0
+
+    def limits_for(self, tenant: str | None) -> TenantLimits:
+        if tenant is not None and tenant in self.tenant_limits:
+            return self.tenant_limits[tenant]
+        return TenantLimits(
+            timeout=self.default_timeout,
+            max_facts=self.default_max_facts,
+            max_inventions=self.default_max_inventions,
+        )
+
+    def guard_for(self, tenant: str | None,
+                  requested: dict | None = None) -> ResourceGuard:
+        """The guard of one request: defaults, tenant-clamped, lowered
+        by the request's own ``budgets`` object."""
+        caps = self.limits_for(tenant)
+        requested = requested or {}
+        return ResourceGuard(
+            timeout=_clamp(requested.get("timeout"),
+                           caps.timeout if caps.timeout is not None
+                           else self.default_timeout),
+            max_facts=_clamp(requested.get("max_facts"),
+                             caps.max_facts if caps.max_facts is not None
+                             else self.default_max_facts),
+            max_inventions=_clamp(
+                requested.get("max_inventions"),
+                caps.max_inventions if caps.max_inventions is not None
+                else self.default_max_inventions,
+            ),
+        )

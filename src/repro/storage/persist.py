@@ -502,8 +502,28 @@ def dump_state(path, schema: Schema, edb: FactSet, program: Program) -> None:
 
 
 def load_state(path) -> tuple[Schema, FactSet, Program]:
-    """Read a database state from ``path``."""
+    """Read a database state from ``path``.
+
+    Every failure mode of the read — unreadable file, zero-length or
+    truncated payload, corrupt body — surfaces as
+    :class:`StorageError` naming the offending path, so callers (the
+    CLI's exit-2/LG901 channel, the server's 422) diagnose uniformly.
+    """
     if FAULTS.enabled:
         FAULTS.fire("storage.read")
-    with open(path, encoding="utf-8") as f:
-        return loads_state(f.read())
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as exc:
+        raise StorageError(
+            f"cannot read database state {path}: {exc}"
+        ) from exc
+    if not text.strip():
+        raise StorageError(
+            f"empty database state {path}: zero-length file"
+            " (crashed before any write, or truncated externally)"
+        )
+    try:
+        return loads_state(text)
+    except StorageError as exc:
+        raise StorageError(f"{path}: {exc}") from exc

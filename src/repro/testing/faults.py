@@ -18,6 +18,15 @@ point                     fires inside
                           mode checks, before the mode dispatch
 ``module.finalize``       :func:`repro.modules.apply._finalize`, after the
                           new state is built, before the consistency check
+``server.wal.append``     :meth:`repro.server.wal.WriteAheadLog.append`,
+                          before the record reaches the log (a crash here
+                          loses only the unacknowledged request)
+``server.snapshot``       :meth:`repro.server.registry.ManagedDatabase.
+                          _write_snapshot`, before the atomic rewrite (the
+                          WAL already holds every committed write)
+``server.response``       the HTTP handler, before the response body is
+                          written (``latency`` = slow client, ``io-error``
+                          = mid-request client disconnect)
 ========================  ==================================================
 
 Each point can be armed with an *action*:

@@ -1,0 +1,145 @@
+"""The per-database write-ahead log: durability unit tests.
+
+Contract (docs/SERVE.md): every acknowledged write is in the WAL before
+the ack; a torn *final* line (crash mid-append, never acknowledged) is
+tolerated on replay; corruption anywhere earlier — an acknowledged
+record — is a hard ``StorageError`` naming the log and record.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.server.wal import WAL_VERSION, WriteAheadLog, make_record
+from repro.testing import FAULTS
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+def _record(seq, **fields):
+    fields.setdefault("module", "rules\n  p(n \"x\").")
+    fields.setdefault("mode", "RIDV")
+    return make_record(seq, "apply", **fields)
+
+
+class TestAppendAndReplay:
+    def test_records_round_trip_in_order(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "db.wal.jsonl")
+        for seq in (1, 2, 3):
+            wal.append(_record(seq, payload=seq * 10))
+        wal.close()
+        replayed = list(WriteAheadLog(tmp_path / "db.wal.jsonl").records())
+        assert [r["seq"] for r in replayed] == [1, 2, 3]
+        assert [r["payload"] for r in replayed] == [10, 20, 30]
+        assert all(r["version"] == WAL_VERSION for r in replayed)
+
+    def test_after_seq_skips_snapshotted_prefix(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "db.wal.jsonl")
+        for seq in range(1, 6):
+            wal.append(_record(seq))
+        assert [r["seq"] for r in wal.records(after_seq=3)] == [4, 5]
+        wal.close()
+
+    def test_last_seq(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "db.wal.jsonl")
+        assert wal.last_seq() == 0
+        wal.append(_record(1))
+        wal.append(_record(2))
+        assert wal.last_seq() == 2
+        wal.close()
+
+    def test_missing_file_is_empty_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "never-written.wal.jsonl")
+        assert list(wal.records()) == []
+        assert wal.last_seq() == 0
+
+
+class TestTornAndCorrupt:
+    def _two_then_garbage(self, path, garbage):
+        wal = WriteAheadLog(path)
+        wal.append(_record(1))
+        wal.append(_record(2))
+        wal.close()
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(garbage)
+        return path
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = self._two_then_garbage(
+            tmp_path / "db.wal.jsonl", '{"version": 1, "seq": 3, "ki'
+        )
+        replayed = list(WriteAheadLog(path).records())
+        assert [r["seq"] for r in replayed] == [1, 2]
+
+    def test_torn_final_checksum_is_tolerated(self, tmp_path):
+        # a complete JSON line whose checksum does not match: a crash
+        # between write and fsync can leave this as the final line
+        bad = dict(_record(3))
+        bad["checksum"] = "0" * 64
+        path = self._two_then_garbage(
+            tmp_path / "db.wal.jsonl", json.dumps(bad) + "\n"
+        )
+        assert [r["seq"] for r in WriteAheadLog(path).records()] == [1, 2]
+
+    def test_corruption_before_the_tail_is_fatal(self, tmp_path):
+        path = tmp_path / "db.wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append(_record(1))
+        wal.append(_record(2))
+        wal.close()
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-10] + '"tampered"'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StorageError, match="corrupt write-ahead log"):
+            list(WriteAheadLog(path).records())
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "db.wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append(_record(1, module="rules\n  p(n \"real\")."))
+        wal.append(_record(2))
+        wal.close()
+        text = path.read_text().replace('\\"real\\"', '\\"fake\\"')
+        path.write_text(text)
+        with pytest.raises(StorageError, match="record 1"):
+            list(WriteAheadLog(path).records())
+
+
+class TestTruncate:
+    def test_truncate_drops_snapshotted_prefix(self, tmp_path):
+        path = tmp_path / "db.wal.jsonl"
+        wal = WriteAheadLog(path)
+        for seq in range(1, 8):
+            wal.append(_record(seq))
+        wal.truncate(up_to_seq=5)
+        assert [r["seq"] for r in wal.records()] == [6, 7]
+        wal.close()
+        # and it survives reopen
+        assert [r["seq"] for r in WriteAheadLog(path).records()] == [6, 7]
+
+    def test_truncate_everything_leaves_empty_log(self, tmp_path):
+        path = tmp_path / "db.wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append(_record(1))
+        wal.truncate(up_to_seq=1)
+        assert list(wal.records()) == []
+        wal.close()
+
+
+class TestFaultPoint:
+    def test_append_fault_leaves_log_unchanged(self, tmp_path):
+        path = tmp_path / "db.wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append(_record(1))
+        with FAULTS.inject("server.wal.append", action="io-error"):
+            with pytest.raises(OSError):
+                wal.append(_record(2))
+        wal.append(_record(2))  # retry after the fault clears
+        assert [r["seq"] for r in wal.records()] == [1, 2]
+        wal.close()

@@ -1,0 +1,145 @@
+"""Snapshot isolation: readers never observe uncommitted state.
+
+The server's read path takes a ``FactSet.copy()`` snapshot under the
+read lock and evaluates outside it (``docs/SERVE.md``).  The property:
+no reader snapshot — whenever taken, however long held — ever reflects
+a write that failed (Savepoint rollback), was never WAL-committed, or
+happened *after* the snapshot was taken.
+"""
+
+import threading
+
+import pytest
+
+from repro.modules.module import Mode
+from repro.modules.txn import state_fingerprints
+from repro.server.registry import DatabaseRegistry
+from repro.testing import FAULTS
+
+SOURCE = """
+associations
+  parent = (par: string, chil: string).
+  anc = (a: string, d: string).
+rules
+  anc(a X, d Y) <- parent(par X, chil Y).
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+def make_db(tmp_path):
+    registry = DatabaseRegistry(tmp_path, snapshot_interval=100)
+    managed = registry.create("db", SOURCE)
+    managed.apply('rules\n  parent(par "a", chil "b").', Mode.RIDV)
+    return managed
+
+
+class TestSingleThreaded:
+    def test_snapshot_survives_rolled_back_write(self, tmp_path):
+        managed = make_db(tmp_path)
+        snap = managed.read_snapshot()
+        count = snap.edb.count()
+        with FAULTS.inject("module.finalize", action="error"):
+            with pytest.raises(RuntimeError):
+                managed.apply(
+                    'rules\n  parent(par "x1", chil "x2").'
+                    '\n  parent(par "x3", chil "x4").'
+                    '\n  parent(par "x5", chil "x6").',
+                    Mode.RIDV,
+                )
+        # neither the pre-taken snapshot nor a fresh one moved
+        assert snap.edb.count() == count
+        assert managed.read_snapshot().edb.count() == count
+
+    def test_snapshot_survives_failed_commit(self, tmp_path):
+        """A write that executed but never reached the WAL (the commit
+        point) must stay invisible."""
+        managed = make_db(tmp_path)
+        prints = state_fingerprints(managed.read_snapshot())
+        with FAULTS.inject("server.wal.append", action="io-error"):
+            with pytest.raises(OSError):
+                managed.apply(
+                    'rules\n  parent(par "y1", chil "y2").', Mode.RIDV
+                )
+        assert state_fingerprints(managed.read_snapshot()) == prints
+
+    def test_snapshot_is_immune_to_later_commits(self, tmp_path):
+        managed = make_db(tmp_path)
+        snap = managed.read_snapshot()
+        count = snap.edb.count()
+        managed.apply('rules\n  parent(par "z1", chil "z2").', Mode.RIDV)
+        assert snap.edb.count() == count           # the copy is frozen
+        assert managed.read_snapshot().edb.count() == count + 1
+
+    def test_mutating_a_snapshot_does_not_leak_back(self, tmp_path):
+        from repro.values import TupleValue
+
+        managed = make_db(tmp_path)
+        snap = managed.read_snapshot()
+        snap.edb.add_association(
+            "parent", TupleValue(par="rogue", chil="write")
+        )
+        assert managed.read_snapshot().edb.count() == snap.edb.count() - 1
+
+
+class TestConcurrentProperty:
+    def test_readers_only_ever_see_committed_states(self, tmp_path):
+        """Property run: a writer alternates committing and failing
+        writes while readers snapshot continuously.  Every observed
+        fingerprint must be one of the committed states — the failed
+        writes (each of which would add a distinct marker fact) must
+        never surface, not even transiently."""
+        managed = make_db(tmp_path)
+        committed = {state_fingerprints(managed.read_snapshot())["edb"]}
+        committed_lock = threading.Lock()
+        observed = []
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    snap = managed.read_snapshot()
+                    observed.append(state_fingerprints(snap)["edb"])
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for t in readers:
+            t.start()
+        try:
+            for i in range(12):
+                if i % 2:
+                    # a write destined to fail after executing: its
+                    # marker facts must never be observed
+                    with FAULTS.inject("module.finalize", action="error"):
+                        with pytest.raises(RuntimeError):
+                            managed.apply(
+                                f'rules\n  parent(par "bad{i}a",'
+                                f' chil "bad{i}b").',
+                                Mode.RIDV,
+                            )
+                else:
+                    managed.apply(
+                        f'rules\n  parent(par "ok{i}", chil "ok{i}x").',
+                        Mode.RIDV,
+                    )
+                    with committed_lock:
+                        committed.add(state_fingerprints(
+                            managed.read_snapshot()
+                        )["edb"])
+        finally:
+            stop.set()
+            for t in readers:
+                t.join(timeout=30)
+        assert not errors
+        assert observed, "readers never got a snapshot"
+        rogue = [o for o in observed if o not in committed]
+        assert rogue == [], (
+            f"{len(rogue)} snapshot(s) observed an uncommitted state"
+        )

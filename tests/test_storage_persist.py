@@ -14,6 +14,7 @@ from repro.storage.persist import (
     encode_schema,
     encode_type,
     encode_value,
+    load_state,
 )
 from repro.types import INTEGER, STRING, NamedType, SchemaBuilder, SetType
 from repro.types.descriptors import (
@@ -153,3 +154,44 @@ class TestStateRoundtrip:
     def test_version_skew_raises(self):
         with pytest.raises(StorageError, match="version"):
             loads_state('{"version": 999}')
+
+
+class TestLoadStateResilience:
+    """Disk-shaped failures must become LG901 diagnostics naming the
+    path, never raw tracebacks (docs/ROBUSTNESS.md)."""
+
+    def test_zero_length_file(self, tmp_path):
+        path = tmp_path / "db.state.json"
+        path.write_bytes(b"")
+        with pytest.raises(StorageError, match="zero-length") as exc:
+            load_state(path)
+        assert str(path) in str(exc.value)
+
+    def test_whitespace_only_file(self, tmp_path):
+        path = tmp_path / "db.state.json"
+        path.write_text("\n  \n")
+        with pytest.raises(StorageError, match="zero-length"):
+            load_state(path)
+
+    def test_truncated_file_names_the_path(self, tmp_path):
+        unit = parse_source("""
+        associations
+          parent = (par: string, chil: string).
+        """)
+        text = dumps_state(unit.schema(), FactSet(), unit.program())
+        path = tmp_path / "db.state.json"
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(StorageError) as exc:
+            load_state(path)
+        assert str(path) in str(exc.value)
+
+    def test_missing_file_is_a_storage_error(self, tmp_path):
+        path = tmp_path / "absent.state.json"
+        with pytest.raises(StorageError, match="cannot read") as exc:
+            load_state(path)
+        assert str(path) in str(exc.value)
+
+    def test_storage_errors_carry_lg901(self):
+        from repro.analysis.diagnostics import CODES
+
+        assert "LG901" in CODES

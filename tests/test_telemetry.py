@@ -278,6 +278,51 @@ class TestEventBus:
         bus.emit(_beat(1))
         assert bus.stats()["subscribers"] == []
 
+    def test_broken_sink_is_evicted_not_fatal(self):
+        """A tail client dying mid-write (BrokenPipeError is an OSError)
+        must not take the publisher down: the sink is dropped, counted,
+        and the healthy sink keeps receiving."""
+
+        class BrokenSink:
+            def __init__(self):
+                self.emits = 0
+                self.closed = False
+
+            def emit(self, event):
+                self.emits += 1
+                raise BrokenPipeError("client went away")
+
+            def close(self):
+                self.closed = True
+
+        bus = EventBus()
+        broken, healthy = BrokenSink(), CollectorSink()
+        bus.attach_sink(broken)
+        bus.attach_sink(healthy)
+        for i in range(5):
+            bus.emit(_beat(i))
+        assert broken.emits == 1          # evicted after the first failure
+        assert broken.closed              # best-effort close on eviction
+        assert len(healthy.events) == 5   # the healthy sink saw everything
+        assert bus.stats()["dropped_sinks"] == 1
+
+    def test_evicted_sinks_surface_as_metrics(self):
+        from repro.observability import MetricsRegistry
+
+        class BrokenSink:
+            def emit(self, event):
+                raise OSError("disk gone")
+
+            def close(self):
+                pass
+
+        bus = EventBus()
+        bus.attach_sink(BrokenSink())
+        bus.emit(_beat(1))
+        metrics = MetricsRegistry()
+        bus.fold_metrics(metrics)
+        assert metrics.gauge("bus_dropped_sinks") == 1
+
 
 def _rule_fired(rule_index=0):
     return RuleFired(
